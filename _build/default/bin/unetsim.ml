@@ -1,0 +1,148 @@
+(* unetsim: run the paper's tables and figures on the simulated testbed. *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let run_experiment name quick check =
+  match Experiments.Registry.find name with
+  | None ->
+      Format.eprintf "unknown experiment %S; try: %s@." name
+        (String.concat ", " Experiments.Registry.names);
+      1
+  | Some e ->
+      if check then begin
+        let results = e.checks ~quick in
+        List.iter
+          (fun (what, ok) ->
+            Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") what)
+          results;
+        if List.for_all snd results then 0 else 1
+      end
+      else begin
+        e.print ~quick;
+        0
+      end
+
+let sanitize label =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> ch
+      | _ -> '_')
+    label
+
+let write_plotdata dir quick =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let wrote = ref [] in
+  List.iter
+    (fun (e : Experiments.Registry.experiment) ->
+      match e.series ~quick with
+      | [] -> ()
+      | curves ->
+          List.iter
+            (fun (label, points) ->
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "%s_%s.dat" e.name (sanitize label))
+              in
+              let oc = open_out path in
+              Printf.fprintf oc "# %s: %s\n# x  y\n" e.name label;
+              List.iter (fun (x, y) -> Printf.fprintf oc "%g %g\n" x y) points;
+              close_out oc;
+              wrote := path :: !wrote)
+            curves;
+          Format.printf "wrote %s curves for %s@." 
+            (string_of_int (List.length curves)) e.name)
+    Experiments.Registry.all;
+  (* a gnuplot driver covering every figure *)
+  let gp = Filename.concat dir "plot.gp" in
+  let oc = open_out gp in
+  output_string oc
+    "# gnuplot driver for the U-Net reproduction figures\n\
+     set terminal pngcairo size 900,600\n\
+     set key left top\n\
+     set grid\n";
+  List.iter
+    (fun fig ->
+      let files =
+        List.filter
+          (fun p -> Filename.check_suffix p ".dat"
+                    && String.length (Filename.basename p) > String.length fig
+                    && String.sub (Filename.basename p) 0 (String.length fig) = fig)
+          (List.rev !wrote)
+      in
+      if files <> [] then begin
+        Printf.fprintf oc "set output '%s.png'\nset title '%s'\nplot %s\n" fig
+          fig
+          (String.concat ", "
+             (List.map
+                (fun p ->
+                  Printf.sprintf "'%s' using 1:2 with linespoints title '%s'"
+                    (Filename.basename p)
+                    (Filename.remove_extension (Filename.basename p)))
+                files))
+      end)
+    [ "fig3"; "fig4"; "fig6"; "fig7"; "fig8"; "fig9" ];
+  close_out oc;
+  Format.printf "wrote %s (run: cd %s && gnuplot plot.gp)@." gp dir;
+  0
+
+let run_all quick check =
+  List.fold_left
+    (fun acc (e : Experiments.Registry.experiment) ->
+      Format.printf "@.=== %s: %s ===@.@." e.name e.description;
+      max acc (run_experiment e.name quick check))
+    0 Experiments.Registry.all
+
+let quick =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller iteration counts (CI-sized runs).")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Evaluate the paper's qualitative claims instead of printing data.")
+
+let verbose =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Show debug logs (drops, retransmissions, TCP timeouts).")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "plot-data" ] ~docv:"DIR"
+        ~doc:
+          "Write every figure's curves as gnuplot-ready .dat files (plus a \
+           plot.gp driver) into $(docv) and exit.")
+
+let names_doc =
+  "EXPERIMENT is one of: all, " ^ String.concat ", " Experiments.Registry.names
+
+let experiment =
+  Arg.(
+    value
+    & pos 0 string "all"
+    & info [] ~docv:"EXPERIMENT" ~doc:names_doc)
+
+let cmd =
+  let doc = "reproduce the tables and figures of the U-Net paper (SOSP 1995)" in
+  let term =
+    Term.(
+      const (fun name quick check out verbose ->
+          setup_logs verbose;
+          match out with
+          | Some dir -> Stdlib.exit (write_plotdata dir quick)
+          | None ->
+              if name = "all" then Stdlib.exit (run_all quick check)
+              else Stdlib.exit (run_experiment name quick check))
+      $ experiment $ quick $ check $ out $ verbose)
+  in
+  Cmd.v (Cmd.info "unetsim" ~doc) term
+
+let () = Stdlib.exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/active_messages.ml: Array Bytes Char Cluster Engine Format List Option Proc Sim String Uam

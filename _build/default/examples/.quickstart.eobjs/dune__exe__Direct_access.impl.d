@@ -1,0 +1,1 @@
+examples/direct_access.ml: Bytes Char Cluster Engine Fmt Format Host List Option Proc Sim Unet

@@ -1,0 +1,1 @@
+examples/direct_access.mli:

@@ -1,0 +1,1 @@
+examples/dsm_cache.ml: Array Cluster Engine Format Hashtbl Option Printf Proc Rng Sim Stats Uam

@@ -1,0 +1,1 @@
+examples/dsm_cache.mli:

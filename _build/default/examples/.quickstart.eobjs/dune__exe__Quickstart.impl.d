@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Cluster Engine Fmt Format Proc Sim Unet

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Array Cluster Engine Format Hashtbl List Printf Proc Rng Services Sim Stats Uam

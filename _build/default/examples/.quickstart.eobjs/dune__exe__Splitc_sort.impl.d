@@ -1,0 +1,1 @@
+examples/splitc_sort.ml: Array Cluster Engine Format Splitc Uam

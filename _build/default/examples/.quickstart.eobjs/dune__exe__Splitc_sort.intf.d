@@ -1,0 +1,1 @@
+examples/splitc_sort.mli:

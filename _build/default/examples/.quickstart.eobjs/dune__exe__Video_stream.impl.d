@@ -1,0 +1,1 @@
+examples/video_stream.ml: Atm Bytes Cluster Engine Fmt Format Hashtbl Int32 List Option Proc Rng Sim Unet

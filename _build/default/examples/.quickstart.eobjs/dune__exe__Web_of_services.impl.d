@@ -1,0 +1,1 @@
+examples/web_of_services.ml: Bytes Char Cluster Engine Format Hashtbl Ipstack Printf Proc Rng Sim Stats String Suite Udp

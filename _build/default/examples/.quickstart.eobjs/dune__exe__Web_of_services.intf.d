@@ -1,0 +1,1 @@
+examples/web_of_services.mli:

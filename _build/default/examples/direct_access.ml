@@ -1,0 +1,112 @@
+(* Direct-access U-Net (§3.6): "true zero copy" — the sender names an
+   offset in the *destination's* communication segment and the NI deposits
+   the data straight into the application data structure, no intermediate
+   buffering, no receive-side copy.
+
+   The demo is a remote frame buffer: a producer renders tiles and sends
+   each one addressed to its home position in the consumer's frame buffer.
+   When the "frame complete" notification arrives, the image is already
+   sitting assembled in application memory. The same transfer is then run
+   through base-level buffers for comparison: same bytes, one extra copy,
+   visible in the simulated clock. Run:
+
+     dune exec examples/direct_access.exe
+*)
+
+open Engine
+
+let tile = 1_024 (* bytes per tile *)
+let tiles = 32
+
+let render i =
+  Bytes.init tile (fun j -> Char.chr ((i * 37 + j) mod 256))
+
+let expected () =
+  let b = Bytes.create (tile * tiles) in
+  for i = 0 to tiles - 1 do
+    Bytes.blit (render i) 0 b (i * tile) tile
+  done;
+  b
+
+let run ~direct =
+  let cluster = Cluster.create ~hosts:2 () in
+  let producer = Cluster.node cluster 0 and consumer = Cluster.node cluster 1 in
+  let ep_p, alloc = Cluster.simple_endpoint ~direct_access:direct producer in
+  (* the consumer's segment IS the frame buffer when running direct *)
+  let ep_c, _ =
+    Cluster.simple_endpoint ~direct_access:direct ~free_buffers:40 consumer
+  in
+  let ch_p, _ = Unet.connect_pair (producer.unet, ep_p) (consumer.unet, ep_c) in
+  let received_tiles = ref 0 in
+  let t_done = ref 0 in
+  ignore
+    (Proc.spawn ~name:"consumer" cluster.sim (fun () ->
+         while !received_tiles < tiles do
+           let d = Unet.recv consumer.unet ep_c in
+           incr received_tiles;
+           (* base-level mode must copy the tile to its home position; in
+              direct mode the notification already points at the deposit *)
+           if not direct then begin
+             match d.rx_payload with
+             | Unet.Desc.Buffers bufs ->
+                 Host.Cpu.charge_copy consumer.cpu ~bytes:tile;
+                 List.iter
+                   (fun (off, _) ->
+                     ignore
+                       (Unet.provide_free_buffer consumer.unet ep_c ~off
+                          ~len:4160))
+                   bufs
+             | Unet.Desc.Inline _ -> ()
+           end
+         done;
+         t_done := Sim.now cluster.sim));
+  ignore
+    (Proc.spawn ~name:"producer" cluster.sim (fun () ->
+         for i = 0 to tiles - 1 do
+           let data = render i in
+           let off, _ = Option.get (Unet.Segment.Allocator.alloc alloc) in
+           Unet.Segment.write ep_p.segment ~off ~src:data ~src_pos:0 ~len:tile;
+           let desc =
+             if direct then
+               (* name the tile's home position in the consumer's segment *)
+               Unet.Desc.tx ~dest_offset:(i * tile) ~chan:ch_p
+                 (Unet.Desc.Buffers [ (off, tile) ])
+             else Unet.Desc.tx ~chan:ch_p (Unet.Desc.Buffers [ (off, tile) ])
+           in
+           (match Unet.send producer.unet ep_p desc with
+           | Ok () -> ()
+           | Error Unet.Queue_full ->
+               Proc.sleep cluster.sim ~time:(Sim.us 20)
+           | Error e -> Fmt.failwith "%a" Unet.pp_error e);
+           (* the send buffer may only be reused once the NI has injected
+              the message — that is what the descriptor's flag is for (§3.1) *)
+           while not desc.injected do
+             Proc.sleep cluster.sim ~time:(Sim.us 5)
+           done;
+           Unet.Segment.Allocator.free alloc (off, 4160)
+         done));
+  Sim.run ~until:(Sim.sec 5) cluster.sim;
+  let frame_ok =
+    if direct then
+      Bytes.equal
+        (Unet.Segment.read ep_c.segment ~off:0 ~len:(tile * tiles))
+        (expected ())
+    else true
+  in
+  (Sim.to_us !t_done, frame_ok)
+
+let () =
+  let t_direct, ok = run ~direct:true in
+  let t_base, _ = run ~direct:false in
+  Format.printf
+    "remote frame buffer, %d tiles x %d B over the simulated ATM cluster:@.@."
+    tiles tile;
+  Format.printf
+    "  direct-access U-Net : %7.0f us — frame assembled in place (intact: %b)@."
+    t_direct ok;
+  Format.printf
+    "  base-level U-Net    : %7.0f us — staged through receive buffers + copy@."
+    t_base;
+  Format.printf
+    "@.The direct-access architecture deposits each tile at its sender-named@.\
+     offset (§3.6) — no buffer pop, no receive copy, no assembly pass.@."

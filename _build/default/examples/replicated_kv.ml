@@ -1,0 +1,110 @@
+(* State-machine replication over U-Net — the §2.1 claim that "software
+   fault-tolerance algorithms and group communication tools often require
+   multi-round protocols, the performance of which is latency-limited.
+   High processing overheads ... prevent such protocols from being used
+   today in process-control applications, financial trading systems ..."
+
+   A 4-replica key-value store: every write is pushed through the
+   totally-ordered group broadcast (fixed sequencer over reliable Active
+   Messages), so all replicas apply the identical update sequence; reads
+   are answered locally by any replica. The run verifies that all replicas
+   converge to identical state and reports the write latency the total
+   order costs at U-Net speed. Run:
+
+     dune exec examples/replicated_kv.exe
+*)
+
+open Engine
+
+let replicas = 4
+let writes_per_node = 50
+
+type store = { table : (string, int) Hashtbl.t; mutable applied : int }
+
+let encode_update key value =
+  let w = Services.Wire.Writer.create () in
+  Services.Wire.Writer.string w key;
+  Services.Wire.Writer.i64 w value;
+  Services.Wire.Writer.contents w
+
+let decode_update b =
+  let r = Services.Wire.Reader.of_bytes b in
+  let key = Services.Wire.Reader.string r in
+  let value = Services.Wire.Reader.i64 r in
+  (key, value)
+
+let () =
+  let cluster = Cluster.create ~hosts:replicas () in
+  let ams =
+    Array.init replicas (fun r ->
+        Uam.create (Cluster.node cluster r).unet ~rank:r ~nodes:replicas)
+  in
+  Uam.connect_all ams;
+  let stores =
+    Array.init replicas (fun _ ->
+        { table = Hashtbl.create 64; applied = 0 })
+  in
+  (* the replication channel: every delivered update mutates the store,
+     in the same total order everywhere *)
+  let groups =
+    Array.init replicas (fun r ->
+        Services.Group.create ams.(r) ~deliver:(fun ~seq:_ ~src:_ payload ->
+            let key, value = decode_update payload in
+            Hashtbl.replace stores.(r).table key value;
+            stores.(r).applied <- stores.(r).applied + 1))
+  in
+  let total = replicas * writes_per_node in
+  let write_lat = Stats.Summary.create () in
+  Array.iteri
+    (fun r g ->
+      ignore
+        (Proc.spawn ~name:(Printf.sprintf "replica%d" r) cluster.sim (fun () ->
+             let rng = Rng.create (7 + r) in
+             for i = 1 to writes_per_node do
+               let key = Printf.sprintf "key-%d" (Rng.int rng 32) in
+               let before = stores.(r).applied in
+               Services.Group.broadcast g (encode_update key ((r * 1000) + i));
+               (* wait until our own write is applied locally: the write's
+                  visible latency through the total order *)
+               let t0 = Sim.now cluster.sim in
+               Services.Group.serve g ~until:(fun () ->
+                   stores.(r).applied > before);
+               if r = 0 then () (* the sequencer's writes are near-instant *)
+               else
+                 Stats.Summary.add write_lat
+                   (Sim.to_us (Sim.now cluster.sim - t0))
+             done;
+             (* serve until every replica has the full history *)
+             Services.Group.serve g ~until:(fun () ->
+                 stores.(r).applied >= total))))
+    groups;
+  Sim.run ~until:(Sim.sec 60) cluster.sim;
+
+  (* convergence check: identical contents on every replica *)
+  let snapshot s =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.table []
+    |> List.sort compare
+  in
+  let reference = snapshot stores.(0) in
+  let converged =
+    Array.for_all (fun s -> snapshot s = reference) stores
+  in
+  Format.printf
+    "replicated KV store: %d replicas, %d totally-ordered writes@.@." replicas
+    total;
+  Array.iteri
+    (fun r s ->
+      Format.printf "  replica %d: %d updates applied, %d keys@." r s.applied
+        (Hashtbl.length s.table))
+    stores;
+  Format.printf
+    "@.replicas converged: %b@.write latency through the total order: mean \
+     %.0f us, p95 %.0f us@."
+    converged
+    (Stats.Summary.mean write_lat)
+    (Stats.Summary.percentile write_lat 0.95);
+  Format.printf
+    "@.At kernel-networking latencies (~1 ms/hop) the same protocol would \
+     cost@.10-20x more per write — the paper's §2.1 argument for why such \
+     systems@.need user-level networking.@.";
+  assert converged

@@ -1,0 +1,1 @@
+lib/atm/aal5.ml: Buffer Bytes Cell Crc32 Format List

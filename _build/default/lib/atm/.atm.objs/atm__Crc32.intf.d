@@ -1,0 +1,1 @@
+lib/atm/crc32.mli:

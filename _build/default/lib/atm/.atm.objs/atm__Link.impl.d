@@ -1,0 +1,1 @@
+lib/atm/link.ml: Cell Engine Float Queue Rng Sim

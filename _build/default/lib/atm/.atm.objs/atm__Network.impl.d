@@ -1,0 +1,1 @@
+lib/atm/network.ml: Array Cell Engine Link Sim Switch

@@ -1,0 +1,1 @@
+lib/atm/network.mli: Cell Engine Link Switch

@@ -1,0 +1,1 @@
+lib/atm/switch.ml: Array Cell Engine Hashtbl Link Printf Sim

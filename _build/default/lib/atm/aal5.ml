@@ -1,0 +1,79 @@
+let trailer_size = 8
+let max_payload = 65535
+
+let cells_for len =
+  if len < 0 then invalid_arg "Aal5.cells_for: negative length";
+  (len + trailer_size + Cell.payload_size - 1) / Cell.payload_size
+
+let pdu_wire_bytes len = cells_for len * Cell.on_wire_size
+
+(* Trailer layout (last 8 bytes of the CS-PDU):
+   byte 0: CPCS-UU (we carry 0)
+   byte 1: CPI (0)
+   bytes 2-3: payload length, big-endian
+   bytes 4-7: CRC-32 over the whole CS-PDU with the CRC field excluded. *)
+let segment ~vci payload =
+  let len = Bytes.length payload in
+  if len > max_payload then invalid_arg "Aal5.segment: payload too long";
+  let ncells = cells_for len in
+  let total = ncells * Cell.payload_size in
+  let pdu = Bytes.make total '\000' in
+  Bytes.blit payload 0 pdu 0 len;
+  Bytes.set_uint16_be pdu (total - 6) len;
+  let crc = Crc32.digest pdu ~pos:0 ~len:(total - 4) in
+  Bytes.set_int32_be pdu (total - 4) crc;
+  List.init ncells (fun i ->
+      Cell.make ~vci ~eop:(i = ncells - 1)
+        (Bytes.sub pdu (i * Cell.payload_size) Cell.payload_size))
+
+type error = Crc_mismatch | Length_mismatch | Too_long
+
+let pp_error fmt = function
+  | Crc_mismatch -> Format.pp_print_string fmt "crc-mismatch"
+  | Length_mismatch -> Format.pp_print_string fmt "length-mismatch"
+  | Too_long -> Format.pp_print_string fmt "too-long"
+
+module Reassembler = struct
+  type t = {
+    buf : Buffer.t;
+    mutable error_count : int;
+  }
+
+  let create () = { buf = Buffer.create 256; error_count = 0 }
+  let in_progress t = Buffer.length t.buf > 0
+  let errors t = t.error_count
+
+  let max_pdu_bytes = cells_for max_payload * Cell.payload_size
+
+  let finish t =
+    let pdu = Buffer.to_bytes t.buf in
+    Buffer.clear t.buf;
+    let total = Bytes.length pdu in
+    (* total is a positive multiple of 48 by construction *)
+    let stored_len = Bytes.get_uint16_be pdu (total - 6) in
+    let stored_crc = Bytes.get_int32_be pdu (total - 4) in
+    let crc = Crc32.digest pdu ~pos:0 ~len:(total - 4) in
+    if crc <> stored_crc then begin
+      t.error_count <- t.error_count + 1;
+      Error Crc_mismatch
+    end
+    else if
+      stored_len > total - trailer_size
+      || cells_for stored_len * Cell.payload_size <> total
+    then begin
+      t.error_count <- t.error_count + 1;
+      Error Length_mismatch
+    end
+    else Ok (Bytes.sub pdu 0 stored_len)
+
+  let push t (cell : Cell.t) =
+    if Buffer.length t.buf + Cell.payload_size > max_pdu_bytes then begin
+      Buffer.clear t.buf;
+      t.error_count <- t.error_count + 1;
+      Some (Error Too_long)
+    end
+    else begin
+      Buffer.add_bytes t.buf cell.payload;
+      if cell.eop then Some (finish t) else None
+    end
+end

@@ -1,0 +1,44 @@
+(** AAL5 segmentation and reassembly. A CS-PDU is the payload, zero padding,
+    and an 8-byte trailer (UU, CPI, 16-bit length, 32-bit CRC) rounded up to
+    a whole number of 48-byte cells; the last cell carries the PTI
+    end-of-packet mark. *)
+
+val trailer_size : int (* 8 *)
+
+val max_payload : int
+(** Largest payload an AAL5 PDU can carry (65535, the 16-bit length field). *)
+
+val cells_for : int -> int
+(** Number of cells needed to carry a payload of the given length
+    (payload + trailer, rounded up to cells). *)
+
+val pdu_wire_bytes : int -> int
+(** Bytes on the wire (53 per cell) for a payload of the given length — the
+    exact sawtooth of the paper's Figure 4 "AAL-5 limit" curve. *)
+
+val segment : vci:int -> bytes -> Cell.t list
+(** Split a payload into cells with padding, trailer and CRC. *)
+
+type error =
+  | Crc_mismatch
+  | Length_mismatch
+  | Too_long  (** reassembly exceeded [max_payload] + trailer *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Per-VCI reassembler: feed cells in order; a completed PDU (or an error,
+    e.g. after cell loss) is reported when the EOP cell arrives. *)
+module Reassembler : sig
+  type t
+
+  val create : unit -> t
+
+  val push : t -> Cell.t -> (bytes, error) result option
+  (** [None] while mid-PDU; [Some (Ok payload)] on success; [Some (Error _)]
+      when the completed PDU fails its checks (it is then discarded, exactly
+      as cell loss discards a whole segment in the paper's §7.8). *)
+
+  val in_progress : t -> bool
+  val errors : t -> int
+  (** Count of PDUs discarded due to errors so far. *)
+end

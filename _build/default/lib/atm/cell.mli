@@ -1,0 +1,21 @@
+(** ATM cells: the unit of transmission on the simulated fabric. A cell is 53
+    bytes on the wire — a 5-byte header (of which we model the VCI and the
+    PTI end-of-packet bit used by AAL5) and a 48-byte payload. *)
+
+type t = {
+  vci : int;  (** virtual channel identifier *)
+  eop : bool;  (** PTI "end of AAL5 PDU" marker *)
+  payload : bytes;  (** exactly {!payload_size} bytes *)
+}
+
+val header_size : int (* 5 *)
+val payload_size : int (* 48 *)
+val on_wire_size : int (* 53 *)
+
+val make : vci:int -> eop:bool -> bytes -> t
+(** Raises [Invalid_argument] unless the payload is exactly 48 bytes. *)
+
+val with_vci : t -> int -> t
+(** Same cell relabelled with a new VCI (switch header rewrite). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+(** CRC-32 as used by AAL5 (the IEEE 802.3 polynomial 0x04C11DB7, reflected
+    implementation). Table-driven, processes a byte at a time. *)
+
+val digest : ?crc:int32 -> bytes -> pos:int -> len:int -> int32
+(** [digest b ~pos ~len] is the CRC of the byte range; [?crc] continues a
+    running computation (pass a previous result to chain ranges). *)
+
+val digest_bytes : bytes -> int32
+(** CRC over a whole buffer. [digest_bytes "123456789" = 0xCBF43926l]. *)

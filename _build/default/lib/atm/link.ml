@@ -1,0 +1,76 @@
+open Engine
+
+type t = {
+  sim : Sim.t;
+  cell_time : Sim.time;
+  propagation : Sim.time;
+  queue_capacity : int;
+  queue : Cell.t Queue.t;
+  mutable transmitting : bool;
+  mutable receiver : (Cell.t -> unit) option;
+  mutable loss : (Rng.t * float) option;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create sim ?(queue_capacity = max_int) ~bandwidth_mbps ~propagation () =
+  if bandwidth_mbps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  let bits = float_of_int (Cell.on_wire_size * 8) in
+  let cell_time = int_of_float (Float.round (bits /. bandwidth_mbps *. 1_000.)) in
+  {
+    sim;
+    cell_time;
+    propagation;
+    queue_capacity;
+    queue = Queue.create ();
+    transmitting = false;
+    receiver = None;
+    loss = None;
+    sent = 0;
+    dropped = 0;
+  }
+
+let set_receiver t f = t.receiver <- Some f
+let set_loss t rng ~p = t.loss <- Some (rng, p)
+let cell_time t = t.cell_time
+let cells_sent t = t.sent
+let cells_dropped t = t.dropped
+let queue_length t = Queue.length t.queue
+let busy t = t.transmitting
+
+let deliver t cell =
+  let lost =
+    match t.loss with Some (rng, p) -> Rng.bernoulli rng ~p | None -> false
+  in
+  if lost then t.dropped <- t.dropped + 1
+  else begin
+    t.sent <- t.sent + 1;
+    match t.receiver with
+    | Some f ->
+        ignore (Sim.schedule t.sim ~delay:t.propagation (fun () -> f cell))
+    | None -> failwith "Link: no receiver attached"
+  end
+
+let rec transmit t cell =
+  t.transmitting <- true;
+  ignore
+    (Sim.schedule t.sim ~delay:t.cell_time (fun () ->
+         deliver t cell;
+         match Queue.take_opt t.queue with
+         | Some next -> transmit t next
+         | None -> t.transmitting <- false))
+
+let send t cell =
+  if t.transmitting then
+    if Queue.length t.queue >= t.queue_capacity then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      Queue.add cell t.queue;
+      true
+    end
+  else begin
+    transmit t cell;
+    true
+  end

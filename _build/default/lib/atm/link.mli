@@ -1,0 +1,36 @@
+(** A unidirectional fiber: serializes cells at the link bandwidth, delivers
+    each to the receiver after the propagation delay. Cells queue FIFO while
+    the transmitter is busy; a finite queue capacity models an output FIFO
+    and overflowing cells are dropped (and counted). An optional loss process
+    drops cells at random for failure-injection experiments. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  ?queue_capacity:int ->
+  (* cells; default: effectively unbounded *)
+  bandwidth_mbps:float ->
+  propagation:Engine.Sim.time ->
+  unit ->
+  t
+
+val set_receiver : t -> (Cell.t -> unit) -> unit
+(** The delivery callback at the far end. Must be set before traffic flows. *)
+
+val set_loss : t -> Engine.Rng.t -> p:float -> unit
+(** Drop each cell independently with probability [p]. *)
+
+val send : t -> Cell.t -> bool
+(** Enqueue a cell for transmission. Returns [false] if it was dropped
+    because the transmit queue was full. *)
+
+val cell_time : t -> Engine.Sim.time
+(** Serialization time of one 53-byte cell at this link's bandwidth. *)
+
+val cells_sent : t -> int
+val cells_dropped : t -> int
+(** Queue-overflow drops plus injected losses. *)
+
+val queue_length : t -> int
+val busy : t -> bool

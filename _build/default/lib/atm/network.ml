@@ -1,0 +1,132 @@
+open Engine
+
+type config = {
+  link_bandwidth_mbps : float;
+  link_propagation : Sim.time;
+  switch_transit : Sim.time;
+  switch_queue_capacity : int;
+  host_tx_fifo : int;
+}
+
+(* The ASX-200 is a shared-buffer switch with thousands of cells of output
+   buffering, so converging bursts (e.g. an 8-way all-to-all of 4 KB PDUs)
+   do not normally lose cells; experiments that study loss shrink
+   [switch_queue_capacity] explicitly. *)
+let default_config =
+  {
+    link_bandwidth_mbps = 140.;
+    link_propagation = Sim.ns 500;
+    switch_transit = Sim.us 2;
+    switch_queue_capacity = 8192;
+    host_tx_fifo = 64;
+  }
+
+type t = {
+  sim : Sim.t;
+  hosts : int;
+  switch : Switch.t;
+  uplinks : Link.t array; (* host -> switch *)
+  downlinks : Link.t array; (* switch -> host *)
+  rx_handlers : (Cell.t -> unit) option array;
+  (* VCI allocation, per direction. VCIs below 32 are reserved as on a real
+     ATM fabric. *)
+  next_tx_vci : int array; (* next free VCI on host's uplink *)
+  next_rx_vci : int array; (* next free VCI on host's downlink *)
+}
+
+let create sim ~hosts config =
+  if hosts <= 0 then invalid_arg "Network.create: hosts must be positive";
+  let switch =
+    Switch.create sim ~ports:hosts ~transit:config.switch_transit
+      ~output_queue_capacity:config.switch_queue_capacity ()
+  in
+  let mk_link ?queue_capacity () =
+    Link.create sim ?queue_capacity
+      ~bandwidth_mbps:config.link_bandwidth_mbps
+      ~propagation:config.link_propagation ()
+  in
+  let uplinks =
+    Array.init hosts (fun _ -> mk_link ~queue_capacity:config.host_tx_fifo ())
+  in
+  let downlinks = Array.init hosts (fun _ -> mk_link ()) in
+  let t =
+    {
+      sim;
+      hosts;
+      switch;
+      uplinks;
+      downlinks;
+      rx_handlers = Array.make hosts None;
+      next_tx_vci = Array.make hosts 32;
+      next_rx_vci = Array.make hosts 32;
+    }
+  in
+  for h = 0 to hosts - 1 do
+    let port = h in
+    Link.set_receiver uplinks.(h) (fun cell -> Switch.input switch ~port cell);
+    Switch.attach_output switch ~port downlinks.(h);
+    Link.set_receiver downlinks.(h) (fun cell ->
+        match t.rx_handlers.(h) with
+        | Some f -> f cell
+        | None -> () (* host NI not attached yet: cell is lost *))
+  done;
+  t
+
+let sim t = t.sim
+let host_count t = t.hosts
+
+let check_host t h =
+  if h < 0 || h >= t.hosts then invalid_arg "Network: host out of range"
+
+let attach_rx t ~host f =
+  check_host t host;
+  t.rx_handlers.(host) <- Some f
+
+let send t ~host cell =
+  check_host t host;
+  Link.send t.uplinks.(host) cell
+
+let uplink t ~host =
+  check_host t host;
+  t.uplinks.(host)
+
+let downlink t ~host =
+  check_host t host;
+  t.downlinks.(host)
+
+let switch t = t.switch
+
+type duplex = { tx_vci : int; rx_vci : int }
+type conn = { host_a : int; host_b : int; side_a : duplex; side_b : duplex }
+
+let alloc_vci arr h =
+  let v = arr.(h) in
+  arr.(h) <- v + 1;
+  v
+
+let connect t ~a ~b =
+  check_host t a;
+  check_host t b;
+  if a = b then invalid_arg "Network.connect: a host cannot connect to itself";
+  (* a -> b direction *)
+  let vci_a_out = alloc_vci t.next_tx_vci a in
+  let vci_b_in = alloc_vci t.next_rx_vci b in
+  Switch.add_route t.switch ~in_port:a ~in_vci:vci_a_out ~out_port:b
+    ~out_vci:vci_b_in;
+  (* b -> a direction *)
+  let vci_b_out = alloc_vci t.next_tx_vci b in
+  let vci_a_in = alloc_vci t.next_rx_vci a in
+  Switch.add_route t.switch ~in_port:b ~in_vci:vci_b_out ~out_port:a
+    ~out_vci:vci_a_in;
+  {
+    host_a = a;
+    host_b = b;
+    side_a = { tx_vci = vci_a_out; rx_vci = vci_a_in };
+    side_b = { tx_vci = vci_b_out; rx_vci = vci_b_in };
+  }
+
+let disconnect t conn =
+  Switch.remove_route t.switch ~in_port:conn.host_a
+    ~in_vci:conn.side_a.tx_vci;
+  Switch.remove_route t.switch ~in_port:conn.host_b
+    ~in_vci:conn.side_b.tx_vci

@@ -1,0 +1,50 @@
+(** Cluster topology: [hosts] workstations, each connected to one port of a
+    single switch by a full-duplex fiber pair, mirroring the paper's 8-node
+    ASX-200 testbed. Also plays the role of the network-specific signalling
+    service: {!connect} performs route discovery and switch-path setup,
+    returning the VCI pair each side must use (§3.2). *)
+
+type config = {
+  link_bandwidth_mbps : float;  (** 140 Mbit/s TAXI in the paper *)
+  link_propagation : Engine.Sim.time;  (** per-fiber time of flight *)
+  switch_transit : Engine.Sim.time;  (** fabric delay per cell *)
+  switch_queue_capacity : int;  (** output-port queue, in cells *)
+  host_tx_fifo : int;  (** NI output FIFO depth, in cells *)
+}
+
+val default_config : config
+(** The paper's testbed: 140 Mbit/s links, 2 µs switch transit, shallow
+    host FIFOs. *)
+
+type t
+
+val create : Engine.Sim.t -> hosts:int -> config -> t
+val sim : t -> Engine.Sim.t
+val host_count : t -> int
+
+val attach_rx : t -> host:int -> (Cell.t -> unit) -> unit
+(** Install the host NI's cell-receive handler (downlink receiver). *)
+
+val send : t -> host:int -> Cell.t -> bool
+(** Transmit a cell on the host's uplink. [false] if the NI output FIFO
+    overflowed. *)
+
+val uplink : t -> host:int -> Link.t
+val downlink : t -> host:int -> Link.t
+val switch : t -> Switch.t
+
+(** The transmit/receive VCI pair naming a one-way-per-direction duplex
+    channel, as handed to an endpoint at channel registration. *)
+type duplex = { tx_vci : int; rx_vci : int }
+
+type conn = { host_a : int; host_b : int; side_a : duplex; side_b : duplex }
+(** A full-duplex connection: [side_a.tx_vci] is the VCI host [a] transmits
+    on; those cells arrive at host [b] relabelled as [side_b.rx_vci], and
+    symmetrically. *)
+
+val connect : t -> a:int -> b:int -> conn
+(** Set up a full-duplex connection between hosts [a] and [b]: route
+    discovery, switch-path setup, VCI allocation. *)
+
+val disconnect : t -> conn -> unit
+(** Tear down both routes of a connection. *)

@@ -1,0 +1,68 @@
+open Engine
+
+type t = {
+  sim : Sim.t;
+  ports : int;
+  transit : Sim.time;
+  output_queue_capacity : int;
+  outputs : Link.t option array;
+  routes : (int * int, int * int) Hashtbl.t; (* (in_port, in_vci) -> (out_port, out_vci) *)
+  mutable routed : int;
+  mutable dropped : int;
+  mutable unroutable : int;
+}
+
+let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
+  if ports <= 0 then invalid_arg "Switch.create: ports must be positive";
+  {
+    sim;
+    ports;
+    transit;
+    output_queue_capacity;
+    outputs = Array.make ports None;
+    routes = Hashtbl.create 64;
+    routed = 0;
+    dropped = 0;
+    unroutable = 0;
+  }
+
+let check_port t port =
+  if port < 0 || port >= t.ports then invalid_arg "Switch: port out of range"
+
+let attach_output t ~port link =
+  check_port t port;
+  t.outputs.(port) <- Some link
+
+let add_route t ~in_port ~in_vci ~out_port ~out_vci =
+  check_port t in_port;
+  check_port t out_port;
+  if Hashtbl.mem t.routes (in_port, in_vci) then
+    invalid_arg
+      (Printf.sprintf "Switch.add_route: VCI %d already routed on port %d"
+         in_vci in_port);
+  Hashtbl.add t.routes (in_port, in_vci) (out_port, out_vci)
+
+let remove_route t ~in_port ~in_vci = Hashtbl.remove t.routes (in_port, in_vci)
+
+let cells_routed t = t.routed
+let cells_dropped t = t.dropped
+let unroutable t = t.unroutable
+
+let input t ~port cell =
+  check_port t port;
+  match Hashtbl.find_opt t.routes (port, cell.Cell.vci) with
+  | None -> t.unroutable <- t.unroutable + 1
+  | Some (out_port, out_vci) -> (
+      match t.outputs.(out_port) with
+      | None -> failwith "Switch: route to a port with no output link"
+      | Some link ->
+          ignore
+            (Sim.schedule t.sim ~delay:t.transit (fun () ->
+                 (* The output port queue is the link's transmit queue; a
+                    full queue drops the cell, which is what makes large TCP
+                    segments fragile over ATM (§7.8). *)
+                 if Link.queue_length link >= t.output_queue_capacity then
+                   t.dropped <- t.dropped + 1
+                 else if Link.send link (Cell.with_vci cell out_vci) then
+                   t.routed <- t.routed + 1
+                 else t.dropped <- t.dropped + 1)))

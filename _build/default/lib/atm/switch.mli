@@ -1,0 +1,32 @@
+(** An output-buffered ATM switch in the style of the Fore ASX-200: cells
+    entering a port are routed on (input port, VCI), optionally relabelled,
+    delayed by the fabric transit time, and queued on the output port's link.
+    Cells with no route, or arriving to a full output queue, are dropped and
+    counted. *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  ports:int ->
+  transit:Engine.Sim.time ->
+  ?output_queue_capacity:int ->
+  unit ->
+  t
+
+val attach_output : t -> port:int -> Link.t -> unit
+(** Connect the outgoing link of a port. *)
+
+val add_route :
+  t -> in_port:int -> in_vci:int -> out_port:int -> out_vci:int -> unit
+(** Raises if the (in_port, in_vci) pair is already routed. *)
+
+val remove_route : t -> in_port:int -> in_vci:int -> unit
+
+val input : t -> port:int -> Cell.t -> unit
+(** Deliver a cell into the switch (wired as the receiver of the host-side
+    uplink). *)
+
+val cells_routed : t -> int
+val cells_dropped : t -> int
+val unroutable : t -> int

@@ -1,0 +1,1 @@
+lib/engine/sync.mli: Sim

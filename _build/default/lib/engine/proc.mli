@@ -1,0 +1,48 @@
+(** Simulated processes: lightweight coroutines scheduled on a {!Sim.t}
+    clock, implemented with OCaml 5 effect handlers. A process runs ordinary
+    OCaml code and blocks by performing a suspend effect; the simulator
+    resumes it when the event it is waiting for fires.
+
+    All blocking operations in this library ({!sleep}, {!join},
+    {!Sync.Mailbox.recv}, ...) may only be called from inside a process body
+    started with {!spawn}. *)
+
+type t
+(** A spawned process. *)
+
+type state = Running | Done | Failed of exn
+
+exception Not_in_process
+(** Raised when a blocking operation is performed outside a process body. *)
+
+val spawn : ?name:string -> Sim.t -> (unit -> unit) -> t
+(** [spawn sim body] schedules [body] to start at the current virtual time.
+    Exceptions escaping [body] put the process in [Failed] state; they are
+    re-raised by {!join}. *)
+
+val state : t -> state
+val name : t -> string
+
+val sleep : Sim.t -> time:Sim.time -> unit
+(** Block the calling process for [time] simulated nanoseconds. *)
+
+val yield : Sim.t -> unit
+(** Let other events at the current instant run first. *)
+
+val join : t -> unit
+(** Block until the target process terminates. Re-raises its exception if it
+    failed. *)
+
+val join_all : t list -> unit
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] is the low-level blocking primitive: it captures the
+    current continuation as a [resume] thunk and hands it to [register].
+    Calling [resume] (typically from a simulation event) restarts the
+    process. [resume] must be called at most once. *)
+
+val run_to_completion : Sim.t -> (unit -> 'a) -> 'a
+(** [run_to_completion sim main] spawns a process computing [main ()], drives
+    the simulation until it finishes, and returns its result. Raises if the
+    process fails or deadlocks (simulation goes idle with the process still
+    blocked). *)

@@ -1,0 +1,34 @@
+(** Deterministic, splittable pseudo-random number generator (splitmix64).
+    Used everywhere the simulator needs randomness (loss injection, workload
+    generation) so that every run is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from the current state. *)
+
+val int64 : t -> int64
+val bits : t -> int  (* 30 uniformly random bits, non-negative *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> p:float -> bool
+(** True with probability [p]. *)
+
+val bytes : t -> int -> bytes
+(** Random payload of the given length. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)

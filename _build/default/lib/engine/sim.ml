@@ -1,0 +1,141 @@
+type time = int
+
+type event = {
+  at : time;
+  seq : int; (* tie-breaker: FIFO among same-time events *)
+  mutable thunk : (unit -> unit) option; (* None once fired or cancelled *)
+}
+
+type handle = event
+
+(* Binary min-heap over (at, seq). A simple array-backed heap is enough: the
+   simulator's hot loop is push/pop and both are O(log n) with no allocation
+   beyond the event records themselves. *)
+module Heap = struct
+  type t = { mutable a : event array; mutable len : int }
+
+  let dummy = { at = 0; seq = 0; thunk = None }
+  let create () = { a = Array.make 256 dummy; len = 0 }
+
+  let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let a' = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    let a = h.a in
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    a.(!i) <- e;
+    (* sift up *)
+    while !i > 0 && before a.(!i) a.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = a.(p) in
+      a.(p) <- a.(!i);
+      a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let a = h.a in
+      let top = a.(0) in
+      h.len <- h.len - 1;
+      a.(0) <- a.(h.len);
+      a.(h.len) <- dummy;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && before a.(l) a.(!smallest) then smallest := l;
+        if r < h.len && before a.(r) a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = a.(!smallest) in
+          a.(!smallest) <- a.(!i);
+          a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+end
+
+type t = {
+  mutable clock : time;
+  heap : Heap.t;
+  mutable next_seq : int;
+  mutable live : int; (* scheduled and not yet fired/cancelled *)
+}
+
+let create () = { clock = 0; heap = Heap.create (); next_seq = 0; live = 0 }
+let now t = t.clock
+let pending t = t.live
+
+let schedule_at t at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_at: time %d is in the past (now %d)" at
+         t.clock);
+  let e = { at; seq = t.next_seq; thunk = Some f } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.heap e;
+  e
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t (t.clock + delay) f
+
+let cancel (e : handle) =
+  match e.thunk with
+  | None -> ()
+  | Some _ -> e.thunk <- None
+(* note: [live] is decremented lazily when the tombstone is popped *)
+
+(* Pop events, skipping tombstones, firing the first live one. *)
+let rec step t =
+  match Heap.pop t.heap with
+  | None -> false
+  | Some e -> (
+      match e.thunk with
+      | None ->
+          (* cancelled *)
+          t.live <- t.live - 1;
+          step t
+      | Some f ->
+          e.thunk <- None;
+          t.live <- t.live - 1;
+          t.clock <- e.at;
+          f ();
+          true)
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.heap with
+        | None -> continue := false
+        | Some e ->
+            if e.at > limit then continue := false
+            else if not (step t) then continue := false
+      done;
+      if t.clock < limit then t.clock <- limit
+
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_us_f f = int_of_float (Float.round (f *. 1_000.))
+let to_us t = float_of_int t /. 1_000.
+let to_ms t = float_of_int t /. 1_000_000.
+let to_sec t = float_of_int t /. 1_000_000_000.

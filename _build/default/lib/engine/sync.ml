@@ -1,0 +1,141 @@
+module Mailbox = struct
+  (* A waiting receiver is represented by a slot: the sender deposits the
+     value and fires the resume thunk. Timeouts kill the slot so a later send
+     skips it. *)
+  type 'a waiter = {
+    mutable cell : 'a option;
+    mutable alive : bool;
+    mutable resume : unit -> unit;
+  }
+
+  type 'a t = {
+    sim : Sim.t;
+    items : 'a Queue.t;
+    waiters : 'a waiter Queue.t;
+  }
+
+  let create sim = { sim; items = Queue.create (); waiters = Queue.create () }
+  let length t = Queue.length t.items
+
+  let rec send t v =
+    match Queue.take_opt t.waiters with
+    | None -> Queue.add v t.items
+    | Some w ->
+        if w.alive then begin
+          w.cell <- Some v;
+          w.alive <- false;
+          w.resume ()
+        end
+        else send t v
+
+  let try_recv t = Queue.take_opt t.items
+
+  let recv t =
+    match Queue.take_opt t.items with
+    | Some v -> v
+    | None ->
+        let w = { cell = None; alive = true; resume = (fun () -> ()) } in
+        Proc.suspend (fun resume ->
+            w.resume <- resume;
+            Queue.add w t.waiters);
+        (match w.cell with
+        | Some v -> v
+        | None -> assert false)
+
+  let recv_timeout t ~timeout =
+    match Queue.take_opt t.items with
+    | Some v -> Some v
+    | None ->
+        let w = { cell = None; alive = true; resume = (fun () -> ()) } in
+        Proc.suspend (fun resume ->
+            w.resume <- resume;
+            Queue.add w t.waiters;
+            ignore
+              (Sim.schedule t.sim ~delay:timeout (fun () ->
+                   if w.alive then begin
+                     w.alive <- false;
+                     resume ()
+                   end)));
+        w.cell
+end
+
+module Semaphore = struct
+  type t = {
+    sim : Sim.t;
+    mutable count : int;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create sim count =
+    if count < 0 then invalid_arg "Semaphore.create: negative count";
+    { sim; count; waiters = Queue.create () }
+
+  let available t = t.count
+
+  let acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else Proc.suspend (fun resume -> Queue.add resume t.waiters)
+
+  let try_acquire t =
+    if t.count > 0 then begin
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+
+  let release t =
+    match Queue.take_opt t.waiters with
+    | Some resume -> ignore (Sim.schedule t.sim ~delay:0 resume)
+    | None -> t.count <- t.count + 1
+end
+
+module Condition = struct
+  type t = { sim : Sim.t; mutable waiting : (unit -> unit) list }
+
+  let create sim = { sim; waiting = [] }
+  let waiters t = List.length t.waiting
+
+  let wait t = Proc.suspend (fun resume -> t.waiting <- resume :: t.waiting)
+
+  let broadcast t =
+    let ws = List.rev t.waiting in
+    t.waiting <- [];
+    List.iter (fun resume -> ignore (Sim.schedule t.sim ~delay:0 resume)) ws
+
+  let rec wait_for t pred =
+    if not (pred ()) then begin
+      wait t;
+      wait_for t pred
+    end
+end
+
+module Server = struct
+  type job = { cost : Sim.time; k : unit -> unit }
+
+  type t = {
+    sim : Sim.t;
+    jobs : job Queue.t;
+    mutable busy : bool;
+    mutable busy_time : Sim.time;
+  }
+
+  let create sim = { sim; jobs = Queue.create (); busy = false; busy_time = 0 }
+  let busy t = t.busy
+  let queue_length t = Queue.length t.jobs
+  let busy_time t = t.busy_time
+
+  let rec start t job =
+    t.busy <- true;
+    t.busy_time <- t.busy_time + job.cost;
+    ignore
+      (Sim.schedule t.sim ~delay:job.cost (fun () ->
+           job.k ();
+           match Queue.take_opt t.jobs with
+           | Some next -> start t next
+           | None -> t.busy <- false))
+
+  let submit t ~cost k =
+    if cost < 0 then invalid_arg "Server.submit: negative cost";
+    let job = { cost; k } in
+    if t.busy then Queue.add job t.jobs else start t job
+end

@@ -1,0 +1,64 @@
+(** Synchronization primitives for simulated processes, plus an event-driven
+    FIFO server used to model serially-shared hardware (an i960 NI processor,
+    a DMA engine, a CPU). *)
+
+(** Unbounded FIFO mailbox. [recv] blocks the calling process until a value
+    is available. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : Sim.t -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+
+  val recv_timeout : 'a t -> timeout:Sim.time -> 'a option
+  (** Like {!recv} but gives up after [timeout] ns, returning [None]. *)
+end
+
+(** Counting semaphore. *)
+module Semaphore : sig
+  type t
+
+  val create : Sim.t -> int -> t
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val available : t -> int
+end
+
+(** Broadcast condition: processes wait; a broadcast wakes all current
+    waiters. Waiters must re-check their predicate in a loop. *)
+module Condition : sig
+  type t
+
+  val create : Sim.t -> t
+  val wait : t -> unit
+  val broadcast : t -> unit
+
+  val wait_for : t -> (unit -> bool) -> unit
+  (** [wait_for c pred] returns immediately if [pred ()]; otherwise blocks on
+      [c], re-checking [pred] after each broadcast. *)
+
+  val waiters : t -> int
+end
+
+(** An event-driven serial server: jobs are executed one at a time in FIFO
+    order, each occupying the server for its service cost, then invoking its
+    completion callback. This models hardware that processes one unit of work
+    at a time without needing a coroutine. *)
+module Server : sig
+  type t
+
+  val create : Sim.t -> t
+
+  val submit : t -> cost:Sim.time -> (unit -> unit) -> unit
+  (** Enqueue a job taking [cost] ns of server time; [k] runs at completion. *)
+
+  val busy : t -> bool
+  val queue_length : t -> int
+
+  val busy_time : t -> Sim.time
+  (** Total time the server has spent serving jobs (utilization numerator). *)
+end

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Bytes Cluster Common Engine Float Fmt Format Host Ipstack List Ni Printf Proc Sim Uam Unet

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Bytes Cluster Engine Float Fmt Format Host Ipstack List Proc Queue Sim Stats String Suite Tcp Uam Udp Unet

@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Cluster Engine Format Ipstack Uam Unet

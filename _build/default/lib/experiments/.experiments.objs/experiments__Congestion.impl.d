@@ -1,0 +1,1 @@
+lib/experiments/congestion.ml: Atm Bytes Cluster Common Engine Float Format Iface Ipstack Ipv4 List Ni Option Printf Proc Sim String Tcp

@@ -1,0 +1,1 @@
+lib/experiments/congestion.mli: Engine

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Atm Common Engine Float Format List Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Cluster Common Engine Format List Printf Splitc Uam

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Common Engine Float Format List Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Common Engine Float Format Stats

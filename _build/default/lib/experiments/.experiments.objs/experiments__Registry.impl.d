@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Congestion Engine Fig3 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 List Resources Scaling Table1 Table2 Table3 Workload_nfs

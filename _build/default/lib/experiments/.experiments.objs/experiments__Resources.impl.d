@@ -1,0 +1,1 @@
+lib/experiments/resources.ml: Array Cluster Common Format Host Ni Option Result Uam Unet

@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Array Cluster Common Engine Format List Printf Proc Sim Splitc Uam

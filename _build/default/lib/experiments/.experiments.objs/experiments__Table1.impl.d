@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Atm Bytes Cluster Common Engine Float Fmt Format List Ni Printf Proc Sim Unet

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Common Float Format List Printf Splitc

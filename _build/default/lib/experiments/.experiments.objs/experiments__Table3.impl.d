@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Cluster Common Engine Float Format List Printf Proc Sim Uam

@@ -1,0 +1,1 @@
+lib/experiments/workload_nfs.ml: Bytes Common Engine Format Int32 Ipstack List Printf Proc Rng Sim Stats Suite Udp

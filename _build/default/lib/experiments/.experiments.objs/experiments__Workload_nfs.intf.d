@@ -1,0 +1,1 @@
+lib/experiments/workload_nfs.mli: Common

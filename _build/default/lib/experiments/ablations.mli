@@ -1,0 +1,64 @@
+(** Ablations of the design decisions DESIGN.md §5 calls out: each isolates
+    one mechanism the paper credits for its performance and measures the
+    system with it turned off (or swept). *)
+
+(** The single-cell fast path of §3.4/§4.2.2: inline descriptors, no buffer
+    pop. Turning it off costs roughly the 120-vs-65 µs gap. *)
+module Inline : sig
+  type t = { with_opt : float; without_opt : float }
+
+  val run : quick:bool -> t
+  val print : t -> unit
+  val checks : t -> (string * bool) list
+end
+
+(** The i960 division of labour: Fore's original firmware (mbuf-chain
+    chasing via DMA) against the redesigned U-Net firmware (§4.2.1). *)
+module Firmware : sig
+  type t = {
+    unet_rtt : float;
+    fore_rtt : float;
+    unet_bw : float;
+    fore_bw : float;
+  }
+
+  val run : quick:bool -> t
+  val print : t -> unit
+  val checks : t -> (string * bool) list
+end
+
+(** The UAM flow-control window w (§5.1.1), swept over store bandwidth. *)
+module Window : sig
+  type t = { points : (int * float) list }
+
+  val run : quick:bool -> t
+  val print : t -> unit
+  val checks : t -> (string * bool) list
+end
+
+(** U-Net TCP tuning (§7.8): segment-size sweep, and delayed acks measured
+    both on echo traffic (where they piggyback harmlessly) and on an
+    isolated segment (where the 200 ms delay bites). *)
+module Tcp_tuning : sig
+  type t = {
+    mss_points : (int * float) list;
+    no_delack_rtt : float;
+    delack_rtt : float;
+    no_delack_ack_us : float;
+    delack_ack_us : float;
+  }
+
+  val run : quick:bool -> t
+  val print : t -> unit
+  val checks : t -> (string * bool) list
+end
+
+(** Polling vs signal-driven reception: a UNIX signal adds ~30 µs on each
+    end (§4.2.3). *)
+module Upcall : sig
+  type t = { polling : float; signal : float }
+
+  val run : quick:bool -> t
+  val print : t -> unit
+  val checks : t -> (string * bool) list
+end

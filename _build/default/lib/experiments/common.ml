@@ -1,0 +1,414 @@
+open Engine
+
+let buffer_size = 4_160
+
+(* build a scatter-gather payload of [size] bytes from an allocator *)
+let payload_of_size alloc size =
+  if size <= Unet.Desc.inline_max then Unet.Desc.Inline (Bytes.create size)
+  else begin
+    let rec take acc got =
+      if got >= size then List.rev acc
+      else
+        match Unet.Segment.Allocator.alloc alloc with
+        | Some (off, len) -> take ((off, min len (size - got)) :: acc) (got + len)
+        | None -> failwith "payload_of_size: segment exhausted"
+    in
+    Unet.Desc.Buffers (take [] 0)
+  end
+
+let return_buffers node ep (d : Unet.Desc.rx) =
+  match d.rx_payload with
+  | Unet.Desc.Inline _ -> ()
+  | Unet.Desc.Buffers bufs ->
+      List.iter
+        (fun (off, _) ->
+          ignore
+            (Unet.provide_free_buffer node.Cluster.unet ep ~off
+               ~len:buffer_size))
+        bufs
+
+(* ------------------------------------------------------------------ *)
+
+let raw_rtt ?(iters = 50) ~size () =
+  let c = Cluster.create () in
+  let n0 = Cluster.node c 0 and n1 = Cluster.node c 1 in
+  let ep0, a0 = Cluster.simple_endpoint ~buffer_size n0 in
+  let ep1, _ = Cluster.simple_endpoint ~buffer_size n1 in
+  let ch0, ch1 = Unet.connect_pair (n0.unet, ep0) (n1.unet, ep1) in
+  let payload = payload_of_size a0 size in
+  ignore
+    (Proc.spawn ~name:"echo" c.sim (fun () ->
+         let rec loop () =
+           let d = Unet.recv n1.unet ep1 in
+           (match Unet.send n1.unet ep1 (Unet.Desc.tx ~chan:ch1 d.rx_payload) with
+           | Ok () -> ()
+           | Error e -> Fmt.failwith "echo: %a" Unet.pp_error e);
+           return_buffers n1 ep1 d;
+           loop ()
+         in
+         loop ()));
+  let sum = ref 0. and n = ref 0 in
+  ignore
+    (Proc.spawn ~name:"client" c.sim (fun () ->
+         for _ = 1 to iters do
+           let t0 = Sim.now c.sim in
+           (match Unet.send n0.unet ep0 (Unet.Desc.tx ~chan:ch0 payload) with
+           | Ok () -> ()
+           | Error e -> Fmt.failwith "client: %a" Unet.pp_error e);
+           let d = Unet.recv n0.unet ep0 in
+           return_buffers n0 ep0 d;
+           sum := !sum +. Sim.to_us (Sim.now c.sim - t0);
+           incr n
+         done));
+  Sim.run ~until:(Sim.sec 30) c.sim;
+  if !n = 0 then nan else !sum /. float_of_int !n
+
+let raw_bandwidth ?(count = 1500) ~size () =
+  let c = Cluster.create () in
+  let n0 = Cluster.node c 0 and n1 = Cluster.node c 1 in
+  let ep0, a0 = Cluster.simple_endpoint ~free_buffers:4 ~buffer_size n0 in
+  let ep1, _ =
+    Cluster.simple_endpoint ~free_buffers:56 ~rx_slots:128 ~buffer_size n1
+  in
+  let ch0, _ = Unet.connect_pair (n0.unet, ep0) (n1.unet, ep1) in
+  let payload = payload_of_size a0 size in
+  let received = ref 0 and done_at = ref 0 in
+  ignore
+    (Proc.spawn ~name:"sink" c.sim (fun () ->
+         while !received < count do
+           let d = Unet.recv n1.unet ep1 in
+           incr received;
+           return_buffers n1 ep1 d
+         done;
+         done_at := Sim.now c.sim));
+  ignore
+    (Proc.spawn ~name:"source" c.sim (fun () ->
+         let sent = ref 0 in
+         while !sent < count do
+           match Unet.send n0.unet ep0 (Unet.Desc.tx ~chan:ch0 payload) with
+           | Ok () -> incr sent
+           | Error Unet.Queue_full -> Proc.sleep c.sim ~time:(Sim.us 5)
+           | Error e -> Fmt.failwith "source: %a" Unet.pp_error e
+         done));
+  Sim.run ~until:(Sim.sec 120) c.sim;
+  let secs = Sim.to_sec !done_at in
+  if secs <= 0. then nan else float_of_int (size * !received) /. 1e6 /. secs
+
+(* ------------------------------------------------------------------ *)
+
+let uam_pair () =
+  let c = Cluster.create () in
+  let a0 = Uam.create (Cluster.node c 0).unet ~rank:0 ~nodes:2 in
+  let a1 = Uam.create (Cluster.node c 1).unet ~rank:1 ~nodes:2 in
+  Uam.connect a0 a1;
+  (c, a0, a1)
+
+let h_echo = 1
+let h_echo_reply = 2
+
+let uam_rtt ?(iters = 50) ~size () =
+  let c, a0, a1 = uam_pair () in
+  let payload = Bytes.create size in
+  Uam.register_handler a1 h_echo (fun am ~src:_ tk ~args:_ ~payload ->
+      match tk with
+      | Some tk -> Uam.reply am tk ~handler:h_echo_reply ~payload ()
+      | None -> assert false);
+  let got = ref 0 in
+  Uam.register_handler a0 h_echo_reply (fun _ ~src:_ _ ~args:_ ~payload:_ ->
+      incr got);
+  ignore
+    (Proc.spawn ~name:"server" c.sim (fun () ->
+         Uam.poll_until a1 (fun () -> false)));
+  let sum = ref 0. and n = ref 0 in
+  ignore
+    (Proc.spawn ~name:"client" c.sim (fun () ->
+         for i = 1 to iters do
+           let t0 = Sim.now c.sim in
+           Uam.request a0 ~dst:1 ~handler:h_echo ~payload ();
+           Uam.poll_until a0 (fun () -> !got >= i);
+           sum := !sum +. Sim.to_us (Sim.now c.sim - t0);
+           incr n
+         done));
+  Sim.run ~until:(Sim.sec 30) c.sim;
+  if !n = 0 then nan else !sum /. float_of_int !n
+
+(* Block transfer round trip: store N bytes there; the last chunk's handler
+   triggers an N-byte store back. Approximates the paper's UAM xfer
+   ping-pong. *)
+let uam_xfer_rtt ?(iters = 20) ~size () =
+  let c, a0, a1 = uam_pair () in
+  let x0 = Uam.Xfer.attach a0 and x1 = Uam.Xfer.attach a1 in
+  let region = 1 in
+  Uam.Xfer.register_region x0 ~id:region (Bytes.create (max 1 size));
+  Uam.Xfer.register_region x1 ~id:region (Bytes.create (max 1 size));
+  let block = Bytes.create size in
+  (* server echoes: poll for "ping" notifications *)
+  let h_ping = 3 and h_pong = 4 in
+  let pongs = ref 0 in
+  Uam.register_handler a1 h_ping (fun _ ~src:_ _ ~args:_ ~payload:_ ->
+      Uam.Xfer.store x1 ~dst:0 ~region ~offset:0 block;
+      Uam.request a1 ~dst:0 ~handler:h_pong ());
+  Uam.register_handler a0 h_pong (fun _ ~src:_ _ ~args:_ ~payload:_ ->
+      incr pongs);
+  ignore
+    (Proc.spawn ~name:"server" c.sim (fun () ->
+         Uam.poll_until a1 (fun () -> false)));
+  let sum = ref 0. and n = ref 0 in
+  ignore
+    (Proc.spawn ~name:"client" c.sim (fun () ->
+         for i = 1 to iters do
+           let t0 = Sim.now c.sim in
+           Uam.Xfer.store x0 ~dst:1 ~region ~offset:0 block;
+           Uam.request a0 ~dst:1 ~handler:h_ping ();
+           Uam.poll_until a0 (fun () -> !pongs >= i);
+           sum := !sum +. Sim.to_us (Sim.now c.sim - t0);
+           incr n
+         done));
+  Sim.run ~until:(Sim.sec 30) c.sim;
+  if !n = 0 then nan else !sum /. float_of_int !n
+
+let uam_store_bandwidth ?(count = 400) ~size () =
+  let c, a0, a1 = uam_pair () in
+  let x0 = Uam.Xfer.attach a0 and x1 = Uam.Xfer.attach a1 in
+  Uam.Xfer.register_region x1 ~id:1 (Bytes.create (max size 8192));
+  let block = Bytes.create size in
+  let t_done = ref 0 in
+  ignore
+    (Proc.spawn ~name:"server" c.sim (fun () ->
+         Uam.poll_until a1 (fun () -> false)));
+  ignore
+    (Proc.spawn ~name:"client" c.sim (fun () ->
+         for _ = 1 to count do
+           Uam.Xfer.store x0 ~dst:1 ~region:1 ~offset:0 block
+         done;
+         Uam.Xfer.quiet x0;
+         t_done := Sim.now c.sim));
+  Sim.run ~until:(Sim.sec 120) c.sim;
+  let secs = Sim.to_sec !t_done in
+  if secs <= 0. then nan else float_of_int (size * count) /. 1e6 /. secs
+
+let uam_get_bandwidth ?(count = 400) ~size () =
+  let c, a0, a1 = uam_pair () in
+  let x0 = Uam.Xfer.attach a0 and x1 = Uam.Xfer.attach a1 in
+  ignore x0;
+  Uam.Xfer.register_region x1 ~id:1 (Bytes.create (max size 8192));
+  let t_done = ref 0 in
+  ignore
+    (Proc.spawn ~name:"server" c.sim (fun () ->
+         Uam.poll_until a1 (fun () -> false)));
+  ignore
+    (Proc.spawn ~name:"client" c.sim (fun () ->
+         (* the paper's block-get test keeps a series of requests
+            outstanding; a depth of 4 is enough to cover the round trip *)
+         let depth = 4 in
+         let q = Queue.create () in
+         for _ = 1 to count do
+           Queue.add (Uam.Xfer.get_async x0 ~dst:1 ~region:1 ~offset:0 ~len:size) q;
+           if Queue.length q >= depth then
+             ignore (Uam.Xfer.await x0 (Queue.pop q))
+         done;
+         Queue.iter (fun h -> ignore (Uam.Xfer.await x0 h)) q;
+         t_done := Sim.now c.sim));
+  Sim.run ~until:(Sim.sec 120) c.sim;
+  let secs = Sim.to_sec !t_done in
+  if secs <= 0. then nan else float_of_int (size * count) /. 1e6 /. secs
+
+(* ------------------------------------------------------------------ *)
+
+type ip_path = Unet_path | Kernel_atm | Kernel_ethernet
+
+let pp_ip_path fmt = function
+  | Unet_path -> Format.pp_print_string fmt "U-Net"
+  | Kernel_atm -> Format.pp_print_string fmt "kernel/ATM"
+  | Kernel_ethernet -> Format.pp_print_string fmt "kernel/Ethernet"
+
+let make_suites ?tcp_window path =
+  match path with
+  | Unet_path ->
+      let c = Cluster.create () in
+      let a, b =
+        Ipstack.Suite.unet_pair ?tcp_window (Cluster.node c 0).unet
+          (Cluster.node c 1).unet
+      in
+      (c.sim, a, b)
+  | Kernel_atm ->
+      let c = Cluster.create ~nic:Cluster.Sba200_fore () in
+      let a, b =
+        Ipstack.Suite.kernel_atm_pair ?tcp_window (Cluster.node c 0).unet
+          (Cluster.node c 1).unet
+      in
+      (c.sim, a, b)
+  | Kernel_ethernet ->
+      let sim = Sim.create () in
+      let cpu_a = Host.Cpu.create sim Host.Machine.ss20 in
+      let cpu_b = Host.Cpu.create sim Host.Machine.ss20 in
+      let a, b =
+        Ipstack.Suite.kernel_ethernet_pair ?tcp_window ~sim ~cpu_a ~cpu_b
+          ~addr_a:0 ~addr_b:1 ()
+      in
+      (sim, a, b)
+
+let udp_rtt ?(iters = 30) ~path ~size () =
+  let open Ipstack in
+  let sim, sa, sb = make_suites path in
+  let sock_a = Udp.socket sa.Suite.udp ~port:1000 in
+  let sock_b = Udp.socket sb.Suite.udp ~port:2000 in
+  ignore
+    (Proc.spawn ~name:"udp-echo" sim (fun () ->
+         let rec loop () =
+           let src, sport, data = Udp.recvfrom sock_b in
+           Udp.sendto sock_b ~dst:src ~dst_port:sport data;
+           loop ()
+         in
+         loop ()));
+  let sum = ref 0. and n = ref 0 in
+  ignore
+    (Proc.spawn ~name:"udp-client" sim (fun () ->
+         let payload = Bytes.create size in
+         for _ = 1 to iters do
+           let t0 = Sim.now sim in
+           Udp.sendto sock_a ~dst:1 ~dst_port:2000 payload;
+           match Udp.recvfrom_timeout sock_a ~timeout:(Sim.sec 2) with
+           | Some _ ->
+               sum := !sum +. Sim.to_us (Sim.now sim - t0);
+               incr n
+           | None -> ()
+         done));
+  Sim.run ~until:(Sim.sec 120) sim;
+  if !n = 0 then nan else !sum /. float_of_int !n
+
+let tcp_rtt ?(iters = 30) ~path ~size () =
+  let open Ipstack in
+  let sim, sa, sb = make_suites path in
+  let listener = Tcp.listen sb.Suite.tcp ~port:80 in
+  ignore
+    (Proc.spawn ~name:"tcp-echo" sim (fun () ->
+         let conn = Tcp.accept listener in
+         try
+           let rec loop () =
+             let data = Tcp.recv_exact conn ~len:size in
+             Tcp.send conn data;
+             loop ()
+           in
+           loop ()
+         with End_of_file -> ()));
+  let sum = ref 0. and n = ref 0 in
+  ignore
+    (Proc.spawn ~name:"tcp-client" sim (fun () ->
+         let conn = Tcp.connect sa.Suite.tcp ~dst:1 ~dst_port:80 () in
+         let payload = Bytes.create size in
+         for _ = 1 to iters do
+           let t0 = Sim.now sim in
+           Tcp.send conn payload;
+           ignore (Tcp.recv_exact conn ~len:size);
+           sum := !sum +. Sim.to_us (Sim.now sim - t0);
+           incr n
+         done;
+         Tcp.close conn));
+  Sim.run ~until:(Sim.sec 120) sim;
+  if !n = 0 then nan else !sum /. float_of_int !n
+
+let udp_blast ?(count = 400) ~path ~size () =
+  let open Ipstack in
+  let sim, sa, sb = make_suites path in
+  let sock_a = Udp.socket sa.Suite.udp ~port:1000 in
+  let sock_b = Udp.socket sb.Suite.udp ~port:2000 in
+  let send_done = ref 0 in
+  let received = ref 0 in
+  let last_rx = ref 0 in
+  ignore
+    (Proc.spawn ~name:"udp-sink" sim (fun () ->
+         let rec loop () =
+           let _ = Udp.recvfrom sock_b in
+           incr received;
+           last_rx := Sim.now sim;
+           loop ()
+         in
+         loop ()));
+  ignore
+    (Proc.spawn ~name:"udp-blaster" sim (fun () ->
+         let payload = Bytes.create size in
+         for _ = 1 to count do
+           Udp.sendto sock_a ~dst:1 ~dst_port:2000 payload
+         done;
+         send_done := Sim.now sim));
+  Sim.run ~until:(Sim.sec 120) sim;
+  let send_secs = Sim.to_sec !send_done in
+  let recv_secs = Sim.to_sec !last_rx in
+  let sent_mb =
+    if send_secs <= 0. then nan
+    else float_of_int (size * count) /. 1e6 /. send_secs
+  in
+  let recv_mb =
+    if recv_secs <= 0. then 0.
+    else float_of_int (size * !received) /. 1e6 /. recv_secs
+  in
+  (sent_mb, recv_mb)
+
+let tcp_stream ?window ?(total = 4 * 1024 * 1024) ?app_rate_mb ~path () =
+  let open Ipstack in
+  let sim, sa, sb = make_suites ?tcp_window:window path in
+  let listener = Tcp.listen sb.Suite.tcp ~port:80 in
+  let received = ref 0 and t_done = ref 0 in
+  ignore
+    (Proc.spawn ~name:"tcp-sink" sim (fun () ->
+         let conn = Tcp.accept listener in
+         let rec loop () =
+           let chunk = Tcp.recv conn ~max:65536 in
+           if Bytes.length chunk > 0 then begin
+             received := !received + Bytes.length chunk;
+             loop ()
+           end
+         in
+         loop ();
+         t_done := Sim.now sim));
+  ignore
+    (Proc.spawn ~name:"tcp-source" sim (fun () ->
+         let conn = Tcp.connect sa.Suite.tcp ~dst:1 ~dst_port:80 () in
+         let chunk_size = 8192 in
+         let chunk = Bytes.create chunk_size in
+         let interval =
+           match app_rate_mb with
+           | None -> 0
+           | Some mb ->
+               int_of_float
+                 (Float.round (float_of_int chunk_size *. 1_000. /. mb))
+         in
+         let sent = ref 0 in
+         let next = ref (Sim.now sim) in
+         while !sent < total do
+           if interval > 0 then begin
+             let now = Sim.now sim in
+             if now < !next then Proc.sleep sim ~time:(!next - now);
+             next := !next + interval
+           end;
+           Tcp.send conn chunk;
+           sent := !sent + chunk_size
+         done;
+         Tcp.close conn));
+  Sim.run ~until:(Sim.sec 300) sim;
+  let secs = Sim.to_sec !t_done in
+  if secs <= 0. then nan else float_of_int !received /. 1e6 /. secs
+
+(* ------------------------------------------------------------------ *)
+
+let print_series series =
+  List.iter (fun s -> Format.printf "%a@." Stats.Series.pp s) series
+
+let print_table ~header ~rows =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map String.length header)
+      rows
+  in
+  let print_row row =
+    List.iter2 (fun w cell -> Format.printf "%-*s  " w cell) widths row;
+    Format.printf "@."
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let sweep sizes f = List.map (fun s -> (float_of_int s, f s)) sizes

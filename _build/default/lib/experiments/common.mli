@@ -1,0 +1,81 @@
+(** Measurement primitives shared by the table/figure reproductions: raw
+    U-Net ping-pongs and streaming, UAM round trips and block transfers, and
+    UDP/TCP latency/throughput over each of the three IP paths. Every
+    function builds a fresh simulated cluster, so experiments are
+    independent and deterministic. *)
+
+(** {2 Raw base-level U-Net (§4.2.3)} *)
+
+val payload_of_size : Unet.Segment.Allocator.t -> int -> Unet.Desc.payload
+(** Inline for small sizes, a scatter-gather buffer list otherwise. *)
+
+val return_buffers : Cluster.node -> Unet.Endpoint.t -> Unet.Desc.rx -> unit
+(** Hand a received message's buffers back to the free queue. *)
+
+val buffer_size : int
+(** The 4160-byte buffer blocks the experiments use. *)
+
+
+val raw_rtt : ?iters:int -> size:int -> unit -> float
+(** Mean round-trip time in µs of a [size]-byte message over raw endpoints
+    (single-cell fast path applies below 41 bytes). *)
+
+val raw_bandwidth : ?count:int -> size:int -> unit -> float
+(** Streaming bandwidth in MB/s for back-to-back [size]-byte messages. *)
+
+(** {2 U-Net Active Messages (§5.2)} *)
+
+val uam_pair : unit -> Cluster.t * Uam.t * Uam.t
+(** A connected two-node UAM cluster on SBA-200 U-Net NIs. *)
+
+val uam_rtt : ?iters:int -> size:int -> unit -> float
+(** Single-message request/reply round trip (µs); single-cell when
+    [size] <= 34. *)
+
+val uam_xfer_rtt : ?iters:int -> size:int -> unit -> float
+(** Block-transfer round trip (µs): an N-byte transfer each way. *)
+
+val uam_store_bandwidth : ?count:int -> size:int -> unit -> float
+(** Block store streaming bandwidth (MB/s). *)
+
+val uam_get_bandwidth : ?count:int -> size:int -> unit -> float
+
+(** {2 IP paths (§7)} *)
+
+type ip_path = Unet_path | Kernel_atm | Kernel_ethernet
+
+val pp_ip_path : Format.formatter -> ip_path -> unit
+
+val make_suites :
+  ?tcp_window:int -> ip_path -> Engine.Sim.t * Ipstack.Suite.t * Ipstack.Suite.t
+(** A fresh two-host testbed with the full UDP/TCP stacks of the given
+    path. *)
+
+val udp_rtt : ?iters:int -> path:ip_path -> size:int -> unit -> float
+val tcp_rtt : ?iters:int -> path:ip_path -> size:int -> unit -> float
+
+val udp_blast :
+  ?count:int -> path:ip_path -> size:int -> unit -> float * float
+(** Blast [count] datagrams: (sender-perceived MB/s, receiver MB/s). The
+    kernel path loses packets to device-queue and socket-buffer overflow;
+    U-Net applies back-pressure and loses none. *)
+
+val tcp_stream :
+  ?window:int ->
+  ?total:int ->
+  ?app_rate_mb:float ->
+  path:ip_path ->
+  unit ->
+  float
+(** Stream [total] bytes through one connection; the producer is limited to
+    [app_rate_mb] (unlimited when omitted). Returns goodput in MB/s. *)
+
+(** {2 Output helpers} *)
+
+val print_series : Engine.Stats.Series.t list -> unit
+
+val print_table :
+  header:string list -> rows:string list list -> unit
+
+val sweep : int list -> (int -> 'a) -> (float * 'a) list
+(** Apply a measurement at each size, pairing with the size as float. *)

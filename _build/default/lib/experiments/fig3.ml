@@ -1,0 +1,61 @@
+(* Figure 3: round-trip times as a function of message size. Three curves:
+   raw U-Net, UAM single-cell requests (0-32 bytes), and UAM block
+   transfers. Paper anchors: 65 µs single-cell; 120 µs at 48 bytes plus
+   ~6 µs per additional cell; UAM = raw + ~6 µs; UAM xfer ≈ 135 + 0.2N µs. *)
+
+open Engine
+
+type t = {
+  raw : Stats.Series.t;
+  uam_single : Stats.Series.t;
+  uam_xfer : Stats.Series.t;
+}
+
+let raw_sizes = [ 4; 16; 32; 40; 48; 64; 96; 128; 192; 256; 384; 512; 768; 1024 ]
+let uam_small_sizes = [ 0; 8; 16; 24; 32 ]
+let xfer_sizes = [ 48; 128; 256; 512; 1024; 2048; 4096 ]
+
+let run ~quick =
+  let iters = if quick then 10 else 40 in
+  let raw =
+    Stats.Series.make "raw U-Net RTT (us)"
+      (Common.sweep raw_sizes (fun size -> Common.raw_rtt ~iters ~size ()))
+  in
+  let uam_single =
+    Stats.Series.make "UAM single-cell RTT (us)"
+      (Common.sweep uam_small_sizes (fun size -> Common.uam_rtt ~iters ~size ()))
+  in
+  let uam_xfer =
+    Stats.Series.make "UAM block transfer RTT (us)"
+      (Common.sweep xfer_sizes (fun size ->
+           Common.uam_xfer_rtt ~iters:(max 5 (iters / 2)) ~size ()))
+  in
+  { raw; uam_single; uam_xfer }
+
+let print t =
+  Format.printf
+    "Figure 3: U-Net round-trip times vs message size (paper: 65 us single \
+     cell; 120 us + ~6 us/cell multi-cell; UAM +6 us; xfer ~135+0.2N us)@.@.";
+  Common.print_series [ t.raw; t.uam_single; t.uam_xfer ]
+
+let checks t =
+  let y = Stats.Series.y_at in
+  let raw_small = y t.raw 32. in
+  let raw48 = y t.raw 48. in
+  let raw1024 = y t.raw 1024. in
+  let per_cell = (raw1024 -. raw48) /. ((1024. -. 48.) /. 48.) in
+  let uam0 = y t.uam_single 0. in
+  let x1k = y t.uam_xfer 1024. and x4k = y t.uam_xfer 4096. in
+  let slope = (x4k -. x1k) /. (4096. -. 1024.) in
+  [
+    ("single-cell RTT within 10% of 65 us", Float.abs (raw_small -. 65.) <= 6.5);
+    ("48-byte RTT within 10% of 120 us", Float.abs (raw48 -. 120.) <= 12.);
+    ( "per-cell RTT increment within 25% of 6 us",
+      Float.abs (per_cell -. 6.) <= 1.5 );
+    ("UAM adds ~6 us over raw (2..12)", uam0 -. raw_small >= 2. && uam0 -. raw_small <= 12.);
+    ( "xfer per-byte slope within 30% of 0.2 us/B",
+      Float.abs (slope -. 0.2) <= 0.06 );
+    ( "xfer intercept in the 135 us band (100..175)",
+      let intercept = x1k -. (slope *. 1024.) in
+      intercept >= 100. && intercept <= 175. );
+  ]

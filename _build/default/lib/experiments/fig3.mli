@@ -1,0 +1,13 @@
+(** Figure 3 (§4.2.3, §5.2): round-trip times vs message size — raw U-Net
+    (65 µs single cell; 120 µs + ~6 µs/cell beyond), UAM single-cell
+    requests (+6 µs), and UAM block transfers (≈135 + 0.2·N µs). *)
+
+type t = {
+  raw : Engine.Stats.Series.t;
+  uam_single : Engine.Stats.Series.t;
+  uam_xfer : Engine.Stats.Series.t;
+}
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

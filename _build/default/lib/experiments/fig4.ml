@@ -1,0 +1,66 @@
+(* Figure 4: bandwidth as a function of message size. Curves: the AAL5
+   theoretical limit (exact, with its 48-byte-cell sawtooth), raw U-Net,
+   and UAM store/get. Paper anchors: the fiber saturates from ~800-byte
+   messages; UAM reaches ~80% of the limit at 2 KB and peaks near
+   14.8 MB/s; a dip at 4164 bytes betrays the 4160-byte transfer buffers. *)
+
+open Engine
+
+type t = {
+  aal5_limit : Stats.Series.t;
+  raw : Stats.Series.t;
+  store : Stats.Series.t;
+  get : Stats.Series.t;
+}
+
+let sizes = [ 64; 128; 256; 512; 800; 1024; 2048; 3072; 4096; 4164; 5056 ]
+
+let aal5_limit_mb size =
+  let cells = Atm.Aal5.cells_for size in
+  let wire_bits = float_of_int (cells * Atm.Cell.on_wire_size * 8) in
+  let secs = wire_bits /. (Atm.Network.default_config.link_bandwidth_mbps *. 1e6) in
+  float_of_int size /. 1e6 /. secs
+
+let run ~quick =
+  let count = if quick then 200 else 800 in
+  let aal5_limit =
+    Stats.Series.make "AAL5 limit (MB/s)"
+      (List.map (fun s -> (float_of_int s, aal5_limit_mb s)) sizes)
+  in
+  let raw =
+    Stats.Series.make "raw U-Net (MB/s)"
+      (Common.sweep sizes (fun size -> Common.raw_bandwidth ~count ~size ()))
+  in
+  let store =
+    Stats.Series.make "UAM store (MB/s)"
+      (Common.sweep sizes (fun size ->
+           Common.uam_store_bandwidth ~count:(count / 2) ~size ()))
+  in
+  let get =
+    Stats.Series.make "UAM get (MB/s)"
+      (Common.sweep sizes (fun size ->
+           Common.uam_get_bandwidth ~count:(count / 2) ~size ()))
+  in
+  { aal5_limit; raw; store; get }
+
+let print t =
+  Format.printf
+    "Figure 4: U-Net bandwidth vs message size (paper: saturation from \
+     ~800 B; UAM ~80%%+ of the AAL5 limit at 2 KB, dip at 4164 B)@.@.";
+  Common.print_series [ t.aal5_limit; t.raw; t.store; t.get ]
+
+let checks t =
+  let y = Stats.Series.y_at in
+  let limit800 = y t.aal5_limit 800. in
+  [
+    ( "raw saturates the fiber at 800 B (>= 90% of AAL5 limit)",
+      y t.raw 800. >= 0.9 *. limit800 );
+    ("raw small-message bandwidth i960-bound (64 B < 7 MB/s)", y t.raw 64. < 7.);
+    ( "UAM store >= 80% of the AAL5 limit at 2 KB",
+      y t.store 2048. >= 0.8 *. y t.aal5_limit 2048. );
+    ( "UAM store peak near 14.8 MB/s at 4 KB (13..16.5)",
+      y t.store 4096. >= 13. && y t.store 4096. <= 16.5 );
+    ("dip at 4164 B (below the 4096 B point)", y t.store 4164. < y t.store 4096.);
+    ( "get close to store at 4 KB (within 15%)",
+      Float.abs (y t.get 4096. -. y t.store 4096.) <= 0.15 *. y t.store 4096. );
+  ]

@@ -1,0 +1,17 @@
+(** Figure 4 (§4.2.3, §5.2): bandwidth vs message size — the exact AAL5
+    limit curve with its 48-byte sawtooth, raw U-Net (saturating from
+    ~800-byte messages), and UAM store/get (the 4164-byte dip). *)
+
+type t = {
+  aal5_limit : Engine.Stats.Series.t;
+  raw : Engine.Stats.Series.t;
+  store : Engine.Stats.Series.t;
+  get : Engine.Stats.Series.t;
+}
+
+val aal5_limit_mb : int -> float
+(** The theoretical AAL5 payload bandwidth for a message of this size. *)
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

@@ -1,0 +1,184 @@
+(* Figure 5: seven Split-C benchmarks on the CM-5, the U-Net ATM cluster
+   and the Meiko CS-2, execution times normalized to the CM-5, with the
+   computation/communication breakdown. Problem sizes are reduced from the
+   paper's (see DESIGN.md); the qualitative orderings are what we check:
+   the CM-5 wins the small-message codes, the ATM cluster and the Meiko win
+   the bulk codes and the matrix multiply, and the ATM cluster tracks the
+   Meiko overall. *)
+
+type machine = Cm5 | Meiko | Unet_atm
+
+let machine_name = function
+  | Cm5 -> "CM-5"
+  | Meiko -> "Meiko CS-2"
+  | Unet_atm -> "U-Net ATM"
+
+type sizes = {
+  mm_blocks : int;
+  mm_block : int;
+  sort_n : int;
+  radix_n : int;
+  cc_n : int;
+  cg_k : int;
+}
+
+let full_sizes =
+  {
+    mm_blocks = 4;
+    mm_block = 64;
+    sort_n = 262_144;
+    radix_n = 131_072;
+    cc_n = 16_384;
+    cg_k = 192;
+  }
+
+let quick_sizes =
+  {
+    mm_blocks = 4;
+    mm_block = 16;
+    sort_n = 16_384;
+    radix_n = 16_384;
+    cc_n = 4_096;
+    cg_k = 64;
+  }
+
+type cell = { total_us : float; comm_us : float; ok : bool }
+
+type t = {
+  benchmarks : string list;
+  (* per benchmark, per machine *)
+  results : (string * (machine * cell) list) list;
+}
+
+let transports_for machine =
+  match machine with
+  | Cm5 ->
+      let sim = Engine.Sim.create () in
+      Splitc.Machine_model.transports
+        (Splitc.Machine_model.create sim ~nodes:8 Splitc.Machine_model.cm5)
+  | Meiko ->
+      let sim = Engine.Sim.create () in
+      Splitc.Machine_model.transports
+        (Splitc.Machine_model.create sim ~nodes:8 Splitc.Machine_model.meiko_cs2)
+  | Unet_atm ->
+      let c = Cluster.create ~hosts:8 () in
+      let ams =
+        Array.init 8 (fun r ->
+            Uam.create (Cluster.node c r).Cluster.unet ~rank:r ~nodes:8)
+      in
+      Uam.connect_all ams;
+      Array.map Splitc.Transport.of_uam ams
+
+let machines = [ Cm5; Unet_atm; Meiko ]
+
+let run ~quick =
+  let sz = if quick then quick_sizes else full_sizes in
+  let bench name f = (name, f) in
+  let suite =
+    [
+      bench "matrix-multiply" (fun tps ->
+          Splitc.Bench_mm.run
+            ~params:{ Splitc.Bench_mm.g = sz.mm_blocks; b = sz.mm_block }
+            tps);
+      bench "sample-sort-small" (fun tps ->
+          Splitc.Bench_sample_sort.run ~n:sz.sort_n
+            ~variant:Splitc.Bench_sample_sort.Small tps);
+      bench "sample-sort-bulk" (fun tps ->
+          Splitc.Bench_sample_sort.run ~n:sz.sort_n
+            ~variant:Splitc.Bench_sample_sort.Bulk tps);
+      bench "radix-sort-small" (fun tps ->
+          Splitc.Bench_radix_sort.run ~n:sz.radix_n
+            ~variant:Splitc.Bench_radix_sort.Small tps);
+      bench "radix-sort-bulk" (fun tps ->
+          Splitc.Bench_radix_sort.run ~n:sz.radix_n
+            ~variant:Splitc.Bench_radix_sort.Bulk tps);
+      bench "connected-comps" (fun tps -> Splitc.Bench_cc.run ~n:sz.cc_n tps);
+      (* CG needs O(k) iterations to overcome the 2-norm residual growth on
+         an ill-conditioned k x k Poisson grid *)
+      bench "conjugate-grad" (fun tps ->
+          Splitc.Bench_cg.run ~k:sz.cg_k ~iters:sz.cg_k tps);
+    ]
+  in
+  let results =
+    List.map
+      (fun (name, f) ->
+        ( name,
+          List.map
+            (fun m ->
+              let r = f (transports_for m) in
+              ( m,
+                {
+                  total_us = r.Splitc.Bench_common.total_us;
+                  comm_us = r.Splitc.Bench_common.comm_us;
+                  ok = r.Splitc.Bench_common.checked;
+                } ))
+            machines ))
+      suite
+  in
+  { benchmarks = List.map fst suite; results }
+
+let cell t bench machine =
+  List.assoc machine (List.assoc bench t.results)
+
+let print t =
+  Format.printf
+    "Figure 5: Split-C benchmarks, execution time normalized to the CM-5 \
+     (comp/comm in us)@.@.";
+  let rows =
+    List.map
+      (fun (name, per_machine) ->
+        let cm5 = List.assoc Cm5 per_machine in
+        name
+        :: List.concat_map
+             (fun m ->
+               let c = List.assoc m per_machine in
+               [
+                 Printf.sprintf "%.2f%s"
+                   (c.total_us /. cm5.total_us)
+                   (if c.ok then "" else "!");
+                 Printf.sprintf "%.0f/%.0f" (c.total_us -. c.comm_us) c.comm_us;
+               ])
+             machines)
+      t.results
+  in
+  Common.print_table
+    ~header:
+      ([ "benchmark" ]
+      @ List.concat_map
+          (fun m -> [ machine_name m ^ " (norm)"; "comp/comm (us)" ])
+          machines)
+    ~rows
+
+let checks t =
+  let norm bench machine =
+    (cell t bench machine).total_us /. (cell t bench Cm5).total_us
+  in
+  let all_ok =
+    List.for_all
+      (fun (_, per) -> List.for_all (fun (_, c) -> c.ok) per)
+      t.results
+  in
+  [
+    ("all benchmark outputs verified", all_ok);
+    ( "CM-5 loses the matrix multiply (CPU + bulk bandwidth disadvantage)",
+      norm "matrix-multiply" Unet_atm < 1. && norm "matrix-multiply" Meiko < 1. );
+    ( "CM-5 wins the small-message sample sort",
+      norm "sample-sort-small" Unet_atm > 1. && norm "sample-sort-small" Meiko > 1. );
+    ( "bulk transfers improve the ATM cluster dramatically vs its small version",
+      (cell t "sample-sort-bulk" Unet_atm).total_us
+      < 0.6 *. (cell t "sample-sort-small" Unet_atm).total_us );
+    ( "ATM cluster beats the CM-5 on the bulk sample sort",
+      norm "sample-sort-bulk" Unet_atm < 1. );
+    ( "CM-5 wins the small-message radix sort",
+      norm "radix-sort-small" Unet_atm > 1. );
+    ( "bulk radix closes most of the gap",
+      norm "radix-sort-bulk" Unet_atm < 0.5 *. norm "radix-sort-small" Unet_atm );
+    ( "CM-5 wins connected components (small messages)",
+      norm "connected-comps" Unet_atm > 1. );
+    ( "ATM cluster within 3x of the Meiko on every benchmark (\"roughly equal\")",
+      List.for_all
+        (fun b ->
+          let r = (cell t b Unet_atm).total_us /. (cell t b Meiko).total_us in
+          r < 3. && r > 0.3)
+        t.benchmarks );
+  ]

@@ -1,0 +1,14 @@
+(** Figure 6 (§7): round-trip latency of the *kernelized* UDP and TCP over
+    the Fore ATM path and over 10 Mbit/s Ethernet — for small messages the
+    ATM path is slower than plain Ethernet. *)
+
+type t = {
+  udp_atm : Engine.Stats.Series.t;
+  udp_eth : Engine.Stats.Series.t;
+  tcp_atm : Engine.Stats.Series.t;
+  tcp_eth : Engine.Stats.Series.t;
+}
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

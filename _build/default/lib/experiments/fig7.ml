@@ -1,0 +1,65 @@
+(* Figure 7: UDP bandwidth as a function of message size. Kernel UDP shows
+   the mbuf-allocation sawtooth, and its receive rate falls short of the
+   send rate because kernel buffering loses packets (§7.3); U-Net UDP is
+   loss-free, so only its receive curve is meaningful. *)
+
+open Engine
+
+type t = {
+  kernel_sent : Stats.Series.t;
+  kernel_received : Stats.Series.t;
+  unet_received : Stats.Series.t;
+}
+
+(* sizes straddling the 1 KB mbuf-cluster boundaries to expose the sawtooth *)
+let sizes =
+  [ 512; 960; 1024; 1400; 1536; 2048; 2400; 3072; 3500; 4096; 4608; 5120;
+    6144; 7168; 8192 ]
+
+let run ~quick =
+  let count = if quick then 150 else 500 in
+  let kernel = List.map (fun s ->
+      (s, Common.udp_blast ~count ~path:Common.Kernel_atm ~size:s ())) sizes
+  in
+  let unet = List.map (fun s ->
+      (s, Common.udp_blast ~count ~path:Common.Unet_path ~size:s ())) sizes
+  in
+  {
+    kernel_sent =
+      Stats.Series.make "kernel UDP, sender-perceived (MB/s)"
+        (List.map (fun (s, (tx, _)) -> (float_of_int s, tx)) kernel);
+    kernel_received =
+      Stats.Series.make "kernel UDP, received (MB/s)"
+        (List.map (fun (s, (_, rx)) -> (float_of_int s, rx)) kernel);
+    unet_received =
+      Stats.Series.make "U-Net UDP, received (MB/s)"
+        (List.map (fun (s, (_, rx)) -> (float_of_int s, rx)) unet);
+  }
+
+let print t =
+  Format.printf
+    "Figure 7: UDP bandwidth vs message size (paper: kernel sawtooth from \
+     the mbuf scheme, send/receive gap from kernel buffer losses; U-Net \
+     loses nothing)@.@.";
+  Common.print_series [ t.kernel_sent; t.kernel_received; t.unet_received ]
+
+let checks t =
+  let y = Stats.Series.y_at in
+  (* sawtooth: a size just short of filling clusters (2400 = 2 clusters +
+     352 B of small mbufs) must underperform the next cluster-aligned size
+     per byte sent *)
+  let per_byte_rate series s = y series (float_of_int s) /. float_of_int s in
+  [
+    ( "kernel receive rate falls short of the send rate at 8 KB (losses)",
+      y t.kernel_received 8192. < 0.9 *. y t.kernel_sent 8192. );
+    ( "mbuf sawtooth: 2400 B is less efficient than 2048 B",
+      per_byte_rate t.kernel_sent 2400 < per_byte_rate t.kernel_sent 2048 );
+    ( "mbuf sawtooth: 3500 B is less efficient than 3072 B",
+      per_byte_rate t.kernel_sent 3500 < per_byte_rate t.kernel_sent 3072 );
+    ( "U-Net UDP saturates the fiber at 8 KB (>= 13 MB/s)",
+      y t.unet_received 8192. >= 13. );
+    ( "U-Net UDP beats kernel UDP at every size",
+      List.for_all2
+        (fun (_, u) (_, k) -> u >= k)
+        t.unet_received.Stats.Series.points t.kernel_received.Stats.Series.points );
+  ]

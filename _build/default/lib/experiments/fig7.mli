@@ -1,0 +1,13 @@
+(** Figure 7 (§7.3): UDP bandwidth vs message size — the kernel's
+    mbuf-allocation sawtooth and its sender/receiver gap from buffer
+    losses, against loss-free U-Net UDP. *)
+
+type t = {
+  kernel_sent : Engine.Stats.Series.t;
+  kernel_received : Engine.Stats.Series.t;
+  unet_received : Engine.Stats.Series.t;
+}
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

@@ -1,0 +1,14 @@
+(** Figure 8 (§7.7): TCP bandwidth as a function of the application's data
+    generation rate — U-Net TCP reaches 14-15 MB/s with an 8 KB window
+    while the kernel/ATM combination saturates near half the fiber even
+    with 64 KB windows. *)
+
+type t = {
+  unet_8k : Engine.Stats.Series.t;
+  kernel_64k : Engine.Stats.Series.t;
+  kernel_8k : Engine.Stats.Series.t;
+}
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

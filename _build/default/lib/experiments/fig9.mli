@@ -1,0 +1,12 @@
+(** Figure 9 (§7): U-Net UDP and TCP round-trip latency vs message size —
+    the 138/157 µs small-message round trips over the raw baseline. *)
+
+type t = {
+  udp : Engine.Stats.Series.t;
+  tcp : Engine.Stats.Series.t;
+  raw : Engine.Stats.Series.t;
+}
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

@@ -1,0 +1,17 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, runnable by name from the CLI, the bench harness and the
+    test suite. *)
+
+type experiment = {
+  name : string;
+  description : string;
+  print : quick:bool -> unit;  (** run and print the table/series *)
+  checks : quick:bool -> (string * bool) list;
+      (** run and evaluate the paper's qualitative claims *)
+  series : quick:bool -> (string * (float * float) list) list;
+      (** the figure's curves as (label, points) — empty for tables *)
+}
+
+val all : experiment list
+val find : string -> experiment option
+val names : string list

@@ -1,0 +1,101 @@
+(* §4.2.4 "Memory requirements": endpoints consume pinned host memory,
+   i960 memory and DMA space, so the number of network-active processes per
+   host is bounded. This experiment measures those bounds in the model:
+   how many endpoints a host can open, what exhausts first under different
+   segment sizes, and the pinned footprint of a full 8-node UAM cluster. *)
+
+type t = {
+  ni_endpoint_limit : int;
+  small_seg_endpoints : int; (* 64 KB segments, 8 MB pinned *)
+  big_seg_endpoints : int; (* 1 MB segments, 8 MB pinned *)
+  uam_pinned_per_node : int; (* bytes pinned by one node of the 8-way cluster *)
+  emulated_beyond_limit : bool;
+}
+
+let count_endpoints ~seg_size ~pinned_capacity =
+  let c = Cluster.create () in
+  let n0 = Cluster.node c 0 in
+  let nic = Option.get n0.i960 in
+  let u =
+    Unet.create ~cpu:n0.cpu ~net:c.net ~host:0 ~pinned_capacity
+      (Ni.I960_nic.backend nic)
+  in
+  let rec go n =
+    match Unet.create_endpoint u ~seg_size () with
+    | Ok _ -> go (n + 1)
+    | Error _ -> n
+  in
+  go 0
+
+let run ~quick =
+  ignore quick;
+  let ni_endpoint_limit =
+    (* huge pinned budget: the i960's endpoint table is the binding limit *)
+    count_endpoints ~seg_size:4_096 ~pinned_capacity:(256 * 1024 * 1024)
+  in
+  let small_seg_endpoints =
+    count_endpoints ~seg_size:(64 * 1024) ~pinned_capacity:(8 * 1024 * 1024)
+  in
+  let big_seg_endpoints =
+    count_endpoints ~seg_size:(1024 * 1024) ~pinned_capacity:(8 * 1024 * 1024)
+  in
+  let uam_pinned_per_node =
+    let c = Cluster.create ~hosts:8 () in
+    let ams =
+      Array.init 8 (fun r ->
+          Uam.create (Cluster.node c r).Cluster.unet ~rank:r ~nodes:8)
+    in
+    Uam.connect_all ams;
+    Host.Pinned.used (Unet.pinned (Cluster.node c 0).Cluster.unet)
+  in
+  let emulated_beyond_limit =
+    let c = Cluster.create () in
+    let n0 = Cluster.node c 0 in
+    let rec exhaust () =
+      match Unet.create_endpoint n0.unet ~seg_size:4_096 () with
+      | Ok _ -> exhaust ()
+      | Error _ -> ()
+    in
+    exhaust ();
+    Result.is_ok (Unet.create_endpoint n0.unet ~emulated:true ~seg_size:4_096 ())
+  in
+  {
+    ni_endpoint_limit;
+    small_seg_endpoints;
+    big_seg_endpoints;
+    uam_pinned_per_node;
+    emulated_beyond_limit;
+  }
+
+let print t =
+  Format.printf
+    "Resource limits (§4.2.4): what bounds the number of network-active \
+     processes@.@.";
+  Common.print_table
+    ~header:[ "scenario"; "endpoints / bytes" ]
+    ~rows:
+      [
+        [ "i960 endpoint table (unbounded pinned memory)";
+          string_of_int t.ni_endpoint_limit ];
+        [ "64 KB segments under an 8 MB pinned budget";
+          string_of_int t.small_seg_endpoints ];
+        [ "1 MB segments under an 8 MB pinned budget";
+          string_of_int t.big_seg_endpoints ];
+        [ "UAM 8-node cluster: pinned bytes per node (w=8, 4w buffers/peer)";
+          string_of_int t.uam_pinned_per_node ];
+        [ "kernel-emulated endpoints available beyond the NI limit";
+          string_of_bool t.emulated_beyond_limit ];
+      ]
+
+let checks t =
+  [
+    ("the i960 memory bounds real endpoints at 16", t.ni_endpoint_limit = 16);
+    ( "with small segments the i960 table binds before pinned memory",
+      t.small_seg_endpoints = t.ni_endpoint_limit );
+    ( "with 1 MB segments pinned memory binds first",
+      t.big_seg_endpoints < t.ni_endpoint_limit );
+    ( "the 8-node UAM cluster pins ~1 MB per node (4w buffers per peer)",
+      t.uam_pinned_per_node > 800_000 && t.uam_pinned_per_node < 1_400_000 );
+    ( "kernel emulation provides endpoints past the NI limit (§3.5)",
+      t.emulated_beyond_limit );
+  ]

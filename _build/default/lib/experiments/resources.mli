@@ -1,0 +1,16 @@
+(** §4.2.4 memory requirements: how many endpoints a host can open, what
+    exhausts first (the i960's endpoint table vs pinned host memory), the
+    pinned footprint of a full UAM cluster, and the kernel-emulated escape
+    hatch past the NI limit. *)
+
+type t = {
+  ni_endpoint_limit : int;
+  small_seg_endpoints : int;
+  big_seg_endpoints : int;
+  uam_pinned_per_node : int;
+  emulated_beyond_limit : bool;
+}
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

@@ -1,0 +1,109 @@
+(* An extension beyond the paper's figures: how the cluster behaves as it
+   grows. The paper ran everything on 8 nodes; this sweep runs the bulk
+   sample sort and an all-to-all Active-Message exchange at 2, 4 and 8
+   nodes, checking that (a) the sort actually speeds up with processors
+   (the communication is not swamping the parallelism at these sizes) and
+   (b) per-node all-to-all message throughput holds up as contention for
+   the switch grows. *)
+
+open Engine
+
+type point = {
+  nodes : int;
+  sort_total_us : float;
+  sort_comm_us : float;
+  all_to_all_msgs_per_sec : float;
+}
+
+type t = { points : point list; sort_n : int }
+
+let uam_cluster nodes =
+  let c = Cluster.create ~hosts:nodes () in
+  let ams =
+    Array.init nodes (fun r ->
+        Uam.create (Cluster.node c r).Cluster.unet ~rank:r ~nodes)
+  in
+  Uam.connect_all ams;
+  (c, ams)
+
+(* every node fires [per_peer] single-cell requests at every other node and
+   serves its peers; the aggregate message rate is the figure of merit *)
+let all_to_all_rate ~nodes ~per_peer =
+  let c, ams = uam_cluster nodes in
+  let served = Array.make nodes 0 in
+  Array.iteri
+    (fun me am ->
+      Uam.register_handler am 1 (fun _ ~src:_ _ ~args:_ ~payload:_ ->
+          served.(me) <- served.(me) + 1))
+    ams;
+  let want = per_peer * (nodes - 1) in
+  let finish_at = ref 0 in
+  Array.iteri
+    (fun me am ->
+      ignore
+        (Proc.spawn c.sim (fun () ->
+             for dst = 0 to nodes - 1 do
+               if dst <> me then
+                 for _ = 1 to per_peer do
+                   Uam.request am ~dst ~handler:1 ()
+                 done
+             done;
+             Uam.flush am;
+             Uam.poll_until am (fun () -> served.(me) >= want);
+             finish_at := max !finish_at (Sim.now c.sim))))
+    ams;
+  Sim.run ~until:(Sim.sec 60) c.sim;
+  let total_msgs = nodes * want in
+  float_of_int total_msgs /. Sim.to_sec !finish_at
+
+let run ~quick =
+  let sort_n = if quick then 16_384 else 65_536 in
+  let per_peer = if quick then 40 else 150 in
+  let points =
+    List.map
+      (fun nodes ->
+        let _, ams = uam_cluster nodes in
+        let r =
+          Splitc.Bench_sample_sort.run ~n:sort_n
+            ~variant:Splitc.Bench_sample_sort.Bulk
+            (Array.map Splitc.Transport.of_uam ams)
+        in
+        {
+          nodes;
+          sort_total_us = r.Splitc.Bench_common.total_us;
+          sort_comm_us = r.Splitc.Bench_common.comm_us;
+          all_to_all_msgs_per_sec = all_to_all_rate ~nodes ~per_peer;
+        })
+      [ 2; 4; 8 ]
+  in
+  { points; sort_n }
+
+let print t =
+  Format.printf
+    "Scaling the ATM cluster (extension): bulk sample sort of %d keys and \
+     single-cell all-to-all@.@."
+    t.sort_n;
+  Common.print_table
+    ~header:
+      [ "nodes"; "sort total (us)"; "sort comm (us)"; "all-to-all (msgs/s)" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [
+             string_of_int p.nodes;
+             Printf.sprintf "%.0f" p.sort_total_us;
+             Printf.sprintf "%.0f" p.sort_comm_us;
+             Printf.sprintf "%.0f" p.all_to_all_msgs_per_sec;
+           ])
+         t.points)
+
+let checks t =
+  let point n = List.find (fun p -> p.nodes = n) t.points in
+  [
+    ( "the bulk sort gets faster from 2 to 8 nodes",
+      (point 8).sort_total_us < (point 2).sort_total_us );
+    ( "8 nodes at least 2x faster than 2 nodes on the sort",
+      (point 8).sort_total_us *. 2. < (point 2).sort_total_us );
+    ( "aggregate all-to-all message rate grows with the cluster",
+      (point 8).all_to_all_msgs_per_sec > (point 2).all_to_all_msgs_per_sec );
+  ]

@@ -1,0 +1,16 @@
+(** An extension beyond the paper: cluster-size sweep (2/4/8 nodes) of the
+    bulk sample sort and of a single-cell all-to-all exchange — parallel
+    speedup and switch contention behaviour. *)
+
+type point = {
+  nodes : int;
+  sort_total_us : float;
+  sort_comm_us : float;
+  all_to_all_msgs_per_sec : float;
+}
+
+type t = { points : point list; sort_n : int }
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

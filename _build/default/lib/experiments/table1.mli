@@ -1,0 +1,17 @@
+(** Table 1 (§4.1): the SBA-100 single-cell round-trip cost breakup —
+    21/7/5 µs budget, 33 µs one-way, 66 µs round trip, and the 6.8 MB/s
+    bandwidth bound at 1 KB packets. *)
+
+type t = {
+  cfg_trap_level_us : float;
+  cfg_aal5_send_us : float;
+  cfg_aal5_recv_us : float;
+  cfg_one_way_us : float;
+  measured_one_way_us : float;
+  measured_rtt_us : float;
+  measured_bw_1k_mb : float;
+}
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

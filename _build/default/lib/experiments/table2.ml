@@ -1,0 +1,70 @@
+(* Table 2: CM-5 / Meiko CS-2 / U-Net ATM cluster characteristics. The two
+   parallel machines are configuration (that is what the paper's table
+   reports); the U-Net row is verified by measurement. *)
+
+type row = {
+  machine : string;
+  cpu : string;
+  overhead_us : float;
+  rtt_us : float;
+  bandwidth_mb : float;
+}
+
+type t = { rows : row list; measured_rtt_us : float; measured_bw_mb : float }
+
+let run ~quick =
+  let iters = if quick then 20 else 60 in
+  let measured_rtt = Common.uam_rtt ~iters ~size:0 () in
+  let measured_bw =
+    Common.uam_store_bandwidth ~count:(if quick then 150 else 400) ~size:4096 ()
+  in
+  let spec_row name cpu (s : Splitc.Machine_model.spec) =
+    {
+      machine = name;
+      cpu;
+      overhead_us = s.Splitc.Machine_model.overhead_us;
+      rtt_us = s.Splitc.Machine_model.rtt_us;
+      bandwidth_mb = s.Splitc.Machine_model.bandwidth_mb;
+    }
+  in
+  {
+    rows =
+      [
+        spec_row "CM-5" "33 MHz Sparc-2" Splitc.Machine_model.cm5;
+        spec_row "Meiko CS-2" "40 MHz SuperSparc" Splitc.Machine_model.meiko_cs2;
+        {
+          machine = "U-Net ATM";
+          cpu = "50/60 MHz SuperSparc";
+          overhead_us = 6.;
+          rtt_us = measured_rtt;
+          bandwidth_mb = measured_bw;
+        };
+      ];
+    measured_rtt_us = measured_rtt;
+    measured_bw_mb = measured_bw;
+  }
+
+let print t =
+  Format.printf
+    "Table 2: machine communication characteristics (U-Net row measured)@.@.";
+  Common.print_table
+    ~header:[ "Machine"; "CPU"; "overhead (us)"; "RTT (us)"; "BW (MB/s)" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.machine;
+             r.cpu;
+             Printf.sprintf "%.0f" r.overhead_us;
+             Printf.sprintf "%.0f" r.rtt_us;
+             Printf.sprintf "%.0f" r.bandwidth_mb;
+           ])
+         t.rows)
+
+let checks t =
+  [
+    ( "U-Net ATM RTT within 10% of 71 us",
+      Float.abs (t.measured_rtt_us -. 71.) <= 7.1 );
+    ( "U-Net ATM bandwidth close to 14 MB/s (paper row)",
+      t.measured_bw_mb >= 12. && t.measured_bw_mb <= 16.5 );
+  ]

@@ -1,0 +1,17 @@
+(** Table 2 (§6): communication characteristics of the CM-5, the Meiko CS-2
+    and the U-Net ATM cluster. The parallel machines are configuration (as
+    in the paper); the U-Net row is measured on the simulated cluster. *)
+
+type row = {
+  machine : string;
+  cpu : string;
+  overhead_us : float;
+  rtt_us : float;
+  bandwidth_mb : float;
+}
+
+type t = { rows : row list; measured_rtt_us : float; measured_bw_mb : float }
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

@@ -1,0 +1,17 @@
+(** Table 3 (§8): the U-Net latency and bandwidth summary — round-trip
+    latency and 4 KB-packet bandwidth for raw AAL5, Active Messages, UDP,
+    TCP and the Split-C store. *)
+
+type row = {
+  protocol : string;
+  paper_rtt_us : float;
+  rtt_us : float;
+  paper_bw_mbit : float;
+  bw_mbit : float;
+}
+
+type t = { rows : row list }
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

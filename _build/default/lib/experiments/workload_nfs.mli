@@ -1,0 +1,20 @@
+(** The §2.1 file-server workload, synthesized to the cited Berkeley NFS
+    trace shape (most messages under 200 bytes, the few large transfers
+    carrying about half the bits) and replayed as a UDP request/response
+    service over the user-level and kernel paths. *)
+
+type result = {
+  path : Common.ip_path;
+  requests : int;
+  small_share_of_messages : float;
+  small_share_of_bits : float;
+  mean_latency_us : float;
+  p95_latency_us : float;
+  throughput_req_s : float;
+}
+
+type t = { unet : result; kernel : result }
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list

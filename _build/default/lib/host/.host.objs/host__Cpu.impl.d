@@ -1,0 +1,1 @@
+lib/host/cpu.ml: Engine Float Machine Proc Sim

@@ -1,0 +1,1 @@
+lib/host/kernel.ml: Float Mbuf

@@ -1,0 +1,27 @@
+open Engine
+
+type t = { sim : Sim.t; machine : Machine.t; mutable busy : Sim.time }
+
+let create sim machine = { sim; machine; busy = 0 }
+let machine t = t.machine
+let sim t = t.sim
+let busy_time t = t.busy
+let reset_busy t = t.busy <- 0
+
+let charge_raw t ns =
+  if ns < 0 then invalid_arg "Cpu.charge: negative cost";
+  t.busy <- t.busy + ns;
+  Proc.sleep t.sim ~time:ns
+
+let charge t ns = charge_raw t (Machine.scale t.machine ns)
+let charge_us t us = charge t (Sim.of_us_f us)
+
+let charge_cycles t cycles =
+  charge_raw t
+    (int_of_float (Float.round (float_of_int cycles *. 1_000. /. t.machine.Machine.cpu_mhz)))
+
+let copy_cost t ~bytes =
+  int_of_float
+    (Float.round (float_of_int bytes *. t.machine.Machine.memcpy_ns_per_byte))
+
+let charge_copy t ~bytes = charge_raw t (copy_cost t ~bytes)

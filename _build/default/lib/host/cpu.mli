@@ -1,0 +1,29 @@
+(** Host processor time accounting. Processing overhead — the paper's central
+    quantity — is modelled by blocking the calling process for the cost of
+    the operation, scaled to this machine's clock. *)
+
+type t
+
+val create : Engine.Sim.t -> Machine.t -> t
+val machine : t -> Machine.t
+val sim : t -> Engine.Sim.t
+
+val charge : t -> Engine.Sim.time -> unit
+(** Block the calling process for a reference-machine cost scaled to this
+    CPU's clock, and account it as busy time. *)
+
+val charge_us : t -> float -> unit
+
+val charge_cycles : t -> int -> unit
+(** Cost expressed in this machine's own cycles (for real computation, e.g.
+    a sort's local phase). *)
+
+val copy_cost : t -> bytes:int -> Engine.Sim.time
+(** Cost of a memory copy of [bytes] on this machine, without charging it. *)
+
+val charge_copy : t -> bytes:int -> unit
+
+val busy_time : t -> Engine.Sim.time
+(** Total time this CPU has spent in charged work. *)
+
+val reset_busy : t -> unit

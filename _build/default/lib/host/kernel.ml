@@ -1,0 +1,65 @@
+type config = {
+  socket_layer_ns : int;
+  udp_ns : int;
+  tcp_ns : int;
+  driver_ns : int;
+  copy_ns_per_byte : float;
+  mbuf : Mbuf.config;
+  sockbuf_limit : int;
+}
+
+(* Sized so that a small-message kernel UDP round trip over ATM lands near
+   1 ms and kernel TCP throughput tops out around 55% of the fiber (§7),
+   once combined with the Fore-firmware NI model. *)
+let sunos =
+  {
+    socket_layer_ns = 40_000;
+    udp_ns = 28_000;
+    tcp_ns = 38_000;
+    driver_ns = 35_000;
+    copy_ns_per_byte = 38.;
+    mbuf = Mbuf.sunos_config;
+    sockbuf_limit = 52 * 1024;
+  }
+
+type proto = Udp | Tcp
+
+let proto_cost cfg = function Udp -> cfg.udp_ns | Tcp -> cfg.tcp_ns
+
+let copy_cost cfg len =
+  int_of_float (Float.round (float_of_int len *. cfg.copy_ns_per_byte))
+
+let send_cost cfg proto ~len =
+  cfg.socket_layer_ns + copy_cost cfg len
+  + Mbuf.handling_cost cfg.mbuf len
+  + proto_cost cfg proto + cfg.driver_ns
+
+let recv_cost cfg proto ~len =
+  (* receive side: driver + protocol input + socket wakeup + copy out.
+     mbuf handling happens here too (the driver stages arriving data in
+     mbuf chains). *)
+  cfg.driver_ns + Mbuf.handling_cost cfg.mbuf len + proto_cost cfg proto
+  + cfg.socket_layer_ns + copy_cost cfg len
+
+module Sockbuf = struct
+  type t = { limit : int; mutable used : int; mutable drops : int }
+
+  let create ~limit = { limit; used = 0; drops = 0 }
+
+  let offer t len =
+    if t.used + len > t.limit then begin
+      t.drops <- t.drops + 1;
+      false
+    end
+    else begin
+      t.used <- t.used + len;
+      true
+    end
+
+  let take t len =
+    if len > t.used then invalid_arg "Sockbuf.take: more than buffered";
+    t.used <- t.used - len
+
+  let used t = t.used
+  let drops t = t.drops
+end

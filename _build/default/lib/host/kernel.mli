@@ -1,0 +1,40 @@
+(** Cost model of the traditional in-kernel networking path (SunOS 4.1.3
+    with the vendor ATM driver): system calls, socket-layer processing,
+    protocol processing, mbuf handling, kernel/user copies, and the bounded
+    socket receive buffer whose overflow loses UDP packets (§7.3). All costs
+    are in reference-machine nanoseconds. *)
+
+type config = {
+  socket_layer_ns : int;  (** socket syscall layer per operation *)
+  udp_ns : int;  (** UDP+IP protocol processing per packet *)
+  tcp_ns : int;  (** TCP+IP protocol processing per packet *)
+  driver_ns : int;  (** device-driver per-packet cost *)
+  copy_ns_per_byte : float;  (** kernel<->user + kernel-internal copies *)
+  mbuf : Mbuf.config;
+  sockbuf_limit : int;  (** socket receive-buffer bound: 52 KB in SunOS *)
+}
+
+val sunos : config
+
+type proto = Udp | Tcp
+
+val send_cost : config -> proto -> len:int -> int
+(** Per-packet cost on the send side: syscall + socket + copy + mbuf +
+    protocol + driver (reference-machine ns; add NI costs separately). *)
+
+val recv_cost : config -> proto -> len:int -> int
+
+(** The bounded socket receive buffer. Packets offered while full are
+    dropped, which is exactly how kernel UDP loses messages in Figure 7. *)
+module Sockbuf : sig
+  type t
+
+  val create : limit:int -> t
+
+  val offer : t -> int -> bool
+  (** [false]: dropped (would overflow). *)
+
+  val take : t -> int -> unit
+  val used : t -> int
+  val drops : t -> int
+end

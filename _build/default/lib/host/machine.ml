@@ -1,0 +1,30 @@
+type t = {
+  name : string;
+  cpu_mhz : float;
+  memcpy_ns_per_byte : float;
+  trap_ns : int;
+  syscall_ns : int;
+}
+
+let reference_mhz = 60.
+
+let ss20 =
+  {
+    name = "SPARCstation-20/60MHz";
+    cpu_mhz = 60.;
+    memcpy_ns_per_byte = 19.;
+    trap_ns = 2_000;
+    syscall_ns = 20_000;
+  }
+
+let ss10 =
+  {
+    name = "SPARCstation-10/50MHz";
+    cpu_mhz = 50.;
+    memcpy_ns_per_byte = 19. *. 60. /. 50.;
+    trap_ns = 2_400;
+    syscall_ns = 24_000;
+  }
+
+let scale m ns =
+  int_of_float (Float.round (float_of_int ns *. reference_mhz /. m.cpu_mhz))

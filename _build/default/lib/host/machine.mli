@@ -1,0 +1,28 @@
+(** Workstation parameter sets. Protocol-processing overheads in this code
+    base are expressed in nanoseconds *on the reference 60 MHz
+    SPARCstation-20*; {!scale} converts them for a machine with a different
+    clock (the paper's SS-10s are 50 MHz). *)
+
+type t = {
+  name : string;
+  cpu_mhz : float;
+  memcpy_ns_per_byte : float;
+      (** user-space copy cost; ≈19 ns/B on the SS-20, derived from the UAM
+          block-transfer slope in §5.2 (0.2 µs/B round trip = 4 copies). *)
+  trap_ns : int;
+      (** cost of a fast trap into the kernel (SBA-100 style, §4.1) *)
+  syscall_ns : int;  (** full system-call entry/exit *)
+}
+
+val ss20 : t
+(** 60 MHz SPARCstation-20 — the reference machine. *)
+
+val ss10 : t
+(** 50 MHz SPARCstation-10. *)
+
+val reference_mhz : float
+(** Clock of the machine the nanosecond cost constants were calibrated on. *)
+
+val scale : t -> int -> int
+(** [scale m ns] converts a reference-machine cost to machine [m]
+    (slower clock → proportionally larger cost). *)

@@ -1,0 +1,32 @@
+let cluster_size = 1024
+let small_size = 112
+let remainder_threshold = 512
+
+type chain = { clusters : int; smalls : int }
+
+let chain_for len =
+  if len < 0 then invalid_arg "Mbuf.chain_for: negative length";
+  let clusters = len / cluster_size in
+  let rem = len mod cluster_size in
+  if rem = 0 then { clusters; smalls = 0 }
+  else if rem >= remainder_threshold then { clusters = clusters + 1; smalls = 0 }
+  else { clusters; smalls = (rem + small_size - 1) / small_size }
+
+let allocations c = c.clusters + c.smalls
+
+type config = {
+  cluster_alloc_ns : int;
+  small_alloc_ns : int;
+  small_copy_penalty_ns : int;
+}
+
+(* SunOS 4.1.3-flavoured costs on the reference SS-20. The absolute values
+   are tuned so the kernel UDP curve lands in the paper's band; the *shape*
+   comes from chain_for. *)
+let sunos_config =
+  { cluster_alloc_ns = 9_000; small_alloc_ns = 6_000; small_copy_penalty_ns = 7_000 }
+
+let handling_cost cfg len =
+  let c = chain_for len in
+  (c.clusters * cfg.cluster_alloc_ns)
+  + (c.smalls * (cfg.small_alloc_ns + cfg.small_copy_penalty_ns))

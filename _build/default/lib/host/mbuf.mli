@@ -1,0 +1,31 @@
+(** The BSD mbuf buffering scheme the paper's §7.3 blames for the kernel UDP
+    sawtooth (Figure 7): a packet is stored by filling 1 Kbyte cluster
+    buffers; a remainder of 512 bytes or more gets one more cluster, while a
+    smaller remainder is chopped into 112-byte small mbufs — which carry no
+    reference counts, so they are copied rather than shared. *)
+
+val cluster_size : int (* 1024 *)
+val small_size : int (* 112 *)
+val remainder_threshold : int (* 512 *)
+
+type chain = { clusters : int; smalls : int }
+(** The allocation pattern for one packet. *)
+
+val chain_for : int -> chain
+(** Allocation pattern for a packet of the given length. *)
+
+val allocations : chain -> int
+
+type config = {
+  cluster_alloc_ns : int;  (** allocate + init one cluster mbuf *)
+  small_alloc_ns : int;  (** allocate + init one small mbuf *)
+  small_copy_penalty_ns : int;
+      (** extra per-small-mbuf handling cost (no refcount: data is copied
+          again at each layer crossing) *)
+}
+
+val sunos_config : config
+
+val handling_cost : config -> int -> int
+(** Per-packet mbuf allocation + handling cost for a packet of the given
+    length — the sawtooth generator. *)

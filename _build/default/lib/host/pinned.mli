@@ -1,0 +1,17 @@
+(** Pinned-memory accounting. Communication segments must be pinned to
+    physical memory and mapped into the NI's DMA space (§4.2.4), so each host
+    has a hard budget; endpoint creation fails when it is exhausted. *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val used : t -> int
+val available : t -> int
+
+val reserve : t -> int -> bool
+(** [reserve t n] takes [n] bytes; [false] (and no change) if they are not
+    available. *)
+
+val release : t -> int -> unit
+(** Raises [Invalid_argument] when releasing more than is reserved. *)

@@ -1,0 +1,1 @@
+lib/ipstack/checksum.ml: Bytes

@@ -1,0 +1,1 @@
+lib/ipstack/flow_demux.ml: Bytes Engine Fmt Hashtbl Host Int32 List Proc Queue Sim Unet

@@ -1,0 +1,1 @@
+lib/ipstack/flow_demux.mli: Unet

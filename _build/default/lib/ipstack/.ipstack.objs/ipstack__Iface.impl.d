@@ -1,0 +1,1 @@
+lib/ipstack/iface.ml: Bytes Engine Float Fmt Host Int32 List Proc Queue Sim Sync Unet

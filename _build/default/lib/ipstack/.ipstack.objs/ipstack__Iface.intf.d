@@ -1,0 +1,1 @@
+lib/ipstack/iface.mli: Engine Host Unet

@@ -1,0 +1,1 @@
+lib/ipstack/ipv4.ml: Bytes Checksum Fmt Iface Int32

@@ -1,0 +1,1 @@
+lib/ipstack/ipv4.mli: Engine Host Iface

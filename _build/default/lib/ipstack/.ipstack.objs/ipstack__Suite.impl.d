@@ -1,0 +1,1 @@
+lib/ipstack/suite.ml: Engine Host Iface Ipv4 Tcp Udp Unet

@@ -1,0 +1,1 @@
+lib/ipstack/suite.mli: Engine Host Iface Ipv4 Tcp Udp Unet

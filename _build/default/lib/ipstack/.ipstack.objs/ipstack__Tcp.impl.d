@@ -1,0 +1,1 @@
+lib/ipstack/tcp.ml: Bytes Checksum Engine Float Fmt Format Hashtbl Host Int32 Ipv4 List Logs Queue Sim Sync

@@ -1,0 +1,1 @@
+lib/ipstack/tcp.mli: Engine Format Host Ipv4

@@ -1,0 +1,1 @@
+lib/ipstack/udp.ml: Bytes Checksum Engine Float Fmt Hashtbl Host Iface Ipv4 Option Proc Queue Sim Sync

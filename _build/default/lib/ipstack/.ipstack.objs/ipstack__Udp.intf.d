@@ -1,0 +1,1 @@
+lib/ipstack/udp.mli: Engine Host Ipv4

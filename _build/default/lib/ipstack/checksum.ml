@@ -1,0 +1,21 @@
+let compute b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.compute: range out of bounds";
+  let sum = ref 0 in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    sum := !sum + (Bytes.get_uint8 b !i lsl 8) + Bytes.get_uint8 b (!i + 1);
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Bytes.get_uint8 b !i lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let compute_bytes b = compute b ~pos:0 ~len:(Bytes.length b)
+
+let verify b ~pos ~len = compute b ~pos ~len = 0
+
+let cost_ns len = len * 10

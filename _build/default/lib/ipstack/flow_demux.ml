@@ -1,0 +1,179 @@
+open Engine
+
+let header_size = 8
+let buffer_count = 32
+
+type t = {
+  u : Unet.t;
+  ep : Unet.Endpoint.t;
+  alloc : Unet.Segment.Allocator.t;
+  chan : Unet.Channel.id;
+  addr : int;
+  peer : int;
+  flows : (int, src:int -> bytes -> unit) Hashtbl.t;
+  mutable kernel_handler : flow_id:int -> src:int -> bytes -> unit;
+  in_flight : (Unet.Desc.tx * (int * int)) Queue.t;
+  mutable n_delivered : int;
+  mutable n_fallbacks : int;
+}
+
+let local_addr t = t.addr
+let delivered t = t.n_delivered
+let kernel_fallbacks t = t.n_fallbacks
+
+let register_flow t ~flow_id handler =
+  if Hashtbl.mem t.flows flow_id then
+    Fmt.invalid_arg "Flow_demux: flow %d already registered" flow_id;
+  Hashtbl.replace t.flows flow_id handler
+
+let unregister_flow t ~flow_id = Hashtbl.remove t.flows flow_id
+let set_kernel_handler t h = t.kernel_handler <- h
+
+let frame t ~flow_id payload =
+  let b = Bytes.create (header_size + Bytes.length payload) in
+  Bytes.set_int32_be b 0 (Int32.of_int flow_id);
+  Bytes.set_int32_be b 4 (Int32.of_int t.addr);
+  Bytes.blit payload 0 b header_size (Bytes.length payload);
+  b
+
+let send t ~flow_id payload =
+  let pkt = frame t ~flow_id payload in
+  let rec reap () =
+    match Queue.peek_opt t.in_flight with
+    | Some ((desc : Unet.Desc.tx), buf) when desc.injected ->
+        ignore (Queue.pop t.in_flight);
+        Unet.Segment.Allocator.free t.alloc buf;
+        reap ()
+    | _ -> ()
+  in
+  reap ();
+  if Bytes.length pkt <= Unet.Desc.inline_max then
+    match Unet.send t.u t.ep (Unet.Desc.tx ~chan:t.chan (Unet.Desc.Inline pkt)) with
+    | Ok () -> ()
+    | Error Unet.Queue_full ->
+        Fmt.failwith "Flow_demux.send: back-pressure (send queue full)"
+    | Error e -> Fmt.failwith "Flow_demux.send: %a" Unet.pp_error e
+  else begin
+    let rec alloc_buf () =
+      reap ();
+      match Unet.Segment.Allocator.alloc t.alloc with
+      | Some b -> b
+      | None ->
+          Proc.sleep (Unet.sim t.u) ~time:(Sim.us 5);
+          alloc_buf ()
+    in
+    let ((off, _) as buf) = alloc_buf () in
+    Unet.Segment.write t.ep.segment ~off ~src:pkt ~src_pos:0
+      ~len:(Bytes.length pkt);
+    let desc =
+      Unet.Desc.tx ~chan:t.chan (Unet.Desc.Buffers [ (off, Bytes.length pkt) ])
+    in
+    match Unet.send t.u t.ep desc with
+    | Ok () -> Queue.add (desc, buf) t.in_flight
+    | Error e ->
+        Unet.Segment.Allocator.free t.alloc buf;
+        Fmt.failwith "Flow_demux.send: %a" Unet.pp_error e
+  end
+
+(* demultiplexer process: the user-level library polling its endpoint *)
+let demux_cost_ns = 1_000
+
+let start t =
+  ignore
+    (Proc.spawn ~name:"flow-demux" (Unet.sim t.u) (fun () ->
+         let rec loop () =
+           let rx = Unet.recv t.u t.ep in
+           let pkt =
+             match rx.Unet.Desc.rx_payload with
+             | Unet.Desc.Inline b -> b
+             | Unet.Desc.Buffers bufs ->
+                 let total =
+                   List.fold_left (fun acc (_, l) -> acc + l) 0 bufs
+                 in
+                 let out = Bytes.create total in
+                 let pos = ref 0 in
+                 List.iter
+                   (fun (off, l) ->
+                     Unet.Segment.blit_out t.ep.segment ~off ~dst:out
+                       ~dst_pos:!pos ~len:l;
+                     pos := !pos + l;
+                     ignore
+                       (Unet.provide_free_buffer t.u t.ep ~off
+                          ~len:(Unet.Segment.Allocator.block_size t.alloc)))
+                   bufs;
+                 out
+           in
+           if Bytes.length pkt >= header_size then begin
+             let flow_id = Int32.to_int (Bytes.get_int32_be pkt 0) in
+             let src = Int32.to_int (Bytes.get_int32_be pkt 4) in
+             let payload =
+               Bytes.sub pkt header_size (Bytes.length pkt - header_size)
+             in
+             Host.Cpu.charge (Unet.cpu t.u) demux_cost_ns;
+             match Hashtbl.find_opt t.flows flow_id with
+             | Some handler ->
+                 t.n_delivered <- t.n_delivered + 1;
+                 handler ~src payload
+             | None ->
+                 (* unresolved tag: hand to the kernel endpoint — a real
+                    system call's worth of generalized processing *)
+                 t.n_fallbacks <- t.n_fallbacks + 1;
+                 Host.Cpu.charge (Unet.cpu t.u)
+                   (Host.Cpu.machine (Unet.cpu t.u)).Host.Machine.syscall_ns;
+                 t.kernel_handler ~flow_id ~src payload
+           end;
+           loop ()
+         in
+         loop ()))
+
+let side u ~mtu ~addr ~peer ~ep ~alloc ~chan =
+  let t =
+    {
+      u;
+      ep;
+      alloc;
+      chan;
+      addr;
+      peer;
+      flows = Hashtbl.create 16;
+      kernel_handler = (fun ~flow_id:_ ~src:_ _ -> ());
+      in_flight = Queue.create ();
+      n_delivered = 0;
+      n_fallbacks = 0;
+    }
+  in
+  ignore mtu;
+  start t;
+  t
+
+let mk_endpoint u ~mtu =
+  let block = mtu + 64 in
+  let ep =
+    match
+      Unet.create_endpoint u ~tx_slots:128 ~rx_slots:128
+        ~free_slots:(buffer_count + 1)
+        ~seg_size:(2 * buffer_count * block)
+        ()
+    with
+    | Ok ep -> ep
+    | Error e -> Fmt.invalid_arg "Flow_demux.pair: %a" Unet.pp_error e
+  in
+  let alloc = Unet.Segment.Allocator.create ep.segment ~block in
+  for _ = 1 to buffer_count do
+    match Unet.Segment.Allocator.alloc alloc with
+    | Some (off, len) ->
+        (match Unet.provide_free_buffer u ep ~off ~len with
+        | Ok () -> ()
+        | Error e -> Fmt.invalid_arg "Flow_demux.pair: %a" Unet.pp_error e)
+    | None -> assert false
+  done;
+  (ep, alloc)
+
+let pair ?(mtu = 9_000) ua ub ~local_addr ~remote_addr =
+  let ep_a, alloc_a = mk_endpoint ua ~mtu in
+  let ep_b, alloc_b = mk_endpoint ub ~mtu in
+  let ch_a, ch_b = Unet.connect_pair (ua, ep_a) (ub, ep_b) in
+  ( side ua ~mtu ~addr:local_addr ~peer:remote_addr ~ep:ep_a ~alloc:alloc_a
+      ~chan:ch_a,
+    side ub ~mtu ~addr:remote_addr ~peer:local_addr ~ep:ep_b ~alloc:alloc_b
+      ~chan:ch_b )

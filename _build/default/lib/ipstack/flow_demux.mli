@@ -1,0 +1,36 @@
+(** The additional demultiplexing level the paper sketches as work in
+    progress (§7.1): many applications share one IP-over-ATM channel, and
+    arriving packets are demultiplexed on an IPv6-style
+    [(flow id, source address)] tag. Tags that do not resolve to a local
+    U-Net destination fall through to the kernel communication endpoint for
+    generalized processing — which is what keeps the scheme interoperable.
+
+    Packets carry an 8-byte flow header: [flow_id u32][src_addr u32]. *)
+
+type t
+
+val pair :
+  ?mtu:int -> Unet.t -> Unet.t -> local_addr:int -> remote_addr:int -> t * t
+(** One shared U-Net channel between two hosts; both sides demultiplex. *)
+
+val local_addr : t -> int
+
+val register_flow : t -> flow_id:int -> (src:int -> bytes -> unit) -> unit
+(** Claim a flow id; its packets are delivered to the handler in the
+    demultiplexer's process. Raises on a duplicate registration. *)
+
+val unregister_flow : t -> flow_id:int -> unit
+
+val set_kernel_handler : t -> (flow_id:int -> src:int -> bytes -> unit) -> unit
+(** What "the kernel endpoint" does with unresolved tags (defaults to
+    counting and dropping). Each fallback pays a full system call. *)
+
+val send : t -> flow_id:int -> bytes -> unit
+(** Send on the shared channel under a flow tag (blocking the caller for
+    the usual staging costs). *)
+
+val delivered : t -> int
+(** Packets handed to registered flows. *)
+
+val kernel_fallbacks : t -> int
+(** Packets whose tag did not resolve locally. *)

@@ -1,0 +1,306 @@
+open Engine
+
+type job = Tx of int * bytes | Deliver of bytes
+
+type t = {
+  sim : Sim.t;
+  cpu : Host.Cpu.t;
+  mtu : int;
+  mbox : job Sync.Mailbox.t;
+  tx_queue_limit : int;
+  mutable rx_handler : bytes -> unit;
+  mutable rx_cost : bytes -> int;
+  mutable transmit : bytes -> unit; (* set once the pair is wired *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let sim t = t.sim
+let cpu t = t.cpu
+let mtu t = t.mtu
+let packets_sent t = t.sent
+let packets_delivered t = t.delivered
+let tx_drops t = t.dropped
+let queue_length t = Sync.Mailbox.length t.mbox
+let queue_limit t = t.tx_queue_limit
+
+let send t ~cost_ns pkt =
+  if Bytes.length pkt > t.mtu then
+    Fmt.invalid_arg "Iface.send: packet of %d bytes exceeds MTU %d"
+      (Bytes.length pkt) t.mtu;
+  (* the SunOS behaviour of §7.4: the device transmit queue silently drops
+     packets under overload, without telling the sending application *)
+  if Sync.Mailbox.length t.mbox >= t.tx_queue_limit then
+    t.dropped <- t.dropped + 1
+  else Sync.Mailbox.send t.mbox (Tx (cost_ns, pkt))
+
+let set_rx t ~rx_cost_ns handler =
+  t.rx_cost <- rx_cost_ns;
+  t.rx_handler <- handler
+
+let deliver t pkt = Sync.Mailbox.send t.mbox (Deliver pkt)
+
+(* The stack process: serializes all protocol processing on this host and
+   charges its cost to the CPU. *)
+let start_stack t =
+  ignore
+    (Proc.spawn ~name:"ipstack" t.sim (fun () ->
+         let rec loop () =
+           (match Sync.Mailbox.recv t.mbox with
+           | Tx (cost, pkt) ->
+               Host.Cpu.charge t.cpu cost;
+               t.sent <- t.sent + 1;
+               t.transmit pkt
+           | Deliver pkt ->
+               Host.Cpu.charge t.cpu (t.rx_cost pkt);
+               t.delivered <- t.delivered + 1;
+               t.rx_handler pkt);
+           loop ()
+         in
+         loop ()))
+
+let make ~sim ~cpu ~mtu ~tx_queue =
+  let t =
+    {
+      sim;
+      cpu;
+      mtu;
+      mbox = Sync.Mailbox.create sim;
+      tx_queue_limit = tx_queue;
+      rx_handler = (fun _ -> ());
+      rx_cost = (fun _ -> 0);
+      transmit = (fun _ -> failwith "Iface: not wired");
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+    }
+  in
+  start_stack t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* IP over U-Net (§7.1): one U-Net channel carries all the IP traffic
+   between the two stacks, with no LLC/SNAP encapsulation (the paper notes
+   its multiplexor cannot yet share a VCI as RFC 1577 classical IP-over-ATM
+   requires) — so 40-byte TCP acks ride the single-cell fast path (§7.8).
+   The kernel-ATM baseline, by contrast, uses the standard 8-byte LLC/SNAP
+   header. *)
+
+let llc_snap = Bytes.of_string "\xAA\xAA\x03\x00\x00\x00\x08\x00"
+let encap_size = 8
+let ip_buffer_count = 32
+
+let encapsulate pkt =
+  let out = Bytes.create (encap_size + Bytes.length pkt) in
+  Bytes.blit llc_snap 0 out 0 encap_size;
+  Bytes.blit pkt 0 out encap_size (Bytes.length pkt);
+  out
+
+let decapsulate frame =
+  if
+    Bytes.length frame < encap_size
+    || not (Bytes.equal (Bytes.sub frame 0 encap_size) llc_snap)
+  then None
+  else Some (Bytes.sub frame encap_size (Bytes.length frame - encap_size))
+
+let unet_side u ~mtu =
+  let block = mtu + 64 in
+  let seg_size = 2 * ip_buffer_count * block in
+  let ep =
+    match
+      Unet.create_endpoint u ~tx_slots:128 ~rx_slots:128
+        ~free_slots:(ip_buffer_count + 1) ~seg_size ()
+    with
+    | Ok ep -> ep
+    | Error e -> Fmt.invalid_arg "Iface.unet_pair: %a" Unet.pp_error e
+  in
+  let alloc = Unet.Segment.Allocator.create ep.segment ~block in
+  for _ = 1 to ip_buffer_count do
+    match Unet.Segment.Allocator.alloc alloc with
+    | Some (off, len) ->
+        (match Unet.provide_free_buffer u ep ~off ~len with
+        | Ok () -> ()
+        | Error e -> Fmt.invalid_arg "Iface.unet_pair: %a" Unet.pp_error e)
+    | None -> assert false
+  done;
+  (ep, alloc)
+
+let unet_transmit u (ep : Unet.Endpoint.t) alloc ~chan in_flight ~encap raw_pkt =
+  let pkt = if encap then encapsulate raw_pkt else raw_pkt in
+  (* reclaim transmit buffers whose descriptors the NI has consumed *)
+  let rec reap () =
+    match Queue.peek_opt in_flight with
+    | Some ((desc : Unet.Desc.tx), buf) when desc.injected ->
+        ignore (Queue.pop in_flight);
+        Unet.Segment.Allocator.free alloc buf;
+        reap ()
+    | _ -> ()
+  in
+  reap ();
+  (* IP packets always stage through communication-segment buffers (no
+     single-cell fast path: headers make even tiny datagrams multi-cell,
+     which is why U-Net UDP starts at 138 µs over the 120 µs base). *)
+  begin
+    let rec alloc_buf () =
+      reap ();
+      match Unet.Segment.Allocator.alloc alloc with
+      | Some b -> b
+      | None ->
+          (* all buffers still queued in the NI: wait for the doorbell *)
+          Proc.sleep (Unet.sim u) ~time:(Sim.us 5);
+          alloc_buf ()
+    in
+    let off, _blen = alloc_buf () in
+    Unet.Segment.write ep.segment ~off ~src:pkt ~src_pos:0
+      ~len:(Bytes.length pkt);
+    let desc = Unet.Desc.tx ~chan (Unet.Desc.Buffers [ (off, Bytes.length pkt) ]) in
+    match Unet.send u ep desc with
+    | Ok () -> Queue.add (desc, (off, _blen)) in_flight
+    | Error Unet.Queue_full ->
+        Unet.Segment.Allocator.free alloc (off, _blen)
+    | Error e -> Fmt.failwith "Iface: U-Net send: %a" Unet.pp_error e
+  end
+
+let start_unet_poller t u (ep : Unet.Endpoint.t) alloc ~encap =
+  ignore
+    (Proc.spawn ~name:"ip-poller" t.sim (fun () ->
+         let rec loop () =
+           let rx = Unet.recv u ep in
+           let pkt =
+             match rx.Unet.Desc.rx_payload with
+             | Unet.Desc.Inline b -> b
+             | Unet.Desc.Buffers bufs ->
+                 let total =
+                   List.fold_left (fun acc (_, len) -> acc + len) 0 bufs
+                 in
+                 let out = Bytes.create total in
+                 let pos = ref 0 in
+                 List.iter
+                   (fun (off, len) ->
+                     Unet.Segment.blit_out ep.segment ~off ~dst:out
+                       ~dst_pos:!pos ~len;
+                     pos := !pos + len;
+                     match
+                       Unet.provide_free_buffer u ep ~off
+                         ~len:(Unet.Segment.Allocator.block_size alloc)
+                     with
+                     | Ok () -> ()
+                     | Error e ->
+                         Fmt.failwith "Iface: free return: %a" Unet.pp_error e)
+                   bufs;
+                 out
+           in
+           (if encap then
+              match decapsulate pkt with
+              | Some ip_pkt -> deliver t ip_pkt
+              | None -> () (* not LLC/SNAP IP: discarded *)
+            else deliver t pkt);
+           loop ()
+         in
+         loop ()))
+
+let unet_pair ?(mtu = 9_000) ?(tx_queue = 64) ?(encapsulation = false) ua ub =
+  let encap = encapsulation in
+  let ta = make ~sim:(Unet.sim ua) ~cpu:(Unet.cpu ua) ~mtu ~tx_queue in
+  let tb = make ~sim:(Unet.sim ub) ~cpu:(Unet.cpu ub) ~mtu ~tx_queue in
+  let ep_a, alloc_a = unet_side ua ~mtu in
+  let ep_b, alloc_b = unet_side ub ~mtu in
+  let ch_a, ch_b = Unet.connect_pair (ua, ep_a) (ub, ep_b) in
+  let fl_a = Queue.create () and fl_b = Queue.create () in
+  ta.transmit <-
+    (fun pkt -> unet_transmit ua ep_a alloc_a ~chan:ch_a fl_a ~encap pkt);
+  tb.transmit <-
+    (fun pkt -> unet_transmit ub ep_b alloc_b ~chan:ch_b fl_b ~encap pkt);
+  start_unet_poller ta ua ep_a alloc_a ~encap;
+  start_unet_poller tb ub ep_b alloc_b ~encap;
+  (ta, tb)
+
+(* ------------------------------------------------------------------ *)
+(* A framed point-to-point byte link (Ethernet baseline). Packets larger
+   than the wire MTU are fragmented; the ordered link lets the receiver
+   reassemble sequentially. Frame format: [u32 pkt_len][u32 offset][data]. *)
+
+type frame_link = {
+  fl_sim : Sim.t;
+  fl_frame_ns_per_byte : float;
+  fl_propagation : Sim.time;
+  mutable fl_busy_until : Sim.time;
+  mutable fl_rx : bytes -> unit;
+}
+
+let frame_header = 8
+
+let link_transmit fl frame =
+  let now = Sim.now fl.fl_sim in
+  let start = max now fl.fl_busy_until in
+  let ser =
+    int_of_float
+      (Float.round (float_of_int (Bytes.length frame) *. fl.fl_frame_ns_per_byte))
+  in
+  fl.fl_busy_until <- start + ser;
+  ignore
+    (Sim.schedule_at fl.fl_sim
+       (fl.fl_busy_until + fl.fl_propagation)
+       (fun () -> fl.fl_rx frame))
+
+type reasm = { mutable r_buf : bytes; mutable r_got : int }
+
+let framed_pair ~sim ~cpu_a ~cpu_b ~bandwidth_mbps ~wire_mtu ~per_frame_ns
+    ~propagation ?(tx_queue = 64) ?(ip_mtu = 9_000) () =
+  let ns_per_byte = 8_000. /. bandwidth_mbps in
+  let mk_link () =
+    {
+      fl_sim = sim;
+      fl_frame_ns_per_byte = ns_per_byte;
+      fl_propagation = propagation;
+      fl_busy_until = 0;
+      fl_rx = (fun _ -> ());
+    }
+  in
+  let l_ab = mk_link () and l_ba = mk_link () in
+  let ta = make ~sim ~cpu:cpu_a ~mtu:ip_mtu ~tx_queue in
+  let tb = make ~sim ~cpu:cpu_b ~mtu:ip_mtu ~tx_queue in
+  let mk_transmit cpu link pkt =
+    (* fragment into wire-MTU frames, charging the driver per frame *)
+    let len = Bytes.length pkt in
+    let payload_max = wire_mtu - frame_header in
+    let rec go off =
+      if off < len then begin
+        let flen = min payload_max (len - off) in
+        let frame = Bytes.create (frame_header + flen) in
+        Bytes.set_int32_be frame 0 (Int32.of_int len);
+        Bytes.set_int32_be frame 4 (Int32.of_int off);
+        Bytes.blit pkt off frame frame_header flen;
+        Host.Cpu.charge cpu per_frame_ns;
+        link_transmit link frame;
+        go (off + flen)
+      end
+    in
+    go 0
+  in
+  let mk_rx t =
+    let r = { r_buf = Bytes.empty; r_got = 0 } in
+    fun frame ->
+      let total = Int32.to_int (Bytes.get_int32_be frame 0) in
+      let off = Int32.to_int (Bytes.get_int32_be frame 4) in
+      let flen = Bytes.length frame - frame_header in
+      if off = 0 then begin
+        r.r_buf <- Bytes.create total;
+        r.r_got <- 0
+      end;
+      if Bytes.length r.r_buf = total then begin
+        Bytes.blit frame frame_header r.r_buf off flen;
+        r.r_got <- r.r_got + flen;
+        if r.r_got >= total then begin
+          deliver t r.r_buf;
+          r.r_buf <- Bytes.empty;
+          r.r_got <- 0
+        end
+      end
+  in
+  ta.transmit <- mk_transmit cpu_a l_ab;
+  tb.transmit <- mk_transmit cpu_b l_ba;
+  l_ab.fl_rx <- mk_rx tb;
+  l_ba.fl_rx <- mk_rx ta;
+  (ta, tb)

@@ -1,0 +1,87 @@
+type proto = Udp | Tcp
+
+let proto_number = function Udp -> 17 | Tcp -> 6
+let header_size = 20
+
+type handler = { h_cost : bytes -> int; h_fn : src:int -> bytes -> unit }
+
+type t = {
+  iface : Iface.t;
+  addr : int;
+  mutable udp : handler option;
+  mutable tcp : handler option;
+  mutable bad : int;
+}
+
+let ip_overhead_ns = 500 (* residual IP processing not folded into transports *)
+
+let handler_payload pkt =
+  Bytes.sub pkt header_size (Bytes.length pkt - header_size)
+
+let attach iface ~addr =
+  let t = { iface; addr; udp = None; tcp = None; bad = 0 } in
+  let rx_cost pkt =
+    if Bytes.length pkt < header_size then 0
+    else
+      let proto = Bytes.get_uint8 pkt 9 in
+      let payload_len = Bytes.length pkt - header_size in
+      let h = if proto = 17 then t.udp else if proto = 6 then t.tcp else None in
+      match h with
+      | Some h ->
+          (* cost model sees the payload; one sub per packet is fine *)
+          ip_overhead_ns + h.h_cost (Bytes.sub pkt header_size payload_len)
+      | None -> ip_overhead_ns
+  in
+  let rx pkt =
+    if Bytes.length pkt < header_size then t.bad <- t.bad + 1
+    else if not (Checksum.verify pkt ~pos:0 ~len:header_size) then
+      t.bad <- t.bad + 1
+    else begin
+      let proto = Bytes.get_uint8 pkt 9 in
+      let src = Int32.to_int (Bytes.get_int32_be pkt 12) in
+      let total = Bytes.get_uint16_be pkt 2 in
+      if total <> Bytes.length pkt then t.bad <- t.bad + 1
+      else
+        let h =
+          if proto = 17 then t.udp else if proto = 6 then t.tcp else None
+        in
+        match h with
+        | Some h -> h.h_fn ~src (handler_payload pkt)
+        | None -> t.bad <- t.bad + 1
+    end
+  in
+  Iface.set_rx iface ~rx_cost_ns:rx_cost rx;
+  t
+
+let addr t = t.addr
+let iface t = t.iface
+let sim t = Iface.sim t.iface
+let cpu t = Iface.cpu t.iface
+let mtu t = Iface.mtu t.iface - header_size
+let bad_packets t = t.bad
+
+let send t proto ~dst ~cost_ns payload =
+  let len = Bytes.length payload in
+  if len > mtu t then
+    Fmt.invalid_arg
+      "Ipv4.send: %d-byte payload exceeds the %d-byte MTU (no fragmentation)"
+      len (mtu t);
+  let pkt = Bytes.create (header_size + len) in
+  Bytes.set_uint8 pkt 0 0x45;
+  Bytes.set_uint8 pkt 1 0;
+  Bytes.set_uint16_be pkt 2 (header_size + len);
+  Bytes.set_uint16_be pkt 4 0 (* id *);
+  Bytes.set_uint16_be pkt 6 0x4000 (* don't fragment *);
+  Bytes.set_uint8 pkt 8 64 (* ttl *);
+  Bytes.set_uint8 pkt 9 (proto_number proto);
+  Bytes.set_uint16_be pkt 10 0 (* checksum placeholder *);
+  Bytes.set_int32_be pkt 12 (Int32.of_int t.addr);
+  Bytes.set_int32_be pkt 16 (Int32.of_int dst);
+  let csum = Checksum.compute pkt ~pos:0 ~len:header_size in
+  Bytes.set_uint16_be pkt 10 csum;
+  Bytes.blit payload 0 pkt header_size len;
+  Iface.send t.iface ~cost_ns:(cost_ns + ip_overhead_ns) pkt
+
+let register t proto ~rx_cost_ns fn =
+  let h = { h_cost = rx_cost_ns; h_fn = fn } in
+  match proto with Udp -> t.udp <- Some h | Tcp -> t.tcp <- Some h

@@ -1,0 +1,33 @@
+(** A minimal IP layer (§7.5): 20-byte headers, protocol demultiplexing, a
+    9 KB MTU over U-Net, and no send-side fragmentation (known harmful —
+    transports segment instead). Addresses are the cluster host indices. *)
+
+type proto = Udp | Tcp
+
+val proto_number : proto -> int
+
+type t
+
+val attach : Iface.t -> addr:int -> t
+val addr : t -> int
+val iface : t -> Iface.t
+val sim : t -> Engine.Sim.t
+val cpu : t -> Host.Cpu.t
+
+val mtu : t -> int
+(** Maximum transport payload per packet (iface MTU minus the IP header). *)
+
+val send : t -> proto -> dst:int -> cost_ns:int -> bytes -> unit
+(** Wrap the transport payload in an IP header and hand it to the
+    interface; [cost_ns] is the transport's send-side processing cost (the
+    send half of IP is collapsed into the transport, §7.5). Raises on
+    payloads beyond the MTU: no fragmentation. *)
+
+val register :
+  t -> proto -> rx_cost_ns:(bytes -> int) -> (src:int -> bytes -> unit) -> unit
+(** Install the transport's receive handler and cost model. The handler gets
+    the transport payload; packets failing the header checksum and packets
+    for unregistered protocols are dropped (and counted). *)
+
+val header_size : int
+val bad_packets : t -> int

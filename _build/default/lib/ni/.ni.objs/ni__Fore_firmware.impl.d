@@ -1,0 +1,1 @@
+lib/ni/fore_firmware.ml: I960_nic

@@ -1,0 +1,1 @@
+lib/ni/fore_firmware.mli: Atm I960_nic

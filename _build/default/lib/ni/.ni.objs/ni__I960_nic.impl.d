@@ -1,0 +1,1 @@
+lib/ni/i960_nic.ml: Atm Bytes Engine Hashtbl Int32 List Queue Sim Sync Unet

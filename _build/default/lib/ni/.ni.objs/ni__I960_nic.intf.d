@@ -1,0 +1,1 @@
+lib/ni/i960_nic.mli: Atm Engine Unet

@@ -1,0 +1,1 @@
+lib/ni/sba100.ml: Atm Bytes Engine Hashtbl Host List Sim Sync Unet

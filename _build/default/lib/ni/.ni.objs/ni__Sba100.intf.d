@@ -1,0 +1,1 @@
+lib/ni/sba100.mli: Atm Host Unet

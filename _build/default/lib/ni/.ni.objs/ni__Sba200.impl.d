@@ -1,0 +1,1 @@
+lib/ni/sba200.ml: I960_nic

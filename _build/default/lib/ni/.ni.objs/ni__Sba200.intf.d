@@ -1,0 +1,1 @@
+lib/ni/sba200.mli: Atm I960_nic

@@ -1,0 +1,10 @@
+(** Fore Systems' original SBA-200 firmware (§4.2.1), the baseline the U-Net
+    firmware replaced: the kernel-firmware interface is patterned after BSD
+    mbufs, and the i960 chases those linked descriptor chains across the I/O
+    bus with DMA — high per-message latency and no single-cell fast path.
+    Calibrated to the paper's measurements: ≈160 µs round trip and
+    ≈13 Mbytes/s with 4 KB packets. *)
+
+val default_config : I960_nic.config
+
+val create : Atm.Network.t -> host:int -> ?config:I960_nic.config -> unit -> I960_nic.t

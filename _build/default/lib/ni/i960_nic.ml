@@ -1,0 +1,214 @@
+open Engine
+
+type config = {
+  name : string;
+  doorbell_ns : int;
+  rx_poll_ns : int;
+  kernel_op_ns : int;
+  tx_single_ns : int;
+  tx_fixed_ns : int;
+  tx_per_cell_ns : int;
+  rx_cell_ns : int;
+  rx_single_ns : int;
+  rx_multi_fixed_ns : int;
+  single_cell_optimization : bool;
+  max_endpoints : int;
+  max_seg_size : int;
+}
+
+type t = {
+  sim : Sim.t;
+  net : Atm.Network.t;
+  host : int;
+  cfg : config;
+  server : Sync.Server.t; (* the i960 *)
+  kernel : Sync.Server.t; (* kernel path for emulated endpoints *)
+  mux : Unet.Mux.t;
+  txq : Unet.Endpoint.t Queue.t; (* one entry per posted descriptor *)
+  mutable tx_active : bool;
+  reasm : (int, Atm.Aal5.Reassembler.t) Hashtbl.t;
+  mutable sent : int;
+  mutable received : int;
+  mutable errors : int;
+}
+
+(* Direct-access framing: on direct-access endpoints every PDU carries a
+   5-byte prefix [flag; offset_be32]; flag 1 means "deposit at offset". *)
+let direct_prefix_size = 5
+
+let add_direct_prefix dest_offset data =
+  let out = Bytes.create (direct_prefix_size + Bytes.length data) in
+  (match dest_offset with
+  | Some off ->
+      Bytes.set_uint8 out 0 1;
+      Bytes.set_int32_be out 1 (Int32.of_int off)
+  | None ->
+      Bytes.set_uint8 out 0 0;
+      Bytes.set_int32_be out 1 0l);
+  Bytes.blit data 0 out direct_prefix_size (Bytes.length data);
+  out
+
+let parse_direct_prefix payload =
+  if Bytes.length payload < direct_prefix_size then (None, payload)
+  else
+    let flag = Bytes.get_uint8 payload 0 in
+    let off = Int32.to_int (Bytes.get_int32_be payload 1) in
+    let data =
+      Bytes.sub payload direct_prefix_size
+        (Bytes.length payload - direct_prefix_size)
+    in
+    ((if flag = 1 then Some off else None), data)
+
+(* Gather a descriptor's bytes out of the communication segment (the DMA the
+   i960 performs; its cost is in the per-cell charges). *)
+let gather (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
+  let data =
+    match desc.tx_payload with
+    | Unet.Desc.Inline b -> Bytes.copy b
+    | Unet.Desc.Buffers ranges ->
+        let total =
+          List.fold_left (fun acc (_, len) -> acc + len) 0 ranges
+        in
+        let out = Bytes.create total in
+        let pos = ref 0 in
+        List.iter
+          (fun (off, len) ->
+            Unet.Segment.blit_out ep.segment ~off ~dst:out ~dst_pos:!pos ~len;
+            pos := !pos + len)
+          ranges;
+        out
+  in
+  if ep.direct_access then add_direct_prefix desc.dest_offset data else data
+
+let rec pump_next t =
+  match Queue.take_opt t.txq with
+  | None -> t.tx_active <- false
+  | Some ep -> (
+      match Unet.Ring.pop ep.tx_ring with
+      | None -> pump_next t
+      | Some desc -> process_desc t ep desc)
+
+and process_desc t (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
+  match Unet.Endpoint.find_channel ep desc.chan with
+  | None ->
+      (* channel torn down after the descriptor was posted: discard *)
+      pump_next t
+  | Some chan -> (
+      let data = gather ep desc in
+      let cells = Atm.Aal5.segment ~vci:chan.Unet.Channel.tx_vci data in
+      match cells with
+      | [ cell ] when t.cfg.single_cell_optimization ->
+          Sync.Server.submit t.server ~cost:t.cfg.tx_single_ns (fun () ->
+              inject t desc cell [])
+      | _ ->
+          Sync.Server.submit t.server ~cost:t.cfg.tx_fixed_ns (fun () ->
+              send_cells t desc cells))
+
+and send_cells t desc = function
+  | [] ->
+      desc.Unet.Desc.injected <- true;
+      t.sent <- t.sent + 1;
+      pump_next t
+  | cell :: rest ->
+      Sync.Server.submit t.server ~cost:t.cfg.tx_per_cell_ns (fun () ->
+          inject t desc cell rest)
+
+and inject t desc cell rest =
+  if Atm.Network.send t.net ~host:t.host cell then
+    if rest = [] then begin
+      desc.Unet.Desc.injected <- true;
+      t.sent <- t.sent + 1;
+      pump_next t
+    end
+    else send_cells t desc rest
+  else
+    (* NI output FIFO full: stall one cell time and retry (the i960 polls
+       the FIFO level; cells are never dropped on the way out). *)
+    let retry_delay = Atm.Link.cell_time (Atm.Network.uplink t.net ~host:t.host) in
+    ignore
+      (Sim.schedule t.sim ~delay:retry_delay (fun () -> inject t desc cell rest))
+
+let notify_tx t ep =
+  Queue.add ep t.txq;
+  if not t.tx_active then begin
+    t.tx_active <- true;
+    pump_next t
+  end
+
+let deliver t vci payload =
+  match Unet.Mux.lookup t.mux ~rx_vci:vci with
+  | None -> ignore (Unet.Mux.deliver t.mux ~rx_vci:vci payload)
+  | Some (ep, _) ->
+      let dest_offset, data =
+        if ep.Unet.Endpoint.direct_access then parse_direct_prefix payload
+        else (None, payload)
+      in
+      (match Unet.Mux.deliver t.mux ~rx_vci:vci ?dest_offset data with
+      | Some _ -> t.received <- t.received + 1
+      | None -> ())
+
+let fits_single_cell payload =
+  Bytes.length payload <= Atm.Cell.payload_size - Atm.Aal5.trailer_size
+
+let on_cell t (cell : Atm.Cell.t) =
+  Sync.Server.submit t.server ~cost:t.cfg.rx_cell_ns (fun () ->
+      let r =
+        match Hashtbl.find_opt t.reasm cell.vci with
+        | Some r -> r
+        | None ->
+            let r = Atm.Aal5.Reassembler.create () in
+            Hashtbl.add t.reasm cell.vci r;
+            r
+      in
+      match Atm.Aal5.Reassembler.push r cell with
+      | None -> ()
+      | Some (Error _) -> t.errors <- t.errors + 1
+      | Some (Ok payload) ->
+          let cost =
+            if t.cfg.single_cell_optimization && fits_single_cell payload then
+              t.cfg.rx_single_ns
+            else t.cfg.rx_multi_fixed_ns
+          in
+          Sync.Server.submit t.server ~cost (fun () ->
+              deliver t cell.vci payload))
+
+let create net ~host cfg =
+  let sim = Atm.Network.sim net in
+  let t =
+    {
+      sim;
+      net;
+      host;
+      cfg;
+      server = Sync.Server.create sim;
+      kernel = Sync.Server.create sim;
+      mux = Unet.Mux.create ();
+      txq = Queue.create ();
+      tx_active = false;
+      reasm = Hashtbl.create 16;
+      sent = 0;
+      received = 0;
+      errors = 0;
+    }
+  in
+  Atm.Network.attach_rx net ~host (fun cell -> on_cell t cell);
+  t
+
+let backend t =
+  {
+    Unet.nic_name = t.cfg.name;
+    notify_tx = (fun ep -> notify_tx t ep);
+    mux = t.mux;
+    max_endpoints = t.cfg.max_endpoints;
+    max_seg_size = t.cfg.max_seg_size;
+    doorbell_ns = t.cfg.doorbell_ns;
+    rx_poll_ns = t.cfg.rx_poll_ns;
+    kernel_op_ns = t.cfg.kernel_op_ns;
+    kernel_path = Some t.kernel;
+  }
+
+let config t = t.cfg
+let server t = t.server
+let pdus_sent t = t.sent
+let pdus_received t = t.received
+let reassembly_errors t = t.errors

@@ -1,0 +1,49 @@
+(** The shared engine for i960-style network interfaces: an on-board
+    processor modelled as a serial FIFO server that alternates between
+    draining endpoint send queues (segmenting PDUs into cells, pacing them
+    into the output FIFO with flow control) and handling arriving cells
+    (reassembly, demultiplexing, delivery into receive queues).
+
+    The SBA-200 U-Net firmware ({!Sba200}) and Fore's original firmware
+    ({!Fore_firmware}) are both instances with different cost parameters. *)
+
+type config = {
+  name : string;
+  (* host-side costs (reference-machine ns) *)
+  doorbell_ns : int;  (** compose + post a send descriptor *)
+  rx_poll_ns : int;  (** check/pop the receive queue *)
+  kernel_op_ns : int;  (** per-op surcharge for emulated endpoints *)
+  (* i960-side costs (absolute ns: the i960 clock does not scale with the
+     host CPU) *)
+  tx_single_ns : int;  (** single-cell fast-path send, whole message *)
+  tx_fixed_ns : int;  (** multi-cell send: per-message descriptor work *)
+  tx_per_cell_ns : int;  (** multi-cell send: DMA + FIFO per cell *)
+  rx_cell_ns : int;  (** per arriving cell *)
+  rx_single_ns : int;  (** single-cell fast-path delivery *)
+  rx_multi_fixed_ns : int;  (** multi-cell delivery: buffers + descriptor *)
+  single_cell_optimization : bool;
+      (** §4.2.2: single-cell messages bypass buffer allocation; off in
+          Fore's firmware *)
+  (* resource limits *)
+  max_endpoints : int;
+  max_seg_size : int;
+}
+
+type t
+
+val create : Atm.Network.t -> host:int -> config -> t
+
+val backend : t -> Unet.backend
+(** The {!Unet.backend} this NI exposes; pass it to [Unet.create]. *)
+
+val config : t -> config
+
+(* Statistics *)
+
+val server : t -> Engine.Sync.Server.t
+(** The i960 itself, for utilization measurements. *)
+
+val pdus_sent : t -> int
+val pdus_received : t -> int
+val reassembly_errors : t -> int
+(** PDUs discarded for bad CRC / length — cell loss shows up here. *)

@@ -1,0 +1,28 @@
+(* Calibration anchors (see DESIGN.md §4):
+   - single-cell one-way = doorbell + tx_single + wire(~9.1 µs through the
+     switch) + rx_cell + rx_single + rx_poll ≈ 32.5 µs  → 65 µs RTT
+   - 48-byte (2-cell) one-way ≈ 60 µs → 120 µs RTT, dominated by the
+     buffer-path fixed costs on both sides
+   - per-cell i960 costs below the 3.03 µs wire serialization, so extra
+     cells add ~3 µs each one-way and the fiber saturates once the fixed
+     costs amortize: tx_fixed ≤ n·(3.03 − tx_per_cell) at n ≈ 17 cells
+     (800 bytes). *)
+let default_config =
+  {
+    I960_nic.name = "SBA-200/U-Net";
+    doorbell_ns = 2_000;
+    rx_poll_ns = 1_500;
+    kernel_op_ns = 20_000; (* emulated endpoints pay a real system call *)
+    tx_single_ns = 9_000;
+    tx_fixed_ns = 20_000;
+    tx_per_cell_ns = 1_800;
+    rx_cell_ns = 1_800;
+    rx_single_ns = 9_100;
+    rx_multi_fixed_ns = 20_000;
+    single_cell_optimization = true;
+    max_endpoints = 16; (* bounded by the 256 KB i960 memory (§4.2.4) *)
+    max_seg_size = 1024 * 1024;
+  }
+
+let create net ~host ?(config = default_config) () =
+  I960_nic.create net ~host config

@@ -1,0 +1,11 @@
+(** The SBA-200 running the custom U-Net firmware of §4.2.2: the i960
+    maintains per-endpoint protection state, polls i960-resident send/free
+    queues, DMAs message data in 32-byte bursts, computes the AAL5 CRC in
+    hardware, and special-cases single-cell messages on both paths. The
+    default calibration targets the paper's §4.2.3 numbers: 65 µs single-cell
+    round trip, 120 µs + ~6 µs/cell for multi-cell messages, fiber saturation
+    from ~800-byte packets. *)
+
+val default_config : I960_nic.config
+
+val create : Atm.Network.t -> host:int -> ?config:I960_nic.config -> unit -> I960_nic.t

@@ -1,0 +1,1 @@
+lib/services/group.mli: Uam

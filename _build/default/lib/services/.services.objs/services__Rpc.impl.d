@@ -1,0 +1,1 @@
+lib/services/rpc.ml: Array Bytes Engine Fmt Hashtbl Option Printexc Printf Sim Uam Unet

@@ -1,0 +1,1 @@
+lib/services/rpc.mli: Engine Uam

@@ -1,0 +1,1 @@
+lib/services/wire.ml: Bytes Int32 Int64 List

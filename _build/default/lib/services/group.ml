@@ -1,0 +1,72 @@
+let h_submit = 225 (* member -> sequencer: payload to order *)
+let h_ordered = 226 (* sequencer -> members: args=[seq; src], payload *)
+
+type t = {
+  am : Uam.t;
+  deliver : seq:int -> src:int -> bytes -> unit;
+  mutable next_deliver : int; (* next sequence number to deliver *)
+  early : (int, int * bytes) Hashtbl.t; (* seq -> (src, payload) *)
+  mutable n_delivered : int;
+  (* sequencer state (node 0) *)
+  mutable next_seq : int;
+}
+
+let delivered t = t.n_delivered
+let sequenced t = t.next_seq
+
+let rec deliver_ready t =
+  match Hashtbl.find_opt t.early t.next_deliver with
+  | None -> ()
+  | Some (src, payload) ->
+      Hashtbl.remove t.early t.next_deliver;
+      let seq = t.next_deliver in
+      t.next_deliver <- seq + 1;
+      t.n_delivered <- t.n_delivered + 1;
+      t.deliver ~seq ~src payload;
+      deliver_ready t
+
+let accept t ~seq ~src payload =
+  if seq >= t.next_deliver then begin
+    Hashtbl.replace t.early seq (src, payload);
+    deliver_ready t
+  end
+
+let create am ~deliver =
+  let t =
+    {
+      am;
+      deliver;
+      next_deliver = 0;
+      early = Hashtbl.create 16;
+      n_delivered = 0;
+      next_seq = 0;
+    }
+  in
+  let rank = Uam.rank am and nodes = Uam.nodes am in
+  if rank = 0 then
+    (* the sequencer: order the message and fan it out (including to self) *)
+    Uam.register_handler am h_submit (fun am ~src _tk ~args:_ ~payload ->
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        for dst = 1 to nodes - 1 do
+          Uam.request am ~dst ~handler:h_ordered ~args:[| seq; src |] ~payload
+            ()
+        done;
+        accept t ~seq ~src payload);
+  Uam.register_handler am h_ordered (fun _ ~src:_ _tk ~args ~payload ->
+      accept t ~seq:args.(0) ~src:args.(1) payload);
+  t
+
+let broadcast t payload =
+  if Uam.rank t.am = 0 then begin
+    (* local fast path through the sequencer *)
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    for dst = 1 to Uam.nodes t.am - 1 do
+      Uam.request t.am ~dst ~handler:h_ordered ~args:[| seq; 0 |] ~payload ()
+    done;
+    accept t ~seq ~src:0 payload
+  end
+  else Uam.request t.am ~dst:0 ~handler:h_submit ~payload ()
+
+let serve t ~until = Uam.poll_until t.am (fun () -> until ())

@@ -1,0 +1,29 @@
+(** Totally-ordered group broadcast — the "group communication tools" of
+    §2.1 whose multi-round protocols are latency-limited and become viable
+    once round trips cost tens of microseconds.
+
+    The protocol is a fixed-sequencer: members send their message to the
+    sequencer (member 0), which assigns a global sequence number and
+    re-broadcasts; members deliver strictly in sequence order, buffering
+    anything that arrives early. UAM's reliable channels make every leg
+    exactly-once, so the delivered streams are identical on all members. *)
+
+type t
+
+val create : Uam.t -> deliver:(seq:int -> src:int -> bytes -> unit) -> t
+(** Join the group (one instance per UAM node; node 0 is the sequencer).
+    [deliver] runs in sequence order, the same order on every member. *)
+
+val broadcast : t -> bytes -> unit
+(** Submit a message for total-order delivery (including to ourselves).
+    Returns once the message is on its way to the sequencer; delivery
+    happens via the callback. *)
+
+val delivered : t -> int
+(** Messages delivered so far on this member. *)
+
+val sequenced : t -> int
+(** Messages the sequencer has ordered (meaningful on node 0). *)
+
+val serve : t -> until:(unit -> bool) -> unit
+(** Drive this member's protocol processing until the predicate holds. *)

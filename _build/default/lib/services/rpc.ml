@@ -1,0 +1,92 @@
+open Engine
+
+let h_call = 230
+let h_return = 231
+let h_error = 232
+
+type outcome = Value of bytes | Failed of string
+
+type t = {
+  am : Uam.t;
+  procs : (int, src:int -> bytes -> bytes) Hashtbl.t;
+  pending : (int, outcome option ref) Hashtbl.t; (* xid -> result slot *)
+  mutable next_xid : int;
+  mutable made : int;
+  mutable served : int;
+}
+
+exception Timeout
+exception Remote_error of string
+
+let uam t = t.am
+let calls_made t = t.made
+let calls_served t = t.served
+
+let register t ~proc f =
+  if proc < 0 || proc > 255 then invalid_arg "Rpc.register: bad procedure id";
+  if Hashtbl.mem t.procs proc then
+    Fmt.invalid_arg "Rpc.register: procedure %d exists" proc;
+  Hashtbl.replace t.procs proc f
+
+let unregister t ~proc = Hashtbl.remove t.procs proc
+
+let attach am =
+  let t =
+    {
+      am;
+      procs = Hashtbl.create 16;
+      pending = Hashtbl.create 16;
+      next_xid = 0;
+      made = 0;
+      served = 0;
+    }
+  in
+  (* request: args = [xid; proc], payload = marshalled arguments *)
+  Uam.register_handler am h_call (fun am ~src tk ~args ~payload ->
+      let xid = args.(0) and proc = args.(1) in
+      let tk = Option.get tk in
+      match Hashtbl.find_opt t.procs proc with
+      | None ->
+          Uam.reply am tk ~handler:h_error ~args:[| xid |]
+            ~payload:
+              (Bytes.of_string (Printf.sprintf "no such procedure %d" proc))
+            ()
+      | Some f -> (
+          match f ~src payload with
+          | result ->
+              t.served <- t.served + 1;
+              Uam.reply am tk ~handler:h_return ~args:[| xid |]
+                ~payload:result ()
+          | exception e ->
+              Uam.reply am tk ~handler:h_error ~args:[| xid |]
+                ~payload:(Bytes.of_string (Printexc.to_string e))
+                ()));
+  let complete outcome ~args ~payload =
+    match Hashtbl.find_opt t.pending args.(0) with
+    | Some slot -> slot := Some (outcome payload)
+    | None -> () (* reply past its timeout: dropped *)
+  in
+  Uam.register_handler am h_return (fun _ ~src:_ _ ~args ~payload ->
+      complete (fun p -> Value p) ~args ~payload);
+  Uam.register_handler am h_error (fun _ ~src:_ _ ~args ~payload ->
+      complete (fun p -> Failed (Bytes.to_string p)) ~args ~payload);
+  t
+
+let call ?(timeout = Sim.sec 1) t ~dst ~proc arg =
+  let sim = Unet.sim (Uam.unet t.am) in
+  let xid = t.next_xid in
+  t.next_xid <- (t.next_xid + 1) land 0xFFFFF;
+  let slot = ref None in
+  Hashtbl.replace t.pending xid slot;
+  t.made <- t.made + 1;
+  Uam.request t.am ~dst ~handler:h_call ~args:[| xid; proc |] ~payload:arg ();
+  let deadline = Sim.now sim + timeout in
+  (* serve our own incoming traffic while waiting (a server can call out) *)
+  Uam.poll_until t.am (fun () -> !slot <> None || Sim.now sim >= deadline);
+  Hashtbl.remove t.pending xid;
+  match !slot with
+  | Some (Value v) -> v
+  | Some (Failed msg) -> raise (Remote_error msg)
+  | None -> raise Timeout
+
+let serve_forever t = Uam.poll_until t.am (fun () -> false)

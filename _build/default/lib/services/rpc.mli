@@ -1,0 +1,39 @@
+(** The RPC style of interaction §2.1 argues benefits most from low-latency
+    communication: procedure registration by number, blocking calls with
+    transaction-id matching and timeouts, multiple concurrent outstanding
+    calls per node. Exactly-once execution rides on UAM's reliable windowed
+    delivery; a call only fails if the peer stays silent past the timeout.
+
+    Argument and result payloads are bounded by the UAM transfer-buffer
+    size (4160 bytes); larger data belongs in {!Uam.Xfer} regions. *)
+
+type t
+
+val attach : Uam.t -> t
+(** Claim the RPC handler indices (230-233) on this UAM instance. *)
+
+val uam : t -> Uam.t
+
+val register : t -> proc:int -> (src:int -> bytes -> bytes) -> unit
+(** Install a procedure (0-255 per node). The handler runs at poll time on
+    the serving node; its result travels back as the reply. Raises on a
+    duplicate registration. *)
+
+val unregister : t -> proc:int -> unit
+
+exception Timeout
+exception Remote_error of string
+(** The remote procedure raised; the exception text crosses the wire. *)
+
+val call :
+  ?timeout:Engine.Sim.time -> t -> dst:int -> proc:int -> bytes -> bytes
+(** Blocking call: send the request, serve incoming traffic while waiting,
+    return the result. [Timeout] (default 1 s simulated) aborts the wait;
+    [Remote_error] reports a failure on the serving side (unknown procedure
+    or an exception in the handler). *)
+
+val serve_forever : t -> unit
+(** Park a process servicing requests (a pure server node). *)
+
+val calls_made : t -> int
+val calls_served : t -> int

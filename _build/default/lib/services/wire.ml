@@ -1,0 +1,117 @@
+exception Truncated
+
+module Writer = struct
+  type t = { mutable buf : bytes; mutable len : int }
+
+  let create ?(initial = 64) () = { buf = Bytes.create (max 8 initial); len = 0 }
+
+  let ensure t n =
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while t.len + n > !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end
+
+  let contents t = Bytes.sub t.buf 0 t.len
+  let length t = t.len
+
+  let u8 t v =
+    if v < 0 || v > 0xff then invalid_arg "Wire.Writer.u8: out of range";
+    ensure t 1;
+    Bytes.set_uint8 t.buf t.len v;
+    t.len <- t.len + 1
+
+  let u16 t v =
+    if v < 0 || v > 0xffff then invalid_arg "Wire.Writer.u16: out of range";
+    ensure t 2;
+    Bytes.set_uint16_le t.buf t.len v;
+    t.len <- t.len + 2
+
+  let u32 t v =
+    if v < 0 || v > 0xffffffff then invalid_arg "Wire.Writer.u32: out of range";
+    ensure t 4;
+    Bytes.set_int32_le t.buf t.len (Int32.of_int v);
+    t.len <- t.len + 4
+
+  let i64 t v =
+    ensure t 8;
+    Bytes.set_int64_le t.buf t.len (Int64.of_int v);
+    t.len <- t.len + 8
+
+  let bytes t b =
+    u32 t (Bytes.length b);
+    ensure t (Bytes.length b);
+    Bytes.blit b 0 t.buf t.len (Bytes.length b);
+    t.len <- t.len + Bytes.length b
+
+  let string t s = bytes t (Bytes.unsafe_of_string s)
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let list t f l =
+    u32 t (List.length l);
+    List.iter (f t) l
+
+  let option t f = function
+    | None -> u8 t 0
+    | Some v ->
+        u8 t 1;
+        f t v
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  let of_bytes data = { data; pos = 0 }
+  let remaining t = Bytes.length t.data - t.pos
+
+  let need t n = if remaining t < n then raise Truncated
+
+  let u8 t =
+    need t 1;
+    let v = Bytes.get_uint8 t.data t.pos in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    need t 2;
+    let v = Bytes.get_uint16_le t.data t.pos in
+    t.pos <- t.pos + 2;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = Int32.to_int (Bytes.get_int32_le t.data t.pos) land 0xffffffff in
+    t.pos <- t.pos + 4;
+    v
+
+  let i64 t =
+    need t 8;
+    let v = Int64.to_int (Bytes.get_int64_le t.data t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let bytes t =
+    let n = u32 t in
+    need t n;
+    let b = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    b
+
+  let string t = Bytes.unsafe_to_string (bytes t)
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise Truncated
+
+  let list t f =
+    let n = u32 t in
+    List.init n (fun _ -> f t)
+
+  let option t f = match u8 t with 0 -> None | _ -> Some (f t)
+end

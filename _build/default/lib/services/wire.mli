@@ -1,0 +1,43 @@
+(** A small binary codec for the service layers: length-checked readers and
+    growable writers over [bytes]. Little-endian; strings and blobs are
+    length-prefixed (u32). *)
+
+exception Truncated
+(** Raised by readers running past the end of the message. *)
+
+module Writer : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val contents : t -> bytes
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+
+  val i64 : t -> int -> unit
+  (** Full OCaml int range. *)
+
+  val string : t -> string -> unit
+  val bytes : t -> bytes -> unit
+  val bool : t -> bool -> unit
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : bytes -> t
+
+  val remaining : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int
+  val string : t -> string
+  val bytes : t -> bytes
+  val bool : t -> bool
+  val list : t -> (t -> 'a) -> 'a list
+  val option : t -> (t -> 'a) -> 'a option
+end

@@ -1,0 +1,1 @@
+lib/splitc/bench_cc.ml: Array Bench_common Engine Fun Hashtbl List Runtime

@@ -1,0 +1,1 @@
+lib/splitc/bench_cc.mli: Bench_common Transport

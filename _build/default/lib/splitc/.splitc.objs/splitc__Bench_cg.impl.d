@@ -1,0 +1,1 @@
+lib/splitc/bench_cg.ml: Array Bench_common Float Printf Runtime Sys

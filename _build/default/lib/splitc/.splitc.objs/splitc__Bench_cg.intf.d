@@ -1,0 +1,1 @@
+lib/splitc/bench_cg.mli: Bench_common Transport

@@ -1,0 +1,1 @@
+lib/splitc/bench_common.ml: Array Engine Float Format Fun Runtime

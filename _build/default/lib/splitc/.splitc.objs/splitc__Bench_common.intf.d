@@ -1,0 +1,1 @@
+lib/splitc/bench_common.mli: Format Runtime

@@ -1,0 +1,1 @@
+lib/splitc/bench_mm.ml: Array Bench_common Float List Runtime

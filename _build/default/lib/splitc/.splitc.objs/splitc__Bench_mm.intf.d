@@ -1,0 +1,1 @@
+lib/splitc/bench_mm.mli: Bench_common Transport

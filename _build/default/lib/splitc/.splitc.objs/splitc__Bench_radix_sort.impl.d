@@ -1,0 +1,1 @@
+lib/splitc/bench_radix_sort.ml: Array Bench_common Bench_sample_sort List Runtime

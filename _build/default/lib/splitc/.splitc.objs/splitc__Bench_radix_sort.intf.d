@@ -1,0 +1,1 @@
+lib/splitc/bench_radix_sort.mli: Bench_common Transport

@@ -1,0 +1,1 @@
+lib/splitc/bench_sample_sort.ml: Array Bench_common Engine List Runtime

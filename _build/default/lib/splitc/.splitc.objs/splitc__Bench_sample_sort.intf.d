@@ -1,0 +1,1 @@
+lib/splitc/bench_sample_sort.mli: Bench_common Runtime Transport

@@ -1,0 +1,1 @@
+lib/splitc/machine_model.ml: Array Bytes Engine Float Fmt Proc Queue Sim Sync Transport

@@ -1,0 +1,1 @@
+lib/splitc/machine_model.mli: Engine Transport

@@ -1,0 +1,1 @@
+lib/splitc/runtime.ml: Array Bytes Engine Float Fmt Hashtbl Int64 Option Printf Proc Sim Transport

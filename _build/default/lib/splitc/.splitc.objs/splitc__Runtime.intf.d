@@ -1,0 +1,1 @@
+lib/splitc/runtime.mli: Engine Transport

@@ -1,0 +1,1 @@
+lib/splitc/transport.ml: Engine Host Option Uam Unet

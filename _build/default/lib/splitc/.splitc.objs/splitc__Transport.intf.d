@@ -1,0 +1,1 @@
+lib/splitc/transport.mli: Engine Uam

@@ -1,0 +1,6 @@
+(** Connected components (§6): label propagation over a distributed random
+    graph — local edges relax to a fixpoint each round, cross edges push
+    (vertex, label) minima as two-value messages, rounds end when a global
+    reduction reports no change. Verified against a sequential union-find. *)
+
+val run : ?n:int -> ?degree:int -> Transport.t array -> Bench_common.result

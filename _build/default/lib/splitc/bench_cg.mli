@@ -1,0 +1,10 @@
+(** Conjugate gradient (§6) on the k x k 5-point Poisson problem,
+    row-block distributed: each matrix-vector product exchanges one boundary
+    row with each neighbour (bulk stores), and every iteration runs two
+    global dot products. Verified by recomputing the true residual
+    ||b - Ax||^2 against the recurrence's value.
+
+    The 2-norm residual of CG is not monotone on ill-conditioned grids:
+    choose [iters] on the order of [k] for convergence at larger sizes. *)
+
+val run : ?k:int -> ?iters:int -> Transport.t array -> Bench_common.result

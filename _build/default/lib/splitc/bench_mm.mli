@@ -1,0 +1,12 @@
+(** The blocked matrix multiply of §6: g x g blocks of b x b doubles dealt
+    round-robin over the processors, with the next iteration's blocks
+    prefetched (split-phase gets) while the current ones multiply. Matrix
+    entries are closed-form functions of their coordinates, so results are
+    verified in place. *)
+
+type params = { g : int  (** blocks per side *); b : int  (** block side *) }
+
+val default : params
+(** The paper's 4 x 4 blocks (with a reduced 64-double side). *)
+
+val run : ?params:params -> Transport.t array -> Bench_common.result

@@ -1,0 +1,14 @@
+(** The radix sorts of §6: [passes] rounds over [digit_bits]-bit digits with
+    a rank-0 scan between histogram and permutation. [Small] sends one
+    (position, key) pair per message; [Bulk] groups pairs by destination
+    processor into bulk stores. *)
+
+type variant = Small | Bulk
+
+val run :
+  ?n:int ->
+  ?digit_bits:int ->
+  ?passes:int ->
+  variant:variant ->
+  Transport.t array ->
+  Bench_common.result

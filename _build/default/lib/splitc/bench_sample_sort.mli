@@ -1,0 +1,14 @@
+(** The sample sorts of §6: sample, pick p-1 splitters, permute every key to
+    its bucket, sort locally. [Small] packs two keys per Active Message
+    during the permutation (the paper's small-message optimization); [Bulk]
+    presorts locally and sends one bulk store per destination. Output is
+    verified: locally sorted, boundaries ordered across processors, key
+    population preserved. *)
+
+type variant = Small | Bulk
+
+val run : ?n:int -> variant:variant -> Transport.t array -> Bench_common.result
+
+val verify : Runtime.ctx -> int array -> int * int -> bool
+(** [verify ctx keys (sum_in, n_in)] checks a distributed sorted result
+    (shared with the radix sorts). *)

@@ -1,0 +1,1 @@
+lib/uam/uam.ml: Am Xfer

@@ -1,0 +1,1 @@
+lib/uam/am.ml: Array Bytes Engine Fmt Host Int32 List Logs Queue Sim Unet

@@ -1,0 +1,1 @@
+lib/uam/am.mli: Engine Unet

@@ -1,0 +1,1 @@
+lib/uam/xfer.ml: Am Array Bytes Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/uam/xfer.mli: Am

@@ -1,0 +1,457 @@
+open Engine
+
+let log_src = Logs.Src.create "uam" ~doc:"U-Net Active Messages"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let max_args = 4
+(* handler indices 240+ are reserved for Xfer *)
+
+(* Wire format of a UAM message (carried as one U-Net message):
+   byte 0: low 2 bits message type (0 REQ / 1 REP / 2 ACK), next 3 bits nargs
+   byte 1: handler index
+   bytes 2-3: sequence number (u16 LE; ACKs carry 0)
+   bytes 4-5: cumulative acknowledgment = next sequence expected (u16 LE)
+   then nargs * 4 bytes of arguments, then the payload.
+   A 4-arg-free request with up to 34 bytes of payload fits a single cell,
+   which is what makes the paper's 71 µs single-cell UAM round trip. *)
+let header_size = 6
+
+type msg_type = Req | Rep | Ack
+
+let type_code = function Req -> 0 | Rep -> 1 | Ack -> 2
+
+let code_type = function
+  | 0 -> Req
+  | 1 -> Rep
+  | 2 -> Ack
+  | n -> Fmt.failwith "Uam: bad message type %d" n
+
+(* 16-bit serial arithmetic; windows are tiny compared to the 32k horizon. *)
+let seq_lt a b = (b - a) land 0xffff <> 0 && (b - a) land 0xffff < 0x8000
+
+type config = {
+  window : int;
+  rto : Sim.time;
+  op_ns : int;
+  chunk_data : int;
+}
+
+let default_config =
+  { window = 8; rto = Sim.ms 20; op_ns = 800; chunk_data = 4_160 }
+
+type unacked = {
+  u_seq : int;
+  u_type : msg_type;
+  u_bytes : bytes; (* full serialized message, for retransmission *)
+  u_buffer : (int * int) option; (* tx buffer held until acknowledged *)
+}
+
+type peer = {
+  p_rank : int;
+  p_chan : Unet.Channel.id;
+  mutable p_next_seq : int;
+  p_unacked : unacked Queue.t;
+  mutable p_unacked_reqs : int;
+  mutable p_expected : int; (* next seq expected from this peer *)
+  mutable p_last_progress : Sim.time; (* for the retransmission timer *)
+  mutable p_need_ack : bool; (* owe the peer an explicit ACK *)
+}
+
+type t = {
+  cfg : config;
+  u : Unet.t;
+  ep : Unet.Endpoint.t;
+  alloc : Unet.Segment.Allocator.t;
+  rank : int;
+  nodes : int;
+  peers : peer option array;
+  handlers : handler option array;
+  mutable reqs_sent : int;
+  mutable reps_sent : int;
+  mutable retx : int;
+  mutable dups : int;
+}
+
+and token = { tk_uam : t; tk_src : int; mutable tk_replied : bool }
+
+and handler =
+  t -> src:int -> token option -> args:int array -> payload:bytes -> unit
+
+let buffer_block cfg = cfg.chunk_data + header_size + (max_args * 4) + 16
+
+let create ?(config = default_config) u ~rank ~nodes =
+  if rank < 0 || rank >= nodes then invalid_arg "Uam.create: bad rank";
+  let npeers = max 1 (nodes - 1) in
+  let block = buffer_block config in
+  (* 4w buffers per peer (§5.1.1): w request-tx + w reply-tx + 2w receive *)
+  let nbuffers = 4 * config.window * npeers in
+  let seg_size = (nbuffers + 2) * block in
+  let slots = max 64 (4 * config.window * npeers) in
+  let ep =
+    match
+      Unet.create_endpoint u ~tx_slots:slots ~rx_slots:slots ~free_slots:slots
+        ~seg_size ()
+    with
+    | Ok ep -> ep
+    | Error e -> Fmt.invalid_arg "Uam.create: %a" Unet.pp_error e
+  in
+  let alloc = Unet.Segment.Allocator.create ep.segment ~block in
+  (* post the receive half of the buffers to the free queue *)
+  for _ = 1 to 2 * config.window * npeers do
+    match Unet.Segment.Allocator.alloc alloc with
+    | Some (off, len) -> (
+        match Unet.provide_free_buffer u ep ~off ~len with
+        | Ok () -> ()
+        | Error e -> Fmt.invalid_arg "Uam.create: %a" Unet.pp_error e)
+    | None -> assert false
+  done;
+  {
+    cfg = config;
+    u;
+    ep;
+    alloc;
+    rank;
+    nodes;
+    peers = Array.make nodes None;
+    handlers = Array.make 256 None;
+    reqs_sent = 0;
+    reps_sent = 0;
+    retx = 0;
+    dups = 0;
+  }
+
+let rank t = t.rank
+let nodes t = t.nodes
+let config t = t.cfg
+let unet t = t.u
+let endpoint t = t.ep
+let max_payload t = t.cfg.chunk_data
+let requests_sent t = t.reqs_sent
+let replies_sent t = t.reps_sent
+let retransmissions t = t.retx
+let duplicates_dropped t = t.dups
+
+let mk_peer rank chan now =
+  {
+    p_rank = rank;
+    p_chan = chan;
+    p_next_seq = 0;
+    p_unacked = Queue.create ();
+    p_unacked_reqs = 0;
+    p_expected = 0;
+    p_last_progress = now;
+    p_need_ack = false;
+  }
+
+let connect a b =
+  if not (a.nodes = b.nodes) then invalid_arg "Uam.connect: cluster size mismatch";
+  if a.rank = b.rank then invalid_arg "Uam.connect: same rank";
+  if a.peers.(b.rank) <> None then invalid_arg "Uam.connect: already connected";
+  let ch_a, ch_b = Unet.connect_pair (a.u, a.ep) (b.u, b.ep) in
+  a.peers.(b.rank) <- Some (mk_peer b.rank ch_a (Sim.now (Unet.sim a.u)));
+  b.peers.(a.rank) <- Some (mk_peer a.rank ch_b (Sim.now (Unet.sim b.u)))
+
+let connect_all arr =
+  Array.iteri
+    (fun i a -> Array.iteri (fun j b -> if i < j then connect a b) arr)
+    arr
+
+let register_handler t idx h =
+  if idx < 0 || idx > 255 then invalid_arg "Uam.register_handler: bad index";
+  t.handlers.(idx) <- Some h
+
+let peer t dst =
+  match t.peers.(dst) with
+  | Some p -> p
+  | None -> Fmt.invalid_arg "Uam: no channel to node %d" dst
+
+let encode ~ty ~handler ~seq ~ack ~args ~payload =
+  let nargs = Array.length args in
+  if nargs > max_args then invalid_arg "Uam: too many arguments";
+  let len = header_size + (4 * nargs) + Bytes.length payload in
+  let b = Bytes.create len in
+  Bytes.set_uint8 b 0 (type_code ty lor (nargs lsl 2));
+  Bytes.set_uint8 b 1 handler;
+  Bytes.set_uint16_le b 2 seq;
+  Bytes.set_uint16_le b 4 ack;
+  Array.iteri (fun i a -> Bytes.set_int32_le b (header_size + (4 * i)) (Int32.of_int a)) args;
+  Bytes.blit payload 0 b (header_size + (4 * nargs)) (Bytes.length payload);
+  b
+
+type decoded = {
+  d_type : msg_type;
+  d_handler : int;
+  d_seq : int;
+  d_ack : int;
+  d_args : int array;
+  d_payload : bytes;
+}
+
+let decode b =
+  let b0 = Bytes.get_uint8 b 0 in
+  let ty = code_type (b0 land 3) in
+  let nargs = (b0 lsr 2) land 7 in
+  let args =
+    Array.init nargs (fun i ->
+        Int32.to_int (Bytes.get_int32_le b (header_size + (4 * i))))
+  in
+  let poff = header_size + (4 * nargs) in
+  {
+    d_type = ty;
+    d_handler = Bytes.get_uint8 b 1;
+    d_seq = Bytes.get_uint16_le b 2;
+    d_ack = Bytes.get_uint16_le b 4;
+    d_args = args;
+    d_payload = Bytes.sub b poff (Bytes.length b - poff);
+  }
+
+(* Push serialized bytes out through U-Net: small messages ride inline in
+   the descriptor; larger ones are staged in a transmit buffer which is held
+   until acknowledgment (it doubles as the retransmission copy). *)
+let unet_transmit t (p : peer) (b : bytes) =
+  if Bytes.length b <= Unet.Desc.inline_max then begin
+    (match Unet.send t.u t.ep (Unet.Desc.tx ~chan:p.p_chan (Unet.Desc.Inline b)) with
+    | Ok () -> ()
+    | Error e -> Fmt.failwith "Uam: send failed: %a" Unet.pp_error e);
+    None
+  end
+  else begin
+    match Unet.Segment.Allocator.alloc t.alloc with
+    | None -> Fmt.failwith "Uam: transmit buffer pool exhausted"
+    | Some (off, blen) ->
+        assert (Bytes.length b <= blen);
+        Unet.Segment.write t.ep.segment ~off ~src:b ~src_pos:0
+          ~len:(Bytes.length b);
+        (match
+           Unet.send t.u t.ep
+             (Unet.Desc.tx ~chan:p.p_chan
+                (Unet.Desc.Buffers [ (off, Bytes.length b) ]))
+         with
+        | Ok () -> ()
+        | Error e -> Fmt.failwith "Uam: send failed: %a" Unet.pp_error e);
+        Some (off, blen)
+end
+
+let retransmit_unacked t (p : peer) =
+  if not (Queue.is_empty p.p_unacked) then begin
+    Log.debug (fun m ->
+        m "node %d: retransmitting %d unacked messages to node %d" t.rank
+          (Queue.length p.p_unacked) p.p_rank);
+    Queue.iter
+      (fun u ->
+        t.retx <- t.retx + 1;
+        Host.Cpu.charge (Unet.cpu t.u) t.cfg.op_ns;
+        (* re-send the stored copy; buffered messages reuse their buffer *)
+        match u.u_buffer with
+        | Some (off, _) ->
+            ignore
+              (Unet.send t.u t.ep
+                 (Unet.Desc.tx ~chan:p.p_chan
+                    (Unet.Desc.Buffers [ (off, Bytes.length u.u_bytes) ])))
+        | None ->
+            ignore
+              (Unet.send t.u t.ep
+                 (Unet.Desc.tx ~chan:p.p_chan (Unet.Desc.Inline u.u_bytes))))
+      p.p_unacked;
+    p.p_last_progress <- Sim.now (Unet.sim t.u)
+  end
+
+let apply_ack t (p : peer) ack =
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt p.p_unacked with
+    | Some u when seq_lt u.u_seq ack ->
+        ignore (Queue.pop p.p_unacked);
+        (match u.u_buffer with
+        | Some buf -> Unet.Segment.Allocator.free t.alloc buf
+        | None -> ());
+        if u.u_type = Req then p.p_unacked_reqs <- p.p_unacked_reqs - 1;
+        progressed := true
+    | _ -> continue := false
+  done;
+  if !progressed then p.p_last_progress <- Sim.now (Unet.sim t.u)
+
+let send_explicit_ack t (p : peer) =
+  Host.Cpu.charge (Unet.cpu t.u) t.cfg.op_ns;
+  let b =
+    encode ~ty:Ack ~handler:0 ~seq:0 ~ack:p.p_expected ~args:[||]
+      ~payload:Bytes.empty
+  in
+  ignore (unet_transmit t p b);
+  p.p_need_ack <- false
+
+let send_seq t (p : peer) ~ty ~handler ~args ~payload =
+  Host.Cpu.charge (Unet.cpu t.u) t.cfg.op_ns;
+  if Bytes.length payload > 0 then
+    (* the copy from the source data structure into the transmit buffer *)
+    Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Bytes.length payload);
+  let seq = p.p_next_seq in
+  p.p_next_seq <- (p.p_next_seq + 1) land 0xffff;
+  let b = encode ~ty ~handler ~seq ~ack:p.p_expected ~args ~payload in
+  (* sending also acknowledges everything received so far *)
+  p.p_need_ack <- false;
+  if Queue.is_empty p.p_unacked then
+    p.p_last_progress <- Sim.now (Unet.sim t.u);
+  let buffer = unet_transmit t p b in
+  Queue.add { u_seq = seq; u_type = ty; u_bytes = b; u_buffer = buffer }
+    p.p_unacked;
+  if ty = Req then begin
+    p.p_unacked_reqs <- p.p_unacked_reqs + 1;
+    t.reqs_sent <- t.reqs_sent + 1
+  end
+  else t.reps_sent <- t.reps_sent + 1
+
+let dispatch t ~src d =
+  Host.Cpu.charge (Unet.cpu t.u) t.cfg.op_ns;
+  if Bytes.length d.d_payload > 0 then
+    (* the copy from the receive buffer into the destination structure *)
+    Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Bytes.length d.d_payload);
+  match t.handlers.(d.d_handler) with
+  | None -> Fmt.failwith "Uam: no handler %d registered" d.d_handler
+  | Some h -> (
+      match d.d_type with
+      | Req ->
+          let tk = { tk_uam = t; tk_src = src; tk_replied = false } in
+          h t ~src (Some tk) ~args:d.d_args ~payload:d.d_payload
+      | Rep -> h t ~src None ~args:d.d_args ~payload:d.d_payload
+      | Ack -> ())
+
+(* Identify the peer a received U-Net message came from via its channel. *)
+let peer_of_chan t chan =
+  let found = ref None in
+  Array.iter
+    (function
+      | Some p when p.p_chan = chan -> found := Some p
+      | _ -> ())
+    t.peers;
+  match !found with
+  | Some p -> p
+  | None -> Fmt.failwith "Uam: message on unknown channel %d" chan
+
+let read_message t (d : Unet.Desc.rx) =
+  match d.rx_payload with
+  | Unet.Desc.Inline b -> b
+  | Unet.Desc.Buffers bufs ->
+      let total = List.fold_left (fun acc (_, len) -> acc + len) 0 bufs in
+      let out = Bytes.create total in
+      let pos = ref 0 in
+      List.iter
+        (fun (off, len) ->
+          Unet.Segment.blit_out t.ep.segment ~off ~dst:out ~dst_pos:!pos ~len;
+          pos := !pos + len;
+          (* hand the buffer straight back to the NI's free queue *)
+          match
+            Unet.provide_free_buffer t.u t.ep ~off
+              ~len:(Unet.Segment.Allocator.block_size t.alloc)
+          with
+          | Ok () -> ()
+          | Error e -> Fmt.failwith "Uam: free-buffer return: %a" Unet.pp_error e)
+        bufs;
+      out
+
+let process_one t (rx : Unet.Desc.rx) =
+  let p = peer_of_chan t rx.src_chan in
+  let d = decode (read_message t rx) in
+  apply_ack t p d.d_ack;
+  match d.d_type with
+  | Ack -> ()
+  | Req | Rep ->
+      if d.d_seq = p.p_expected then begin
+        p.p_expected <- (p.p_expected + 1) land 0xffff;
+        (* every sequenced message needs acknowledging: flag before the
+           dispatch so anything the handler sends back to this peer (e.g.
+           the reply) clears the flag by carrying the ack, and only
+           otherwise does the trailing explicit ACK go out *)
+        p.p_need_ack <- true;
+        dispatch t ~src:p.p_rank d
+      end
+      else if seq_lt d.d_seq p.p_expected then begin
+        (* duplicate after a retransmission: drop but re-acknowledge *)
+        t.dups <- t.dups + 1;
+        p.p_need_ack <- true
+      end
+      else
+        (* gap: go-back-N discards out-of-order arrivals; the sender's
+           timeout recovers *)
+        t.dups <- t.dups + 1
+
+let check_timers t =
+  let now = Sim.now (Unet.sim t.u) in
+  Array.iter
+    (function
+      | Some p
+        when (not (Queue.is_empty p.p_unacked))
+             && now - p.p_last_progress > t.cfg.rto ->
+          retransmit_unacked t p
+      | _ -> ())
+    t.peers
+
+let flush_acks t =
+  Array.iter
+    (function Some p when p.p_need_ack -> send_explicit_ack t p | _ -> ())
+    t.peers
+
+let drain t =
+  let rec loop () =
+    match Unet.poll t.u t.ep with
+    | Some rx ->
+        process_one t rx;
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+let poll t =
+  drain t;
+  check_timers t;
+  flush_acks t
+
+(* One blocking progress step: wait for an arrival (or half an RTO, so the
+   retransmission timer keeps running), then poll. *)
+let poll_blocking_step t =
+  match Unet.recv_timeout t.u t.ep ~timeout:(max 1 (t.cfg.rto / 2)) with
+  | Some rx ->
+      process_one t rx;
+      drain t
+  | None -> poll t
+
+(* Pending explicit acks are flushed when we are about to *wait*, not on the
+   fast path out of a satisfied poll: an ack owed after a reply usually
+   piggybacks on the caller's next request instead. *)
+let poll_until t pred =
+  drain t;
+  while not (pred ()) do
+    check_timers t;
+    flush_acks t;
+    poll_blocking_step t
+  done
+
+let request t ~dst ~handler ?(args = [||]) ?(payload = Bytes.empty) () =
+  if handler < 0 || handler > 255 then invalid_arg "Uam.request: bad handler";
+  if Bytes.length payload > t.cfg.chunk_data then
+    invalid_arg "Uam.request: payload exceeds the transfer-buffer size";
+  let p = peer t dst in
+  (* window check: poll for acknowledgments while w requests are in flight *)
+  poll_until t (fun () -> p.p_unacked_reqs < t.cfg.window);
+  send_seq t p ~ty:Req ~handler ~args ~payload
+
+let reply t tk ~handler ?(args = [||]) ?(payload = Bytes.empty) () =
+  if tk.tk_replied then invalid_arg "Uam.reply: token already replied";
+  if not (tk.tk_uam == t) then invalid_arg "Uam.reply: token from another instance";
+  if Bytes.length payload > t.cfg.chunk_data then
+    invalid_arg "Uam.reply: payload exceeds the transfer-buffer size";
+  tk.tk_replied <- true;
+  let p = peer t tk.tk_src in
+  send_seq t p ~ty:Rep ~handler ~args ~payload
+
+let barrier_ready t ~dst =
+  let p = peer t dst in
+  Queue.is_empty p.p_unacked
+
+let flush t =
+  poll_until t (fun () ->
+      Array.for_all
+        (function Some p -> Queue.is_empty p.p_unacked | None -> true)
+        t.peers)

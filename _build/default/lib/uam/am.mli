@@ -1,0 +1,84 @@
+(** U-Net Active Messages (§5): a user-level library over raw U-Net that
+    implements the Generic Active Messages 1.1 interface — request/reply
+    messages carrying a handler index, up to four words of arguments and an
+    optional payload — with reliable delivery built from a fixed-size
+    sliding window and go-back-N retransmission (§5.1.1).
+
+    Requests and matching replies: a request handler may send one reply; a
+    reply handler must not reply (live-lock prevention). Reception is by
+    explicit polling (§5.1.2); all blocking operations poll internally. *)
+
+type t
+
+type token
+(** Identifies a received request so the handler can reply to it. *)
+
+type handler =
+  t -> src:int -> token option -> args:int array -> payload:bytes -> unit
+(** [token] is [Some] when dispatching a request, [None] for a reply. *)
+
+type config = {
+  window : int;  (** w: max outstanding unacknowledged requests per peer *)
+  rto : Engine.Sim.time;  (** retransmission timeout *)
+  op_ns : int;  (** UAM library cost per send / per dispatch (≈1.5 µs) *)
+  chunk_data : int;  (** transfer-buffer data size: 4160 bytes (§5.2) *)
+}
+
+val default_config : config
+
+val max_args : int (* 4 *)
+
+val max_payload : t -> int
+(** Largest payload of a single request/reply = [chunk_data]. *)
+
+val create :
+  ?config:config -> Unet.t -> rank:int -> nodes:int -> t
+(** Build a UAM instance on this host's U-Net, as cluster node [rank] of
+    [nodes]. Allocates one endpoint sized for 4w buffers per peer. *)
+
+val rank : t -> int
+val nodes : t -> int
+val config : t -> config
+val unet : t -> Unet.t
+val endpoint : t -> Unet.Endpoint.t
+
+val connect : t -> t -> unit
+(** Register the communication channel between two instances (both sides).
+    Must be called once per pair before traffic. *)
+
+val connect_all : t array -> unit
+(** Fully connect a cluster. *)
+
+val register_handler : t -> int -> handler -> unit
+(** Handler indices 0-239 are for applications; 240+ are reserved for the
+    bulk-transfer layer. *)
+
+val request :
+  t -> dst:int -> handler:int -> ?args:int array -> ?payload:bytes -> unit -> unit
+(** Send a request. Blocks (polling, with retransmission on timeout) while
+    the window to [dst] is full. *)
+
+val reply :
+  t -> token -> handler:int -> ?args:int array -> ?payload:bytes -> unit -> unit
+(** Reply to a request. No window check (§5.1.2); at most one reply per
+    token. Raises [Invalid_argument] on a second reply. *)
+
+val poll : t -> unit
+(** Drain the receive queue, dispatching handlers for every pending message,
+    sending explicit acknowledgments where needed, and retransmitting
+    timed-out messages. *)
+
+val poll_until : t -> (unit -> bool) -> unit
+(** Poll (blocking between arrivals) until the predicate holds. *)
+
+val barrier_ready : t -> dst:int -> bool
+(** True when no messages to [dst] are awaiting acknowledgment. *)
+
+val flush : t -> unit
+(** Poll until every message to every peer has been acknowledged. *)
+
+(* statistics *)
+val requests_sent : t -> int
+val replies_sent : t -> int
+val retransmissions : t -> int
+val duplicates_dropped : t -> int

@@ -1,0 +1,2 @@
+include Am
+module Xfer = Xfer

@@ -1,0 +1,8 @@
+(** U-Net Active Messages (§5): the GAM 1.1-style request/reply layer (see
+    {!Am}) plus bulk block transfers (see {!Xfer}). *)
+
+include module type of struct
+  include Am
+end
+
+module Xfer = Xfer

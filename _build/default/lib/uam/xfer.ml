@@ -1,0 +1,117 @@
+let h_store = 240
+let h_get_req = 241
+let h_get_rep = 242
+
+type pending_get = { g_dest : bytes; mutable g_remaining : int }
+
+type t = {
+  am : Am.t;
+  regions : (int, bytes) Hashtbl.t;
+  gets : (int, pending_get) Hashtbl.t;
+  mutable next_get_id : int;
+}
+
+let uam t = t.am
+
+let region t ~id =
+  match Hashtbl.find_opt t.regions id with
+  | Some r -> r
+  | None -> Fmt.invalid_arg "Xfer: unknown region %d" id
+
+let register_region t ~id data =
+  if Hashtbl.mem t.regions id then
+    Fmt.invalid_arg "Xfer.register_region: region %d exists" id;
+  Hashtbl.add t.regions id data
+
+(* arg packing: region and chunk length share a word (region < 64k,
+   len <= chunk_data < 64k). *)
+let pack_region_len ~region ~len = (region lsl 16) lor len
+let unpack_region_len v = (v lsr 16, v land 0xffff)
+
+let region_exn t id =
+  match Hashtbl.find_opt t.regions id with
+  | Some r -> r
+  | None -> Fmt.failwith "Xfer: unknown region %d" id
+
+let attach am =
+  let t = { am; regions = Hashtbl.create 8; gets = Hashtbl.create 8; next_get_id = 0 } in
+  Am.register_handler am h_store
+    (fun _am ~src:_ _tk ~args ~payload ->
+      let region, _len = unpack_region_len args.(0) in
+      let offset = args.(1) in
+      let r = region_exn t region in
+      if offset < 0 || offset + Bytes.length payload > Bytes.length r then
+        Fmt.failwith "Xfer: store outside region %d" region
+      else Bytes.blit payload 0 r offset (Bytes.length payload));
+  Am.register_handler am h_get_req
+    (fun am ~src:_ tk ~args ~payload:_ ->
+      let region, len = unpack_region_len args.(0) in
+      let offset = args.(1) in
+      let get_id = args.(2) in
+      let dest_pos = args.(3) in
+      let r = region_exn t region in
+      if offset < 0 || offset + len > Bytes.length r then
+        Fmt.failwith "Xfer: get outside region %d" region;
+      let data = Bytes.sub r offset len in
+      match tk with
+      | Some tk ->
+          Am.reply am tk ~handler:h_get_rep
+            ~args:[| get_id; dest_pos |] ~payload:data ()
+      | None -> Fmt.failwith "Xfer: get request dispatched as reply")
+  ;
+  Am.register_handler am h_get_rep
+    (fun _am ~src:_ _tk ~args ~payload ->
+      let get_id = args.(0) in
+      let dest_pos = args.(1) in
+      match Hashtbl.find_opt t.gets get_id with
+      | None -> Fmt.failwith "Xfer: reply for unknown get %d" get_id
+      | Some g ->
+          Bytes.blit payload 0 g.g_dest dest_pos (Bytes.length payload);
+          g.g_remaining <- g.g_remaining - 1);
+  t
+
+let chunks t len =
+  let chunk = Am.config t.am in
+  let c = chunk.Am.chunk_data in
+  let n = (len + c - 1) / c in
+  List.init n (fun i -> (i * c, min c (len - (i * c))))
+
+let store t ~dst ~region ~offset data =
+  if region land 0xffff0000 <> 0 then invalid_arg "Xfer.store: region id too large";
+  List.iter
+    (fun (pos, len) ->
+      Am.request t.am ~dst ~handler:h_store
+        ~args:[| pack_region_len ~region ~len; offset + pos |]
+        ~payload:(Bytes.sub data pos len) ())
+    (chunks t (Bytes.length data))
+
+let quiet t = Am.flush t.am
+
+let store_sync t ~dst ~region ~offset data =
+  store t ~dst ~region ~offset data;
+  quiet t
+
+type handle = { h_id : int; h_get : pending_get }
+
+let get_async t ~dst ~region ~offset ~len =
+  let dest = Bytes.create len in
+  let id = t.next_get_id in
+  t.next_get_id <- t.next_get_id + 1;
+  let parts = chunks t len in
+  let g = { g_dest = dest; g_remaining = List.length parts } in
+  Hashtbl.add t.gets id g;
+  List.iter
+    (fun (pos, clen) ->
+      Am.request t.am ~dst ~handler:h_get_req
+        ~args:[| pack_region_len ~region ~len:clen; offset + pos; id; pos |]
+        ())
+    parts;
+  { h_id = id; h_get = g }
+
+let await t h =
+  Am.poll_until t.am (fun () -> h.h_get.g_remaining = 0);
+  Hashtbl.remove t.gets h.h_id;
+  h.h_get.g_dest
+
+let get t ~dst ~region ~offset ~len =
+  await t (get_async t ~dst ~region ~offset ~len)

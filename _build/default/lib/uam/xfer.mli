@@ -1,0 +1,40 @@
+(** GAM bulk transfers over UAM: block stores and gets into registered
+    remote memory regions, fragmented into the 4160-byte transfer buffers of
+    §5.2. Stores are one-way (flow-controlled by the window, acknowledged
+    for reliability); gets are request/reply. *)
+
+type t
+
+val attach : Am.t -> t
+(** Registers the bulk-transfer handlers (indices 240+) on this instance. *)
+
+val uam : t -> Am.t
+
+val register_region : t -> id:int -> bytes -> unit
+(** Expose a local memory region to remote stores/gets. *)
+
+val region : t -> id:int -> bytes
+
+val store : t -> dst:int -> region:int -> offset:int -> bytes -> unit
+(** Asynchronous block store: fragments the data into chunk requests; blocks
+    only when the flow-control window is full. Completion of all chunks is
+    awaited with {!quiet}. *)
+
+val store_sync : t -> dst:int -> region:int -> offset:int -> bytes -> unit
+(** Store and wait until every chunk is acknowledged. *)
+
+val get : t -> dst:int -> region:int -> offset:int -> len:int -> bytes
+(** Blocking block get: issues pipelined chunk requests and assembles the
+    replies. *)
+
+type handle
+(** A split-phase get in progress. *)
+
+val get_async : t -> dst:int -> region:int -> offset:int -> len:int -> handle
+(** Issue the chunk requests and return immediately; the paper's block-get
+    bandwidth test keeps a series of these outstanding. *)
+
+val await : t -> handle -> bytes
+
+val quiet : t -> unit
+(** Wait until all outstanding stores are acknowledged. *)

@@ -1,0 +1,1 @@
+lib/unet/unet.ml: Atm Bytes Channel Desc Endpoint Engine Fmt Format Hashtbl Host List Logs Mux Option Proc Queue Ring Segment Sim Sync

@@ -1,0 +1,1 @@
+lib/unet/unet.mli: Atm Channel Desc Endpoint Engine Format Host Mux Ring Segment

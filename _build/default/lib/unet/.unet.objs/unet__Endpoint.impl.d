@@ -1,0 +1,1 @@
+lib/unet/endpoint.ml: Channel Desc Engine List Ring Segment

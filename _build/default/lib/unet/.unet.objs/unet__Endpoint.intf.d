@@ -1,0 +1,1 @@
+lib/unet/endpoint.mli: Channel Desc Engine Ring Segment

@@ -1,0 +1,1 @@
+lib/unet/mux.ml: Bytes Channel Desc Endpoint Engine Hashtbl List Logs Printf Ring Segment

@@ -1,0 +1,1 @@
+lib/unet/mux.mli: Channel Endpoint

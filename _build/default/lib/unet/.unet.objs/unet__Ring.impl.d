@@ -1,0 +1,1 @@
+lib/unet/ring.ml: Array

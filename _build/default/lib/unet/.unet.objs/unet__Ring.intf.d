@@ -1,0 +1,1 @@
+lib/unet/ring.mli:

@@ -1,0 +1,1 @@
+lib/unet/segment.ml: Bytes Hashtbl List Printf

@@ -1,0 +1,13 @@
+type id = int
+
+type t = {
+  id : id;
+  tx_vci : int;
+  rx_vci : int;
+  peer_host : int;
+  peer_endpoint : int;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "chan%d(tx_vci=%d, rx_vci=%d, peer=host%d/ep%d)" t.id
+    t.tx_vci t.rx_vci t.peer_host t.peer_endpoint

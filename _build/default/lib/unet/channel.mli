@@ -1,0 +1,16 @@
+(** Communication channels: the registered message tags (§3.2). On an ATM
+    substrate a tag is a transmit/receive VCI pair; the channel identifier
+    returned to the application names the destination on outgoing messages
+    and reports the origin on incoming ones. *)
+
+type id = int
+
+type t = {
+  id : id;
+  tx_vci : int;  (** tag placed on outgoing messages *)
+  rx_vci : int;  (** tag incoming messages carry *)
+  peer_host : int;
+  peer_endpoint : int;
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Message descriptors, the entries of the send and receive queues (§3.4).
+
+    As the optimization the paper describes for small messages, a descriptor
+    can carry the message bytes inline instead of pointing at buffers in the
+    communication segment; the threshold is what fits in a single ATM cell
+    after the AAL5 trailer (40 bytes). *)
+
+val inline_max : int
+(** 40 = 48-byte cell payload minus the 8-byte AAL5 trailer. *)
+
+type payload =
+  | Inline of bytes
+      (** small message carried in the descriptor itself; length must be at
+          most {!inline_max} *)
+  | Buffers of (int * int) list
+      (** scatter-gather list of (offset, length) ranges within the
+          endpoint's communication segment *)
+
+val payload_length : payload -> int
+
+val validate_inline : bytes -> (unit, string) result
+(** Check the inline size bound. *)
+
+(** A send-queue entry: destination channel plus the data. [injected] is the
+    flag the NI sets once the message has entered the network, telling the
+    process the send buffers may be reused. *)
+type tx = {
+  chan : int;
+  tx_payload : payload;
+  dest_offset : int option;
+      (** direct-access U-Net (§3.6): deposit the data at this offset in the
+          destination's communication segment *)
+  mutable injected : bool;
+}
+
+val tx : ?dest_offset:int -> chan:int -> payload -> tx
+
+(** A receive-queue entry: originating channel plus the data location. *)
+type rx = { src_chan : int; rx_payload : payload }

@@ -1,0 +1,61 @@
+type upcall_cond = Rx_nonempty | Rx_almost_full
+
+type t = {
+  ep_id : int;
+  host : int;
+  segment : Segment.t;
+  tx_ring : Desc.tx Ring.t;
+  rx_ring : Desc.rx Ring.t;
+  free_ring : (int * int) Ring.t;
+  emulated : bool;
+  direct_access : bool;
+  rx_cond : Engine.Sync.Condition.t;
+  mutable channels : Channel.t list;
+  mutable upcall : (upcall_cond * (unit -> unit)) option;
+  mutable upcalls_enabled : bool;
+  mutable rx_delivered : int;
+  mutable drops_rx_full : int;
+  mutable drops_no_free_buffer : int;
+}
+
+let create ~sim ~id ~host ~seg_size ~tx_slots ~rx_slots ~free_slots ~emulated
+    ~direct_access =
+  {
+    ep_id = id;
+    host;
+    segment = Segment.create ~size:seg_size;
+    tx_ring = Ring.create ~capacity:tx_slots;
+    rx_ring = Ring.create ~capacity:rx_slots;
+    free_ring = Ring.create ~capacity:free_slots;
+    emulated;
+    direct_access;
+    rx_cond = Engine.Sync.Condition.create sim;
+    channels = [];
+    upcall = None;
+    upcalls_enabled = true;
+    rx_delivered = 0;
+    drops_rx_full = 0;
+    drops_no_free_buffer = 0;
+  }
+
+let find_channel t id = List.find_opt (fun c -> c.Channel.id = id) t.channels
+
+(* Descriptors are modelled at 64 bytes apiece (big enough for the inline
+   small-message optimization), which is what the queues pin. *)
+let descriptor_bytes = 64
+
+let pinned_bytes t =
+  Segment.size t.segment
+  + descriptor_bytes
+    * (Ring.capacity t.tx_ring + Ring.capacity t.rx_ring
+     + Ring.capacity t.free_ring)
+
+let almost_full_threshold t = max 1 (Ring.capacity t.rx_ring - 2)
+
+let fire_upcalls t ~was_empty =
+  if t.upcalls_enabled then
+    match t.upcall with
+    | None -> ()
+    | Some (Rx_nonempty, f) -> if was_empty then f ()
+    | Some (Rx_almost_full, f) ->
+        if Ring.length t.rx_ring >= almost_full_threshold t then f ()

@@ -1,0 +1,51 @@
+(** An endpoint is a process's handle into the network (§3.1): a
+    communication segment plus send, receive and free queues, together with
+    the upcall state used for event-driven reception. *)
+
+type upcall_cond =
+  | Rx_nonempty  (** receive queue became non-empty *)
+  | Rx_almost_full  (** receive queue is nearly overflowing *)
+
+type t = {
+  ep_id : int;
+  host : int;
+  segment : Segment.t;
+  tx_ring : Desc.tx Ring.t;
+  rx_ring : Desc.rx Ring.t;
+  free_ring : (int * int) Ring.t;  (** free receive buffers: (offset, len) *)
+  emulated : bool;  (** kernel-emulated endpoint (§3.5) *)
+  direct_access : bool;  (** direct-access endpoint (§3.6) *)
+  rx_cond : Engine.Sync.Condition.t;  (** wakes blocked receivers *)
+  mutable channels : Channel.t list;
+  mutable upcall : (upcall_cond * (unit -> unit)) option;
+  mutable upcalls_enabled : bool;
+  (* statistics *)
+  mutable rx_delivered : int;
+  mutable drops_rx_full : int;
+  mutable drops_no_free_buffer : int;
+}
+
+val create :
+  sim:Engine.Sim.t ->
+  id:int ->
+  host:int ->
+  seg_size:int ->
+  tx_slots:int ->
+  rx_slots:int ->
+  free_slots:int ->
+  emulated:bool ->
+  direct_access:bool ->
+  t
+
+val find_channel : t -> Channel.id -> Channel.t option
+
+val pinned_bytes : t -> int
+(** Pinned memory consumed: segment plus the queues' backing store. *)
+
+val almost_full_threshold : t -> int
+(** Receive-ring occupancy at which the [Rx_almost_full] upcall fires. *)
+
+val fire_upcalls : t -> was_empty:bool -> unit
+(** Invoke the registered upcall if its condition holds. Called by the mux
+    after a delivery; [was_empty] tells whether the receive ring was empty
+    beforehand (the [Rx_nonempty] edge). *)

@@ -1,0 +1,135 @@
+let log_src = Logs.Src.create "unet.mux" ~doc:"U-Net mux/demux agent"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  table : (int, Endpoint.t * Channel.id) Hashtbl.t;
+  mutable delivered : int;
+  mutable unknown : int;
+}
+
+let create () = { table = Hashtbl.create 64; delivered = 0; unknown = 0 }
+
+let register t ~rx_vci ep ~chan =
+  if Hashtbl.mem t.table rx_vci then
+    invalid_arg (Printf.sprintf "Mux.register: VCI %d already registered" rx_vci);
+  Hashtbl.add t.table rx_vci (ep, chan)
+
+let unregister t ~rx_vci = Hashtbl.remove t.table rx_vci
+let lookup t ~rx_vci = Hashtbl.find_opt t.table rx_vci
+
+type delivery =
+  | Delivered_inline
+  | Delivered_buffers of (int * int) list
+  | Delivered_direct
+  | Dropped_rx_full
+  | Dropped_no_free_buffer
+  | Dropped_bad_offset
+
+(* Pop free buffers until [len] bytes are covered. On shortage, everything
+   is pushed back and the message is dropped whole. *)
+let take_free_buffers (ep : Endpoint.t) len =
+  let rec loop acc got =
+    if got >= len then Some (List.rev acc)
+    else
+      match Ring.pop ep.free_ring with
+      | None ->
+          List.iter (fun b -> ignore (Ring.push ep.free_ring b)) (List.rev acc);
+          None
+      | Some (off, blen) -> loop ((off, blen) :: acc) (got + blen)
+  in
+  loop [] 0
+
+let fill_buffers (ep : Endpoint.t) buffers data =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  List.map
+    (fun (off, blen) ->
+      let n = min blen (len - !pos) in
+      Segment.write ep.segment ~off ~src:data ~src_pos:!pos ~len:n;
+      pos := !pos + n;
+      (off, n))
+    buffers
+
+let push_rx (ep : Endpoint.t) desc =
+  let was_empty = Ring.is_empty ep.rx_ring in
+  if Ring.push ep.rx_ring desc then begin
+    ep.rx_delivered <- ep.rx_delivered + 1;
+    Endpoint.fire_upcalls ep ~was_empty;
+    Engine.Sync.Condition.broadcast ep.rx_cond;
+    true
+  end
+  else begin
+    ep.drops_rx_full <- ep.drops_rx_full + 1;
+    false
+  end
+
+let deliver_to (ep : Endpoint.t) ~chan ?dest_offset data =
+  let len = Bytes.length data in
+  let outcome =
+    match dest_offset with
+    | Some off when ep.direct_access -> (
+        (* Direct-access: deposit straight into the destination data
+           structure; the receive queue only carries a notification. *)
+        match Segment.check_range ep.segment ~off ~len with
+        | Error _ -> Dropped_bad_offset
+        | Ok () ->
+            Segment.write ep.segment ~off ~src:data ~src_pos:0 ~len;
+            let desc =
+              { Desc.src_chan = chan; rx_payload = Desc.Buffers [ (off, len) ] }
+            in
+            if push_rx ep desc then Delivered_direct else Dropped_rx_full)
+    | Some _ | None ->
+        if len <= Desc.inline_max then begin
+          let desc =
+            { Desc.src_chan = chan; rx_payload = Desc.Inline (Bytes.copy data) }
+          in
+          if push_rx ep desc then Delivered_inline else Dropped_rx_full
+        end
+        else begin
+          match take_free_buffers ep len with
+          | None ->
+              ep.drops_no_free_buffer <- ep.drops_no_free_buffer + 1;
+              Dropped_no_free_buffer
+          | Some buffers ->
+              let filled = fill_buffers ep buffers data in
+              let desc =
+                { Desc.src_chan = chan; rx_payload = Desc.Buffers filled }
+              in
+              if push_rx ep desc then Delivered_buffers filled
+              else begin
+                (* receive ring full: give the buffers back *)
+                List.iter (fun b -> ignore (Ring.push ep.free_ring b)) buffers;
+                Dropped_rx_full
+              end
+        end
+  in
+  (match outcome with
+  | Delivered_inline | Delivered_buffers _ | Delivered_direct -> ()
+  | Dropped_rx_full ->
+      Log.debug (fun m ->
+          m "endpoint %d: receive queue full, message dropped" ep.ep_id)
+  | Dropped_no_free_buffer ->
+      Log.debug (fun m ->
+          m "endpoint %d: free queue empty, %d-byte message dropped" ep.ep_id
+            len)
+  | Dropped_bad_offset ->
+      Log.debug (fun m ->
+          m "endpoint %d: direct-access offset out of range" ep.ep_id));
+  outcome
+
+let deliver t ~rx_vci ?dest_offset data =
+  match lookup t ~rx_vci with
+  | None ->
+      t.unknown <- t.unknown + 1;
+      None
+  | Some (ep, chan) ->
+      let outcome = deliver_to ep ~chan ?dest_offset data in
+      (match outcome with
+      | Delivered_inline | Delivered_buffers _ | Delivered_direct ->
+          t.delivered <- t.delivered + 1
+      | Dropped_rx_full | Dropped_no_free_buffer | Dropped_bad_offset -> ());
+      Some (ep, chan, outcome)
+
+let deliveries t = t.delivered
+let unknown_tag_drops t = t.unknown

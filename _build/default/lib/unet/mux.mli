@@ -1,0 +1,49 @@
+(** The message multiplexer/demultiplexer of Figure 1(b): the only agent on
+    the data path. It owns the host's tag table (incoming VCI → endpoint +
+    channel) and performs deliveries, enforcing that messages only reach the
+    endpoint that registered the tag. NI backends share this logic. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> rx_vci:int -> Endpoint.t -> chan:Channel.id -> unit
+(** Raises if the VCI is already registered (tag conflict). *)
+
+val unregister : t -> rx_vci:int -> unit
+val lookup : t -> rx_vci:int -> (Endpoint.t * Channel.id) option
+
+type delivery =
+  | Delivered_inline
+  | Delivered_buffers of (int * int) list
+  | Delivered_direct  (** direct-access deposit at a sender-given offset *)
+  | Dropped_rx_full
+  | Dropped_no_free_buffer
+  | Dropped_bad_offset  (** direct-access offset outside the segment *)
+
+val deliver :
+  t ->
+  rx_vci:int ->
+  ?dest_offset:int ->
+  bytes ->
+  (Endpoint.t * Channel.id * delivery) option
+(** Demultiplex a reassembled PDU to its endpoint: small messages go inline
+    into a receive descriptor; larger ones fill buffers popped from the free
+    queue (whole-message drop when the queue runs dry, §3.4); direct-access
+    endpoints accept a sender-specified segment offset. Fires upcalls and
+    wakes blocked receivers. [None] means the tag was unknown and the PDU
+    was discarded. *)
+
+val deliver_to :
+  Endpoint.t ->
+  chan:Channel.id ->
+  ?dest_offset:int ->
+  bytes ->
+  delivery
+(** The delivery core without the tag lookup: place a message into an
+    endpoint (inline / free-queue buffers / direct deposit), fire upcalls,
+    wake receivers. Used by the mux itself and by the kernel when it
+    re-delivers multiplexed traffic to an emulated endpoint (§3.5). *)
+
+val deliveries : t -> int
+val unknown_tag_drops : t -> int

@@ -1,0 +1,23 @@
+(** Fixed-capacity FIFO rings — the message queues of a U-Net endpoint.
+    A full ring is how back-pressure reaches the process (§3.1). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [false] if the ring is full (the entry is not added). *)
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,74 @@
+type t = { data : bytes }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Segment.create: size must be positive";
+  { data = Bytes.make size '\000' }
+
+let size t = Bytes.length t.data
+
+let check_range t ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length t.data then
+    Error
+      (Printf.sprintf "range [%d, %d) outside segment of %d bytes" off
+         (off + len) (Bytes.length t.data))
+  else Ok ()
+
+let fail_range t ~off ~len =
+  match check_range t ~off ~len with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Segment: " ^ msg)
+
+let write t ~off ~src ~src_pos ~len =
+  fail_range t ~off ~len;
+  Bytes.blit src src_pos t.data off len
+
+let read t ~off ~len =
+  fail_range t ~off ~len;
+  Bytes.sub t.data off len
+
+let blit_out t ~off ~dst ~dst_pos ~len =
+  fail_range t ~off ~len;
+  Bytes.blit t.data off dst dst_pos len
+
+let unsafe_bytes t = t.data
+
+module Allocator = struct
+  type seg = t
+
+  type t = {
+    block : int;
+    offsets : int list ref; (* free list *)
+    valid : (int, bool) Hashtbl.t; (* offset -> currently free? *)
+  }
+
+  let create (seg : seg) ~block =
+    if block <= 0 then invalid_arg "Allocator.create: block must be positive";
+    let n = size seg / block in
+    let offsets = ref [] in
+    let valid = Hashtbl.create (max 16 n) in
+    for i = n - 1 downto 0 do
+      offsets := (i * block) :: !offsets;
+      Hashtbl.replace valid (i * block) true
+    done;
+    { block; offsets; valid }
+
+  let block_size t = t.block
+  let free_count t = List.length !(t.offsets)
+
+  let alloc t =
+    match !(t.offsets) with
+    | [] -> None
+    | off :: rest ->
+        t.offsets := rest;
+        Hashtbl.replace t.valid off false;
+        Some (off, t.block)
+
+  let free t (off, len) =
+    if len <> t.block then invalid_arg "Allocator.free: wrong block length";
+    (match Hashtbl.find_opt t.valid off with
+    | None -> invalid_arg "Allocator.free: not a block of this allocator"
+    | Some true -> invalid_arg "Allocator.free: double free"
+    | Some false -> ());
+    Hashtbl.replace t.valid off true;
+    t.offsets := off :: !(t.offsets)
+end

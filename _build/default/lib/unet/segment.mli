@@ -1,0 +1,40 @@
+(** Communication segments: the pinned memory regions holding message data
+    (§3.4). Base-level U-Net bounds their size; buffer *management* within a
+    segment is entirely up to the process, so the segment itself only offers
+    bounds-checked byte access, plus an optional fixed-size-block allocator
+    applications can use. *)
+
+type t
+
+val create : size:int -> t
+val size : t -> int
+
+val check_range : t -> off:int -> len:int -> (unit, string) result
+(** Validate that [off, off+len) lies within the segment — the protection
+    check the NI performs on every descriptor. *)
+
+val write : t -> off:int -> src:bytes -> src_pos:int -> len:int -> unit
+val read : t -> off:int -> len:int -> bytes
+val blit_out : t -> off:int -> dst:bytes -> dst_pos:int -> len:int -> unit
+
+val unsafe_bytes : t -> bytes
+(** The backing store (for zero-copy style access by co-located layers). *)
+
+(** Fixed-block allocator for send/receive buffers inside a segment: carve
+    the segment into [block] - byte buffers, hand them out and take them
+    back. This is the typical buffer policy of a U-Net application. *)
+module Allocator : sig
+  type seg := t
+  type t
+
+  val create : seg -> block:int -> t
+  val block_size : t -> int
+  val free_count : t -> int
+
+  val alloc : t -> (int * int) option
+  (** An (offset, length) buffer, or [None] when exhausted. *)
+
+  val free : t -> int * int -> unit
+  (** Return a buffer. Raises [Invalid_argument] for a range that is not one
+      of this allocator's blocks or is already free. *)
+end

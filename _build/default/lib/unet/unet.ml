@@ -1,0 +1,533 @@
+module Desc = Desc
+module Ring = Ring
+module Segment = Segment
+module Channel = Channel
+module Endpoint = Endpoint
+module Mux = Mux
+open Engine
+
+let log_src = Logs.Src.create "unet" ~doc:"U-Net user API"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type backend = {
+  nic_name : string;
+  notify_tx : Endpoint.t -> unit;
+  mux : Mux.t;
+  max_endpoints : int;
+  max_seg_size : int;
+  doorbell_ns : int;
+  rx_poll_ns : int;
+  kernel_op_ns : int;
+  kernel_path : Sync.Server.t option;
+}
+
+(* The kernel's multiplexing state (§3.5): all emulated endpoints on a host
+   share one real endpoint, which the kernel owns. Outbound descriptors are
+   staged (copied) into the kernel endpoint's segment; inbound messages are
+   demultiplexed by the kernel channel id and copied into the emulated
+   endpoint's own segment. *)
+type kemu = {
+  kep : Endpoint.t; (* the single real endpoint *)
+  kalloc : Segment.Allocator.t;
+  kmbox : Endpoint.t Sync.Mailbox.t; (* one entry per posted descriptor *)
+  kdemux : (Channel.id, Endpoint.t * Channel.id) Hashtbl.t;
+      (* kernel chan -> (emulated endpoint, its channel id) *)
+  ktx : (int * Channel.id, Channel.id) Hashtbl.t;
+      (* (emulated ep id, emulated chan) -> kernel chan *)
+  k_in_flight : (Desc.tx * (int * int) list) Queue.t;
+}
+
+type t = {
+  cpu : Host.Cpu.t;
+  net : Atm.Network.t;
+  host : int;
+  backend : backend;
+  pinned : Host.Pinned.t;
+  mutable endpoints : Endpoint.t list;
+  mutable real_endpoints : int; (* non-emulated: consume NI resources *)
+  mutable next_ep_id : int;
+  mutable next_chan_id : int;
+  mutable kemu : kemu option;
+}
+
+type error =
+  | Too_many_endpoints
+  | Pinned_exhausted
+  | Segment_too_large
+  | Queue_full
+  | Free_queue_full
+  | Bad_channel
+  | Bad_buffer of string
+  | Inline_too_large
+  | Not_direct_access
+
+let pp_error fmt = function
+  | Too_many_endpoints -> Format.pp_print_string fmt "too many endpoints"
+  | Pinned_exhausted -> Format.pp_print_string fmt "pinned memory exhausted"
+  | Segment_too_large -> Format.pp_print_string fmt "segment too large"
+  | Queue_full -> Format.pp_print_string fmt "send queue full"
+  | Free_queue_full -> Format.pp_print_string fmt "free queue full"
+  | Bad_channel -> Format.pp_print_string fmt "channel not registered"
+  | Bad_buffer msg -> Format.fprintf fmt "bad buffer: %s" msg
+  | Inline_too_large -> Format.pp_print_string fmt "inline payload too large"
+  | Not_direct_access -> Format.pp_print_string fmt "not a direct-access endpoint"
+
+let create ~cpu ~net ~host ?(pinned_capacity = 8 * 1024 * 1024) backend =
+  {
+    cpu;
+    net;
+    host;
+    backend;
+    pinned = Host.Pinned.create ~capacity:pinned_capacity;
+    endpoints = [];
+    real_endpoints = 0;
+    next_ep_id = 0;
+    next_chan_id = 0;
+    kemu = None;
+  }
+
+let sim t = Host.Cpu.sim t.cpu
+let host t = t.host
+let cpu t = t.cpu
+let net t = t.net
+let pinned t = t.pinned
+let endpoint_count t = List.length t.endpoints
+
+(* A kernel-emulated endpoint pays a system call, serialized through the
+   kernel path, on top of the operation's own cost. *)
+let charge_op t (ep : Endpoint.t) ns =
+  if ep.emulated then begin
+    match t.backend.kernel_path with
+    | Some server ->
+        let cost =
+          Host.Machine.scale (Host.Cpu.machine t.cpu)
+            (t.backend.kernel_op_ns + ns)
+        in
+        Proc.suspend (fun resume -> Sync.Server.submit server ~cost resume)
+    | None -> Host.Cpu.charge t.cpu (t.backend.kernel_op_ns + ns)
+  end
+  else Host.Cpu.charge t.cpu ns
+
+let create_endpoint t ?(emulated = false) ?(direct_access = false)
+    ?(tx_slots = 64) ?(rx_slots = 64) ?(free_slots = 64) ~seg_size () =
+  if seg_size > t.backend.max_seg_size && not direct_access then
+    Error Segment_too_large
+  else if (not emulated) && t.real_endpoints >= t.backend.max_endpoints then
+    Error Too_many_endpoints
+  else begin
+    let ep =
+      Endpoint.create ~sim:(sim t) ~id:t.next_ep_id ~host:t.host ~seg_size
+        ~tx_slots ~rx_slots ~free_slots ~emulated ~direct_access
+    in
+    if not (Host.Pinned.reserve t.pinned (Endpoint.pinned_bytes ep)) then
+      Error Pinned_exhausted
+    else begin
+      t.next_ep_id <- t.next_ep_id + 1;
+      t.endpoints <- ep :: t.endpoints;
+      if not emulated then t.real_endpoints <- t.real_endpoints + 1;
+      Ok ep
+    end
+  end
+
+let destroy_endpoint t (ep : Endpoint.t) =
+  if List.memq ep t.endpoints then begin
+    List.iter
+      (fun (c : Channel.t) -> Mux.unregister t.backend.mux ~rx_vci:c.rx_vci)
+      ep.channels;
+    (* drop any kernel multiplexing entries pointing at this endpoint *)
+    (match t.kemu with
+    | Some k ->
+        Hashtbl.iter
+          (fun kchan (e, _) ->
+            if e == ep then Hashtbl.remove k.kdemux kchan)
+          (Hashtbl.copy k.kdemux);
+        List.iter
+          (fun (c : Channel.t) -> Hashtbl.remove k.ktx (ep.ep_id, c.id))
+          ep.channels
+    | None -> ());
+    ep.channels <- [];
+    Host.Pinned.release t.pinned (Endpoint.pinned_bytes ep);
+    t.endpoints <- List.filter (fun e -> not (e == ep)) t.endpoints;
+    if not ep.emulated then t.real_endpoints <- t.real_endpoints - 1
+  end
+
+let fresh_chan_id t =
+  let id = t.next_chan_id in
+  t.next_chan_id <- t.next_chan_id + 1;
+  id
+
+let validate_payload (ep : Endpoint.t) = function
+  | Desc.Inline b ->
+      if Bytes.length b > Desc.inline_max then Error Inline_too_large else Ok ()
+  | Desc.Buffers ranges ->
+      let rec check = function
+        | [] -> Ok ()
+        | (off, len) :: rest -> (
+            match Segment.check_range ep.segment ~off ~len with
+            | Ok () -> check rest
+            | Error msg -> Error (Bad_buffer msg))
+      in
+      check ranges
+
+let kemu_notify t ep =
+  match t.kemu with
+  | Some k -> Sync.Mailbox.send k.kmbox ep
+  | None ->
+      (* backends with no real endpoints (the SBA-100) service emulated
+         endpoints directly: the NI model *is* the kernel *)
+      t.backend.notify_tx ep
+
+let send t (ep : Endpoint.t) (desc : Desc.tx) =
+  match Endpoint.find_channel ep desc.chan with
+  | None -> Error Bad_channel
+  | Some _ -> (
+      match validate_payload ep desc.tx_payload with
+      | Error e -> Error e
+      | Ok () ->
+          if desc.dest_offset <> None && not ep.direct_access then
+            Error Not_direct_access
+          else if
+            desc.dest_offset <> None
+            && Desc.payload_length desc.tx_payload = 0
+          then Error (Bad_buffer "empty direct-access message")
+          else begin
+            charge_op t ep t.backend.doorbell_ns;
+            if Ring.push ep.tx_ring desc then begin
+              if ep.emulated then kemu_notify t ep
+              else t.backend.notify_tx ep;
+              Ok ()
+            end
+            else Error Queue_full
+          end)
+
+let poll t (ep : Endpoint.t) =
+  charge_op t ep t.backend.rx_poll_ns;
+  Ring.pop ep.rx_ring
+
+let recv t (ep : Endpoint.t) =
+  let rec loop () =
+    Sync.Condition.wait_for ep.rx_cond (fun () -> not (Ring.is_empty ep.rx_ring));
+    charge_op t ep t.backend.rx_poll_ns;
+    (* another receiver may have taken it while we were charged *)
+    match Ring.pop ep.rx_ring with Some d -> d | None -> loop ()
+  in
+  loop ()
+
+let recv_timeout t (ep : Endpoint.t) ~timeout =
+  let deadline = Sim.now (sim t) + timeout in
+  let rec loop () =
+    if not (Ring.is_empty ep.rx_ring) then begin
+      charge_op t ep t.backend.rx_poll_ns;
+      match Ring.pop ep.rx_ring with Some d -> Some d | None -> loop ()
+    end
+    else if Sim.now (sim t) >= deadline then None
+    else begin
+      (* Wait for a delivery or the deadline, whichever comes first. A
+         helper process waits on the rx condition; the deadline event races
+         with it, and [fired] arbitrates so the caller is resumed once. *)
+      let fired = ref false in
+      Proc.suspend (fun resume ->
+          let resume_once cancel_deadline =
+            if not !fired then begin
+              fired := true;
+              cancel_deadline ();
+              resume ()
+            end
+          in
+          let deadline_h =
+            Sim.schedule_at (sim t) deadline (fun () ->
+                resume_once (fun () -> ()))
+          in
+          ignore
+            (Proc.spawn ~name:"recv-timeout" (sim t) (fun () ->
+                 Sync.Condition.wait ep.rx_cond;
+                 resume_once (fun () -> Sim.cancel deadline_h))));
+      loop ()
+    end
+  in
+  loop ()
+
+let provide_free_buffer t (ep : Endpoint.t) ~off ~len =
+  ignore t;
+  match Segment.check_range ep.segment ~off ~len with
+  | Error msg -> Error (Bad_buffer msg)
+  | Ok () ->
+      if Ring.push ep.free_ring (off, len) then Ok () else Error Free_queue_full
+
+let set_upcall t (ep : Endpoint.t) cond f =
+  ignore t;
+  ep.upcall <- Some (cond, f)
+
+let clear_upcall t (ep : Endpoint.t) =
+  ignore t;
+  ep.upcall <- None
+
+let disable_upcalls t (ep : Endpoint.t) =
+  ignore t;
+  ep.upcalls_enabled <- false
+
+let enable_upcalls t (ep : Endpoint.t) =
+  ignore t;
+  ep.upcalls_enabled <- true;
+  (* fire immediately if the condition already holds: the process must not
+     miss messages that arrived inside the critical section *)
+  if not (Ring.is_empty ep.rx_ring) then Endpoint.fire_upcalls ep ~was_empty:true
+
+(* ------------------------------------------------------------------ *)
+(* The kernel multiplexor for emulated endpoints (§3.5).               *)
+
+let kemu_block = 4_160
+let kemu_pool = 64 (* blocks in the kernel endpoint's segment *)
+let kemu_rx_buffers = 32 (* posted to the kernel endpoint's free queue *)
+
+(* read a descriptor's payload out of an endpoint's segment *)
+let gather_payload (ep : Endpoint.t) = function
+  | Desc.Inline b -> Bytes.copy b
+  | Desc.Buffers ranges ->
+      let total = List.fold_left (fun acc (_, len) -> acc + len) 0 ranges in
+      let out = Bytes.create total in
+      let pos = ref 0 in
+      List.iter
+        (fun (off, len) ->
+          Segment.blit_out ep.segment ~off ~dst:out ~dst_pos:!pos ~len;
+          pos := !pos + len)
+        ranges;
+      out
+
+let kemu_reap k =
+  let rec go () =
+    match Queue.peek_opt k.k_in_flight with
+    | Some ((desc : Desc.tx), bufs) when desc.injected ->
+        ignore (Queue.pop k.k_in_flight);
+        List.iter (Segment.Allocator.free k.kalloc) bufs;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* the kernel's transmit side: drain one emulated descriptor through the
+   shared real endpoint *)
+let kemu_tx t k (ep : Endpoint.t) =
+  match Ring.pop ep.tx_ring with
+  | None -> ()
+  | Some desc -> (
+      match Hashtbl.find_opt k.ktx (ep.ep_id, desc.chan) with
+      | None -> () (* channel torn down after posting *)
+      | Some kchan ->
+          let data = gather_payload ep desc.tx_payload in
+          (* the kernel's staging copy into its own pinned buffers *)
+          Host.Cpu.charge t.cpu t.backend.kernel_op_ns;
+          Host.Cpu.charge_copy t.cpu ~bytes:(Bytes.length data);
+          desc.injected <- true;
+          let rec take_bufs acc got =
+            if got >= Bytes.length data then List.rev acc
+            else begin
+              kemu_reap k;
+              match Segment.Allocator.alloc k.kalloc with
+              | Some (off, blen) ->
+                  take_bufs ((off, blen) :: acc) (got + blen)
+              | None ->
+                  (* staging buffers all in flight: wait for the NI *)
+                  Proc.sleep (sim t) ~time:(Sim.us 10);
+                  take_bufs acc got
+            end
+          in
+          if Bytes.length data <= Desc.inline_max then begin
+            let rec push () =
+              match
+                send t k.kep (Desc.tx ~chan:kchan (Desc.Inline data))
+              with
+              | Ok () -> ()
+              | Error Queue_full ->
+                  Proc.sleep (sim t) ~time:(Sim.us 10);
+                  push ()
+              | Error e -> Fmt.failwith "kernel mux tx: %a" pp_error e
+            in
+            push ()
+          end
+          else begin
+            let bufs = take_bufs [] 0 in
+            let pos = ref 0 in
+            let ranges =
+              List.map
+                (fun (off, blen) ->
+                  let n = min blen (Bytes.length data - !pos) in
+                  Segment.write k.kep.segment ~off ~src:data ~src_pos:!pos
+                    ~len:n;
+                  pos := !pos + n;
+                  (off, n))
+                bufs
+            in
+            let kdesc = Desc.tx ~chan:kchan (Desc.Buffers ranges) in
+            let rec push () =
+              match send t k.kep kdesc with
+              | Ok () -> Queue.add (kdesc, bufs) k.k_in_flight
+              | Error Queue_full ->
+                  Proc.sleep (sim t) ~time:(Sim.us 10);
+                  push ()
+              | Error e -> Fmt.failwith "kernel mux tx: %a" pp_error e
+            in
+            push ()
+          end)
+
+(* the kernel's receive side: demultiplex arriving messages back to the
+   owning emulated endpoint, with a copy into its segment *)
+let kemu_rx t k (d : Desc.rx) =
+  let data =
+    match d.rx_payload with
+    | Desc.Inline b -> b
+    | Desc.Buffers bufs ->
+        let total = List.fold_left (fun acc (_, l) -> acc + l) 0 bufs in
+        let out = Bytes.create total in
+        let pos = ref 0 in
+        List.iter
+          (fun (off, l) ->
+            Segment.blit_out k.kep.segment ~off ~dst:out ~dst_pos:!pos ~len:l;
+            pos := !pos + l;
+            ignore (provide_free_buffer t k.kep ~off ~len:kemu_block))
+          bufs;
+        out
+  in
+  match Hashtbl.find_opt k.kdemux d.src_chan with
+  | None ->
+      Log.debug (fun m ->
+          m "kernel mux: message on unknown kernel channel %d dropped"
+            d.src_chan)
+  | Some (ep, emu_chan) ->
+      Host.Cpu.charge t.cpu t.backend.kernel_op_ns;
+      Host.Cpu.charge_copy t.cpu ~bytes:(Bytes.length data);
+      ignore (Mux.deliver_to ep ~chan:emu_chan data)
+
+let ensure_kemu t =
+  match t.kemu with
+  | Some k -> k
+  | None ->
+      let kep =
+        match
+          create_endpoint t ~tx_slots:128 ~rx_slots:128
+            ~free_slots:(kemu_rx_buffers + 1)
+            ~seg_size:(kemu_pool * kemu_block)
+            ()
+        with
+        | Ok ep -> ep
+        | Error e ->
+            Fmt.failwith
+              "U-Net: cannot create the kernel's real endpoint for emulated \
+               endpoints: %a"
+              pp_error e
+      in
+      let kalloc = Segment.Allocator.create kep.segment ~block:kemu_block in
+      for _ = 1 to kemu_rx_buffers do
+        match Segment.Allocator.alloc kalloc with
+        | Some (off, len) ->
+            (match provide_free_buffer t kep ~off ~len with
+            | Ok () -> ()
+            | Error e -> Fmt.failwith "kernel mux: %a" pp_error e)
+        | None -> assert false
+      done;
+      let k =
+        {
+          kep;
+          kalloc;
+          kmbox = Sync.Mailbox.create (sim t);
+          kdemux = Hashtbl.create 16;
+          ktx = Hashtbl.create 16;
+          k_in_flight = Queue.create ();
+        }
+      in
+      ignore
+        (Proc.spawn ~name:"kernel-mux-tx" (sim t) (fun () ->
+             let rec loop () =
+               let ep = Sync.Mailbox.recv k.kmbox in
+               kemu_tx t k ep;
+               loop ()
+             in
+             loop ()));
+      ignore
+        (Proc.spawn ~name:"kernel-mux-rx" (sim t) (fun () ->
+             let rec loop () =
+               kemu_rx t k (recv t k.kep);
+               loop ()
+             in
+             loop ()));
+      t.kemu <- Some k;
+      k
+
+(* Register one side of a new channel: real endpoints register their tag
+   with the NI mux directly; emulated endpoints register the *kernel's*
+   endpoint under a fresh kernel channel id and record the mapping (§3.5).
+   Backends with no real endpoints (max_endpoints = 0, the SBA-100) service
+   emulated endpoints in the kernel already, so they register directly. *)
+let register_side t (ep : Endpoint.t) (chan : Channel.t) =
+  if ep.emulated && t.backend.max_endpoints > 0 then begin
+    let k = ensure_kemu t in
+    let kchan = fresh_chan_id t in
+    Mux.register t.backend.mux ~rx_vci:chan.rx_vci k.kep ~chan:kchan;
+    k.kep.channels <-
+      {
+        Channel.id = kchan;
+        tx_vci = chan.tx_vci;
+        rx_vci = chan.rx_vci;
+        peer_host = chan.peer_host;
+        peer_endpoint = chan.peer_endpoint;
+      }
+      :: k.kep.channels;
+    Hashtbl.replace k.kdemux kchan (ep, chan.id);
+    Hashtbl.replace k.ktx (ep.ep_id, chan.id) kchan
+  end
+  else Mux.register t.backend.mux ~rx_vci:chan.rx_vci ep ~chan:chan.id;
+  ep.channels <- chan :: ep.channels
+
+let connect_pair (ta, epa) (tb, epb) =
+  if not (ta.net == tb.net) then
+    invalid_arg "Unet.connect_pair: hosts on different networks";
+  (* direct-access endpoints use a different wire framing (the deposit
+     offset travels in the PDU), so both ends must agree *)
+  if epa.Endpoint.direct_access <> epb.Endpoint.direct_access then
+    invalid_arg
+      "Unet.connect_pair: cannot connect a direct-access endpoint to a \
+       base-level one";
+  let conn = Atm.Network.connect ta.net ~a:ta.host ~b:tb.host in
+  let chan_a = fresh_chan_id ta and chan_b = fresh_chan_id tb in
+  let ca =
+    {
+      Channel.id = chan_a;
+      tx_vci = conn.side_a.tx_vci;
+      rx_vci = conn.side_a.rx_vci;
+      peer_host = tb.host;
+      peer_endpoint = epb.Endpoint.ep_id;
+    }
+  and cb =
+    {
+      Channel.id = chan_b;
+      tx_vci = conn.side_b.tx_vci;
+      rx_vci = conn.side_b.rx_vci;
+      peer_host = ta.host;
+      peer_endpoint = epa.Endpoint.ep_id;
+    }
+  in
+  register_side ta epa ca;
+  register_side tb epb cb;
+  (chan_a, chan_b)
+
+let disconnect t (ep : Endpoint.t) chan_id =
+  match Endpoint.find_channel ep chan_id with
+  | None -> ()
+  | Some c ->
+      Mux.unregister t.backend.mux ~rx_vci:c.Channel.rx_vci;
+      (match t.kemu with
+      | Some k -> (
+          match Hashtbl.find_opt k.ktx (ep.ep_id, chan_id) with
+          | Some kchan ->
+              Hashtbl.remove k.kdemux kchan;
+              Hashtbl.remove k.ktx (ep.ep_id, chan_id);
+              k.kep.channels <-
+                List.filter
+                  (fun (x : Channel.t) -> x.id <> kchan)
+                  k.kep.channels
+          | None -> ())
+      | None -> ());
+      ep.channels <- List.filter (fun x -> x.Channel.id <> chan_id) ep.channels
+
+let kernel_endpoint t = Option.map (fun k -> k.kep) t.kemu

@@ -1,0 +1,1 @@
+test/test_atm.ml: Alcotest Atm Bytes Char Engine List QCheck QCheck_alcotest Rng Sim

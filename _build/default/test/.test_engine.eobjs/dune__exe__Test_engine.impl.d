@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Fun Gen List Proc QCheck QCheck_alcotest Rng Sim Stats Sync

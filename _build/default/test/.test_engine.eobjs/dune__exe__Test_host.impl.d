@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Engine Format Host Proc QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_ipstack.ml: Alcotest Atm Buffer Bytes Char Checksum Cluster Engine Flow_demux Gen Host Iface Ipstack List Printf Proc QCheck QCheck_alcotest Rng Sim Suite Tcp Udp

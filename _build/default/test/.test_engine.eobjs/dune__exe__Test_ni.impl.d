@@ -1,0 +1,1 @@
+test/test_ni.ml: Alcotest Atm Bytes Char Cluster Engine Float Fmt List Ni Option Printf Proc Result Sim Sync Unet

@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Array Bytes Cluster Engine Fun Gen List Printf Proc QCheck QCheck_alcotest Services Sim String Uam

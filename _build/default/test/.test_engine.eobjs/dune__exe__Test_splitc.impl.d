@@ -1,0 +1,1 @@
+test/test_splitc.ml: Alcotest Array Cluster Engine Fun List Option Printf Proc Sim Splitc Uam

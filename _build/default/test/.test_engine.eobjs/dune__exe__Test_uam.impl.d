@@ -1,0 +1,1 @@
+test/test_uam.ml: Alcotest Array Atm Bytes Char Cluster Engine Float Gen List Option Printf Proc QCheck QCheck_alcotest Rng Sim Uam

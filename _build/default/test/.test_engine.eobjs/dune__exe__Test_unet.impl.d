@@ -1,0 +1,1 @@
+test/test_unet.ml: Alcotest Atm Bytes Char Cluster Engine Float Fmt Host List Ni Option Printf Proc QCheck QCheck_alcotest Result Rng Sim Unet

@@ -1,0 +1,416 @@
+(* Tests for the ATM substrate: cells, CRC-32, AAL5 SAR, links, the switch
+   and the cluster topology. *)
+
+open Engine
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+let mk_payload n = Bytes.init n (fun i -> Char.chr ((i * 7) mod 256))
+
+(* --- Cell ---------------------------------------------------------- *)
+
+let test_cell_sizes () =
+  checki "header" 5 Atm.Cell.header_size;
+  checki "payload" 48 Atm.Cell.payload_size;
+  checki "wire" 53 Atm.Cell.on_wire_size
+
+let test_cell_make () =
+  let c = Atm.Cell.make ~vci:42 ~eop:true (Bytes.create 48) in
+  checki "vci" 42 c.Atm.Cell.vci;
+  checkb "eop" true c.Atm.Cell.eop;
+  let c' = Atm.Cell.with_vci c 7 in
+  checki "relabel" 7 c'.Atm.Cell.vci;
+  checki "original untouched" 42 c.Atm.Cell.vci
+
+let test_cell_bad_payload () =
+  checkb "wrong size rejected" true
+    (try
+       ignore (Atm.Cell.make ~vci:1 ~eop:false (Bytes.create 47));
+       false
+     with Invalid_argument _ -> true);
+  checkb "negative vci rejected" true
+    (try
+       ignore (Atm.Cell.make ~vci:(-1) ~eop:false (Bytes.create 48));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Crc32 --------------------------------------------------------- *)
+
+let test_crc_known_vector () =
+  let crc = Atm.Crc32.digest_bytes (Bytes.of_string "123456789") in
+  check Alcotest.int32 "check value" 0xCBF43926l crc
+
+let test_crc_empty () =
+  check Alcotest.int32 "empty" 0l (Atm.Crc32.digest_bytes Bytes.empty)
+
+let test_crc_chaining () =
+  let b = mk_payload 100 in
+  let whole = Atm.Crc32.digest b ~pos:0 ~len:100 in
+  let first = Atm.Crc32.digest b ~pos:0 ~len:60 in
+  let chained = Atm.Crc32.digest ~crc:first b ~pos:60 ~len:40 in
+  check Alcotest.int32 "incremental = whole" whole chained
+
+let prop_crc_detects_single_bit_flips =
+  QCheck.Test.make ~name:"crc changes under a bit flip" ~count:100
+    QCheck.(pair (int_range 1 500) (int_range 0 4000))
+    (fun (len, flip) ->
+      let b = mk_payload len in
+      let crc0 = Atm.Crc32.digest_bytes b in
+      let bit = flip mod (len * 8) in
+      Bytes.set b (bit / 8)
+        (Char.chr (Char.code (Bytes.get b (bit / 8)) lxor (1 lsl (bit mod 8))));
+      Atm.Crc32.digest_bytes b <> crc0)
+
+(* --- Aal5 ---------------------------------------------------------- *)
+
+let test_cells_for () =
+  checki "empty payload still needs a cell" 1 (Atm.Aal5.cells_for 0);
+  checki "40 bytes fit one cell" 1 (Atm.Aal5.cells_for 40);
+  checki "41 bytes need two" 2 (Atm.Aal5.cells_for 41);
+  checki "88 fit two" 2 (Atm.Aal5.cells_for 88);
+  checki "89 need three" 3 (Atm.Aal5.cells_for 89)
+
+let test_segment_structure () =
+  let cells = Atm.Aal5.segment ~vci:9 (mk_payload 100) in
+  checki "cell count" (Atm.Aal5.cells_for 100) (List.length cells);
+  List.iteri
+    (fun i c ->
+      checki "vci carried" 9 c.Atm.Cell.vci;
+      checkb "eop only on last" (i = List.length cells - 1) c.Atm.Cell.eop)
+    cells
+
+let reassemble cells =
+  let r = Atm.Aal5.Reassembler.create () in
+  List.fold_left
+    (fun acc c -> match Atm.Aal5.Reassembler.push r c with Some x -> Some x | None -> acc)
+    None cells
+
+let test_roundtrip_simple () =
+  let data = mk_payload 333 in
+  match reassemble (Atm.Aal5.segment ~vci:1 data) with
+  | Some (Ok got) -> check Alcotest.bytes "payload intact" data got
+  | _ -> Alcotest.fail "reassembly failed"
+
+let prop_aal5_roundtrip =
+  QCheck.Test.make ~name:"AAL5 segment/reassemble round-trips" ~count:200
+    QCheck.(int_range 0 5_000)
+    (fun len ->
+      let data = mk_payload len in
+      match reassemble (Atm.Aal5.segment ~vci:3 data) with
+      | Some (Ok got) -> Bytes.equal data got
+      | _ -> false)
+
+let test_corruption_detected () =
+  let cells = Atm.Aal5.segment ~vci:1 (mk_payload 200) in
+  let corrupted =
+    List.mapi
+      (fun i (c : Atm.Cell.t) ->
+        if i = 1 then begin
+          let p = Bytes.copy c.payload in
+          Bytes.set p 10 (Char.chr (Char.code (Bytes.get p 10) lxor 0xff));
+          Atm.Cell.make ~vci:c.vci ~eop:c.eop p
+        end
+        else c)
+      cells
+  in
+  match reassemble corrupted with
+  | Some (Error Atm.Aal5.Crc_mismatch) -> ()
+  | _ -> Alcotest.fail "corruption not detected"
+
+let test_lost_cell_detected () =
+  let cells = Atm.Aal5.segment ~vci:1 (mk_payload 200) in
+  (* drop the middle cell: the PDU must be rejected at EOP *)
+  let cells = List.filteri (fun i _ -> i <> 1) cells in
+  (match reassemble cells with
+  | Some (Error _) -> ()
+  | Some (Ok _) -> Alcotest.fail "lost cell not detected"
+  | None -> Alcotest.fail "no EOP result");
+  ()
+
+let test_reassembler_error_count () =
+  let r = Atm.Aal5.Reassembler.create () in
+  let cells = Atm.Aal5.segment ~vci:1 (mk_payload 100) in
+  let cells = List.filteri (fun i _ -> i <> 0) cells in
+  List.iter (fun c -> ignore (Atm.Aal5.Reassembler.push r c)) cells;
+  checki "error counted" 1 (Atm.Aal5.Reassembler.errors r);
+  (* a subsequent healthy PDU goes through *)
+  (match
+     List.fold_left
+       (fun acc c ->
+         match Atm.Aal5.Reassembler.push r c with Some x -> Some x | None -> acc)
+       None
+       (Atm.Aal5.segment ~vci:1 (mk_payload 50))
+   with
+  | Some (Ok _) -> ()
+  | _ -> Alcotest.fail "recovery after error failed")
+
+let test_interleaved_vcis () =
+  (* one reassembler per VCI, as the NI keeps them: cells of two PDUs on
+     different VCIs interleave on the wire without corrupting either *)
+  let r1 = Atm.Aal5.Reassembler.create () in
+  let r2 = Atm.Aal5.Reassembler.create () in
+  let d1 = mk_payload 200 and d2 = Bytes.init 150 (fun i -> Char.chr ((i * 3) mod 256)) in
+  let c1 = Atm.Aal5.segment ~vci:1 d1 and c2 = Atm.Aal5.segment ~vci:2 d2 in
+  let out1 = ref None and out2 = ref None in
+  let rec interleave a b =
+    match (a, b) with
+    | [], [] -> ()
+    | x :: rest, ys ->
+        (match Atm.Aal5.Reassembler.push r1 x with
+        | Some (Ok p) -> out1 := Some p
+        | _ -> ());
+        interleave2 rest ys
+    | [], y :: rest ->
+        (match Atm.Aal5.Reassembler.push r2 y with
+        | Some (Ok p) -> out2 := Some p
+        | _ -> ());
+        interleave [] rest
+  and interleave2 a b =
+    match b with
+    | y :: rest ->
+        (match Atm.Aal5.Reassembler.push r2 y with
+        | Some (Ok p) -> out2 := Some p
+        | _ -> ());
+        interleave a rest
+    | [] -> interleave a []
+  in
+  interleave c1 c2;
+  (match !out1 with
+  | Some p -> check Alcotest.bytes "vci 1 intact" d1 p
+  | None -> Alcotest.fail "vci 1 incomplete");
+  match !out2 with
+  | Some p -> check Alcotest.bytes "vci 2 intact" d2 p
+  | None -> Alcotest.fail "vci 2 incomplete"
+
+let test_pdu_wire_bytes () =
+  checki "one-cell pdu" 53 (Atm.Aal5.pdu_wire_bytes 40);
+  checki "two-cell pdu" 106 (Atm.Aal5.pdu_wire_bytes 41)
+
+(* --- Link ---------------------------------------------------------- *)
+
+let mk_link ?queue_capacity sim =
+  Atm.Link.create sim ?queue_capacity ~bandwidth_mbps:140.
+    ~propagation:(Sim.ns 500) ()
+
+let one_cell vci = Atm.Cell.make ~vci ~eop:true (Bytes.create 48)
+
+let test_link_cell_time () =
+  let sim = Sim.create () in
+  let l = mk_link sim in
+  checki "53 bytes at 140 Mbit/s" 3_029 (Atm.Link.cell_time l)
+
+let test_link_delivery_time () =
+  let sim = Sim.create () in
+  let l = mk_link sim in
+  let at = ref 0 in
+  Atm.Link.set_receiver l (fun _ -> at := Sim.now sim);
+  ignore (Atm.Link.send l (one_cell 1));
+  Sim.run sim;
+  checki "serialization + propagation" 3_529 !at
+
+let test_link_fifo_and_serialization () =
+  let sim = Sim.create () in
+  let l = mk_link sim in
+  let arrivals = ref [] in
+  Atm.Link.set_receiver l (fun c ->
+      arrivals := (c.Atm.Cell.vci, Sim.now sim) :: !arrivals);
+  for i = 1 to 3 do
+    ignore (Atm.Link.send l (one_cell i))
+  done;
+  Sim.run sim;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "in order, spaced by the cell time"
+    [ (1, 3_529); (2, 6_558); (3, 9_587) ]
+    (List.rev !arrivals)
+
+let test_link_queue_overflow () =
+  let sim = Sim.create () in
+  let l = mk_link ~queue_capacity:2 sim in
+  Atm.Link.set_receiver l (fun _ -> ());
+  (* one transmitting + two queued fit; the fourth drops *)
+  checkb "1" true (Atm.Link.send l (one_cell 1));
+  checkb "2" true (Atm.Link.send l (one_cell 2));
+  checkb "3" true (Atm.Link.send l (one_cell 3));
+  checkb "4 dropped" false (Atm.Link.send l (one_cell 4));
+  checki "drop counted" 1 (Atm.Link.cells_dropped l);
+  Sim.run sim;
+  checki "three sent" 3 (Atm.Link.cells_sent l)
+
+let test_link_loss_injection () =
+  let sim = Sim.create () in
+  let l = mk_link sim in
+  let got = ref 0 in
+  Atm.Link.set_receiver l (fun _ -> incr got);
+  Atm.Link.set_loss l (Rng.create 1) ~p:1.0;
+  for _ = 1 to 10 do
+    ignore (Atm.Link.send l (one_cell 1))
+  done;
+  Sim.run sim;
+  checki "all lost" 0 !got;
+  checki "losses counted" 10 (Atm.Link.cells_dropped l)
+
+(* --- Switch -------------------------------------------------------- *)
+
+let test_switch_routing () =
+  let sim = Sim.create () in
+  let sw = Atm.Switch.create sim ~ports:2 ~transit:(Sim.us 2) () in
+  let out = mk_link sim in
+  let got = ref [] in
+  Atm.Link.set_receiver out (fun c -> got := c.Atm.Cell.vci :: !got);
+  Atm.Switch.attach_output sw ~port:1 out;
+  Atm.Switch.add_route sw ~in_port:0 ~in_vci:40 ~out_port:1 ~out_vci:77;
+  Atm.Switch.input sw ~port:0 (one_cell 40);
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "relabelled and delivered" [ 77 ] !got;
+  checki "routed count" 1 (Atm.Switch.cells_routed sw)
+
+let test_switch_unroutable () =
+  let sim = Sim.create () in
+  let sw = Atm.Switch.create sim ~ports:2 ~transit:(Sim.us 2) () in
+  Atm.Switch.input sw ~port:0 (one_cell 99);
+  Sim.run sim;
+  checki "unroutable counted" 1 (Atm.Switch.unroutable sw)
+
+let test_switch_route_conflict () =
+  let sim = Sim.create () in
+  let sw = Atm.Switch.create sim ~ports:2 ~transit:(Sim.us 2) () in
+  Atm.Switch.add_route sw ~in_port:0 ~in_vci:40 ~out_port:1 ~out_vci:1;
+  checkb "duplicate route rejected" true
+    (try
+       Atm.Switch.add_route sw ~in_port:0 ~in_vci:40 ~out_port:1 ~out_vci:2;
+       false
+     with Invalid_argument _ -> true)
+
+let test_switch_remove_route () =
+  let sim = Sim.create () in
+  let sw = Atm.Switch.create sim ~ports:2 ~transit:(Sim.us 2) () in
+  let out = mk_link sim in
+  Atm.Link.set_receiver out (fun _ -> ());
+  Atm.Switch.attach_output sw ~port:1 out;
+  Atm.Switch.add_route sw ~in_port:0 ~in_vci:40 ~out_port:1 ~out_vci:77;
+  Atm.Switch.remove_route sw ~in_port:0 ~in_vci:40;
+  Atm.Switch.input sw ~port:0 (one_cell 40);
+  Sim.run sim;
+  checki "dropped after removal" 1 (Atm.Switch.unroutable sw)
+
+let test_switch_queue_overflow () =
+  let sim = Sim.create () in
+  let sw =
+    Atm.Switch.create sim ~ports:2 ~transit:(Sim.us 2) ~output_queue_capacity:1 ()
+  in
+  let out = mk_link sim in
+  Atm.Link.set_receiver out (fun _ -> ());
+  Atm.Switch.attach_output sw ~port:1 out;
+  Atm.Switch.add_route sw ~in_port:0 ~in_vci:40 ~out_port:1 ~out_vci:40;
+  for _ = 1 to 10 do
+    Atm.Switch.input sw ~port:0 (one_cell 40)
+  done;
+  Sim.run sim;
+  checkb "drops under burst" true (Atm.Switch.cells_dropped sw > 0)
+
+(* --- Network ------------------------------------------------------- *)
+
+let test_network_end_to_end () =
+  let sim = Sim.create () in
+  let net = Atm.Network.create sim ~hosts:3 Atm.Network.default_config in
+  let conn = Atm.Network.connect net ~a:0 ~b:2 in
+  let at2 = ref [] and at0 = ref [] in
+  Atm.Network.attach_rx net ~host:2 (fun c -> at2 := c.Atm.Cell.vci :: !at2);
+  Atm.Network.attach_rx net ~host:0 (fun c -> at0 := c.Atm.Cell.vci :: !at0);
+  Atm.Network.attach_rx net ~host:1 (fun _ -> Alcotest.fail "wrong host");
+  checkb "a->b send" true
+    (Atm.Network.send net ~host:0 (one_cell conn.side_a.tx_vci));
+  checkb "b->a send" true
+    (Atm.Network.send net ~host:2 (one_cell conn.side_b.tx_vci));
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "arrived at b with b's rx vci"
+    [ conn.side_b.rx_vci ] !at2;
+  check (Alcotest.list Alcotest.int) "arrived at a with a's rx vci"
+    [ conn.side_a.rx_vci ] !at0
+
+let test_network_vcis_distinct () =
+  let sim = Sim.create () in
+  let net = Atm.Network.create sim ~hosts:4 Atm.Network.default_config in
+  let c1 = Atm.Network.connect net ~a:0 ~b:1 in
+  let c2 = Atm.Network.connect net ~a:0 ~b:2 in
+  let c3 = Atm.Network.connect net ~a:3 ~b:1 in
+  checkb "tx vcis on host 0 differ" true (c1.side_a.tx_vci <> c2.side_a.tx_vci);
+  checkb "rx vcis on host 1 differ" true (c1.side_b.rx_vci <> c3.side_b.rx_vci)
+
+let test_network_disconnect () =
+  let sim = Sim.create () in
+  let net = Atm.Network.create sim ~hosts:2 Atm.Network.default_config in
+  let conn = Atm.Network.connect net ~a:0 ~b:1 in
+  let got = ref 0 in
+  Atm.Network.attach_rx net ~host:1 (fun _ -> incr got);
+  Atm.Network.disconnect net conn;
+  ignore (Atm.Network.send net ~host:0 (one_cell conn.side_a.tx_vci));
+  Sim.run sim;
+  checki "nothing delivered" 0 !got
+
+let test_network_self_connect_rejected () =
+  let sim = Sim.create () in
+  let net = Atm.Network.create sim ~hosts:2 Atm.Network.default_config in
+  checkb "self connect rejected" true
+    (try
+       ignore (Atm.Network.connect net ~a:1 ~b:1);
+       false
+     with Invalid_argument _ -> true)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "atm"
+    [
+      ( "cell",
+        [
+          Alcotest.test_case "sizes" `Quick test_cell_sizes;
+          Alcotest.test_case "make / relabel" `Quick test_cell_make;
+          Alcotest.test_case "validation" `Quick test_cell_bad_payload;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vector" `Quick test_crc_known_vector;
+          Alcotest.test_case "empty" `Quick test_crc_empty;
+          Alcotest.test_case "chaining" `Quick test_crc_chaining;
+          qt prop_crc_detects_single_bit_flips;
+        ] );
+      ( "aal5",
+        [
+          Alcotest.test_case "cells_for" `Quick test_cells_for;
+          Alcotest.test_case "segment structure" `Quick test_segment_structure;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_simple;
+          qt prop_aal5_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_corruption_detected;
+          Alcotest.test_case "lost cell detected" `Quick test_lost_cell_detected;
+          Alcotest.test_case "error count + recovery" `Quick test_reassembler_error_count;
+          Alcotest.test_case "interleaved VCIs" `Quick test_interleaved_vcis;
+          Alcotest.test_case "wire bytes sawtooth" `Quick test_pdu_wire_bytes;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "cell time" `Quick test_link_cell_time;
+          Alcotest.test_case "delivery time" `Quick test_link_delivery_time;
+          Alcotest.test_case "fifo + serialization" `Quick test_link_fifo_and_serialization;
+          Alcotest.test_case "queue overflow" `Quick test_link_queue_overflow;
+          Alcotest.test_case "loss injection" `Quick test_link_loss_injection;
+        ] );
+      ( "switch",
+        [
+          Alcotest.test_case "routing" `Quick test_switch_routing;
+          Alcotest.test_case "unroutable" `Quick test_switch_unroutable;
+          Alcotest.test_case "route conflict" `Quick test_switch_route_conflict;
+          Alcotest.test_case "remove route" `Quick test_switch_remove_route;
+          Alcotest.test_case "queue overflow" `Quick test_switch_queue_overflow;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "end to end" `Quick test_network_end_to_end;
+          Alcotest.test_case "vcis distinct" `Quick test_network_vcis_distinct;
+          Alcotest.test_case "disconnect" `Quick test_network_disconnect;
+          Alcotest.test_case "self connect" `Quick test_network_self_connect_rejected;
+        ] );
+    ]

@@ -1,0 +1,489 @@
+(* Tests for the discrete-event engine: event queue, processes,
+   synchronization primitives, RNG and statistics. *)
+
+open Engine
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* --- Sim ---------------------------------------------------------- *)
+
+let test_event_ordering () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  ignore (Sim.schedule sim ~delay:30 (fun () -> order := 3 :: !order));
+  ignore (Sim.schedule sim ~delay:10 (fun () -> order := 1 :: !order));
+  ignore (Sim.schedule sim ~delay:20 (fun () -> order := 2 :: !order));
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "events fire in time order" [ 1; 2; 3 ]
+    (List.rev !order)
+
+let test_fifo_same_time () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule sim ~delay:10 (fun () -> order := i :: !order))
+  done;
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "same-instant events are FIFO"
+    [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref 0 in
+  ignore (Sim.schedule sim ~delay:42 (fun () -> seen := Sim.now sim));
+  Sim.run sim;
+  checki "clock equals the event time inside the handler" 42 !seen;
+  checki "clock stays at the last event" 42 (Sim.now sim)
+
+let test_schedule_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:10 (fun () -> ()));
+  Sim.run sim;
+  Alcotest.check_raises "scheduling in the past raises"
+    (Invalid_argument "Sim.schedule_at: time 5 is in the past (now 10)")
+    (fun () -> ignore (Sim.schedule_at sim 5 (fun () -> ())))
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay raises"
+    (Invalid_argument "Sim.schedule: negative delay") (fun () ->
+      ignore (Sim.schedule sim ~delay:(-1) (fun () -> ())))
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~delay:10 (fun () -> fired := true) in
+  Sim.cancel h;
+  Sim.run sim;
+  checkb "cancelled event does not fire" false !fired;
+  Sim.cancel h (* double cancel is a no-op *)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  ignore (Sim.schedule sim ~delay:10 (fun () -> fired := 10 :: !fired));
+  ignore (Sim.schedule sim ~delay:100 (fun () -> fired := 100 :: !fired));
+  Sim.run ~until:50 sim;
+  check (Alcotest.list Alcotest.int) "only events before the limit" [ 10 ] !fired;
+  checki "clock moved to the limit" 50 (Sim.now sim);
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "remaining events run later" [ 100; 10 ]
+    !fired
+
+let test_pending () =
+  let sim = Sim.create () in
+  checki "empty initially" 0 (Sim.pending sim);
+  let h = Sim.schedule sim ~delay:5 (fun () -> ()) in
+  ignore (Sim.schedule sim ~delay:6 (fun () -> ()));
+  checki "two pending" 2 (Sim.pending sim);
+  Sim.cancel h;
+  Sim.run sim;
+  checki "none after run" 0 (Sim.pending sim)
+
+let test_step () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:1 (fun () -> ()));
+  checkb "step fires one" true (Sim.step sim);
+  checkb "no more events" false (Sim.step sim)
+
+let test_time_units () =
+  checki "us" 1_000 (Sim.us 1);
+  checki "ms" 1_000_000 (Sim.ms 1);
+  checki "sec" 1_000_000_000 (Sim.sec 1);
+  check (Alcotest.float 1e-9) "to_us" 1.5 (Sim.to_us 1_500);
+  checki "of_us_f rounds" 1_500 (Sim.of_us_f 1.5)
+
+let prop_heap_ordering =
+  QCheck.Test.make ~name:"events always fire in nondecreasing time order"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 10_000))
+    (fun delays ->
+      let sim = Sim.create () in
+      let times = ref [] in
+      List.iter
+        (fun d -> ignore (Sim.schedule sim ~delay:d (fun () -> times := Sim.now sim :: !times)))
+        delays;
+      Sim.run sim;
+      let fired = List.rev !times in
+      List.sort compare fired = fired && List.length fired = List.length delays)
+
+(* --- Proc --------------------------------------------------------- *)
+
+let test_spawn_runs () =
+  let sim = Sim.create () in
+  let ran = ref false in
+  let p = Proc.spawn sim (fun () -> ran := true) in
+  Sim.run sim;
+  checkb "body ran" true !ran;
+  checkb "state done" true (Proc.state p = Proc.Done)
+
+let test_sleep_advances_time () =
+  let sim = Sim.create () in
+  let t = ref 0 in
+  ignore
+    (Proc.spawn sim (fun () ->
+         Proc.sleep sim ~time:100;
+         Proc.sleep sim ~time:50;
+         t := Sim.now sim));
+  Sim.run sim;
+  checki "slept 150 total" 150 !t
+
+let test_join () =
+  let sim = Sim.create () in
+  let order = ref [] in
+  ignore
+    (Proc.spawn sim (fun () ->
+         let child =
+           Proc.spawn sim (fun () ->
+               Proc.sleep sim ~time:10;
+               order := "child" :: !order)
+         in
+         Proc.join child;
+         order := "parent" :: !order));
+  Sim.run sim;
+  check
+    (Alcotest.list Alcotest.string)
+    "join waits for the child" [ "child"; "parent" ] (List.rev !order)
+
+exception Boom
+
+let test_join_reraises () =
+  let sim = Sim.create () in
+  let caught = ref false in
+  ignore
+    (Proc.spawn sim (fun () ->
+         let child = Proc.spawn sim (fun () -> raise Boom) in
+         Proc.sleep sim ~time:1;
+         try Proc.join child with Boom -> caught := true));
+  Sim.run sim;
+  checkb "exception crossed join" true !caught
+
+let test_failed_state () =
+  let sim = Sim.create () in
+  let p = Proc.spawn sim (fun () -> raise Boom) in
+  Sim.run sim;
+  checkb "failed" true (match Proc.state p with Proc.Failed Boom -> true | _ -> false)
+
+let test_run_to_completion () =
+  let sim = Sim.create () in
+  let v =
+    Proc.run_to_completion sim (fun () ->
+        Proc.sleep sim ~time:5;
+        42)
+  in
+  checki "returns the value" 42 v
+
+let test_run_to_completion_deadlock () =
+  let sim = Sim.create () in
+  let deadlocked =
+    try
+      ignore
+        (Proc.run_to_completion sim (fun () ->
+             Proc.suspend (fun _resume -> ())));
+      false
+    with Failure _ -> true
+  in
+  checkb "deadlock detected" true deadlocked
+
+let test_blocking_outside_process () =
+  let sim = Sim.create () in
+  checkb "raises Not_in_process" true
+    (try
+       Proc.sleep sim ~time:1;
+       false
+     with Proc.Not_in_process -> true)
+
+let test_join_all () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  ignore
+    (Proc.spawn sim (fun () ->
+         let children =
+           List.init 5 (fun i ->
+               Proc.spawn sim (fun () ->
+                   Proc.sleep sim ~time:(10 * (i + 1));
+                   incr count))
+         in
+         Proc.join_all children;
+         checki "all children done at join" 5 !count));
+  Sim.run sim
+
+(* --- Sync --------------------------------------------------------- *)
+
+let test_mailbox_fifo () =
+  let sim = Sim.create () in
+  let mb = Sync.Mailbox.create sim in
+  let got = ref [] in
+  ignore
+    (Proc.spawn sim (fun () ->
+         for _ = 1 to 3 do
+           got := Sync.Mailbox.recv mb :: !got
+         done));
+  ignore
+    (Proc.spawn sim (fun () ->
+         Sync.Mailbox.send mb 1;
+         Sync.Mailbox.send mb 2;
+         Sync.Mailbox.send mb 3));
+  Sim.run sim;
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_blocks () =
+  let sim = Sim.create () in
+  let mb = Sync.Mailbox.create sim in
+  let when_received = ref 0 in
+  ignore
+    (Proc.spawn sim (fun () ->
+         ignore (Sync.Mailbox.recv mb);
+         when_received := Sim.now sim));
+  ignore
+    (Proc.spawn sim (fun () ->
+         Proc.sleep sim ~time:500;
+         Sync.Mailbox.send mb ()));
+  Sim.run sim;
+  checki "recv blocked until the send" 500 !when_received
+
+let test_mailbox_timeout () =
+  let sim = Sim.create () in
+  let mb : int Sync.Mailbox.t = Sync.Mailbox.create sim in
+  let r = ref (Some 0) in
+  ignore (Proc.spawn sim (fun () -> r := Sync.Mailbox.recv_timeout mb ~timeout:100));
+  Sim.run sim;
+  checkb "timed out" true (!r = None);
+  checki "time advanced to the deadline" 100 (Sim.now sim)
+
+let test_mailbox_timeout_delivery () =
+  let sim = Sim.create () in
+  let mb = Sync.Mailbox.create sim in
+  let r = ref None in
+  ignore (Proc.spawn sim (fun () -> r := Sync.Mailbox.recv_timeout mb ~timeout:100));
+  ignore (Proc.spawn sim (fun () -> Proc.sleep sim ~time:10; Sync.Mailbox.send mb 7));
+  Sim.run sim;
+  checkb "delivered before deadline" true (!r = Some 7)
+
+let test_semaphore () =
+  let sim = Sim.create () in
+  let sem = Sync.Semaphore.create sim 2 in
+  let active = ref 0 and max_active = ref 0 in
+  for _ = 1 to 5 do
+    ignore
+      (Proc.spawn sim (fun () ->
+           Sync.Semaphore.acquire sem;
+           incr active;
+           if !active > !max_active then max_active := !active;
+           Proc.sleep sim ~time:10;
+           decr active;
+           Sync.Semaphore.release sem))
+  done;
+  Sim.run sim;
+  checki "at most 2 concurrent holders" 2 !max_active
+
+let test_try_acquire () =
+  let sim = Sim.create () in
+  let sem = Sync.Semaphore.create sim 1 in
+  checkb "first succeeds" true (Sync.Semaphore.try_acquire sem);
+  checkb "second fails" false (Sync.Semaphore.try_acquire sem);
+  Sync.Semaphore.release sem;
+  checki "released" 1 (Sync.Semaphore.available sem)
+
+let test_condition_broadcast () =
+  let sim = Sim.create () in
+  let cond = Sync.Condition.create sim in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Proc.spawn sim (fun () ->
+           Sync.Condition.wait cond;
+           incr woken))
+  done;
+  ignore
+    (Proc.spawn sim (fun () ->
+         Proc.sleep sim ~time:10;
+         Sync.Condition.broadcast cond));
+  Sim.run sim;
+  checki "all woken" 3 !woken
+
+let test_wait_for () =
+  let sim = Sim.create () in
+  let cond = Sync.Condition.create sim in
+  let flag = ref false and done_at = ref 0 in
+  ignore
+    (Proc.spawn sim (fun () ->
+         Sync.Condition.wait_for cond (fun () -> !flag);
+         done_at := Sim.now sim));
+  ignore
+    (Proc.spawn sim (fun () ->
+         Proc.sleep sim ~time:5;
+         Sync.Condition.broadcast cond (* spurious: predicate still false *);
+         Proc.sleep sim ~time:5;
+         flag := true;
+         Sync.Condition.broadcast cond));
+  Sim.run sim;
+  checki "waited through the spurious wakeup" 10 !done_at
+
+let test_server_serializes () =
+  let sim = Sim.create () in
+  let server = Sync.Server.create sim in
+  let completions = ref [] in
+  Sync.Server.submit server ~cost:10 (fun () ->
+      completions := (1, Sim.now sim) :: !completions);
+  Sync.Server.submit server ~cost:5 (fun () ->
+      completions := (2, Sim.now sim) :: !completions);
+  checki "one queued behind the running job" 1 (Sync.Server.queue_length server);
+  Sim.run sim;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "jobs run back to back, FIFO"
+    [ (1, 10); (2, 15) ]
+    (List.rev !completions);
+  checki "busy time accumulated" 15 (Sync.Server.busy_time server)
+
+let test_server_idle_restart () =
+  let sim = Sim.create () in
+  let server = Sync.Server.create sim in
+  let last = ref 0 in
+  Sync.Server.submit server ~cost:10 (fun () -> last := Sim.now sim);
+  Sim.run sim;
+  ignore (Sim.schedule sim ~delay:100 (fun () ->
+      Sync.Server.submit server ~cost:7 (fun () -> last := Sim.now sim)));
+  Sim.run sim;
+  checki "second job starts when submitted" 117 !last
+
+(* --- Rng ---------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check (Alcotest.list Alcotest.int) "same seed, same stream" xs ys
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  checkb "different seeds differ" true (xs <> ys)
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  checkb "split stream differs" true (xs <> ys)
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 3 in
+  checkb "p=0 never true" false
+    (List.exists Fun.id (List.init 50 (fun _ -> Rng.bernoulli rng ~p:0.)));
+  checkb "p=1 always true" true
+    (List.for_all Fun.id (List.init 50 (fun _ -> Rng.bernoulli rng ~p:1.)))
+
+let prop_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle preserves the multiset" ~count:100
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let a = Array.of_list l in
+      Rng.shuffle (Rng.create seed) a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_exponential_positive () =
+  let rng = Rng.create 5 in
+  checkb "exponential samples positive" true
+    (List.for_all (fun x -> x > 0.) (List.init 100 (fun _ -> Rng.exponential rng ~mean:5.)))
+
+(* --- Stats -------------------------------------------------------- *)
+
+let test_counter () =
+  let c = Stats.Counter.create "c" in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  checki "value" 5 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  checki "reset" 0 (Stats.Counter.value c)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  checki "count" 5 (Stats.Summary.count s);
+  check (Alcotest.float 1e-9) "mean" 3. (Stats.Summary.mean s);
+  check (Alcotest.float 1e-9) "min" 1. (Stats.Summary.min s);
+  check (Alcotest.float 1e-9) "max" 5. (Stats.Summary.max s);
+  check (Alcotest.float 1e-9) "median" 3. (Stats.Summary.percentile s 0.5);
+  check (Alcotest.float 1e-9) "total" 15. (Stats.Summary.total s)
+
+let test_series () =
+  let s = Stats.Series.make "s" [ (1., 10.); (2., 20.); (3., 15.) ] in
+  check (Alcotest.float 1e-9) "y_at exact" 20. (Stats.Series.y_at s 2.);
+  check (Alcotest.float 1e-9) "y_at nearest" 15. (Stats.Series.y_at s 2.9);
+  check (Alcotest.float 1e-9) "max_y" 20. (Stats.Series.max_y s);
+  check (Alcotest.float 1e-9) "min_y" 10. (Stats.Series.min_y s)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "event ordering" `Quick test_event_ordering;
+          Alcotest.test_case "same-time FIFO" `Quick test_fifo_same_time;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "past rejected" `Quick test_schedule_past_rejected;
+          Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "pending" `Quick test_pending;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "time units" `Quick test_time_units;
+          qt prop_heap_ordering;
+        ] );
+      ( "proc",
+        [
+          Alcotest.test_case "spawn runs" `Quick test_spawn_runs;
+          Alcotest.test_case "sleep advances time" `Quick test_sleep_advances_time;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "join re-raises" `Quick test_join_reraises;
+          Alcotest.test_case "failed state" `Quick test_failed_state;
+          Alcotest.test_case "run_to_completion" `Quick test_run_to_completion;
+          Alcotest.test_case "deadlock detection" `Quick test_run_to_completion_deadlock;
+          Alcotest.test_case "blocking outside process" `Quick test_blocking_outside_process;
+          Alcotest.test_case "join_all" `Quick test_join_all;
+        ] );
+      ( "sync",
+        [
+          Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "mailbox blocks" `Quick test_mailbox_blocks;
+          Alcotest.test_case "mailbox timeout" `Quick test_mailbox_timeout;
+          Alcotest.test_case "mailbox timeout delivery" `Quick test_mailbox_timeout_delivery;
+          Alcotest.test_case "semaphore" `Quick test_semaphore;
+          Alcotest.test_case "try_acquire" `Quick test_try_acquire;
+          Alcotest.test_case "condition broadcast" `Quick test_condition_broadcast;
+          Alcotest.test_case "wait_for" `Quick test_wait_for;
+          Alcotest.test_case "server serializes" `Quick test_server_serializes;
+          Alcotest.test_case "server idle restart" `Quick test_server_idle_restart;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          qt prop_rng_int_bounds;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          qt prop_shuffle_permutes;
+          Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "series" `Quick test_series;
+        ] );
+    ]

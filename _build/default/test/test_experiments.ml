@@ -1,0 +1,21 @@
+(* Reproduction tests: every table and figure of the paper's evaluation is
+   re-run (at reduced iteration counts) and its qualitative claims are
+   asserted — orderings, crossovers, saturation points, and values within
+   tolerance bands of the paper's numbers. *)
+
+let experiment_case (e : Experiments.Registry.experiment) =
+  Alcotest.test_case e.name `Slow (fun () ->
+      let results = e.checks ~quick:true in
+      Alcotest.(check bool)
+        (Fmt.str "%s: %a" e.name
+           Fmt.(list ~sep:comma (pair ~sep:(any "=") string bool))
+           results)
+        true
+        (List.for_all snd results))
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "paper-claims",
+        List.map experiment_case Experiments.Registry.all );
+    ]

@@ -1,0 +1,185 @@
+(* Tests for the host substrate: machines, CPU accounting, pinned memory,
+   the mbuf model and the kernel path costs. *)
+
+open Engine
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* --- Machine ------------------------------------------------------- *)
+
+let test_scale_reference () =
+  checki "reference machine costs unchanged" 1_000
+    (Host.Machine.scale Host.Machine.ss20 1_000)
+
+let test_scale_slower () =
+  (* 50 MHz runs a 60 MHz-calibrated cost 1.2x slower *)
+  checki "ss10 scales up" 1_200 (Host.Machine.scale Host.Machine.ss10 1_000)
+
+(* --- Cpu ----------------------------------------------------------- *)
+
+let test_charge_advances_and_accounts () =
+  let sim = Sim.create () in
+  let cpu = Host.Cpu.create sim Host.Machine.ss20 in
+  ignore
+    (Proc.spawn sim (fun () ->
+         Host.Cpu.charge cpu 5_000;
+         Host.Cpu.charge_us cpu 2.));
+  Sim.run sim;
+  checki "time advanced" 7_000 (Sim.now sim);
+  checki "busy accounted" 7_000 (Host.Cpu.busy_time cpu)
+
+let test_charge_cycles () =
+  let sim = Sim.create () in
+  let cpu = Host.Cpu.create sim Host.Machine.ss20 in
+  ignore (Proc.spawn sim (fun () -> Host.Cpu.charge_cycles cpu 60));
+  Sim.run sim;
+  checki "60 cycles at 60 MHz = 1 us" 1_000 (Sim.now sim)
+
+let test_copy_cost () =
+  let sim = Sim.create () in
+  let cpu = Host.Cpu.create sim Host.Machine.ss20 in
+  checki "19 ns per byte" 1_900 (Host.Cpu.copy_cost cpu ~bytes:100)
+
+let test_scaled_charge_on_ss10 () =
+  let sim = Sim.create () in
+  let cpu = Host.Cpu.create sim Host.Machine.ss10 in
+  ignore (Proc.spawn sim (fun () -> Host.Cpu.charge cpu 1_000));
+  Sim.run sim;
+  checki "cost scaled for the slower clock" 1_200 (Sim.now sim)
+
+(* --- Pinned -------------------------------------------------------- *)
+
+let test_pinned_accounting () =
+  let p = Host.Pinned.create ~capacity:1_000 in
+  checkb "reserve ok" true (Host.Pinned.reserve p 600);
+  checki "used" 600 (Host.Pinned.used p);
+  checkb "over-reserve fails" false (Host.Pinned.reserve p 500);
+  checki "unchanged after failure" 600 (Host.Pinned.used p);
+  Host.Pinned.release p 100;
+  checki "released" 500 (Host.Pinned.used p);
+  checkb "fits now" true (Host.Pinned.reserve p 500);
+  checki "full" 0 (Host.Pinned.available p)
+
+let test_pinned_over_release () =
+  let p = Host.Pinned.create ~capacity:10 in
+  ignore (Host.Pinned.reserve p 5);
+  checkb "over-release rejected" true
+    (try
+       Host.Pinned.release p 6;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Mbuf ---------------------------------------------------------- *)
+
+let chain = Alcotest.testable
+    (fun fmt (c : Host.Mbuf.chain) ->
+      Format.fprintf fmt "{clusters=%d; smalls=%d}" c.clusters c.smalls)
+    ( = )
+
+let test_chain_exact_clusters () =
+  check chain "2048 = 2 clusters" { Host.Mbuf.clusters = 2; smalls = 0 }
+    (Host.Mbuf.chain_for 2048)
+
+let test_chain_large_remainder () =
+  (* remainder 512 takes one more cluster *)
+  check chain "1536" { Host.Mbuf.clusters = 2; smalls = 0 }
+    (Host.Mbuf.chain_for 1536)
+
+let test_chain_small_remainder () =
+  (* remainder 376 < 512 is chopped into 112-byte mbufs *)
+  check chain "1400" { Host.Mbuf.clusters = 1; smalls = 4 }
+    (Host.Mbuf.chain_for 1400)
+
+let test_chain_boundaries () =
+  check chain "511 -> smalls" { Host.Mbuf.clusters = 0; smalls = 5 }
+    (Host.Mbuf.chain_for 511);
+  check chain "512 -> cluster" { Host.Mbuf.clusters = 1; smalls = 0 }
+    (Host.Mbuf.chain_for 512);
+  check chain "zero" { Host.Mbuf.clusters = 0; smalls = 0 }
+    (Host.Mbuf.chain_for 0)
+
+let test_sawtooth_cost () =
+  let cfg = Host.Mbuf.sunos_config in
+  (* the paper's sawtooth: just below a half-cluster boundary costs more
+     than the cluster-aligned size above it *)
+  checkb "2400 handled slower than 2048" true
+    (Host.Mbuf.handling_cost cfg 2400 > Host.Mbuf.handling_cost cfg 2048);
+  checkb "2560 (remainder 512) back to cluster cost" true
+    (Host.Mbuf.handling_cost cfg 2560 < Host.Mbuf.handling_cost cfg 2400)
+
+let prop_chain_covers_packet =
+  QCheck.Test.make ~name:"mbuf chain always covers the packet" ~count:200
+    QCheck.(int_range 0 20_000)
+    (fun len ->
+      let c = Host.Mbuf.chain_for len in
+      (c.Host.Mbuf.clusters * 1024) + (c.Host.Mbuf.smalls * 112) >= len)
+
+(* --- Kernel -------------------------------------------------------- *)
+
+let test_kernel_costs_positive_and_growing () =
+  let cfg = Host.Kernel.sunos in
+  let s1 = Host.Kernel.send_cost cfg Host.Kernel.Udp ~len:100 in
+  let s2 = Host.Kernel.send_cost cfg Host.Kernel.Udp ~len:8_000 in
+  checkb "positive" true (s1 > 0);
+  checkb "larger packets cost more" true (s2 > s1);
+  checkb "tcp processing exceeds udp" true
+    (Host.Kernel.send_cost cfg Host.Kernel.Tcp ~len:100 > s1)
+
+let test_sockbuf () =
+  let sb = Host.Kernel.Sockbuf.create ~limit:100 in
+  checkb "offer ok" true (Host.Kernel.Sockbuf.offer sb 60);
+  checkb "overflow dropped" false (Host.Kernel.Sockbuf.offer sb 50);
+  checki "drop counted" 1 (Host.Kernel.Sockbuf.drops sb);
+  Host.Kernel.Sockbuf.take sb 60;
+  checkb "fits after drain" true (Host.Kernel.Sockbuf.offer sb 50);
+  checki "used" 50 (Host.Kernel.Sockbuf.used sb)
+
+let test_sockbuf_over_take () =
+  let sb = Host.Kernel.Sockbuf.create ~limit:100 in
+  ignore (Host.Kernel.Sockbuf.offer sb 10);
+  checkb "over-take rejected" true
+    (try
+       Host.Kernel.Sockbuf.take sb 20;
+       false
+     with Invalid_argument _ -> true)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "host"
+    [
+      ( "machine",
+        [
+          Alcotest.test_case "reference scale" `Quick test_scale_reference;
+          Alcotest.test_case "slower clock" `Quick test_scale_slower;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "charge + accounting" `Quick test_charge_advances_and_accounts;
+          Alcotest.test_case "cycles" `Quick test_charge_cycles;
+          Alcotest.test_case "copy cost" `Quick test_copy_cost;
+          Alcotest.test_case "ss10 scaling" `Quick test_scaled_charge_on_ss10;
+        ] );
+      ( "pinned",
+        [
+          Alcotest.test_case "accounting" `Quick test_pinned_accounting;
+          Alcotest.test_case "over-release" `Quick test_pinned_over_release;
+        ] );
+      ( "mbuf",
+        [
+          Alcotest.test_case "exact clusters" `Quick test_chain_exact_clusters;
+          Alcotest.test_case "large remainder" `Quick test_chain_large_remainder;
+          Alcotest.test_case "small remainder" `Quick test_chain_small_remainder;
+          Alcotest.test_case "boundaries" `Quick test_chain_boundaries;
+          Alcotest.test_case "sawtooth" `Quick test_sawtooth_cost;
+          qt prop_chain_covers_packet;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "costs" `Quick test_kernel_costs_positive_and_growing;
+          Alcotest.test_case "sockbuf" `Quick test_sockbuf;
+          Alcotest.test_case "sockbuf over-take" `Quick test_sockbuf_over_take;
+        ] );
+    ]

@@ -1,0 +1,258 @@
+(* Tests for the service layers built over UAM: the binary wire codec, the
+   RPC layer (transaction matching, concurrency, failures, timeouts) and
+   the totally-ordered group broadcast. *)
+
+open Engine
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+
+(* --- Wire ------------------------------------------------------------ *)
+
+let test_wire_roundtrip_basics () =
+  let w = Services.Wire.Writer.create () in
+  Services.Wire.Writer.u8 w 200;
+  Services.Wire.Writer.u16 w 40_000;
+  Services.Wire.Writer.u32 w 3_000_000_000;
+  Services.Wire.Writer.i64 w (-123_456_789);
+  Services.Wire.Writer.string w "hello";
+  Services.Wire.Writer.bool w true;
+  Services.Wire.Writer.list w Services.Wire.Writer.i64 [ 1; 2; 3 ];
+  Services.Wire.Writer.option w Services.Wire.Writer.string (Some "x");
+  Services.Wire.Writer.option w Services.Wire.Writer.string None;
+  let r = Services.Wire.Reader.of_bytes (Services.Wire.Writer.contents w) in
+  checki "u8" 200 (Services.Wire.Reader.u8 r);
+  checki "u16" 40_000 (Services.Wire.Reader.u16 r);
+  checki "u32" 3_000_000_000 (Services.Wire.Reader.u32 r);
+  checki "i64" (-123_456_789) (Services.Wire.Reader.i64 r);
+  check Alcotest.string "string" "hello" (Services.Wire.Reader.string r);
+  checkb "bool" true (Services.Wire.Reader.bool r);
+  check (Alcotest.list Alcotest.int) "list" [ 1; 2; 3 ]
+    (Services.Wire.Reader.list r Services.Wire.Reader.i64);
+  checkb "some" true
+    (Services.Wire.Reader.option r Services.Wire.Reader.string = Some "x");
+  checkb "none" true
+    (Services.Wire.Reader.option r Services.Wire.Reader.string = None);
+  checki "fully consumed" 0 (Services.Wire.Reader.remaining r)
+
+let test_wire_truncation () =
+  let w = Services.Wire.Writer.create () in
+  Services.Wire.Writer.u32 w 99;
+  let whole = Services.Wire.Writer.contents w in
+  let r = Services.Wire.Reader.of_bytes (Bytes.sub whole 0 2) in
+  checkb "truncated read raises" true
+    (try
+       ignore (Services.Wire.Reader.u32 r);
+       false
+     with Services.Wire.Truncated -> true)
+
+let test_wire_range_checks () =
+  let w = Services.Wire.Writer.create () in
+  checkb "u8 range" true
+    (try Services.Wire.Writer.u8 w 256; false with Invalid_argument _ -> true);
+  checkb "u16 range" true
+    (try Services.Wire.Writer.u16 w (-1); false with Invalid_argument _ -> true)
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire codec round-trips arbitrary records" ~count:200
+    QCheck.(
+      triple (list small_int) (small_list (string_of_size Gen.(int_range 0 40)))
+        (option bool))
+    (fun (ints, strings, flag) ->
+      let w = Services.Wire.Writer.create () in
+      Services.Wire.Writer.list w Services.Wire.Writer.i64 ints;
+      Services.Wire.Writer.list w Services.Wire.Writer.string strings;
+      Services.Wire.Writer.option w Services.Wire.Writer.bool flag;
+      let r = Services.Wire.Reader.of_bytes (Services.Wire.Writer.contents w) in
+      let ints' = Services.Wire.Reader.list r Services.Wire.Reader.i64 in
+      let strings' = Services.Wire.Reader.list r Services.Wire.Reader.string in
+      let flag' = Services.Wire.Reader.option r Services.Wire.Reader.bool in
+      ints = ints' && strings = strings' && flag = flag'
+      && Services.Wire.Reader.remaining r = 0)
+
+(* --- Rpc ------------------------------------------------------------- *)
+
+let rpc_pair () =
+  let c = Cluster.create () in
+  let a0 = Uam.create (Cluster.node c 0).unet ~rank:0 ~nodes:2 in
+  let a1 = Uam.create (Cluster.node c 1).unet ~rank:1 ~nodes:2 in
+  Uam.connect a0 a1;
+  (c, Services.Rpc.attach a0, Services.Rpc.attach a1)
+
+let test_rpc_roundtrip () =
+  let c, r0, r1 = rpc_pair () in
+  Services.Rpc.register r1 ~proc:1 (fun ~src arg ->
+      checki "caller identified" 0 src;
+      Bytes.cat arg (Bytes.of_string "-served"));
+  ignore (Proc.spawn c.sim (fun () -> Services.Rpc.serve_forever r1));
+  let got = ref "" in
+  ignore
+    (Proc.spawn c.sim (fun () ->
+         got :=
+           Bytes.to_string
+             (Services.Rpc.call r0 ~dst:1 ~proc:1 (Bytes.of_string "req"))));
+  Sim.run ~until:(Sim.sec 5) c.sim;
+  check Alcotest.string "result" "req-served" !got;
+  checki "one call made" 1 (Services.Rpc.calls_made r0);
+  checki "one call served" 1 (Services.Rpc.calls_served r1)
+
+let test_rpc_sequential_calls () =
+  let c, r0, r1 = rpc_pair () in
+  let counter = ref 0 in
+  Services.Rpc.register r1 ~proc:1 (fun ~src:_ _ ->
+      incr counter;
+      let w = Services.Wire.Writer.create () in
+      Services.Wire.Writer.i64 w !counter;
+      Services.Wire.Writer.contents w);
+  ignore (Proc.spawn c.sim (fun () -> Services.Rpc.serve_forever r1));
+  let results = ref [] in
+  ignore
+    (Proc.spawn c.sim (fun () ->
+         for _ = 1 to 20 do
+           let b = Services.Rpc.call r0 ~dst:1 ~proc:1 Bytes.empty in
+           results :=
+             Services.Wire.Reader.i64 (Services.Wire.Reader.of_bytes b)
+             :: !results
+         done));
+  Sim.run ~until:(Sim.sec 5) c.sim;
+  check
+    (Alcotest.list Alcotest.int)
+    "calls executed once each, in order"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !results)
+
+let test_rpc_concurrent_clients () =
+  let c, r0, r1 = rpc_pair () in
+  Services.Rpc.register r1 ~proc:7 (fun ~src:_ arg -> arg);
+  ignore (Proc.spawn c.sim (fun () -> Services.Rpc.serve_forever r1));
+  let ok = ref 0 in
+  for p = 1 to 4 do
+    ignore
+      (Proc.spawn c.sim (fun () ->
+           for i = 1 to 10 do
+             let msg = Bytes.of_string (Printf.sprintf "p%d-%d" p i) in
+             if Bytes.equal (Services.Rpc.call r0 ~dst:1 ~proc:7 msg) msg then
+               incr ok
+           done))
+  done;
+  Sim.run ~until:(Sim.sec 10) c.sim;
+  checki "all concurrent calls matched their replies" 40 !ok
+
+let test_rpc_unknown_proc () =
+  let c, r0, r1 = rpc_pair () in
+  ignore (Proc.spawn c.sim (fun () -> Services.Rpc.serve_forever r1));
+  let got_error = ref false in
+  ignore
+    (Proc.spawn c.sim (fun () ->
+         try ignore (Services.Rpc.call r0 ~dst:1 ~proc:42 Bytes.empty)
+         with Services.Rpc.Remote_error _ -> got_error := true));
+  Sim.run ~until:(Sim.sec 5) c.sim;
+  checkb "remote error surfaced" true !got_error
+
+let test_rpc_handler_exception () =
+  let c, r0, r1 = rpc_pair () in
+  Services.Rpc.register r1 ~proc:1 (fun ~src:_ _ -> failwith "boom");
+  ignore (Proc.spawn c.sim (fun () -> Services.Rpc.serve_forever r1));
+  let msg = ref "" in
+  ignore
+    (Proc.spawn c.sim (fun () ->
+         try ignore (Services.Rpc.call r0 ~dst:1 ~proc:1 Bytes.empty)
+         with Services.Rpc.Remote_error m -> msg := m));
+  Sim.run ~until:(Sim.sec 5) c.sim;
+  checkb "exception text crossed the wire" true (String.length !msg > 0)
+
+let test_rpc_timeout () =
+  (* the server never polls: the call must time out, not hang *)
+  let c, r0, _r1 = rpc_pair () in
+  let timed_out = ref false in
+  ignore
+    (Proc.spawn c.sim (fun () ->
+         try ignore (Services.Rpc.call ~timeout:(Sim.ms 50) r0 ~dst:1 ~proc:1 Bytes.empty)
+         with Services.Rpc.Timeout -> timed_out := true));
+  Sim.run ~until:(Sim.sec 5) c.sim;
+  checkb "timed out" true !timed_out
+
+let test_rpc_server_calls_back () =
+  (* node 1's handler makes its own RPC to node 0 before answering:
+     re-entrancy through the poll loop *)
+  let c, r0, r1 = rpc_pair () in
+  Services.Rpc.register r0 ~proc:2 (fun ~src:_ _ -> Bytes.of_string "inner");
+  Services.Rpc.register r1 ~proc:1 (fun ~src:_ _ ->
+      let inner = Services.Rpc.call r1 ~dst:0 ~proc:2 Bytes.empty in
+      Bytes.cat inner (Bytes.of_string "+outer"));
+  ignore (Proc.spawn c.sim (fun () -> Services.Rpc.serve_forever r1));
+  let got = ref "" in
+  ignore
+    (Proc.spawn c.sim (fun () ->
+         got := Bytes.to_string (Services.Rpc.call r0 ~dst:1 ~proc:1 Bytes.empty)));
+  Sim.run ~until:(Sim.sec 5) c.sim;
+  check Alcotest.string "nested call" "inner+outer" !got
+
+(* --- Group ------------------------------------------------------------ *)
+
+let test_group_total_order () =
+  let nodes = 4 in
+  let c = Cluster.create ~hosts:nodes () in
+  let ams =
+    Array.init nodes (fun r -> Uam.create (Cluster.node c r).unet ~rank:r ~nodes)
+  in
+  Uam.connect_all ams;
+  let logs = Array.init nodes (fun _ -> ref []) in
+  let groups =
+    Array.init nodes (fun r ->
+        Services.Group.create ams.(r) ~deliver:(fun ~seq ~src payload ->
+            logs.(r) := (seq, src, Bytes.to_string payload) :: !(logs.(r))))
+  in
+  let per_node = 10 in
+  let total = nodes * per_node in
+  Array.iteri
+    (fun r g ->
+      ignore
+        (Proc.spawn c.sim (fun () ->
+             for i = 1 to per_node do
+               Services.Group.broadcast g
+                 (Bytes.of_string (Printf.sprintf "m%d.%d" r i));
+               (* interleave with protocol service *)
+               Services.Group.serve g ~until:(fun () -> true)
+             done;
+             Services.Group.serve g ~until:(fun () ->
+                 Services.Group.delivered g >= total))))
+    groups;
+  Sim.run ~until:(Sim.sec 30) c.sim;
+  let reference = List.rev !(logs.(0)) in
+  checki "all messages delivered everywhere" total (List.length reference);
+  Array.iteri
+    (fun r log ->
+      check
+        (Alcotest.list (Alcotest.triple Alcotest.int Alcotest.int Alcotest.string))
+        (Printf.sprintf "node %d delivered the identical sequence" r)
+        reference (List.rev !log))
+    logs;
+  (* sequence numbers are exactly 0..total-1 in order *)
+  checkb "gapless sequence" true
+    (List.mapi (fun i (seq, _, _) -> i = seq) reference |> List.for_all Fun.id)
+
+let () =
+  Alcotest.run "services"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_wire_roundtrip_basics;
+          Alcotest.test_case "truncation" `Quick test_wire_truncation;
+          Alcotest.test_case "range checks" `Quick test_wire_range_checks;
+          QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+          Alcotest.test_case "sequential calls" `Quick test_rpc_sequential_calls;
+          Alcotest.test_case "concurrent clients" `Quick test_rpc_concurrent_clients;
+          Alcotest.test_case "unknown procedure" `Quick test_rpc_unknown_proc;
+          Alcotest.test_case "handler exception" `Quick test_rpc_handler_exception;
+          Alcotest.test_case "timeout" `Quick test_rpc_timeout;
+          Alcotest.test_case "server calls back" `Quick test_rpc_server_calls_back;
+        ] );
+      ( "group",
+        [ Alcotest.test_case "total order" `Quick test_group_total_order ] );
+    ]

@@ -1,0 +1,296 @@
+(* Tests for the Split-C layer: the machine-model transports, the runtime's
+   global operations on both transports, and the seven benchmarks'
+   correctness at small scale. *)
+
+open Engine
+
+let check = Alcotest.check
+let checki = check Alcotest.int
+let checkb = check Alcotest.bool
+module R = Splitc.Runtime
+
+let cm5_transports ?(nodes = 4) () =
+  let sim = Sim.create () in
+  Splitc.Machine_model.transports
+    (Splitc.Machine_model.create sim ~nodes Splitc.Machine_model.cm5)
+
+let uam_transports ?(nodes = 4) () =
+  let c = Cluster.create ~hosts:nodes () in
+  let ams =
+    Array.init nodes (fun r -> Uam.create (Cluster.node c r).unet ~rank:r ~nodes)
+  in
+  Uam.connect_all ams;
+  Array.map Splitc.Transport.of_uam ams
+
+let both name f =
+  [
+    Alcotest.test_case (name ^ " [cm5 model]") `Quick (fun () ->
+        f (cm5_transports ()));
+    Alcotest.test_case (name ^ " [uam cluster]") `Quick (fun () ->
+        f (uam_transports ()));
+  ]
+
+(* --- machine model specifics ----------------------------------------- *)
+
+let test_model_overhead_charged () =
+  let sim = Sim.create () in
+  let f = Splitc.Machine_model.create sim ~nodes:2 Splitc.Machine_model.meiko_cs2 in
+  let tps = Splitc.Machine_model.transports f in
+  let send_time = ref 0 in
+  tps.(1).Splitc.Transport.register 1 (fun ~src:_ ~reply:_ ~args:_ ~payload:_ -> ());
+  ignore
+    (Proc.spawn sim (fun () ->
+         let t0 = Sim.now sim in
+         tps.(0).Splitc.Transport.request ~dst:1 ~handler:1 ();
+         send_time := Sim.now sim - t0));
+  ignore (Proc.spawn sim (fun () -> tps.(1).Splitc.Transport.flush ()));
+  Sim.run ~until:(Sim.sec 1) sim;
+  checki "sender charged o = 11 us" 11_000 !send_time
+
+let test_model_rtt_matches_spec () =
+  let sim = Sim.create () in
+  let f = Splitc.Machine_model.create sim ~nodes:2 Splitc.Machine_model.cm5 in
+  let tps = Splitc.Machine_model.transports f in
+  let done_at = ref 0 in
+  tps.(1).Splitc.Transport.register 1 (fun ~src:_ ~reply ~args:_ ~payload:_ ->
+      (Option.get reply) ~handler:2 ());
+  let got = ref false in
+  tps.(0).Splitc.Transport.register 2 (fun ~src:_ ~reply:_ ~args:_ ~payload:_ ->
+      got := true);
+  ignore
+    (Proc.spawn sim (fun () ->
+         tps.(0).Splitc.Transport.request ~dst:1 ~handler:1 ();
+         tps.(0).Splitc.Transport.poll_until (fun () -> !got);
+         done_at := Sim.now sim));
+  ignore
+    (Proc.spawn sim (fun () ->
+         tps.(1).Splitc.Transport.poll_until (fun () -> false)));
+  Sim.run ~until:(Sim.sec 1) sim;
+  (* request/reply includes 4x o(3us) + 2x net latency(6us each) = 24 us
+     on the CM-5 model: sanity band around the 12 us network RTT + overheads *)
+  checkb
+    (Printf.sprintf "CM-5 model RTT = %d ns plausible" !done_at)
+    true
+    (!done_at >= 12_000 && !done_at <= 40_000)
+
+(* --- runtime collectives --------------------------------------------- *)
+
+let test_barrier tps =
+  let n = Array.length tps in
+  let after = R.run tps (fun ctx ->
+      (* stagger arrival; everyone must leave together *)
+      if R.rank ctx > 0 then
+        Proc.sleep (R.sim ctx) ~time:(Sim.us (100 * R.rank ctx));
+      R.barrier ctx;
+      Sim.now (R.sim ctx))
+  in
+  let latest_arrival = Array.fold_left max 0 after in
+  Array.iter
+    (fun t -> checkb "no one left before the last arrived" true (t >= latest_arrival - 1_000_000))
+    after;
+  checki "all ranks returned" n (Array.length after)
+
+let test_reduce tps =
+  let out = R.run tps (fun ctx ->
+      let r = R.rank ctx in
+      let s = R.reduce_int ctx R.Sum (r + 1) in
+      let mn = R.reduce_int ctx R.Min (r + 1) in
+      let mx = R.reduce_int ctx R.Max (r + 1) in
+      let f = R.reduce_float ctx R.Sum (float_of_int r +. 0.5) in
+      (s, mn, mx, f))
+  in
+  let n = Array.length tps in
+  Array.iter
+    (fun (s, mn, mx, f) ->
+      checki "sum" (n * (n + 1) / 2) s;
+      checki "min" 1 mn;
+      checki "max" n mx;
+      check (Alcotest.float 1e-9) "float sum"
+        (float_of_int (n * (n - 1) / 2) +. (0.5 *. float_of_int n))
+        f)
+    out
+
+let test_broadcast tps =
+  let out = R.run tps (fun ctx ->
+      let v =
+        if R.rank ctx = 0 then [| 3; 1; 4; 1; 5 |] else Array.make 5 0
+      in
+      R.broadcast_ints ctx ~root:0 v)
+  in
+  Array.iter
+    (fun got -> check (Alcotest.array Alcotest.int) "broadcast" [| 3; 1; 4; 1; 5 |] got)
+    out
+
+let test_read_write tps =
+  let out = R.run tps (fun ctx ->
+      let n = R.nprocs ctx in
+      let r = R.rank ctx in
+      R.register_ints ctx ~id:1 (Array.make n (-1));
+      R.register_floats ctx ~id:2 (Array.make n 0.);
+      R.barrier ctx;
+      (* everyone writes its rank into everyone's slot r *)
+      for p = 0 to n - 1 do
+        R.write_int ctx ~proc:p ~arr:1 ~idx:r r;
+        R.write_float ctx ~proc:p ~arr:2 ~idx:r (float_of_int r *. 2.)
+      done;
+      R.barrier ctx;
+      (* read the peer's own slot back through the network *)
+      let next = (r + 1) mod n in
+      let v = R.read_int ctx ~proc:next ~arr:1 ~idx:next in
+      let f = R.read_float ctx ~proc:next ~arr:2 ~idx:next in
+      (v, f))
+  in
+  Array.iteri
+    (fun r (v, f) ->
+      let next = (r + 1) mod Array.length out in
+      checki "read_int" next v;
+      check (Alcotest.float 1e-9) "read_float" (float_of_int next *. 2.) f)
+    out
+
+let test_store_pair_and_append tps =
+  let out = R.run tps (fun ctx ->
+      let n = R.nprocs ctx in
+      let r = R.rank ctx in
+      R.register_append_buffer ctx ~id:1;
+      R.barrier ctx;
+      (* everyone sends (rank, rank*10) to everyone *)
+      for p = 0 to n - 1 do
+        R.store_pair ctx ~proc:p ~buf:1 r (r * 10)
+      done;
+      R.all_store_sync ctx;
+      let got = R.append_buffer_contents ctx ~id:1 in
+      Array.sort compare got;
+      got)
+  in
+  let n = Array.length out in
+  let expect =
+    List.concat_map (fun r -> [ r; r * 10 ]) (List.init n Fun.id)
+    |> List.sort compare |> Array.of_list
+  in
+  Array.iter
+    (fun got -> check (Alcotest.array Alcotest.int) "pairs from everyone" expect got)
+    out
+
+let test_bulk_ints tps =
+  let out = R.run tps (fun ctx ->
+      let r = R.rank ctx in
+      let n = R.nprocs ctx in
+      R.register_ints ctx ~id:1 (Array.make 2_000 0);
+      R.barrier ctx;
+      (* chunked store (2000 elements = multiple 520-element chunks on UAM) *)
+      let data = Array.init 2_000 (fun i -> (r * 10_000) + i) in
+      R.store_ints ctx ~proc:((r + 1) mod n) ~arr:1 ~pos:0 data;
+      R.all_store_sync ctx;
+      let from = (r + n - 1) mod n in
+      R.get_ints ctx ~proc:(R.rank ctx) ~arr:1 ~pos:0 ~len:2_000
+      |> Array.for_all2 (fun a b -> a = b)
+           (Array.init 2_000 (fun i -> (from * 10_000) + i)))
+  in
+  Array.iter (fun ok -> checkb "bulk store+get intact" true ok) out
+
+let test_bulk_floats tps =
+  let out = R.run tps (fun ctx ->
+      let r = R.rank ctx in
+      let n = R.nprocs ctx in
+      R.register_floats ctx ~id:1 (Array.make 1_000 0.);
+      R.barrier ctx;
+      let data = Array.init 1_000 (fun i -> float_of_int ((r * 1_000) + i) /. 3.) in
+      R.store_floats ctx ~proc:((r + 1) mod n) ~arr:1 ~pos:0 data;
+      R.all_store_sync ctx;
+      let got = R.get_floats ctx ~proc:((r + 1) mod n) ~arr:1 ~pos:0 ~len:1_000 in
+      Array.for_all2 ( = ) data got)
+  in
+  Array.iter (fun ok -> checkb "remote float gets see the stored data" true ok) out
+
+let test_async_get tps =
+  let out = R.run tps (fun ctx ->
+      let n = R.nprocs ctx in
+      let r = R.rank ctx in
+      R.register_ints ctx ~id:1 (Array.init 600 (fun i -> (r * 1_000) + i));
+      R.barrier ctx;
+      let next = (r + 1) mod n in
+      let h1 = R.get_ints_async ctx ~proc:next ~arr:1 ~pos:0 ~len:300 in
+      let h2 = R.get_ints_async ctx ~proc:next ~arr:1 ~pos:300 ~len:300 in
+      let a = R.await ctx h1 and b = R.await ctx h2 in
+      Array.append a b
+      |> Array.for_all2 ( = ) (Array.init 600 (fun i -> (next * 1_000) + i)))
+  in
+  Array.iter (fun ok -> checkb "split-phase gets" true ok) out
+
+(* --- benchmarks (small sizes, correctness checked internally) -------- *)
+
+let bench_checked name f =
+  [
+    Alcotest.test_case (name ^ " [cm5 model]") `Quick (fun () ->
+        let r = f (cm5_transports ~nodes:8 ()) in
+        checkb "verified" true r.Splitc.Bench_common.checked;
+        checkb "nonzero time" true (r.Splitc.Bench_common.total_us > 0.));
+    Alcotest.test_case (name ^ " [uam cluster]") `Slow (fun () ->
+        let r = f (uam_transports ~nodes:8 ()) in
+        checkb "verified" true r.Splitc.Bench_common.checked);
+  ]
+
+let test_comm_accounting () =
+  (* a pure-computation program reports zero comm; a chatty one reports
+     nonzero comm below total *)
+  let tps = cm5_transports () in
+  let out = R.run tps (fun ctx ->
+      R.charge ctx ~cycles:100_000;
+      let comp_only = R.comm_us ctx in
+      R.barrier ctx;
+      for _ = 1 to 10 do
+        ignore (R.reduce_int ctx R.Sum 1)
+      done;
+      (comp_only, R.comm_us ctx, R.elapsed_us ctx))
+  in
+  Array.iter
+    (fun (c0, c1, total) ->
+      check (Alcotest.float 1e-9) "no comm before any call" 0. c0;
+      checkb "comm grew" true (c1 > 0.);
+      checkb "comm below total" true (c1 <= total))
+    out
+
+let () =
+  Alcotest.run "splitc"
+    [
+      ( "machine-model",
+        [
+          Alcotest.test_case "overhead charged" `Quick test_model_overhead_charged;
+          Alcotest.test_case "rtt plausible" `Quick test_model_rtt_matches_spec;
+        ] );
+      ("barrier", both "barrier" test_barrier);
+      ("reduce", both "reduce" test_reduce);
+      ("broadcast", both "broadcast" test_broadcast);
+      ("global-rw", both "read/write" test_read_write);
+      ("store-pair", both "store_pair/append" test_store_pair_and_append);
+      ("bulk-ints", both "bulk ints" test_bulk_ints);
+      ("bulk-floats", both "bulk floats" test_bulk_floats);
+      ("async-get", both "async get" test_async_get);
+      ( "accounting",
+        [ Alcotest.test_case "comm vs comp" `Quick test_comm_accounting ] );
+      ( "bench-mm",
+        bench_checked "matrix multiply" (fun tps ->
+            Splitc.Bench_mm.run ~params:{ Splitc.Bench_mm.g = 4; b = 8 } tps) );
+      ( "bench-ssort-small",
+        bench_checked "sample sort small" (fun tps ->
+            Splitc.Bench_sample_sort.run ~n:4_096
+              ~variant:Splitc.Bench_sample_sort.Small tps) );
+      ( "bench-ssort-bulk",
+        bench_checked "sample sort bulk" (fun tps ->
+            Splitc.Bench_sample_sort.run ~n:4_096
+              ~variant:Splitc.Bench_sample_sort.Bulk tps) );
+      ( "bench-radix-small",
+        bench_checked "radix sort small" (fun tps ->
+            Splitc.Bench_radix_sort.run ~n:4_096
+              ~variant:Splitc.Bench_radix_sort.Small tps) );
+      ( "bench-radix-bulk",
+        bench_checked "radix sort bulk" (fun tps ->
+            Splitc.Bench_radix_sort.run ~n:4_096
+              ~variant:Splitc.Bench_radix_sort.Bulk tps) );
+      ( "bench-cc",
+        bench_checked "connected components" (fun tps ->
+            Splitc.Bench_cc.run ~n:1_024 tps) );
+      ( "bench-cg",
+        bench_checked "conjugate gradient" (fun tps ->
+            Splitc.Bench_cg.run ~k:32 ~iters:30 tps) );
+    ]
