@@ -116,15 +116,23 @@ let run_micro () =
 
 (* --- experiment regeneration ---------------------------------------- *)
 
+let metrics_dir = "bench-metrics"
+
 let run_experiments quick =
+  (try Sys.mkdir metrics_dir 0o755 with Sys_error _ -> ());
   List.iter
     (fun (e : Experiments.Registry.experiment) ->
       Format.printf "@.== %s: %s ==@.@." e.name e.description;
+      Engine.Metrics.reset ();
       e.print ~quick;
       List.iter
         (fun (what, ok) ->
           Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") what)
-        (e.checks ~quick))
+        (e.checks ~quick);
+      (* registry snapshot for this figure: counters since the reset above *)
+      let path = Filename.concat metrics_dir (e.name ^ ".prom") in
+      Engine.Metrics.write_file path;
+      Format.printf "  metrics snapshot: %s@." path)
     Experiments.Registry.all
 
 let () =

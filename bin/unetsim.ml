@@ -54,8 +54,7 @@ let write_plotdata dir quick =
               close_out oc;
               wrote := path :: !wrote)
             curves;
-          Format.printf "wrote %s curves for %s@." 
-            (string_of_int (List.length curves)) e.name)
+          Format.printf "wrote %d curves for %s@." (List.length curves) e.name)
     Experiments.Registry.all;
   (* a gnuplot driver covering every figure *)
   let gp = Filename.concat dir "plot.gp" in
@@ -112,6 +111,25 @@ let verbose =
     & info [ "v"; "verbose" ]
         ~doc:"Show debug logs (drops, retransmissions, TCP timeouts).")
 
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record virtual-time trace events during the run and write them as \
+           Chrome trace_event JSON to $(docv) (open in Perfetto or \
+           chrome://tracing).")
+
+let metrics_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "After the run, dump the metrics registry to $(docv): Prometheus \
+           text format, or JSON when $(docv) ends in .json.")
+
 let out =
   Arg.(
     value
@@ -134,14 +152,44 @@ let cmd =
   let doc = "reproduce the tables and figures of the U-Net paper (SOSP 1995)" in
   let term =
     Term.(
-      const (fun name quick check out verbose ->
+      const (fun name quick check out verbose trace metrics ->
           setup_logs verbose;
+          if trace <> None then Engine.Trace.start ();
+          let finish code =
+            let code = ref code in
+            let or_fail what f =
+              try f ()
+              with Sys_error msg ->
+                Format.eprintf "cannot write %s: %s@." what msg;
+                code := 1
+            in
+            (match trace with
+            | Some path ->
+                or_fail "trace" (fun () ->
+                    Engine.Trace.write_chrome_file path;
+                    let dropped = Engine.Trace.dropped_events () in
+                    Format.printf "wrote %d trace events to %s%s@."
+                      (Engine.Trace.total_events () - dropped)
+                      path
+                      (if dropped = 0 then ""
+                       else
+                         Printf.sprintf
+                           " (%d older events beyond the ring dropped)" dropped))
+            | None -> ());
+            (match metrics with
+            | Some path ->
+                or_fail "metrics" (fun () ->
+                    Engine.Metrics.write_file path;
+                    Format.printf "wrote metrics to %s@." path)
+            | None -> ());
+            Stdlib.exit !code
+          in
           match out with
-          | Some dir -> Stdlib.exit (write_plotdata dir quick)
+          | Some dir -> finish (write_plotdata dir quick)
           | None ->
-              if name = "all" then Stdlib.exit (run_all quick check)
-              else Stdlib.exit (run_experiment name quick check))
-      $ experiment $ quick $ check $ out $ verbose)
+              if name = "all" then finish (run_all quick check)
+              else finish (run_experiment name quick check))
+      $ experiment $ quick $ check $ out $ verbose $ trace_file $ metrics_file)
   in
   Cmd.v (Cmd.info "unetsim" ~doc) term
 

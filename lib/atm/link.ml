@@ -11,9 +11,13 @@ type t = {
   mutable loss : (Rng.t * float) option;
   mutable sent : int;
   mutable dropped : int;
+  m_sent : Metrics.Counter.t;
+  m_dropped : Metrics.Counter.t;
+  m_queue_hw : Metrics.Gauge.t;
 }
 
-let create sim ?(queue_capacity = max_int) ~bandwidth_mbps ~propagation () =
+let create sim ?(queue_capacity = max_int) ?(metrics_labels = []) ~bandwidth_mbps
+    ~propagation () =
   if bandwidth_mbps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   let bits = float_of_int (Cell.on_wire_size * 8) in
   let cell_time = int_of_float (Float.round (bits /. bandwidth_mbps *. 1_000.)) in
@@ -28,6 +32,16 @@ let create sim ?(queue_capacity = max_int) ~bandwidth_mbps ~propagation () =
     loss = None;
     sent = 0;
     dropped = 0;
+    m_sent =
+      Metrics.counter ~help:"cells delivered to the far end of a link"
+        "atm_link_cells_sent_total" metrics_labels;
+    m_dropped =
+      Metrics.counter
+        ~help:"cells lost on a link (transmit-queue overflow or injected loss)"
+        "atm_link_cells_dropped_total" metrics_labels;
+    m_queue_hw =
+      Metrics.gauge ~help:"deepest a link transmit queue has ever been"
+        "atm_link_queue_high_water" metrics_labels;
   }
 
 let set_receiver t f = t.receiver <- Some f
@@ -42,9 +56,19 @@ let deliver t cell =
   let lost =
     match t.loss with Some (rng, p) -> Rng.bernoulli rng ~p | None -> false
   in
-  if lost then t.dropped <- t.dropped + 1
+  if lost then begin
+    t.dropped <- t.dropped + 1;
+    Metrics.Counter.inc t.m_dropped;
+    if Trace.enabled () then
+      Trace.instant Trace.Cell "link.loss"
+        ~args:[ ("vci", Trace.Int cell.Cell.vci) ]
+  end
   else begin
     t.sent <- t.sent + 1;
+    Metrics.Counter.inc t.m_sent;
+    if Trace.enabled () then
+      Trace.instant Trace.Cell "link.tx"
+        ~args:[ ("vci", Trace.Int cell.Cell.vci) ];
     match t.receiver with
     | Some f ->
         ignore (Sim.schedule t.sim ~delay:t.propagation (fun () -> f cell))
@@ -64,10 +88,15 @@ let send t cell =
   if t.transmitting then
     if Queue.length t.queue >= t.queue_capacity then begin
       t.dropped <- t.dropped + 1;
+      Metrics.Counter.inc t.m_dropped;
+      if Trace.enabled () then
+        Trace.instant Trace.Cell "link.queue_drop"
+          ~args:[ ("vci", Trace.Int cell.Cell.vci) ];
       false
     end
     else begin
       Queue.add cell t.queue;
+      Metrics.Gauge.set_max t.m_queue_hw (float_of_int (Queue.length t.queue));
       true
     end
   else begin

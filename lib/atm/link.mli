@@ -10,6 +10,8 @@ val create :
   Engine.Sim.t ->
   ?queue_capacity:int ->
   (* cells; default: effectively unbounded *)
+  ?metrics_labels:(string * string) list ->
+  (* labels for the atm_link registry families; default: none *)
   bandwidth_mbps:float ->
   propagation:Engine.Sim.time ->
   unit ->

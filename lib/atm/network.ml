@@ -40,15 +40,16 @@ let create sim ~hosts config =
     Switch.create sim ~ports:hosts ~transit:config.switch_transit
       ~output_queue_capacity:config.switch_queue_capacity ()
   in
-  let mk_link ?queue_capacity () =
+  let mk_link ?queue_capacity ~dir h =
     Link.create sim ?queue_capacity
+      ~metrics_labels:[ ("dir", dir); ("host", string_of_int h) ]
       ~bandwidth_mbps:config.link_bandwidth_mbps
       ~propagation:config.link_propagation ()
   in
   let uplinks =
-    Array.init hosts (fun _ -> mk_link ~queue_capacity:config.host_tx_fifo ())
+    Array.init hosts (mk_link ~queue_capacity:config.host_tx_fifo ~dir:"up")
   in
-  let downlinks = Array.init hosts (fun _ -> mk_link ()) in
+  let downlinks = Array.init hosts (mk_link ~dir:"down") in
   let t =
     {
       sim;

@@ -10,6 +10,11 @@ type t = {
   mutable routed : int;
   mutable dropped : int;
   mutable unroutable : int;
+  m_routed : Metrics.Counter.t;
+  m_dropped : Metrics.Counter.t;
+  m_unroutable : Metrics.Counter.t;
+  port_drops : Metrics.Counter.t array;
+  port_queue_hw : Metrics.Gauge.t array;
 }
 
 let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
@@ -24,6 +29,25 @@ let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
     routed = 0;
     dropped = 0;
     unroutable = 0;
+    m_routed =
+      Metrics.counter ~help:"cells forwarded onto an output port"
+        "atm_switch_cells_routed_total" [];
+    m_dropped =
+      Metrics.counter ~help:"cells dropped at a full switch output queue"
+        "atm_switch_cell_drops_total" [];
+    m_unroutable =
+      Metrics.counter ~help:"cells arriving with no matching VCI route"
+        "atm_switch_unroutable_total" [];
+    port_drops =
+      Array.init ports (fun p ->
+          Metrics.counter ~help:"cells dropped at a full switch output queue"
+            "atm_switch_port_drops_total"
+            [ ("port", string_of_int p) ]);
+    port_queue_hw =
+      Array.init ports (fun p ->
+          Metrics.gauge ~help:"deepest a switch output queue has ever been"
+            "atm_switch_port_queue_high_water"
+            [ ("port", string_of_int p) ]);
   }
 
 let check_port t port =
@@ -48,10 +72,23 @@ let cells_routed t = t.routed
 let cells_dropped t = t.dropped
 let unroutable t = t.unroutable
 
+let drop t ~out_port ~vci =
+  t.dropped <- t.dropped + 1;
+  Metrics.Counter.inc t.m_dropped;
+  Metrics.Counter.inc t.port_drops.(out_port);
+  if Trace.enabled () then
+    Trace.instant Trace.Cell "switch.drop" ~tid:out_port
+      ~args:[ ("vci", Trace.Int vci) ]
+
 let input t ~port cell =
   check_port t port;
   match Hashtbl.find_opt t.routes (port, cell.Cell.vci) with
-  | None -> t.unroutable <- t.unroutable + 1
+  | None ->
+      t.unroutable <- t.unroutable + 1;
+      Metrics.Counter.inc t.m_unroutable;
+      if Trace.enabled () then
+        Trace.instant Trace.Cell "switch.unroutable" ~tid:port
+          ~args:[ ("vci", Trace.Int cell.Cell.vci) ]
   | Some (out_port, out_vci) -> (
       match t.outputs.(out_port) with
       | None -> failwith "Switch: route to a port with no output link"
@@ -62,7 +99,11 @@ let input t ~port cell =
                     full queue drops the cell, which is what makes large TCP
                     segments fragile over ATM (§7.8). *)
                  if Link.queue_length link >= t.output_queue_capacity then
-                   t.dropped <- t.dropped + 1
-                 else if Link.send link (Cell.with_vci cell out_vci) then
-                   t.routed <- t.routed + 1
-                 else t.dropped <- t.dropped + 1)))
+                   drop t ~out_port ~vci:out_vci
+                 else if Link.send link (Cell.with_vci cell out_vci) then begin
+                   t.routed <- t.routed + 1;
+                   Metrics.Counter.inc t.m_routed;
+                   Metrics.Gauge.set_max t.port_queue_hw.(out_port)
+                     (float_of_int (Link.queue_length link))
+                 end
+                 else drop t ~out_port ~vci:out_vci)))

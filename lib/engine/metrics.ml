@@ -1,0 +1,259 @@
+(* A process-global registry of labelled counters, gauges and virtual-time
+   histograms.
+
+   Instruments are deduplicated by (family name, label set): registering the
+   same pair twice returns the same instrument, so components re-created
+   across sweep points keep accumulating into one sample. [reset] zeroes
+   every value but keeps the registrations alive — handles held by
+   long-lived modules stay valid, and declared families keep appearing in
+   dumps even at zero. Both properties are what makes the dumps
+   deterministic for a fixed seed: the set of families is fixed by what the
+   run touched, and the values by the simulation itself. *)
+
+type labels = (string * string) list
+
+let canon (labels : labels) =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+type kind = Counter_k | Gauge_k | Histogram_k
+
+let kind_name = function
+  | Counter_k -> "counter"
+  | Gauge_k -> "gauge"
+  | Histogram_k -> "summary"
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let inc t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+end
+
+module Gauge = struct
+  type t = { mutable g : float; mutable fn : (unit -> float) option }
+
+  let set t v = t.g <- v
+  let add t v = t.g <- t.g +. v
+  let set_max t v = if v > t.g then t.g <- v
+  let value t = match t.fn with Some f -> f () | None -> t.g
+end
+
+module Histogram = struct
+  type t = { mutable s : Stats.Summary.t }
+
+  let observe t v = Stats.Summary.add t.s v
+  let summary t = t.s
+  let count t = Stats.Summary.count t.s
+end
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_hist of Histogram.t
+
+type family = {
+  f_name : string;
+  f_kind : kind;
+  f_help : string;
+  mutable f_samples : (labels * instrument) list; (* insertion order *)
+}
+
+let registry : (string, family) Hashtbl.t = Hashtbl.create 64
+let order : string list ref = ref [] (* registration order, for stable dumps *)
+
+let family ~kind ~help name =
+  match Hashtbl.find_opt registry name with
+  | Some f ->
+      if f.f_kind <> kind then
+        Fmt.invalid_arg "Metrics: %s already registered as a %s" name
+          (kind_name f.f_kind);
+      f
+  | None ->
+      let f = { f_name = name; f_kind = kind; f_help = help; f_samples = [] } in
+      Hashtbl.replace registry name f;
+      order := name :: !order;
+      f
+
+let sample f labels mk =
+  let labels = canon labels in
+  match List.assoc_opt labels f.f_samples with
+  | Some i -> i
+  | None ->
+      let i = mk () in
+      f.f_samples <- f.f_samples @ [ (labels, i) ];
+      i
+
+let counter ?(help = "") name labels =
+  let f = family ~kind:Counter_k ~help name in
+  match sample f labels (fun () -> I_counter { Counter.v = 0 }) with
+  | I_counter c -> c
+  | _ -> assert false
+
+let gauge ?(help = "") name labels =
+  let f = family ~kind:Gauge_k ~help name in
+  match sample f labels (fun () -> I_gauge { Gauge.g = 0.; fn = None }) with
+  | I_gauge g -> g
+  | _ -> assert false
+
+(* Callback gauges are read at dump time; re-registration replaces the
+   callback so a fresh component instance (same identity, new run) wins. *)
+let gauge_fn ?help name labels f =
+  let g = gauge ?help name labels in
+  g.Gauge.fn <- Some f
+
+let histogram ?(help = "") name labels =
+  let f = family ~kind:Histogram_k ~help name in
+  match
+    sample f labels (fun () -> I_hist { Histogram.s = Stats.Summary.create () })
+  with
+  | I_hist h -> h
+  | _ -> assert false
+
+let reset () =
+  Hashtbl.iter
+    (fun _ f ->
+      List.iter
+        (fun (_, i) ->
+          match i with
+          | I_counter c -> c.Counter.v <- 0
+          | I_gauge g -> g.Gauge.g <- 0.
+          | I_hist h -> h.Histogram.s <- Stats.Summary.create ())
+        f.f_samples)
+    registry
+
+let counter_value name labels =
+  match Hashtbl.find_opt registry name with
+  | None -> None
+  | Some f -> (
+      match List.assoc_opt (canon labels) f.f_samples with
+      | Some (I_counter c) -> Some (Counter.value c)
+      | _ -> None)
+
+let families_sorted () =
+  List.sort
+    (fun a b -> String.compare a.f_name b.f_name)
+    (List.rev_map (Hashtbl.find registry) !order)
+
+(* --- Prometheus text exposition ------------------------------------- *)
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let pp_labelset fmt = function
+  | [] -> ()
+  | labels ->
+      Format.fprintf fmt "{%s}"
+        (String.concat ","
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+              labels))
+
+let pp_float fmt v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf fmt "%.0f" v
+  else Format.fprintf fmt "%.6g" v
+
+let quantiles = [ 0.5; 0.9; 0.99 ]
+
+let pp_prometheus fmt () =
+  List.iter
+    (fun f ->
+      if f.f_help <> "" then
+        Format.fprintf fmt "# HELP %s %s@\n" f.f_name f.f_help;
+      Format.fprintf fmt "# TYPE %s %s@\n" f.f_name (kind_name f.f_kind);
+      List.iter
+        (fun (labels, i) ->
+          match i with
+          | I_counter c ->
+              Format.fprintf fmt "%s%a %d@\n" f.f_name pp_labelset labels
+                (Counter.value c)
+          | I_gauge g ->
+              Format.fprintf fmt "%s%a %a@\n" f.f_name pp_labelset labels
+                pp_float (Gauge.value g)
+          | I_hist h ->
+              let s = Histogram.summary h in
+              let n = Stats.Summary.count s in
+              if n > 0 then
+                List.iter
+                  (fun q ->
+                    Format.fprintf fmt "%s%a %a@\n" f.f_name pp_labelset
+                      (canon
+                         (("quantile", Printf.sprintf "%g" q) :: labels))
+                      pp_float
+                      (Stats.Summary.percentile s q))
+                  quantiles;
+              Format.fprintf fmt "%s_sum%a %a@\n" f.f_name pp_labelset labels
+                pp_float
+                (if n = 0 then 0. else Stats.Summary.total s);
+              Format.fprintf fmt "%s_count%a %d@\n" f.f_name pp_labelset
+                labels n)
+        f.f_samples)
+    (families_sorted ())
+
+(* --- JSON dump ------------------------------------------------------- *)
+
+let json_string v = "\"" ^ escape_label v ^ "\""
+
+let pp_json fmt () =
+  Format.fprintf fmt "{@\n  \"families\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf fmt ",";
+      Format.fprintf fmt "@\n    {\"name\": %s, \"kind\": %s, \"help\": %s, \"samples\": ["
+        (json_string f.f_name)
+        (json_string (kind_name f.f_kind))
+        (json_string f.f_help);
+      List.iteri
+        (fun j (labels, inst) ->
+          if j > 0 then Format.fprintf fmt ",";
+          Format.fprintf fmt "@\n      {\"labels\": {%s}, "
+            (String.concat ", "
+               (List.map
+                  (fun (k, v) -> json_string k ^ ": " ^ json_string v)
+                  labels));
+          (match inst with
+          | I_counter c -> Format.fprintf fmt "\"value\": %d}" (Counter.value c)
+          | I_gauge g ->
+              Format.fprintf fmt "\"value\": %a}" pp_float (Gauge.value g)
+          | I_hist h ->
+              let s = Histogram.summary h in
+              let n = Stats.Summary.count s in
+              if n = 0 then Format.fprintf fmt "\"count\": 0, \"sum\": 0}"
+              else
+                Format.fprintf fmt
+                  "\"count\": %d, \"sum\": %a, \"mean\": %a, \"p50\": %a, \
+                   \"p90\": %a, \"p99\": %a, \"max\": %a}"
+                  n pp_float (Stats.Summary.total s) pp_float
+                  (Stats.Summary.mean s) pp_float
+                  (Stats.Summary.percentile s 0.5)
+                  pp_float
+                  (Stats.Summary.percentile s 0.9)
+                  pp_float
+                  (Stats.Summary.percentile s 0.99)
+                  pp_float (Stats.Summary.max s)))
+        f.f_samples;
+      Format.fprintf fmt "@\n    ]}")
+    (families_sorted ());
+  Format.fprintf fmt "@\n  ]@\n}@\n"
+
+let to_prometheus_string () = Format.asprintf "%a" pp_prometheus ()
+let to_json_string () = Format.asprintf "%a" pp_json ()
+
+(* [write_file] picks the format from the extension: [.json] gets the JSON
+   dump, anything else the Prometheus text exposition. *)
+let write_file path =
+  let oc = open_out path in
+  output_string oc
+    (if Filename.check_suffix path ".json" then to_json_string ()
+     else to_prometheus_string ());
+  close_out oc

@@ -1,0 +1,63 @@
+(** A process-global registry of labelled counters, gauges and virtual-time
+    histograms, dumpable as Prometheus text exposition or JSON.
+
+    Instruments are deduplicated by (family name, label set): registering
+    the same pair again returns the existing instrument. Label order does
+    not matter. {!reset} zeroes all values but keeps every registration, so
+    handles held by long-lived modules remain valid and declared families
+    keep appearing in dumps even at zero. *)
+
+type labels = (string * string) list
+
+module Counter : sig
+  type t
+
+  val inc : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+
+  val set_max : t -> float -> unit
+  (** Raise the gauge to [v] if above its current value (high-water marks). *)
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  val summary : t -> Stats.Summary.t
+  val count : t -> int
+end
+
+val counter : ?help:string -> string -> labels -> Counter.t
+val gauge : ?help:string -> string -> labels -> Gauge.t
+
+val gauge_fn : ?help:string -> string -> labels -> (unit -> float) -> unit
+(** A gauge whose value is computed by callback at dump time.
+    Re-registration replaces the callback (a fresh component instance with
+    the same identity wins). *)
+
+val histogram : ?help:string -> string -> labels -> Histogram.t
+
+val reset : unit -> unit
+(** Zero every value; keep all registrations. *)
+
+val counter_value : string -> labels -> int option
+(** Look up a counter sample's current value (for tests and checks). *)
+
+val pp_prometheus : Format.formatter -> unit -> unit
+val pp_json : Format.formatter -> unit -> unit
+val to_prometheus_string : unit -> string
+val to_json_string : unit -> string
+
+val write_file : string -> unit
+(** Dump the registry to a file: [.json] selects the JSON dump, any other
+    extension the Prometheus text exposition format. *)

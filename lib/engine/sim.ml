@@ -75,7 +75,12 @@ type t = {
   mutable live : int; (* scheduled and not yet fired/cancelled *)
 }
 
-let create () = { clock = 0; heap = Heap.create (); next_seq = 0; live = 0 }
+let create () =
+  let t = { clock = 0; heap = Heap.create (); next_seq = 0; live = 0 } in
+  (* the newest simulator stamps trace events (exactly one is live at a
+     time in every runner; see Trace) *)
+  Trace.attach_clock (fun () -> t.clock);
+  t
 let now t = t.clock
 let pending t = t.live
 

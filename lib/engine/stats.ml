@@ -60,12 +60,17 @@ module Summary = struct
       | Some a -> a
       | None ->
           let a = Array.of_list t.samples in
-          Array.sort compare a;
+          Array.sort Float.compare a;
           t.sorted <- Some a;
           a
     in
-    let idx = int_of_float (p *. float_of_int (Array.length a - 1)) in
-    a.(Stdlib.max 0 (Stdlib.min (Array.length a - 1) idx))
+    let n = Array.length a in
+    let p = Float.max 0. (Float.min 1. p) in
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
 end
 
 module Series = struct

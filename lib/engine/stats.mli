@@ -26,7 +26,12 @@ module Summary : sig
   val stddev : t -> float
 
   val percentile : t -> float -> float
-  (** [percentile s 0.5] is the median. Raises on an empty summary. *)
+  (** [percentile s p] with [p] clamped to \[0, 1\]: the value at rank
+      [p * (count - 1)], linearly interpolated between the two adjacent
+      sorted samples. [percentile s 0.5] is the median.
+
+      @raise Invalid_argument on an empty summary — callers must check
+      {!count} first (histogram dumps do). *)
 
   val total : t -> float
 end

@@ -1,0 +1,193 @@
+(* Structured trace events stamped with the virtual-nanosecond clock.
+
+   The tracer is process-global: experiments create their simulators deep
+   inside library code, so [Sim.create] registers each new simulator's clock
+   (and a fresh Chrome "pid") here rather than having every constructor
+   thread a tracer handle through three layers of the stack. Exactly one
+   simulator is live at a time in every runner, which makes the
+   last-registered clock the active one.
+
+   Disabled tracing must cost nothing on the hot paths: [enabled] is a
+   single mutable bool read, and every instrumentation site guards argument
+   construction behind it. *)
+
+type category = Cell | Desc | Mux | Tcp | Am | Cpu
+
+let category_name = function
+  | Cell -> "cell"
+  | Desc -> "desc"
+  | Mux -> "mux"
+  | Tcp -> "tcp"
+  | Am -> "am"
+  | Cpu -> "cpu"
+
+type arg = Int of int | Float of float | Str of string
+
+type phase =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Complete of int (* duration in virtual ns *)
+
+type event = {
+  ts : int; (* virtual ns *)
+  cat : category;
+  ph : phase;
+  name : string;
+  pid : int; (* simulator generation (one per Sim.create) *)
+  tid : int; (* host id where the emitter knows it; 0 otherwise *)
+  args : (string * arg) list;
+}
+
+type sink = event -> unit
+
+let on = ref false
+let clock : (unit -> int) ref = ref (fun () -> 0)
+let next_pid = ref 0
+let cur_pid = ref 0
+let sinks : sink list ref = ref []
+
+(* Bounded ring of the most recent events; older ones are overwritten. *)
+let default_capacity = 65_536
+
+let dummy =
+  { ts = 0; cat = Cpu; ph = Instant; name = ""; pid = 0; tid = 0; args = [] }
+
+let buf = ref [||]
+let head = ref 0
+let total = ref 0
+
+let enabled () = !on
+
+let start ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.start: capacity must be positive";
+  buf := Array.make capacity dummy;
+  head := 0;
+  total := 0;
+  on := true
+
+let stop () = on := false
+
+let clear () =
+  buf := [||];
+  head := 0;
+  total := 0;
+  sinks := []
+
+let add_sink f = sinks := !sinks @ [ f ]
+
+(* Called by [Sim.create]: the new simulator becomes the clock source and
+   gets a fresh pid so sub-runs show up as separate tracks in Perfetto. *)
+let attach_clock f =
+  incr next_pid;
+  cur_pid := !next_pid;
+  clock := f
+
+let record e =
+  List.iter (fun s -> s e) !sinks;
+  let cap = Array.length !buf in
+  if cap > 0 then begin
+    !buf.(!head) <- e;
+    head := (!head + 1) mod cap;
+    incr total
+  end
+
+let emit ?(tid = 0) ?(args = []) cat ph name =
+  if !on then
+    record { ts = !clock (); cat; ph; name; pid = !cur_pid; tid; args }
+
+let instant ?tid ?args cat name = emit ?tid ?args cat Instant name
+let span_begin ?tid ?args cat name = emit ?tid ?args cat Span_begin name
+let span_end ?tid ?args cat name = emit ?tid ?args cat Span_end name
+let complete ?tid ?args ~dur cat name = emit ?tid ?args cat (Complete dur) name
+let total_events () = !total
+
+let dropped_events () =
+  let cap = Array.length !buf in
+  if cap = 0 then !total else max 0 (!total - cap)
+
+let events () =
+  let cap = Array.length !buf in
+  let n = min !total cap in
+  let first = if !total <= cap then 0 else !head in
+  List.init n (fun i -> !buf.((first + i) mod cap))
+
+(* --- Chrome trace_event JSON export -------------------------------- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* Chrome timestamps are microseconds; three decimals keep ns exactness. *)
+let us ns = Printf.sprintf "%.3f" (float_of_int ns /. 1_000.)
+
+let add_args b args =
+  Buffer.add_string b ",\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      escape b k;
+      Buffer.add_string b "\":";
+      match v with
+      | Int n -> Buffer.add_string b (string_of_int n)
+      | Float f -> Buffer.add_string b (Printf.sprintf "%.6g" f)
+      | Str s ->
+          Buffer.add_char b '"';
+          escape b s;
+          Buffer.add_char b '"')
+    args;
+  Buffer.add_char b '}'
+
+let add_event b e =
+  Buffer.add_string b "{\"name\":\"";
+  escape b e.name;
+  Buffer.add_string b "\",\"cat\":\"";
+  Buffer.add_string b (category_name e.cat);
+  Buffer.add_string b "\",\"ph\":\"";
+  (match e.ph with
+  | Span_begin -> Buffer.add_char b 'B'
+  | Span_end -> Buffer.add_char b 'E'
+  | Instant -> Buffer.add_char b 'i'
+  | Complete _ -> Buffer.add_char b 'X');
+  Buffer.add_string b "\",\"ts\":";
+  Buffer.add_string b (us e.ts);
+  (match e.ph with
+  | Complete dur ->
+      Buffer.add_string b ",\"dur\":";
+      Buffer.add_string b (us dur)
+  | Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | Span_begin | Span_end -> ());
+  Buffer.add_string b ",\"pid\":";
+  Buffer.add_string b (string_of_int e.pid);
+  Buffer.add_string b ",\"tid\":";
+  Buffer.add_string b (string_of_int e.tid);
+  if e.args <> [] then add_args b e.args;
+  Buffer.add_char b '}'
+
+(* A bare JSON array of event objects — the form both chrome://tracing and
+   Perfetto accept directly. *)
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      add_event b e)
+    (events ());
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let write_chrome_file path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json ());
+  close_out oc

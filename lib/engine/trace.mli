@@ -1,0 +1,83 @@
+(** Virtual-time structured tracing.
+
+    A process-global tracer that stamps events with the simulator's
+    virtual-nanosecond clock and buffers them in a bounded ring (oldest
+    events are overwritten). Disabled by default; when disabled, emitting
+    costs a single boolean read, so instrumentation can stay in the hot
+    paths — guard any argument construction behind {!enabled}.
+
+    The retained buffer exports as Chrome [trace_event] JSON, so a run opens
+    directly in Perfetto / chrome://tracing. *)
+
+type category =
+  | Cell  (** ATM cells on links and through the switch *)
+  | Desc  (** NI descriptor processing: doorbells, DMA, injection *)
+  | Mux  (** U-Net mux/demux deliveries and drops *)
+  | Tcp  (** TCP retransmission and congestion events *)
+  | Am  (** Active Messages go-back-N events *)
+  | Cpu  (** host CPU time charged, by layer (the paper's Table 1) *)
+
+val category_name : category -> string
+
+type arg = Int of int | Float of float | Str of string
+
+type phase =
+  | Span_begin
+  | Span_end
+  | Instant
+  | Complete of int  (** a whole span with its duration in virtual ns *)
+
+type event = {
+  ts : int;  (** virtual ns *)
+  cat : category;
+  ph : phase;
+  name : string;
+  pid : int;  (** simulator generation (one per [Sim.create]) *)
+  tid : int;  (** host id where the emitter knows it; 0 otherwise *)
+  args : (string * arg) list;
+}
+
+type sink = event -> unit
+
+val enabled : unit -> bool
+
+val start : ?capacity:int -> unit -> unit
+(** Enable tracing into a fresh ring of [capacity] events (default 65536). *)
+
+val stop : unit -> unit
+(** Disable tracing; the buffered events remain readable. *)
+
+val clear : unit -> unit
+(** Drop all buffered events and sinks (tracing stays in its current
+    enabled/disabled state). *)
+
+val add_sink : sink -> unit
+(** Sinks observe every event as it is emitted, before ring buffering (and
+    therefore see events the bounded ring later overwrites). *)
+
+val attach_clock : (unit -> int) -> unit
+(** Called by [Sim.create]: the new simulator becomes the timestamp source
+    and subsequent events carry a fresh [pid]. *)
+
+val instant : ?tid:int -> ?args:(string * arg) list -> category -> string -> unit
+val span_begin : ?tid:int -> ?args:(string * arg) list -> category -> string -> unit
+val span_end : ?tid:int -> ?args:(string * arg) list -> category -> string -> unit
+
+val complete :
+  ?tid:int -> ?args:(string * arg) list -> dur:int -> category -> string -> unit
+(** A span of [dur] virtual ns starting now, as one event. *)
+
+val events : unit -> event list
+(** The retained events, oldest first. *)
+
+val total_events : unit -> int
+(** Events emitted since {!start}, including overwritten ones. *)
+
+val dropped_events : unit -> int
+(** Events lost to ring overwrite. *)
+
+val to_chrome_json : unit -> string
+(** The retained events as a Chrome [trace_event] JSON array: objects with
+    [name]/[cat]/[ph]/[ts]/[pid]/[tid] (timestamps in microseconds). *)
+
+val write_chrome_file : string -> unit

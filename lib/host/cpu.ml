@@ -8,20 +8,40 @@ let sim t = t.sim
 let busy_time t = t.busy
 let reset_busy t = t.busy <- 0
 
-let charge_raw t ns =
+(* Per-layer busy-time accounting: the machine-readable version of the
+   paper's Table 1 cost breakdown. Counters are cached per layer label. *)
+let layer_counters : (string, Metrics.Counter.t) Hashtbl.t = Hashtbl.create 16
+
+let layer_counter layer =
+  match Hashtbl.find_opt layer_counters layer with
+  | Some c -> c
+  | None ->
+      let c =
+        Metrics.counter ~help:"virtual ns of CPU time charged, by layer"
+          "host_cpu_busy_ns_total"
+          [ ("layer", layer) ]
+      in
+      Hashtbl.add layer_counters layer c;
+      c
+
+let charge_raw ?(layer = "other") t ns =
   if ns < 0 then invalid_arg "Cpu.charge: negative cost";
   t.busy <- t.busy + ns;
+  if ns > 0 then begin
+    Metrics.Counter.add (layer_counter layer) ns;
+    if Trace.enabled () then Trace.complete Trace.Cpu layer ~dur:ns
+  end;
   Proc.sleep t.sim ~time:ns
 
-let charge t ns = charge_raw t (Machine.scale t.machine ns)
-let charge_us t us = charge t (Sim.of_us_f us)
+let charge ?layer t ns = charge_raw ?layer t (Machine.scale t.machine ns)
+let charge_us ?layer t us = charge ?layer t (Sim.of_us_f us)
 
-let charge_cycles t cycles =
-  charge_raw t
+let charge_cycles ?layer t cycles =
+  charge_raw ?layer t
     (int_of_float (Float.round (float_of_int cycles *. 1_000. /. t.machine.Machine.cpu_mhz)))
 
 let copy_cost t ~bytes =
   int_of_float
     (Float.round (float_of_int bytes *. t.machine.Machine.memcpy_ns_per_byte))
 
-let charge_copy t ~bytes = charge_raw t (copy_cost t ~bytes)
+let charge_copy ?(layer = "copy") t ~bytes = charge_raw ~layer t (copy_cost t ~bytes)

@@ -49,11 +49,11 @@ let start_stack t =
          let rec loop () =
            (match Sync.Mailbox.recv t.mbox with
            | Tx (cost, pkt) ->
-               Host.Cpu.charge t.cpu cost;
+               Host.Cpu.charge ~layer:"ipstack" t.cpu cost;
                t.sent <- t.sent + 1;
                t.transmit pkt
            | Deliver pkt ->
-               Host.Cpu.charge t.cpu (t.rx_cost pkt);
+               Host.Cpu.charge ~layer:"ipstack" t.cpu (t.rx_cost pkt);
                t.delivered <- t.delivered + 1;
                t.rx_handler pkt);
            loop ()

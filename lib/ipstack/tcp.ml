@@ -4,6 +4,24 @@ let log_src = Logs.Src.create "ipstack.tcp" ~doc:"TCP state machine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Registered at module-init time so the tcp_* families appear in every
+   metrics dump, even from experiments that carry no TCP traffic. *)
+let m_retx =
+  Metrics.counter ~help:"TCP segments retransmitted (any cause)"
+    "tcp_retransmits_total" []
+
+let m_fast =
+  Metrics.counter ~help:"TCP fast retransmits (triple duplicate ack)"
+    "tcp_fast_retransmits_total" []
+
+let m_rto =
+  Metrics.counter ~help:"TCP retransmission-timer fires"
+    "tcp_rto_fires_total" []
+
+let m_cwnd =
+  Metrics.histogram ~help:"TCP congestion window samples on ack receipt (bytes)"
+    "tcp_cwnd_bytes" []
+
 (* ------------------------------------------------------------------ *)
 (* Circular byte buffer addressed by absolute stream offsets.          *)
 
@@ -267,15 +285,24 @@ let rec arm_retx t =
              t.retx_timer <- None;
              on_retx_timeout t))
 
+and note_rto t =
+  Metrics.Counter.inc m_rto;
+  Metrics.Counter.inc m_retx;
+  if Trace.enabled () then
+    Trace.instant Trace.Tcp "tcp.rto"
+      ~args:[ ("port", Trace.Int t.lport); ("rto_ns", Trace.Int t.rto) ]
+
 and on_retx_timeout t =
   match t.st with
   | Syn_sent ->
       t.n_retx <- t.n_retx + 1;
+      note_rto t;
       t.rto <- min t.cfg.max_rto (t.rto * 2);
       emit t ~flags:f_syn ~seq:0 ~payload:Bytes.empty;
       arm_retx t
   | Syn_rcvd ->
       t.n_retx <- t.n_retx + 1;
+      note_rto t;
       t.rto <- min t.cfg.max_rto (t.rto * 2);
       emit t ~flags:(f_syn lor f_ack) ~seq:0 ~payload:Bytes.empty;
       arm_retx t
@@ -289,6 +316,7 @@ and on_retx_timeout t =
               t.lport t.rto (flight t));
         t.n_timeouts <- t.n_timeouts + 1;
         t.n_retx <- t.n_retx + 1;
+        note_rto t;
         t.rto <- min t.cfg.max_rto (t.rto * 2);
         t.ssthresh <- max (2 * t.cfg.mss) (flight t / 2);
         t.cwnd <- t.cfg.mss;
@@ -301,6 +329,7 @@ and on_retx_timeout t =
       else if Bytebuf.length t.sndbuf > 0 && t.rwnd = 0 then begin
         (* persist: probe the zero window with one byte *)
         t.n_retx <- t.n_retx + 1;
+        note_rto t;
         let payload = Bytebuf.read t.sndbuf ~abs:t.snd_una ~len:1 in
         emit t ~flags:f_ack ~seq:t.snd_una ~payload;
         t.rto <- min t.cfg.max_rto (t.rto * 2);
@@ -413,6 +442,7 @@ let process_ack t ack =
     (* congestion window growth *)
     if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + t.cfg.mss
     else t.cwnd <- t.cwnd + max 1 (t.cfg.mss * t.cfg.mss / t.cwnd);
+    Metrics.Histogram.observe m_cwnd (float_of_int t.cwnd);
     cancel_retx t;
     if flight t > 0 then arm_retx t
     else if Bytebuf.length t.sndbuf > 0 && t.rwnd = 0 then
@@ -428,6 +458,11 @@ let process_ack t ack =
     if t.dup_acks = 3 then begin
       t.n_fast_retx <- t.n_fast_retx + 1;
       t.n_retx <- t.n_retx + 1;
+      Metrics.Counter.inc m_fast;
+      Metrics.Counter.inc m_retx;
+      if Trace.enabled () then
+        Trace.instant Trace.Tcp "tcp.fast_retx"
+          ~args:[ ("port", Trace.Int t.lport) ];
       t.ssthresh <- max (2 * t.cfg.mss) (flight t / 2);
       t.cwnd <- t.ssthresh;
       t.timing <- None;

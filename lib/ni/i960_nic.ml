@@ -30,6 +30,11 @@ type t = {
   mutable sent : int;
   mutable received : int;
   mutable errors : int;
+  m_sent : Metrics.Counter.t;
+  m_received : Metrics.Counter.t;
+  m_errors : Metrics.Counter.t;
+  m_demux : Metrics.Counter.t;
+  m_dma_bytes : Metrics.Counter.t;
 }
 
 (* Direct-access framing: on direct-access endpoints every PDU carries a
@@ -95,7 +100,15 @@ and process_desc t (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
       pump_next t
   | Some chan -> (
       let data = gather ep desc in
+      Metrics.Counter.add t.m_dma_bytes (Bytes.length data);
       let cells = Atm.Aal5.segment ~vci:chan.Unet.Channel.tx_vci data in
+      if Trace.enabled () then
+        Trace.instant Trace.Desc "ni.tx" ~tid:t.host
+          ~args:
+            [
+              ("len", Trace.Int (Bytes.length data));
+              ("cells", Trace.Int (List.length cells));
+            ];
       match cells with
       | [ cell ] when t.cfg.single_cell_optimization ->
           Sync.Server.submit t.server ~cost:t.cfg.tx_single_ns (fun () ->
@@ -108,6 +121,7 @@ and send_cells t desc = function
   | [] ->
       desc.Unet.Desc.injected <- true;
       t.sent <- t.sent + 1;
+      Metrics.Counter.inc t.m_sent;
       pump_next t
   | cell :: rest ->
       Sync.Server.submit t.server ~cost:t.cfg.tx_per_cell_ns (fun () ->
@@ -118,6 +132,7 @@ and inject t desc cell rest =
     if rest = [] then begin
       desc.Unet.Desc.injected <- true;
       t.sent <- t.sent + 1;
+      Metrics.Counter.inc t.m_sent;
       pump_next t
     end
     else send_cells t desc rest
@@ -136,6 +151,13 @@ let notify_tx t ep =
   end
 
 let deliver t vci payload =
+  Metrics.Counter.inc t.m_demux;
+  if Trace.enabled () then
+    Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
+      ~args:
+        [
+          ("vci", Trace.Int vci); ("len", Trace.Int (Bytes.length payload));
+        ];
   match Unet.Mux.lookup t.mux ~rx_vci:vci with
   | None -> ignore (Unet.Mux.deliver t.mux ~rx_vci:vci payload)
   | Some (ep, _) ->
@@ -144,7 +166,9 @@ let deliver t vci payload =
         else (None, payload)
       in
       (match Unet.Mux.deliver t.mux ~rx_vci:vci ?dest_offset data with
-      | Some _ -> t.received <- t.received + 1
+      | Some _ ->
+          t.received <- t.received + 1;
+          Metrics.Counter.inc t.m_received
       | None -> ())
 
 let fits_single_cell payload =
@@ -162,7 +186,9 @@ let on_cell t (cell : Atm.Cell.t) =
       in
       match Atm.Aal5.Reassembler.push r cell with
       | None -> ()
-      | Some (Error _) -> t.errors <- t.errors + 1
+      | Some (Error _) ->
+          t.errors <- t.errors + 1;
+          Metrics.Counter.inc t.m_errors
       | Some (Ok payload) ->
           let cost =
             if t.cfg.single_cell_optimization && fits_single_cell payload then
@@ -174,6 +200,7 @@ let on_cell t (cell : Atm.Cell.t) =
 
 let create net ~host cfg =
   let sim = Atm.Network.sim net in
+  let labels = [ ("host", string_of_int host); ("nic", cfg.name) ] in
   let t =
     {
       sim;
@@ -182,13 +209,28 @@ let create net ~host cfg =
       cfg;
       server = Sync.Server.create sim;
       kernel = Sync.Server.create sim;
-      mux = Unet.Mux.create ();
+      mux = Unet.Mux.create ~host ();
       txq = Queue.create ();
       tx_active = false;
       reasm = Hashtbl.create 16;
       sent = 0;
       received = 0;
       errors = 0;
+      m_sent =
+        Metrics.counter ~help:"PDUs injected onto the wire by a NI"
+          "ni_pdus_sent_total" labels;
+      m_received =
+        Metrics.counter ~help:"PDUs demultiplexed into an endpoint by a NI"
+          "ni_pdus_received_total" labels;
+      m_errors =
+        Metrics.counter ~help:"AAL5 reassembly failures at a NI"
+          "ni_reassembly_errors_total" labels;
+      m_demux =
+        Metrics.counter ~help:"reassembled PDUs presented to the mux by a NI"
+          "ni_rx_demux_total" labels;
+      m_dma_bytes =
+        Metrics.counter ~help:"bytes the on-board processor DMAed out of segments"
+          "ni_dma_bytes_total" labels;
     }
   in
   Atm.Network.attach_rx net ~host (fun cell -> on_cell t cell);

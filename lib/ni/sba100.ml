@@ -47,11 +47,24 @@ type t = {
   mutable sent : int;
   mutable received : int;
   mutable errors : int;
+  m_sent : Metrics.Counter.t;
+  m_received : Metrics.Counter.t;
+  m_errors : Metrics.Counter.t;
+  m_demux : Metrics.Counter.t;
 }
 
 let deliver t vci payload =
+  Metrics.Counter.inc t.m_demux;
+  if Trace.enabled () then
+    Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
+      ~args:
+        [
+          ("vci", Trace.Int vci); ("len", Trace.Int (Bytes.length payload));
+        ];
   match Unet.Mux.deliver t.mux ~rx_vci:vci payload with
-  | Some _ -> t.received <- t.received + 1
+  | Some _ ->
+      t.received <- t.received + 1;
+      Metrics.Counter.inc t.m_received
   | None -> ()
 
 let on_cell t (cell : Atm.Cell.t) =
@@ -69,7 +82,9 @@ let on_cell t (cell : Atm.Cell.t) =
       in
       match Atm.Aal5.Reassembler.push r cell with
       | None -> ()
-      | Some (Error _) -> t.errors <- t.errors + 1
+      | Some (Error _) ->
+          t.errors <- t.errors + 1;
+          Metrics.Counter.inc t.m_errors
       | Some (Ok payload) ->
           Sync.Server.submit t.kernel ~cost:t.cfg.rx_fixed_ns (fun () ->
               deliver t cell.vci payload))
@@ -101,20 +116,29 @@ let do_send t (ep : Unet.Endpoint.t) =
                 out
           in
           let cells = Atm.Aal5.segment ~vci:chan.Unet.Channel.tx_vci data in
-          Host.Cpu.charge t.cpu t.cfg.tx_fixed_ns;
+          if Trace.enabled () then
+            Trace.instant Trace.Desc "ni.tx" ~tid:t.host
+              ~args:
+                [
+                  ("len", Trace.Int (Bytes.length data));
+                  ("cells", Trace.Int (List.length cells));
+                ];
+          Host.Cpu.charge ~layer:"ni_tx" t.cpu t.cfg.tx_fixed_ns;
           List.iter
             (fun cell ->
-              Host.Cpu.charge t.cpu t.cfg.tx_per_cell_ns;
+              Host.Cpu.charge ~layer:"ni_tx" t.cpu t.cfg.tx_per_cell_ns;
               (* PIO is slower than the wire, so the 36-cell output FIFO
                  never backs up; a failed push would mean a modelling bug. *)
               if not (Atm.Network.send t.net ~host:t.host cell) then
                 failwith "Sba100: output FIFO overflow")
             cells;
           desc.injected <- true;
-          t.sent <- t.sent + 1)
+          t.sent <- t.sent + 1;
+          Metrics.Counter.inc t.m_sent)
 
 let create net ~host ~cpu ?(config = default_config) () =
   let sim = Atm.Network.sim net in
+  let labels = [ ("host", string_of_int host); ("nic", config.name) ] in
   let t =
     {
       sim;
@@ -123,11 +147,23 @@ let create net ~host ~cpu ?(config = default_config) () =
       cpu;
       cfg = config;
       kernel = Sync.Server.create sim;
-      mux = Unet.Mux.create ();
+      mux = Unet.Mux.create ~host ();
       reasm = Hashtbl.create 16;
       sent = 0;
       received = 0;
       errors = 0;
+      m_sent =
+        Metrics.counter ~help:"PDUs injected onto the wire by a NI"
+          "ni_pdus_sent_total" labels;
+      m_received =
+        Metrics.counter ~help:"PDUs demultiplexed into an endpoint by a NI"
+          "ni_pdus_received_total" labels;
+      m_errors =
+        Metrics.counter ~help:"AAL5 reassembly failures at a NI"
+          "ni_reassembly_errors_total" labels;
+      m_demux =
+        Metrics.counter ~help:"reassembled PDUs presented to the mux by a NI"
+          "ni_rx_demux_total" labels;
     }
   in
   Atm.Network.attach_rx net ~host (fun cell -> on_cell t cell);

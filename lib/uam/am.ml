@@ -4,6 +4,23 @@ let log_src = Logs.Src.create "uam" ~doc:"U-Net Active Messages"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* Module-level so the uam_* families exist in every dump; per-instance
+   counts remain available through the accessors below. *)
+let m_reqs =
+  Metrics.counter ~help:"Active Message requests sent" "uam_requests_total" []
+
+let m_reps =
+  Metrics.counter ~help:"Active Message replies sent" "uam_replies_total" []
+
+let m_retx =
+  Metrics.counter ~help:"go-back-N retransmissions of unacked messages"
+    "uam_retransmissions_total" []
+
+let m_dups =
+  Metrics.counter
+    ~help:"duplicate or out-of-order sequenced messages discarded"
+    "uam_duplicates_total" []
+
 let max_args = 4
 (* handler indices 240+ are reserved for Xfer *)
 
@@ -238,10 +255,18 @@ let retransmit_unacked t (p : peer) =
     Log.debug (fun m ->
         m "node %d: retransmitting %d unacked messages to node %d" t.rank
           (Queue.length p.p_unacked) p.p_rank);
+    if Trace.enabled () then
+      Trace.instant Trace.Am "am.retx" ~tid:t.rank
+        ~args:
+          [
+            ("peer", Trace.Int p.p_rank);
+            ("unacked", Trace.Int (Queue.length p.p_unacked));
+          ];
     Queue.iter
       (fun u ->
         t.retx <- t.retx + 1;
-        Host.Cpu.charge (Unet.cpu t.u) t.cfg.op_ns;
+        Metrics.Counter.inc m_retx;
+        Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
         (* re-send the stored copy; buffered messages reuse their buffer *)
         match u.u_buffer with
         | Some (off, _) ->
@@ -274,7 +299,7 @@ let apply_ack t (p : peer) ack =
   if !progressed then p.p_last_progress <- Sim.now (Unet.sim t.u)
 
 let send_explicit_ack t (p : peer) =
-  Host.Cpu.charge (Unet.cpu t.u) t.cfg.op_ns;
+  Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
   let b =
     encode ~ty:Ack ~handler:0 ~seq:0 ~ack:p.p_expected ~args:[||]
       ~payload:Bytes.empty
@@ -283,7 +308,7 @@ let send_explicit_ack t (p : peer) =
   p.p_need_ack <- false
 
 let send_seq t (p : peer) ~ty ~handler ~args ~payload =
-  Host.Cpu.charge (Unet.cpu t.u) t.cfg.op_ns;
+  Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
   if Bytes.length payload > 0 then
     (* the copy from the source data structure into the transmit buffer *)
     Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Bytes.length payload);
@@ -299,12 +324,16 @@ let send_seq t (p : peer) ~ty ~handler ~args ~payload =
     p.p_unacked;
   if ty = Req then begin
     p.p_unacked_reqs <- p.p_unacked_reqs + 1;
-    t.reqs_sent <- t.reqs_sent + 1
+    t.reqs_sent <- t.reqs_sent + 1;
+    Metrics.Counter.inc m_reqs
   end
-  else t.reps_sent <- t.reps_sent + 1
+  else begin
+    t.reps_sent <- t.reps_sent + 1;
+    Metrics.Counter.inc m_reps
+  end
 
 let dispatch t ~src d =
-  Host.Cpu.charge (Unet.cpu t.u) t.cfg.op_ns;
+  Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
   if Bytes.length d.d_payload > 0 then
     (* the copy from the receive buffer into the destination structure *)
     Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Bytes.length d.d_payload);
@@ -370,12 +399,21 @@ let process_one t (rx : Unet.Desc.rx) =
       else if seq_lt d.d_seq p.p_expected then begin
         (* duplicate after a retransmission: drop but re-acknowledge *)
         t.dups <- t.dups + 1;
+        Metrics.Counter.inc m_dups;
+        if Trace.enabled () then
+          Trace.instant Trace.Am "am.dup" ~tid:t.rank
+            ~args:[ ("peer", Trace.Int p.p_rank); ("seq", Trace.Int d.d_seq) ];
         p.p_need_ack <- true
       end
-      else
+      else begin
         (* gap: go-back-N discards out-of-order arrivals; the sender's
            timeout recovers *)
-        t.dups <- t.dups + 1
+        t.dups <- t.dups + 1;
+        Metrics.Counter.inc m_dups;
+        if Trace.enabled () then
+          Trace.instant Trace.Am "am.gap" ~tid:t.rank
+            ~args:[ ("peer", Trace.Int p.p_rank); ("seq", Trace.Int d.d_seq) ]
+      end
 
 let check_timers t =
   let now = Sim.now (Unet.sim t.u) in

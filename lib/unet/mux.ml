@@ -4,11 +4,71 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   table : (int, Endpoint.t * Channel.id) Hashtbl.t;
+  host : int;
+  (* registry-backed counters (shared per host label across instances) *)
+  m_deliveries : Engine.Metrics.Counter.t;
+  m_unknown : Engine.Metrics.Counter.t;
+  m_outcomes : (delivery -> Engine.Metrics.Counter.t);
+  (* per-instance view, what the accessors report *)
   mutable delivered : int;
   mutable unknown : int;
 }
 
-let create () = { table = Hashtbl.create 64; delivered = 0; unknown = 0 }
+and delivery =
+  | Delivered_inline
+  | Delivered_buffers of (int * int) list
+  | Delivered_direct
+  | Dropped_rx_full
+  | Dropped_no_free_buffer
+  | Dropped_bad_offset
+
+let outcome_label = function
+  | Delivered_inline -> "inline"
+  | Delivered_buffers _ -> "buffers"
+  | Delivered_direct -> "direct"
+  | Dropped_rx_full -> "drop_rx_full"
+  | Dropped_no_free_buffer -> "drop_no_free_buffer"
+  | Dropped_bad_offset -> "drop_bad_offset"
+
+let all_outcomes =
+  [
+    Delivered_inline;
+    Delivered_buffers [];
+    Delivered_direct;
+    Dropped_rx_full;
+    Dropped_no_free_buffer;
+    Dropped_bad_offset;
+  ]
+
+let create ?host () =
+  let labels =
+    match host with None -> [] | Some h -> [ ("host", string_of_int h) ]
+  in
+  let outcomes =
+    List.map
+      (fun o ->
+        ( outcome_label o,
+          Engine.Metrics.counter
+            ~help:"U-Net mux deliveries and drops by outcome"
+            "unet_mux_outcomes_total"
+            (("outcome", outcome_label o) :: labels) ))
+      all_outcomes
+  in
+  {
+    table = Hashtbl.create 64;
+    host = Option.value host ~default:0;
+    m_deliveries =
+      Engine.Metrics.counter
+        ~help:"messages the mux delivered into an endpoint"
+        "unet_mux_deliveries_total" labels;
+    m_unknown =
+      Engine.Metrics.counter
+        ~help:"PDUs discarded because no endpoint registered the tag"
+        "unet_mux_unknown_tag_drops_total" labels;
+    m_outcomes = (fun o -> List.assoc (outcome_label o) outcomes);
+    delivered = 0;
+    unknown = 0;
+  }
 
 let register t ~rx_vci ep ~chan =
   if Hashtbl.mem t.table rx_vci then
@@ -17,14 +77,6 @@ let register t ~rx_vci ep ~chan =
 
 let unregister t ~rx_vci = Hashtbl.remove t.table rx_vci
 let lookup t ~rx_vci = Hashtbl.find_opt t.table rx_vci
-
-type delivery =
-  | Delivered_inline
-  | Delivered_buffers of (int * int) list
-  | Delivered_direct
-  | Dropped_rx_full
-  | Dropped_no_free_buffer
-  | Dropped_bad_offset
 
 (* Pop free buffers until [len] bytes are covered. On shortage, everything
    is pushed back and the message is dropped whole. *)
@@ -122,13 +174,27 @@ let deliver t ~rx_vci ?dest_offset data =
   match lookup t ~rx_vci with
   | None ->
       t.unknown <- t.unknown + 1;
+      Engine.Metrics.Counter.inc t.m_unknown;
+      if Engine.Trace.enabled () then
+        Engine.Trace.instant Engine.Trace.Mux "mux.unknown_tag" ~tid:t.host
+          ~args:[ ("vci", Engine.Trace.Int rx_vci) ];
       None
   | Some (ep, chan) ->
       let outcome = deliver_to ep ~chan ?dest_offset data in
       (match outcome with
       | Delivered_inline | Delivered_buffers _ | Delivered_direct ->
-          t.delivered <- t.delivered + 1
+          t.delivered <- t.delivered + 1;
+          Engine.Metrics.Counter.inc t.m_deliveries
       | Dropped_rx_full | Dropped_no_free_buffer | Dropped_bad_offset -> ());
+      Engine.Metrics.Counter.inc (t.m_outcomes outcome);
+      if Engine.Trace.enabled () then
+        Engine.Trace.instant Engine.Trace.Mux "mux.deliver" ~tid:t.host
+          ~args:
+            [
+              ("vci", Engine.Trace.Int rx_vci);
+              ("len", Engine.Trace.Int (Bytes.length data));
+              ("outcome", Engine.Trace.Str (outcome_label outcome));
+            ];
       Some (ep, chan, outcome)
 
 let deliveries t = t.delivered

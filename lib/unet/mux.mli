@@ -5,7 +5,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?host:int -> unit -> t
+(** [host] labels this mux's registry metrics ([unet_mux_deliveries_total],
+    [unet_mux_unknown_tag_drops_total], [unet_mux_outcomes_total]) and tags
+    its trace events. *)
 
 val register : t -> rx_vci:int -> Endpoint.t -> chan:Channel.id -> unit
 (** Raises if the VCI is already registered (tag conflict). *)

@@ -2,14 +2,16 @@ type 'a t = {
   slots : 'a option array;
   mutable head : int; (* index of oldest element *)
   mutable len : int;
+  mutable hw : int; (* deepest the ring has ever been *)
 }
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { slots = Array.make capacity None; head = 0; len = 0 }
+  { slots = Array.make capacity None; head = 0; len = 0; hw = 0 }
 
 let capacity t = Array.length t.slots
 let length t = t.len
+let high_water t = t.hw
 let is_empty t = t.len = 0
 let is_full t = t.len = Array.length t.slots
 
@@ -19,6 +21,7 @@ let push t v =
     let tail = (t.head + t.len) mod Array.length t.slots in
     t.slots.(tail) <- Some v;
     t.len <- t.len + 1;
+    if t.len > t.hw then t.hw <- t.len;
     true
   end
 

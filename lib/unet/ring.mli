@@ -8,6 +8,10 @@ val create : capacity:int -> 'a t
 
 val capacity : 'a t -> int
 val length : 'a t -> int
+
+val high_water : 'a t -> int
+(** Deepest the ring has ever been (monotonic; survives {!clear}). *)
+
 val is_empty : 'a t -> bool
 val is_full : 'a t -> bool
 

@@ -49,6 +49,7 @@ type t = {
   mutable next_ep_id : int;
   mutable next_chan_id : int;
   mutable kemu : kemu option;
+  m_doorbells : Metrics.Counter.t;
 }
 
 type error =
@@ -85,6 +86,10 @@ let create ~cpu ~net ~host ?(pinned_capacity = 8 * 1024 * 1024) backend =
     next_ep_id = 0;
     next_chan_id = 0;
     kemu = None;
+    m_doorbells =
+      Metrics.counter ~help:"send doorbells rung (tx descriptors posted)"
+        "ni_doorbells_total"
+        [ ("host", string_of_int host); ("nic", backend.nic_name) ];
   }
 
 let sim t = Host.Cpu.sim t.cpu
@@ -96,7 +101,7 @@ let endpoint_count t = List.length t.endpoints
 
 (* A kernel-emulated endpoint pays a system call, serialized through the
    kernel path, on top of the operation's own cost. *)
-let charge_op t (ep : Endpoint.t) ns =
+let charge_op ?layer t (ep : Endpoint.t) ns =
   if ep.emulated then begin
     match t.backend.kernel_path with
     | Some server ->
@@ -105,9 +110,9 @@ let charge_op t (ep : Endpoint.t) ns =
             (t.backend.kernel_op_ns + ns)
         in
         Proc.suspend (fun resume -> Sync.Server.submit server ~cost resume)
-    | None -> Host.Cpu.charge t.cpu (t.backend.kernel_op_ns + ns)
+    | None -> Host.Cpu.charge ~layer:"kernel" t.cpu (t.backend.kernel_op_ns + ns)
   end
-  else Host.Cpu.charge t.cpu ns
+  else Host.Cpu.charge ?layer t.cpu ns
 
 let create_endpoint t ?(emulated = false) ?(direct_access = false)
     ?(tx_slots = 64) ?(rx_slots = 64) ?(free_slots = 64) ~seg_size () =
@@ -126,6 +131,21 @@ let create_endpoint t ?(emulated = false) ?(direct_access = false)
       t.next_ep_id <- t.next_ep_id + 1;
       t.endpoints <- ep :: t.endpoints;
       if not emulated then t.real_endpoints <- t.real_endpoints + 1;
+      (* expose each ring's high-water mark; read lazily at dump time *)
+      let ring_gauge name read =
+        Metrics.gauge_fn
+          ~help:"deepest an endpoint message queue has ever been"
+          "unet_ring_high_water"
+          [
+            ("endpoint", string_of_int ep.ep_id);
+            ("host", string_of_int t.host);
+            ("ring", name);
+          ]
+          (fun () -> float_of_int (read ()))
+      in
+      ring_gauge "tx" (fun () -> Ring.high_water ep.tx_ring);
+      ring_gauge "rx" (fun () -> Ring.high_water ep.rx_ring);
+      ring_gauge "free" (fun () -> Ring.high_water ep.free_ring);
       Ok ep
     end
   end
@@ -192,7 +212,8 @@ let send t (ep : Endpoint.t) (desc : Desc.tx) =
             && Desc.payload_length desc.tx_payload = 0
           then Error (Bad_buffer "empty direct-access message")
           else begin
-            charge_op t ep t.backend.doorbell_ns;
+            charge_op ~layer:"unet_doorbell" t ep t.backend.doorbell_ns;
+            Metrics.Counter.inc t.m_doorbells;
             if Ring.push ep.tx_ring desc then begin
               if ep.emulated then kemu_notify t ep
               else t.backend.notify_tx ep;
@@ -202,13 +223,13 @@ let send t (ep : Endpoint.t) (desc : Desc.tx) =
           end)
 
 let poll t (ep : Endpoint.t) =
-  charge_op t ep t.backend.rx_poll_ns;
+  charge_op ~layer:"unet_rx_poll" t ep t.backend.rx_poll_ns;
   Ring.pop ep.rx_ring
 
 let recv t (ep : Endpoint.t) =
   let rec loop () =
     Sync.Condition.wait_for ep.rx_cond (fun () -> not (Ring.is_empty ep.rx_ring));
-    charge_op t ep t.backend.rx_poll_ns;
+    charge_op ~layer:"unet_rx_poll" t ep t.backend.rx_poll_ns;
     (* another receiver may have taken it while we were charged *)
     match Ring.pop ep.rx_ring with Some d -> d | None -> loop ()
   in
@@ -218,7 +239,7 @@ let recv_timeout t (ep : Endpoint.t) ~timeout =
   let deadline = Sim.now (sim t) + timeout in
   let rec loop () =
     if not (Ring.is_empty ep.rx_ring) then begin
-      charge_op t ep t.backend.rx_poll_ns;
+      charge_op ~layer:"unet_rx_poll" t ep t.backend.rx_poll_ns;
       match Ring.pop ep.rx_ring with Some d -> Some d | None -> loop ()
     end
     else if Sim.now (sim t) >= deadline then None
@@ -317,7 +338,7 @@ let kemu_tx t k (ep : Endpoint.t) =
       | Some kchan ->
           let data = gather_payload ep desc.tx_payload in
           (* the kernel's staging copy into its own pinned buffers *)
-          Host.Cpu.charge t.cpu t.backend.kernel_op_ns;
+          Host.Cpu.charge ~layer:"kernel" t.cpu t.backend.kernel_op_ns;
           Host.Cpu.charge_copy t.cpu ~bytes:(Bytes.length data);
           desc.injected <- true;
           let rec take_bufs acc got =
@@ -395,7 +416,7 @@ let kemu_rx t k (d : Desc.rx) =
           m "kernel mux: message on unknown kernel channel %d dropped"
             d.src_chan)
   | Some (ep, emu_chan) ->
-      Host.Cpu.charge t.cpu t.backend.kernel_op_ns;
+      Host.Cpu.charge ~layer:"kernel" t.cpu t.backend.kernel_op_ns;
       Host.Cpu.charge_copy t.cpu ~bytes:(Bytes.length data);
       ignore (Mux.deliver_to ep ~chan:emu_chan data)
 

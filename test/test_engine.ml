@@ -426,6 +426,315 @@ let test_series () =
   check (Alcotest.float 1e-9) "max_y" 20. (Stats.Series.max_y s);
   check (Alcotest.float 1e-9) "min_y" 10. (Stats.Series.min_y s)
 
+let test_percentile_interpolation () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 4.; 1.; 3.; 2. ];
+  check (Alcotest.float 1e-9) "p50 interpolates" 2.5
+    (Stats.Summary.percentile s 0.5);
+  check (Alcotest.float 1e-9) "p25 lands on a sample" 1.75
+    (Stats.Summary.percentile s 0.25);
+  check (Alcotest.float 1e-9) "p0 is the min" 1. (Stats.Summary.percentile s 0.);
+  check (Alcotest.float 1e-9) "p1 is the max" 4. (Stats.Summary.percentile s 1.);
+  check (Alcotest.float 1e-9) "out-of-range p clamps" 4.
+    (Stats.Summary.percentile s 2.);
+  checkb "empty summary raises" true
+    (try
+       ignore (Stats.Summary.percentile (Stats.Summary.create ()) 0.5);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Trace -------------------------------------------------------- *)
+
+let test_trace_time_order () =
+  Trace.start ();
+  let sim = Sim.create () in
+  (* emit from events scheduled out of order: the ring must still record
+     them in nondecreasing virtual time because the sim fires them in order *)
+  List.iter
+    (fun d ->
+      ignore
+        (Sim.schedule sim ~delay:d (fun () ->
+             Trace.instant Trace.Cell "tick" ~args:[ ("d", Trace.Int d) ])))
+    [ 30; 10; 50; 20; 40; 10 ];
+  Sim.run sim;
+  let ts = List.map (fun (e : Trace.event) -> e.ts) (Trace.events ()) in
+  checki "all six retained" 6 (List.length ts);
+  checkb "nondecreasing virtual-time order" true
+    (List.sort compare ts = ts);
+  check (Alcotest.list Alcotest.int) "stamped with the sim clock"
+    [ 10; 10; 20; 30; 40; 50 ] ts;
+  Trace.stop ();
+  Trace.clear ()
+
+let test_trace_ring_bounded () =
+  Trace.start ~capacity:8 ();
+  let sim = Sim.create () in
+  for i = 1 to 20 do
+    ignore
+      (Sim.schedule sim ~delay:i (fun () -> Trace.instant Trace.Mux "e"))
+  done;
+  Sim.run sim;
+  checki "ring keeps the newest 8" 8 (List.length (Trace.events ()));
+  checki "total counts every emission" 20 (Trace.total_events ());
+  checki "drops counted" 12 (Trace.dropped_events ());
+  checki "oldest retained is event 13" (Sim.ns 13)
+    (match Trace.events () with e :: _ -> e.ts | [] -> -1);
+  Trace.stop ();
+  Trace.clear ()
+
+let test_trace_disabled_is_silent () =
+  Trace.clear ();
+  checkb "disabled by default" false (Trace.enabled ());
+  Trace.instant Trace.Tcp "ignored";
+  checki "no events recorded while disabled" 0 (List.length (Trace.events ()))
+
+(* A minimal JSON reader, enough to round-trip the Chrome export. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else '\000' in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | ' ' | '\t' | '\n' | '\r' ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c" c));
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+                pos := !pos + 4;
+                if code < 128 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_string b (Printf.sprintf "\\u%04x" code)
+            | c -> Buffer.add_char b c);
+            advance ();
+            go ()
+        | '\000' -> raise (Bad "unterminated string")
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              if peek () = ',' then begin
+                advance ();
+                members ((k, v) :: acc)
+              end
+              else begin
+                expect '}';
+                List.rev ((k, v) :: acc)
+              end
+            in
+            Obj (members [])
+          end
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then begin
+            advance ();
+            Arr []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              if peek () = ',' then begin
+                advance ();
+                elems (v :: acc)
+              end
+              else begin
+                expect ']';
+                List.rev (v :: acc)
+              end
+            in
+            Arr (elems [])
+          end
+      | '"' -> Str (parse_string ())
+      | 't' ->
+          pos := !pos + 4;
+          Bool true
+      | 'f' ->
+          pos := !pos + 5;
+          Bool false
+      | 'n' ->
+          pos := !pos + 4;
+          Null
+      | _ ->
+          let start = !pos in
+          let is_num c =
+            match c with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false
+          in
+          while is_num (peek ()) do
+            advance ()
+          done;
+          if !pos = start then raise (Bad "unexpected character");
+          Num (float_of_string (String.sub s start (!pos - start)))
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let mem k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+end
+
+let test_trace_chrome_roundtrip () =
+  Trace.start ();
+  let sim = Sim.create () in
+  ignore
+    (Sim.schedule sim ~delay:1_500 (fun () ->
+         Trace.instant Trace.Mux "deliver" ~tid:3
+           ~args:
+             [
+               ("vci", Trace.Int 32);
+               ("outcome", Trace.Str "needs \"escaping\"\n");
+               ("frac", Trace.Float 0.25);
+             ]));
+  ignore
+    (Sim.schedule sim ~delay:2_000 (fun () ->
+         Trace.complete Trace.Cpu "uam" ~dur:800));
+  Sim.run sim;
+  let json = Trace.to_chrome_json () in
+  Trace.stop ();
+  Trace.clear ();
+  let parsed = Json.parse json in
+  let objs = match parsed with Json.Arr l -> l | _ -> [] in
+  checki "exports an array with both events" 2 (List.length objs);
+  List.iter
+    (fun o ->
+      List.iter
+        (fun k -> checkb ("event has " ^ k) true (Json.mem k o <> None))
+        [ "name"; "ph"; "ts"; "pid"; "tid" ])
+    objs;
+  let first = List.nth objs 0 and second = List.nth objs 1 in
+  checkb "name round-trips" true (Json.mem "name" first = Some (Json.Str "deliver"));
+  checkb "phase i" true (Json.mem "ph" first = Some (Json.Str "i"));
+  checkb "ts is microseconds" true (Json.mem "ts" first = Some (Json.Num 1.5));
+  checkb "tid carried" true (Json.mem "tid" first = Some (Json.Num 3.));
+  (match Json.mem "args" first with
+  | Some args ->
+      checkb "int arg" true (Json.mem "vci" args = Some (Json.Num 32.));
+      checkb "string arg escapes round-trip" true
+        (Json.mem "outcome" args = Some (Json.Str "needs \"escaping\"\n"));
+      checkb "float arg" true (Json.mem "frac" args = Some (Json.Num 0.25))
+  | None -> Alcotest.fail "first event lost its args");
+  checkb "complete has dur (0.8 us)" true
+    (Json.mem "dur" second = Some (Json.Num 0.8));
+  checkb "complete phase X" true (Json.mem "ph" second = Some (Json.Str "X"))
+
+(* --- Metrics ------------------------------------------------------ *)
+
+let test_metrics_dedup () =
+  Metrics.reset ();
+  let c1 = Metrics.counter "dedup_test_total" [ ("a", "1"); ("b", "2") ] in
+  let c2 = Metrics.counter "dedup_test_total" [ ("b", "2"); ("a", "1") ] in
+  let c3 = Metrics.counter "dedup_test_total" [ ("a", "1"); ("b", "3") ] in
+  Metrics.Counter.inc c1;
+  Metrics.Counter.inc c2;
+  Metrics.Counter.inc c3;
+  checki "label order is irrelevant: same instrument" 2
+    (Metrics.Counter.value c1);
+  checki "different labels: distinct instrument" 1 (Metrics.Counter.value c3);
+  checkb "lookup sees the shared sample" true
+    (Metrics.counter_value "dedup_test_total" [ ("b", "2"); ("a", "1") ]
+    = Some 2)
+
+let test_metrics_reset_keeps_registrations () =
+  Metrics.reset ();
+  let c = Metrics.counter ~help:"h" "reset_test_total" [] in
+  Metrics.Counter.add c 7;
+  Metrics.reset ();
+  checki "value zeroed" 0 (Metrics.Counter.value c);
+  Metrics.Counter.inc c;
+  checki "old handle still feeds the registry" 1
+    (match Metrics.counter_value "reset_test_total" [] with
+    | Some v -> v
+    | None -> -1);
+  let dump = Metrics.to_prometheus_string () in
+  checkb "family present in the dump after reset" true
+    (let re = "reset_test_total" in
+     let rec find i =
+       i + String.length re <= String.length dump
+       && (String.sub dump i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+(* The quickstart ping-pong must meter identically on every run: all counts
+   derive from the deterministic simulation. *)
+let test_metrics_pingpong_deterministic () =
+  let iters = 10 in
+  let run () =
+    Metrics.reset ();
+    let rtt = Experiments.Common.raw_rtt ~iters ~size:32 () in
+    (rtt, Metrics.to_prometheus_string ())
+  in
+  let rtt1, dump1 = run () in
+  let rtt2, dump2 = run () in
+  check (Alcotest.float 1e-9) "same RTT both runs" rtt1 rtt2;
+  check Alcotest.string "identical metrics dumps" dump1 dump2;
+  checki "every echo crossed host 1's mux" iters
+    (match Metrics.counter_value "unet_mux_deliveries_total" [ ("host", "1") ] with
+    | Some v -> v
+    | None -> -1);
+  checki "every reply crossed host 0's mux" iters
+    (match Metrics.counter_value "unet_mux_deliveries_total" [ ("host", "0") ] with
+    | Some v -> v
+    | None -> -1);
+  Metrics.reset ()
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -485,5 +794,24 @@ let () =
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_percentile_interpolation;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "virtual-time order" `Quick test_trace_time_order;
+          Alcotest.test_case "ring bounded" `Quick test_trace_ring_bounded;
+          Alcotest.test_case "disabled is silent" `Quick
+            test_trace_disabled_is_silent;
+          Alcotest.test_case "chrome JSON round-trip" `Quick
+            test_trace_chrome_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "dedup by name+labels" `Quick test_metrics_dedup;
+          Alcotest.test_case "reset keeps registrations" `Quick
+            test_metrics_reset_keeps_registrations;
+          Alcotest.test_case "ping-pong deterministic" `Quick
+            test_metrics_pingpong_deterministic;
         ] );
     ]
