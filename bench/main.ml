@@ -37,7 +37,7 @@ let bench_aal5 =
   fun () ->
     List.iter
       (fun c -> ignore (Atm.Aal5.Reassembler.push r c))
-      (Atm.Aal5.segment ~vci:1 payload)
+      (Atm.Aal5.segment ~vci:1 (Engine.Buf.of_bytes payload))
 
 (* fig4: the descriptor rings are the per-message fixed cost *)
 let bench_ring =
@@ -129,10 +129,13 @@ let run_experiments quick =
         (fun (what, ok) ->
           Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") what)
         (e.checks ~quick);
-      (* registry snapshot for this figure: counters since the reset above *)
+      (* registry snapshot for this figure: counters since the reset above,
+         including the per-layer buf_copies_total / buf_copy_bytes_total
+         series of the zero-copy buffer layer *)
       let path = Filename.concat metrics_dir (e.name ^ ".prom") in
       Engine.Metrics.write_file path;
-      Format.printf "  metrics snapshot: %s@." path)
+      Format.printf "  metrics snapshot: %s (buf copies: %d)@." path
+        (Engine.Buf.copies_total ()))
     Experiments.Registry.all
 
 let () =

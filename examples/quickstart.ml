@@ -32,13 +32,13 @@ let () =
          (match d.rx_payload with
          | Unet.Desc.Inline msg ->
              Format.printf "bob   : got %S at t=%.1f us@."
-               (Bytes.to_string msg)
+               (Bytes.to_string (Buf.to_bytes ~layer:"app" msg))
                (Sim.to_us (Sim.now cluster.sim))
          | Unet.Desc.Buffers _ -> assert false);
          match
            Unet.send bob.unet ep_b
              (Unet.Desc.tx ~chan:chan_b
-                (Unet.Desc.Inline (Bytes.of_string "hi alice")))
+                (Unet.Desc.Inline (Buf.of_string "hi alice")))
          with
          | Ok () -> ()
          | Error e -> Fmt.failwith "bob: %a" Unet.pp_error e));
@@ -51,7 +51,7 @@ let () =
          (match
             Unet.send alice.unet ep_a
               (Unet.Desc.tx ~chan:chan_a
-                 (Unet.Desc.Inline (Bytes.of_string "hi bob")))
+                 (Unet.Desc.Inline (Buf.of_string "hi bob")))
           with
          | Ok () -> ()
          | Error e -> Fmt.failwith "alice: %a" Unet.pp_error e);
@@ -59,7 +59,7 @@ let () =
          (match d.rx_payload with
          | Unet.Desc.Inline msg ->
              Format.printf "alice : got %S — round trip %.1f us@."
-               (Bytes.to_string msg)
+               (Bytes.to_string (Buf.to_bytes ~layer:"app" msg))
                (Sim.to_us (Sim.now cluster.sim - t0))
          | Unet.Desc.Buffers _ -> assert false)));
 

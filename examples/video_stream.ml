@@ -58,7 +58,8 @@ let () =
                  Bytes.set_int32_be ack 0 (Int32.of_int no);
                  ignore
                    (Unet.send rx.unet ep_rx
-                      (Unet.Desc.tx ~chan:ch_rx (Unet.Desc.Inline ack)))
+                      (Unet.Desc.tx ~chan:ch_rx
+                         (Unet.Desc.Inline (Buf.of_bytes ack))))
                end
                else incr got_delta;
                List.iter
@@ -91,8 +92,7 @@ let () =
            let rec go () =
              match Unet.poll tx.unet ep_tx with
              | Some { Unet.Desc.rx_payload = Unet.Desc.Inline b; _ } ->
-                 Hashtbl.replace key_acked
-                   (Int32.to_int (Bytes.get_int32_be b 0))
+                 Hashtbl.replace key_acked (Int32.to_int (Buf.get_uint32_be b 0))
                    true;
                  go ()
              | Some _ -> go ()

@@ -1,3 +1,5 @@
+open Engine
+
 let trailer_size = 8
 let max_payload = 65535
 
@@ -11,20 +13,28 @@ let pdu_wire_bytes len = cells_for len * Cell.on_wire_size
    byte 0: CPCS-UU (we carry 0)
    byte 1: CPI (0)
    bytes 2-3: payload length, big-endian
-   bytes 4-7: CRC-32 over the whole CS-PDU with the CRC field excluded. *)
+   bytes 4-7: CRC-32 over the whole CS-PDU with the CRC field excluded.
+
+   The CS-PDU is never materialized: it is the payload view followed by a
+   fresh pad+trailer store, and every cell is a 48-byte view into that
+   concatenation. *)
 let segment ~vci payload =
-  let len = Bytes.length payload in
+  let len = Buf.length payload in
   if len > max_payload then invalid_arg "Aal5.segment: payload too long";
   let ncells = cells_for len in
   let total = ncells * Cell.payload_size in
-  let pdu = Bytes.make total '\000' in
-  Bytes.blit payload 0 pdu 0 len;
-  Bytes.set_uint16_be pdu (total - 6) len;
-  let crc = Crc32.digest pdu ~pos:0 ~len:(total - 4) in
-  Bytes.set_int32_be pdu (total - 4) crc;
+  let tail = Bytes.make (total - len) '\000' in
+  let tail_len = Bytes.length tail in
+  Bytes.set_uint16_be tail (tail_len - 6) len;
+  let crc =
+    Crc32.digest_buf
+      (Buf.append payload (Buf.of_bytes_sub tail ~pos:0 ~len:(tail_len - 4)))
+  in
+  Bytes.set_int32_be tail (tail_len - 4) crc;
+  let pdu = Buf.append payload (Buf.of_bytes tail) in
   List.init ncells (fun i ->
       Cell.make ~vci ~eop:(i = ncells - 1)
-        (Bytes.sub pdu (i * Cell.payload_size) Cell.payload_size))
+        (Buf.sub pdu ~pos:(i * Cell.payload_size) ~len:Cell.payload_size))
 
 type error = Crc_mismatch | Length_mismatch | Too_long
 
@@ -35,24 +45,25 @@ let pp_error fmt = function
 
 module Reassembler = struct
   type t = {
-    buf : Buffer.t;
+    mutable cells : Buf.t list;  (* received payload views, reversed *)
+    mutable got : int;  (* bytes across [cells] *)
     mutable error_count : int;
   }
 
-  let create () = { buf = Buffer.create 256; error_count = 0 }
-  let in_progress t = Buffer.length t.buf > 0
+  let create () = { cells = []; got = 0; error_count = 0 }
+  let in_progress t = t.got > 0
   let errors t = t.error_count
-
   let max_pdu_bytes = cells_for max_payload * Cell.payload_size
 
   let finish t =
-    let pdu = Buffer.to_bytes t.buf in
-    Buffer.clear t.buf;
-    let total = Bytes.length pdu in
+    let pdu = Buf.concat (List.rev t.cells) in
+    t.cells <- [];
+    t.got <- 0;
+    let total = Buf.length pdu in
     (* total is a positive multiple of 48 by construction *)
-    let stored_len = Bytes.get_uint16_be pdu (total - 6) in
-    let stored_crc = Bytes.get_int32_be pdu (total - 4) in
-    let crc = Crc32.digest pdu ~pos:0 ~len:(total - 4) in
+    let stored_len = Buf.get_uint16_be pdu (total - 6) in
+    let stored_crc = Buf.get_uint32_be pdu (total - 4) in
+    let crc = Crc32.digest_buf (Buf.sub pdu ~pos:0 ~len:(total - 4)) in
     if crc <> stored_crc then begin
       t.error_count <- t.error_count + 1;
       Error Crc_mismatch
@@ -64,16 +75,18 @@ module Reassembler = struct
       t.error_count <- t.error_count + 1;
       Error Length_mismatch
     end
-    else Ok (Bytes.sub pdu 0 stored_len)
+    else Ok (Buf.sub pdu ~pos:0 ~len:stored_len)
 
   let push t (cell : Cell.t) =
-    if Buffer.length t.buf + Cell.payload_size > max_pdu_bytes then begin
-      Buffer.clear t.buf;
+    if t.got + Cell.payload_size > max_pdu_bytes then begin
+      t.cells <- [];
+      t.got <- 0;
       t.error_count <- t.error_count + 1;
       Some (Error Too_long)
     end
     else begin
-      Buffer.add_bytes t.buf cell.payload;
+      t.cells <- cell.payload :: t.cells;
+      t.got <- t.got + Cell.payload_size;
       if cell.eop then Some (finish t) else None
     end
 end

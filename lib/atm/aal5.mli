@@ -16,8 +16,10 @@ val pdu_wire_bytes : int -> int
 (** Bytes on the wire (53 per cell) for a payload of the given length — the
     exact sawtooth of the paper's Figure 4 "AAL-5 limit" curve. *)
 
-val segment : vci:int -> bytes -> Cell.t list
-(** Split a payload into cells with padding, trailer and CRC. *)
+val segment : vci:int -> Engine.Buf.t -> Cell.t list
+(** Split a payload into cells with padding, trailer and CRC. The CS-PDU is
+    the payload view concatenated with a fresh pad+trailer store; every cell
+    payload is a zero-copy view into it. *)
 
 type error =
   | Crc_mismatch
@@ -33,7 +35,7 @@ module Reassembler : sig
 
   val create : unit -> t
 
-  val push : t -> Cell.t -> (bytes, error) result option
+  val push : t -> Cell.t -> (Engine.Buf.t, error) result option
   (** [None] while mid-PDU; [Some (Ok payload)] on success; [Some (Error _)]
       when the completed PDU fails its checks (it is then discarded, exactly
       as cell loss discards a whole segment in the paper's §7.8). *)

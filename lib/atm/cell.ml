@@ -1,14 +1,15 @@
-type t = { vci : int; eop : bool; payload : bytes }
+type t = { vci : int; eop : bool; payload : Engine.Buf.t }
 
 let header_size = 5
 let payload_size = 48
 let on_wire_size = header_size + payload_size
 
 let make ~vci ~eop payload =
-  if Bytes.length payload <> payload_size then
+  if Engine.Buf.length payload <> payload_size then
     invalid_arg
       (Printf.sprintf "Cell.make: payload must be %d bytes, got %d"
-         payload_size (Bytes.length payload));
+         payload_size
+         (Engine.Buf.length payload));
   if vci < 0 then invalid_arg "Cell.make: negative VCI";
   { vci; eop; payload }
 

@@ -5,14 +5,16 @@
 type t = {
   vci : int;  (** virtual channel identifier *)
   eop : bool;  (** PTI "end of AAL5 PDU" marker *)
-  payload : bytes;  (** exactly {!payload_size} bytes *)
+  payload : Engine.Buf.t;
+      (** exactly {!payload_size} bytes; usually a zero-copy view into the
+          CS-PDU it was segmented from *)
 }
 
 val header_size : int (* 5 *)
 val payload_size : int (* 48 *)
 val on_wire_size : int (* 53 *)
 
-val make : vci:int -> eop:bool -> bytes -> t
+val make : vci:int -> eop:bool -> Engine.Buf.t -> t
 (** Raises [Invalid_argument] unless the payload is exactly 48 bytes. *)
 
 val with_vci : t -> int -> t

@@ -26,3 +26,7 @@ let digest ?(crc = 0l) b ~pos ~len =
   Int32.logxor !c 0xFFFFFFFFl
 
 let digest_bytes b = digest b ~pos:0 ~len:(Bytes.length b)
+
+let digest_buf ?crc b =
+  Engine.Buf.fold_spans b ~init:(match crc with Some c -> c | None -> 0l)
+    ~f:(fun acc base ~pos ~len -> digest ~crc:acc base ~pos ~len)

@@ -7,3 +7,7 @@ val digest : ?crc:int32 -> bytes -> pos:int -> len:int -> int32
 
 val digest_bytes : bytes -> int32
 (** CRC over a whole buffer. [digest_bytes "123456789" = 0xCBF43926l]. *)
+
+val digest_buf : ?crc:int32 -> Engine.Buf.t -> int32
+(** CRC over every span of a slice in order, without materializing it;
+    equals [digest_bytes] of the equivalent contiguous buffer. *)

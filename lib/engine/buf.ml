@@ -1,0 +1,166 @@
+(* Slice/iovec views. See buf.mli for the ownership and counting story. *)
+
+type span = { base : bytes; off : int; len : int }
+type t = { spans : span list; len : int }
+
+let empty = { spans = []; len = 0 }
+
+let of_bytes b =
+  let len = Bytes.length b in
+  if len = 0 then empty else { spans = [ { base = b; off = 0; len } ]; len }
+
+let of_bytes_sub b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Buf.of_bytes_sub";
+  if len = 0 then empty else { spans = [ { base = b; off = pos; len } ]; len }
+
+let of_string s = of_bytes (Bytes.of_string s)
+let alloc n = of_bytes (Bytes.make n '\000')
+let length t = t.len
+let is_empty t = t.len = 0
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then invalid_arg "Buf.sub";
+  if len = 0 then empty
+  else begin
+    let acc = ref [] and skip = ref pos and want = ref len in
+    List.iter
+      (fun (s : span) ->
+        if !want > 0 then
+          if !skip >= s.len then skip := !skip - s.len
+          else begin
+            let take = min (s.len - !skip) !want in
+            acc := { base = s.base; off = s.off + !skip; len = take } :: !acc;
+            skip := 0;
+            want := !want - take
+          end)
+      t.spans;
+    { spans = List.rev !acc; len }
+  end
+
+(* fuse adjacent views over the same store so span lists stay short even
+   after reassembling many cells cut from one PDU *)
+let fuse spans =
+  let rec go = function
+    | a :: b :: rest when a.base == b.base && a.off + a.len = b.off ->
+        go ({ a with len = a.len + b.len } :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go spans
+
+let concat ts =
+  let spans =
+    fuse (List.concat_map (fun t -> t.spans) ts)
+  in
+  { spans; len = List.fold_left (fun n (s : span) -> n + s.len) 0 spans }
+
+let append a b = concat [ a; b ]
+let spans t = List.map (fun s -> (s.base, s.off, s.len)) t.spans
+let iter_spans t f = List.iter (fun s -> f s.base ~pos:s.off ~len:s.len) t.spans
+
+let fold_spans t ~init ~f =
+  List.fold_left (fun acc s -> f acc s.base ~pos:s.off ~len:s.len) init t.spans
+
+let get_uint8 t i =
+  if i < 0 || i >= t.len then invalid_arg "Buf.get_uint8";
+  let rec go i = function
+    | (s : span) :: rest ->
+        if i < s.len then Char.code (Bytes.get s.base (s.off + i))
+        else go (i - s.len) rest
+    | [] -> assert false
+  in
+  go i t.spans
+
+let get_uint16_be t i = (get_uint8 t i lsl 8) lor get_uint8 t (i + 1)
+let get_uint16_le t i = get_uint8 t i lor (get_uint8 t (i + 1) lsl 8)
+
+let get_uint32_be t i =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int (get_uint16_be t i)) 16)
+    (Int32.of_int (get_uint16_be t (i + 2)))
+
+let get_uint32_le t i =
+  Int32.logor
+    (Int32.of_int (get_uint16_le t i))
+    (Int32.shift_left (Int32.of_int (get_uint16_le t (i + 2))) 16)
+
+let equal a b =
+  a.len = b.len
+  &&
+  (* walk both span lists in lockstep *)
+  let rec go sa sb =
+    match (sa, sb) with
+    | [], [] -> true
+    | [], _ | _, [] -> false
+    | (a : span) :: ra, (b : span) :: rb ->
+        let n = min a.len b.len in
+        let rec cmp i =
+          i >= n
+          || Bytes.get a.base (a.off + i) = Bytes.get b.base (b.off + i)
+             && cmp (i + 1)
+        in
+        cmp 0
+        &&
+        let rest (x : span) n =
+          if x.len = n then []
+          else [ { x with off = x.off + n; len = x.len - n } ]
+        in
+        go (rest a n @ ra) (rest b n @ rb)
+  in
+  go a.spans b.spans
+
+let equal_bytes t b = equal t (of_bytes b)
+let pp fmt t = Format.fprintf fmt "<buf %dB/%d spans>" t.len (List.length t.spans)
+
+(* --- counted copies ------------------------------------------------- *)
+
+let layer_counters : (string, Metrics.Counter.t * Metrics.Counter.t) Hashtbl.t =
+  Hashtbl.create 16
+
+let counters layer =
+  match Hashtbl.find_opt layer_counters layer with
+  | Some c -> c
+  | None ->
+      let c =
+        ( Metrics.counter ~help:"Data-path copies performed, by layer"
+            "buf_copies_total"
+            [ ("layer", layer) ],
+          Metrics.counter ~help:"Bytes moved by data-path copies, by layer"
+            "buf_copy_bytes_total"
+            [ ("layer", layer) ] )
+      in
+      Hashtbl.replace layer_counters layer c;
+      c
+
+let count ~layer bytes =
+  let copies, moved = counters layer in
+  Metrics.Counter.inc copies;
+  Metrics.Counter.add moved bytes
+
+let copy_into ~layer t ~dst ~dst_pos =
+  if dst_pos < 0 || dst_pos + t.len > Bytes.length dst then
+    invalid_arg "Buf.copy_into";
+  count ~layer t.len;
+  let pos = ref dst_pos in
+  List.iter
+    (fun s ->
+      Bytes.blit s.base s.off dst !pos s.len;
+      pos := !pos + s.len)
+    t.spans
+
+let to_bytes ~layer t =
+  let b = Bytes.create t.len in
+  copy_into ~layer t ~dst:b ~dst_pos:0;
+  b
+
+let copy ~layer t = of_bytes (to_bytes ~layer t)
+
+let blit_bytes ~layer ~src ~src_pos ~dst ~dst_pos ~len =
+  count ~layer len;
+  Bytes.blit src src_pos dst dst_pos len
+
+let copies_total () =
+  Hashtbl.fold
+    (fun _ (c, _) acc -> acc + Metrics.Counter.value c)
+    layer_counters 0

@@ -4,7 +4,7 @@ let buffer_size = 4_160
 
 (* build a scatter-gather payload of [size] bytes from an allocator *)
 let payload_of_size alloc size =
-  if size <= Unet.Desc.inline_max then Unet.Desc.Inline (Bytes.create size)
+  if size <= Unet.Desc.inline_max then Unet.Desc.Inline (Buf.alloc size)
   else begin
     let rec take acc got =
       if got >= size then List.rev acc
@@ -108,7 +108,7 @@ let h_echo_reply = 2
 
 let uam_rtt ?(iters = 50) ~size () =
   let c, a0, a1 = uam_pair () in
-  let payload = Bytes.create size in
+  let payload = Buf.alloc size in
   Uam.register_handler a1 h_echo (fun am ~src:_ tk ~args:_ ~payload ->
       match tk with
       | Some tk -> Uam.reply am tk ~handler:h_echo_reply ~payload ()

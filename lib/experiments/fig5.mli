@@ -1,0 +1,22 @@
+(** Figure 5 (§6): seven Split-C benchmarks on the CM-5, the U-Net ATM
+    cluster and the Meiko CS-2, execution times normalized to the CM-5 with
+    the computation/communication breakdown. Reduced problem sizes; the
+    checks assert the paper's qualitative orderings. *)
+
+type machine = Cm5 | Meiko | Unet_atm
+
+val machine_name : machine -> string
+val machines : machine list
+
+type cell = { total_us : float; comm_us : float; ok : bool }
+
+type t = {
+  benchmarks : string list;
+  results : (string * (machine * cell) list) list;
+      (** per benchmark, per machine *)
+}
+
+val run : quick:bool -> t
+val cell : t -> string -> machine -> cell
+val print : t -> unit
+val checks : t -> (string * bool) list

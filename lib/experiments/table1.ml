@@ -27,7 +27,7 @@ let sba100_rtt ~size ~iters =
   let ep0, _ = Cluster.simple_endpoint ~emulated:true n0 in
   let ep1, _ = Cluster.simple_endpoint ~emulated:true n1 in
   let ch0, ch1 = Unet.connect_pair (n0.unet, ep0) (n1.unet, ep1) in
-  let payload = Unet.Desc.Inline (Bytes.create size) in
+  let payload = Unet.Desc.Inline (Buf.alloc size) in
   ignore
     (Proc.spawn ~name:"echo" c.sim (fun () ->
          let rec loop () =

@@ -19,3 +19,22 @@ let compute_bytes b = compute b ~pos:0 ~len:(Bytes.length b)
 let verify b ~pos ~len = compute b ~pos ~len = 0
 
 let cost_ns len = len * 10
+
+(* Span-iterating variant: byte parity relative to the start of the slice
+   decides whether a byte lands in the high or low half of its 16-bit word,
+   so the result equals [compute] over the equivalent contiguous buffer
+   whatever the span shape. *)
+let compute_buf b =
+  let sum = ref 0 and odd = ref false in
+  Engine.Buf.iter_spans b (fun base ~pos ~len ->
+      for i = pos to pos + len - 1 do
+        let v = Bytes.get_uint8 base i in
+        if !odd then sum := !sum + v else sum := !sum + (v lsl 8);
+        odd := not !odd
+      done);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let verify_buf b = compute_buf b = 0

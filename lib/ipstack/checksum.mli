@@ -11,3 +11,9 @@ val verify : bytes -> pos:int -> len:int -> bool
 val cost_ns : int -> int
 (** Modelled processing cost: ~1 µs per 100 bytes on the reference machine
     (§7.6). *)
+
+val compute_buf : Engine.Buf.t -> int
+(** Checksum across every span of a slice without materializing it; equals
+    [compute_bytes] of the equivalent contiguous buffer. *)
+
+val verify_buf : Engine.Buf.t -> bool

@@ -29,12 +29,14 @@ let register_flow t ~flow_id handler =
 let unregister_flow t ~flow_id = Hashtbl.remove t.flows flow_id
 let set_kernel_handler t h = t.kernel_handler <- h
 
+(* prepending the flow tag is pure slice concatenation over the caller's
+   payload; the counted copy happens where the packet is staged (inline
+   snapshot or communication-segment write) *)
 let frame t ~flow_id payload =
-  let b = Bytes.create (header_size + Bytes.length payload) in
-  Bytes.set_int32_be b 0 (Int32.of_int flow_id);
-  Bytes.set_int32_be b 4 (Int32.of_int t.addr);
-  Bytes.blit payload 0 b header_size (Bytes.length payload);
-  b
+  let hdr = Bytes.create header_size in
+  Bytes.set_int32_be hdr 0 (Int32.of_int flow_id);
+  Bytes.set_int32_be hdr 4 (Int32.of_int t.addr);
+  Buf.append (Buf.of_bytes hdr) (Buf.of_bytes payload)
 
 let send t ~flow_id payload =
   let pkt = frame t ~flow_id payload in
@@ -47,12 +49,15 @@ let send t ~flow_id payload =
     | _ -> ()
   in
   reap ();
-  if Bytes.length pkt <= Unet.Desc.inline_max then
+  if Buf.length pkt <= Unet.Desc.inline_max then begin
+    (* [send] has copy semantics; the descriptor must own the bytes *)
+    let pkt = Buf.copy ~layer:"flow_tx" pkt in
     match Unet.send t.u t.ep (Unet.Desc.tx ~chan:t.chan (Unet.Desc.Inline pkt)) with
     | Ok () -> ()
     | Error Unet.Queue_full ->
         Fmt.failwith "Flow_demux.send: back-pressure (send queue full)"
     | Error e -> Fmt.failwith "Flow_demux.send: %a" Unet.pp_error e
+  end
   else begin
     let rec alloc_buf () =
       reap ();
@@ -63,10 +68,9 @@ let send t ~flow_id payload =
           alloc_buf ()
     in
     let ((off, _) as buf) = alloc_buf () in
-    Unet.Segment.write t.ep.segment ~off ~src:pkt ~src_pos:0
-      ~len:(Bytes.length pkt);
+    Unet.Segment.write_buf ~layer:"flow_tx" t.ep.segment ~off pkt;
     let desc =
-      Unet.Desc.tx ~chan:t.chan (Unet.Desc.Buffers [ (off, Bytes.length pkt) ])
+      Unet.Desc.tx ~chan:t.chan (Unet.Desc.Buffers [ (off, Buf.length pkt) ])
     in
     match Unet.send t.u t.ep desc with
     | Ok () -> Queue.add (desc, buf) t.in_flight
@@ -83,32 +87,34 @@ let start t =
     (Proc.spawn ~name:"flow-demux" (Unet.sim t.u) (fun () ->
          let rec loop () =
            let rx = Unet.recv t.u t.ep in
-           let pkt =
+           (* [pkt] may view receive buffers: anything that outlives this
+              iteration is copied out before [release] frees them *)
+           let pkt, release =
              match rx.Unet.Desc.rx_payload with
-             | Unet.Desc.Inline b -> b
+             | Unet.Desc.Inline b -> (b, fun () -> ())
              | Unet.Desc.Buffers bufs ->
-                 let total =
-                   List.fold_left (fun acc (_, l) -> acc + l) 0 bufs
-                 in
-                 let out = Bytes.create total in
-                 let pos = ref 0 in
-                 List.iter
-                   (fun (off, l) ->
-                     Unet.Segment.blit_out t.ep.segment ~off ~dst:out
-                       ~dst_pos:!pos ~len:l;
-                     pos := !pos + l;
-                     ignore
-                       (Unet.provide_free_buffer t.u t.ep ~off
-                          ~len:(Unet.Segment.Allocator.block_size t.alloc)))
-                   bufs;
-                 out
+                 ( Buf.concat
+                     (List.map
+                        (fun (off, l) -> Unet.Segment.view t.ep.segment ~off ~len:l)
+                        bufs),
+                   fun () ->
+                     List.iter
+                       (fun (off, _) ->
+                         ignore
+                           (Unet.provide_free_buffer t.u t.ep ~off
+                              ~len:(Unet.Segment.Allocator.block_size t.alloc)))
+                       bufs )
            in
-           if Bytes.length pkt >= header_size then begin
-             let flow_id = Int32.to_int (Bytes.get_int32_be pkt 0) in
-             let src = Int32.to_int (Bytes.get_int32_be pkt 4) in
+           if Buf.length pkt >= header_size then begin
+             let flow_id = Int32.to_int (Buf.get_uint32_be pkt 0) in
+             let src = Int32.to_int (Buf.get_uint32_be pkt 4) in
+             (* the copy into application memory *)
              let payload =
-               Bytes.sub pkt header_size (Bytes.length pkt - header_size)
+               Buf.to_bytes ~layer:"flow_rx"
+                 (Buf.sub pkt ~pos:header_size
+                    ~len:(Buf.length pkt - header_size))
              in
+             release ();
              Host.Cpu.charge (Unet.cpu t.u) demux_cost_ns;
              match Hashtbl.find_opt t.flows flow_id with
              | Some handler ->
@@ -121,7 +127,8 @@ let start t =
                  Host.Cpu.charge (Unet.cpu t.u)
                    (Host.Cpu.machine (Unet.cpu t.u)).Host.Machine.syscall_ns;
                  t.kernel_handler ~flow_id ~src payload
-           end;
+           end
+           else release ();
            loop ()
          in
          loop ()))

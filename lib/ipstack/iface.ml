@@ -1,6 +1,6 @@
 open Engine
 
-type job = Tx of int * bytes | Deliver of bytes
+type job = Tx of int * Buf.t | Deliver of Buf.t
 
 type t = {
   sim : Sim.t;
@@ -8,9 +8,9 @@ type t = {
   mtu : int;
   mbox : job Sync.Mailbox.t;
   tx_queue_limit : int;
-  mutable rx_handler : bytes -> unit;
-  mutable rx_cost : bytes -> int;
-  mutable transmit : bytes -> unit; (* set once the pair is wired *)
+  mutable rx_handler : Buf.t -> unit;
+  mutable rx_cost : Buf.t -> int;
+  mutable transmit : Buf.t -> unit; (* set once the pair is wired *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -26,9 +26,9 @@ let queue_length t = Sync.Mailbox.length t.mbox
 let queue_limit t = t.tx_queue_limit
 
 let send t ~cost_ns pkt =
-  if Bytes.length pkt > t.mtu then
+  if Buf.length pkt > t.mtu then
     Fmt.invalid_arg "Iface.send: packet of %d bytes exceeds MTU %d"
-      (Bytes.length pkt) t.mtu;
+      (Buf.length pkt) t.mtu;
   (* the SunOS behaviour of §7.4: the device transmit queue silently drops
      packets under overload, without telling the sending application *)
   if Sync.Mailbox.length t.mbox >= t.tx_queue_limit then
@@ -88,21 +88,20 @@ let make ~sim ~cpu ~mtu ~tx_queue =
    header. *)
 
 let llc_snap = Bytes.of_string "\xAA\xAA\x03\x00\x00\x00\x08\x00"
+let llc_snap_buf = Buf.of_bytes llc_snap
 let encap_size = 8
 let ip_buffer_count = 32
 
-let encapsulate pkt =
-  let out = Bytes.create (encap_size + Bytes.length pkt) in
-  Bytes.blit llc_snap 0 out 0 encap_size;
-  Bytes.blit pkt 0 out encap_size (Bytes.length pkt);
-  out
+(* prepending the encapsulation is pure slice concatenation *)
+let encapsulate pkt = Buf.append llc_snap_buf pkt
 
 let decapsulate frame =
   if
-    Bytes.length frame < encap_size
-    || not (Bytes.equal (Bytes.sub frame 0 encap_size) llc_snap)
+    Buf.length frame < encap_size
+    || not (Buf.equal_bytes (Buf.sub frame ~pos:0 ~len:encap_size) llc_snap)
   then None
-  else Some (Bytes.sub frame encap_size (Bytes.length frame - encap_size))
+  else
+    Some (Buf.sub frame ~pos:encap_size ~len:(Buf.length frame - encap_size))
 
 let unet_side u ~mtu =
   let block = mtu + 64 in
@@ -152,9 +151,10 @@ let unet_transmit u (ep : Unet.Endpoint.t) alloc ~chan in_flight ~encap raw_pkt 
           alloc_buf ()
     in
     let off, _blen = alloc_buf () in
-    Unet.Segment.write ep.segment ~off ~src:pkt ~src_pos:0
-      ~len:(Bytes.length pkt);
-    let desc = Unet.Desc.tx ~chan (Unet.Desc.Buffers [ (off, Bytes.length pkt) ]) in
+    (* stage the packet into the communication segment: the one mandatory
+       send-side copy of IP-over-U-Net *)
+    Unet.Segment.write_buf ~layer:"ip_tx" ep.segment ~off pkt;
+    let desc = Unet.Desc.tx ~chan (Unet.Desc.Buffers [ (off, Buf.length pkt) ]) in
     match Unet.send u ep desc with
     | Ok () -> Queue.add (desc, (off, _blen)) in_flight
     | Error Unet.Queue_full ->
@@ -169,18 +169,20 @@ let start_unet_poller t u (ep : Unet.Endpoint.t) alloc ~encap =
            let rx = Unet.recv u ep in
            let pkt =
              match rx.Unet.Desc.rx_payload with
-             | Unet.Desc.Inline b -> b
+             | Unet.Desc.Inline b -> b (* snapshot owned by the descriptor *)
              | Unet.Desc.Buffers bufs ->
-                 let total =
-                   List.fold_left (fun acc (_, len) -> acc + len) 0 bufs
+                 (* materialize before the buffers go back on the free
+                    queue: the NI may refill them at any point after *)
+                 let pkt =
+                   Buf.copy ~layer:"ip_rx"
+                     (Buf.concat
+                        (List.map
+                           (fun (off, len) ->
+                             Unet.Segment.view ep.segment ~off ~len)
+                           bufs))
                  in
-                 let out = Bytes.create total in
-                 let pos = ref 0 in
                  List.iter
-                   (fun (off, len) ->
-                     Unet.Segment.blit_out ep.segment ~off ~dst:out
-                       ~dst_pos:!pos ~len;
-                     pos := !pos + len;
+                   (fun (off, _len) ->
                      match
                        Unet.provide_free_buffer u ep ~off
                          ~len:(Unet.Segment.Allocator.block_size alloc)
@@ -189,7 +191,7 @@ let start_unet_poller t u (ep : Unet.Endpoint.t) alloc ~encap =
                      | Error e ->
                          Fmt.failwith "Iface: free return: %a" Unet.pp_error e)
                    bufs;
-                 out
+                 pkt
            in
            (if encap then
               match decapsulate pkt with
@@ -226,7 +228,7 @@ type frame_link = {
   fl_frame_ns_per_byte : float;
   fl_propagation : Sim.time;
   mutable fl_busy_until : Sim.time;
-  mutable fl_rx : bytes -> unit;
+  mutable fl_rx : Buf.t -> unit;
 }
 
 let frame_header = 8
@@ -236,7 +238,7 @@ let link_transmit fl frame =
   let start = max now fl.fl_busy_until in
   let ser =
     int_of_float
-      (Float.round (float_of_int (Bytes.length frame) *. fl.fl_frame_ns_per_byte))
+      (Float.round (float_of_int (Buf.length frame) *. fl.fl_frame_ns_per_byte))
   in
   fl.fl_busy_until <- start + ser;
   ignore
@@ -262,16 +264,18 @@ let framed_pair ~sim ~cpu_a ~cpu_b ~bandwidth_mbps ~wire_mtu ~per_frame_ns
   let ta = make ~sim ~cpu:cpu_a ~mtu:ip_mtu ~tx_queue in
   let tb = make ~sim ~cpu:cpu_b ~mtu:ip_mtu ~tx_queue in
   let mk_transmit cpu link pkt =
-    (* fragment into wire-MTU frames, charging the driver per frame *)
-    let len = Bytes.length pkt in
+    (* fragment into wire-MTU frames, charging the driver per frame; each
+       frame is a header plus a zero-copy slice of the packet (transports
+       hand the interface packets they no longer mutate) *)
+    let len = Buf.length pkt in
     let payload_max = wire_mtu - frame_header in
     let rec go off =
       if off < len then begin
         let flen = min payload_max (len - off) in
-        let frame = Bytes.create (frame_header + flen) in
-        Bytes.set_int32_be frame 0 (Int32.of_int len);
-        Bytes.set_int32_be frame 4 (Int32.of_int off);
-        Bytes.blit pkt off frame frame_header flen;
+        let hdr = Bytes.create frame_header in
+        Bytes.set_int32_be hdr 0 (Int32.of_int len);
+        Bytes.set_int32_be hdr 4 (Int32.of_int off);
+        let frame = Buf.append (Buf.of_bytes hdr) (Buf.sub pkt ~pos:off ~len:flen) in
         Host.Cpu.charge cpu per_frame_ns;
         link_transmit link frame;
         go (off + flen)
@@ -282,18 +286,21 @@ let framed_pair ~sim ~cpu_a ~cpu_b ~bandwidth_mbps ~wire_mtu ~per_frame_ns
   let mk_rx t =
     let r = { r_buf = Bytes.empty; r_got = 0 } in
     fun frame ->
-      let total = Int32.to_int (Bytes.get_int32_be frame 0) in
-      let off = Int32.to_int (Bytes.get_int32_be frame 4) in
-      let flen = Bytes.length frame - frame_header in
+      let total = Int32.to_int (Buf.get_uint32_be frame 0) in
+      let off = Int32.to_int (Buf.get_uint32_be frame 4) in
+      let flen = Buf.length frame - frame_header in
       if off = 0 then begin
         r.r_buf <- Bytes.create total;
         r.r_got <- 0
       end;
       if Bytes.length r.r_buf = total then begin
-        Bytes.blit frame frame_header r.r_buf off flen;
+        (* the driver's receive-side copy out of the device frame *)
+        Buf.copy_into ~layer:"ether_rx"
+          (Buf.sub frame ~pos:frame_header ~len:flen)
+          ~dst:r.r_buf ~dst_pos:off;
         r.r_got <- r.r_got + flen;
         if r.r_got >= total then begin
-          deliver t r.r_buf;
+          deliver t (Buf.of_bytes r.r_buf);
           r.r_buf <- Bytes.empty;
           r.r_got <- 0
         end

@@ -5,7 +5,14 @@
 
     Packet transmission and delivery both pass through the host's stack
     process, so protocol processing for concurrent flows serializes on the
-    host CPU exactly as it does on a real machine. *)
+    host CPU exactly as it does on a real machine.
+
+    Packets are {!Engine.Buf.t} slices. A caller handing a packet to
+    {!send} gives up the right to mutate the memory it views: the interface
+    may retain slices of it (in the transmit queue and in frames still on
+    the wire) until delivery completes. On the receive side the interface
+    always delivers packets that own their storage, so transports may
+    retain views of them indefinitely. *)
 
 type t
 
@@ -13,15 +20,16 @@ val sim : t -> Engine.Sim.t
 val cpu : t -> Host.Cpu.t
 val mtu : t -> int
 
-val send : t -> cost_ns:int -> bytes -> unit
+val send : t -> cost_ns:int -> Engine.Buf.t -> unit
 (** Queue a packet for transmission; [cost_ns] is the sender-side protocol
     processing to charge (computed by the caller: UDP/TCP/IP costs). Never
-    blocks the caller; safe to call from timers and handlers. *)
+    blocks the caller; safe to call from timers and handlers. The packet's
+    underlying storage must not be mutated after the call. *)
 
-val set_rx : t -> rx_cost_ns:(bytes -> int) -> (bytes -> unit) -> unit
+val set_rx : t -> rx_cost_ns:(Engine.Buf.t -> int) -> (Engine.Buf.t -> unit) -> unit
 (** Install the packet-delivery upcall. [rx_cost_ns] prices the
     receiver-side protocol processing of a packet before the handler runs
-    (in stack-process context). *)
+    (in stack-process context). Delivered packets own their storage. *)
 
 val packets_sent : t -> int
 val packets_delivered : t -> int

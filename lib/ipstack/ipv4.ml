@@ -1,9 +1,11 @@
+open Engine
+
 type proto = Udp | Tcp
 
 let proto_number = function Udp -> 17 | Tcp -> 6
 let header_size = 20
 
-type handler = { h_cost : bytes -> int; h_fn : src:int -> bytes -> unit }
+type handler = { h_cost : Buf.t -> int; h_fn : src:int -> Buf.t -> unit }
 
 type t = {
   iface : Iface.t;
@@ -16,31 +18,30 @@ type t = {
 let ip_overhead_ns = 500 (* residual IP processing not folded into transports *)
 
 let handler_payload pkt =
-  Bytes.sub pkt header_size (Bytes.length pkt - header_size)
+  Buf.sub pkt ~pos:header_size ~len:(Buf.length pkt - header_size)
 
 let attach iface ~addr =
   let t = { iface; addr; udp = None; tcp = None; bad = 0 } in
   let rx_cost pkt =
-    if Bytes.length pkt < header_size then 0
+    if Buf.length pkt < header_size then 0
     else
-      let proto = Bytes.get_uint8 pkt 9 in
-      let payload_len = Bytes.length pkt - header_size in
+      let proto = Buf.get_uint8 pkt 9 in
       let h = if proto = 17 then t.udp else if proto = 6 then t.tcp else None in
       match h with
       | Some h ->
-          (* cost model sees the payload; one sub per packet is fine *)
-          ip_overhead_ns + h.h_cost (Bytes.sub pkt header_size payload_len)
+          (* cost model sees the payload; the sub is a zero-copy view *)
+          ip_overhead_ns + h.h_cost (handler_payload pkt)
       | None -> ip_overhead_ns
   in
   let rx pkt =
-    if Bytes.length pkt < header_size then t.bad <- t.bad + 1
-    else if not (Checksum.verify pkt ~pos:0 ~len:header_size) then
-      t.bad <- t.bad + 1
+    if Buf.length pkt < header_size then t.bad <- t.bad + 1
+    else if not (Checksum.verify_buf (Buf.sub pkt ~pos:0 ~len:header_size))
+    then t.bad <- t.bad + 1
     else begin
-      let proto = Bytes.get_uint8 pkt 9 in
-      let src = Int32.to_int (Bytes.get_int32_be pkt 12) in
-      let total = Bytes.get_uint16_be pkt 2 in
-      if total <> Bytes.length pkt then t.bad <- t.bad + 1
+      let proto = Buf.get_uint8 pkt 9 in
+      let src = Int32.to_int (Buf.get_uint32_be pkt 12) in
+      let total = Buf.get_uint16_be pkt 2 in
+      if total <> Buf.length pkt then t.bad <- t.bad + 1
       else
         let h =
           if proto = 17 then t.udp else if proto = 6 then t.tcp else None
@@ -61,26 +62,27 @@ let mtu t = Iface.mtu t.iface - header_size
 let bad_packets t = t.bad
 
 let send t proto ~dst ~cost_ns payload =
-  let len = Bytes.length payload in
+  let len = Buf.length payload in
   if len > mtu t then
     Fmt.invalid_arg
       "Ipv4.send: %d-byte payload exceeds the %d-byte MTU (no fragmentation)"
       len (mtu t);
-  let pkt = Bytes.create (header_size + len) in
-  Bytes.set_uint8 pkt 0 0x45;
-  Bytes.set_uint8 pkt 1 0;
-  Bytes.set_uint16_be pkt 2 (header_size + len);
-  Bytes.set_uint16_be pkt 4 0 (* id *);
-  Bytes.set_uint16_be pkt 6 0x4000 (* don't fragment *);
-  Bytes.set_uint8 pkt 8 64 (* ttl *);
-  Bytes.set_uint8 pkt 9 (proto_number proto);
-  Bytes.set_uint16_be pkt 10 0 (* checksum placeholder *);
-  Bytes.set_int32_be pkt 12 (Int32.of_int t.addr);
-  Bytes.set_int32_be pkt 16 (Int32.of_int dst);
-  let csum = Checksum.compute pkt ~pos:0 ~len:header_size in
-  Bytes.set_uint16_be pkt 10 csum;
-  Bytes.blit payload 0 pkt header_size len;
-  Iface.send t.iface ~cost_ns:(cost_ns + ip_overhead_ns) pkt
+  let hdr = Bytes.create header_size in
+  Bytes.set_uint8 hdr 0 0x45;
+  Bytes.set_uint8 hdr 1 0;
+  Bytes.set_uint16_be hdr 2 (header_size + len);
+  Bytes.set_uint16_be hdr 4 0 (* id *);
+  Bytes.set_uint16_be hdr 6 0x4000 (* don't fragment *);
+  Bytes.set_uint8 hdr 8 64 (* ttl *);
+  Bytes.set_uint8 hdr 9 (proto_number proto);
+  Bytes.set_uint16_be hdr 10 0 (* checksum placeholder *);
+  Bytes.set_int32_be hdr 12 (Int32.of_int t.addr);
+  Bytes.set_int32_be hdr 16 (Int32.of_int dst);
+  let csum = Checksum.compute hdr ~pos:0 ~len:header_size in
+  Bytes.set_uint16_be hdr 10 csum;
+  (* header prepend is slice concatenation; the payload is never copied *)
+  Iface.send t.iface ~cost_ns:(cost_ns + ip_overhead_ns)
+    (Buf.append (Buf.of_bytes hdr) payload)
 
 let register t proto ~rx_cost_ns fn =
   let h = { h_cost = rx_cost_ns; h_fn = fn } in

@@ -17,17 +17,24 @@ val cpu : t -> Host.Cpu.t
 val mtu : t -> int
 (** Maximum transport payload per packet (iface MTU minus the IP header). *)
 
-val send : t -> proto -> dst:int -> cost_ns:int -> bytes -> unit
-(** Wrap the transport payload in an IP header and hand it to the
-    interface; [cost_ns] is the transport's send-side processing cost (the
-    send half of IP is collapsed into the transport, §7.5). Raises on
-    payloads beyond the MTU: no fragmentation. *)
+val send : t -> proto -> dst:int -> cost_ns:int -> Engine.Buf.t -> unit
+(** Wrap the transport payload in an IP header (a zero-copy slice prepend)
+    and hand it to the interface; [cost_ns] is the transport's send-side
+    processing cost (the send half of IP is collapsed into the transport,
+    §7.5). Raises on payloads beyond the MTU: no fragmentation. The
+    payload's storage must not be mutated after the call (see
+    {!Iface.send}). *)
 
 val register :
-  t -> proto -> rx_cost_ns:(bytes -> int) -> (src:int -> bytes -> unit) -> unit
+  t ->
+  proto ->
+  rx_cost_ns:(Engine.Buf.t -> int) ->
+  (src:int -> Engine.Buf.t -> unit) ->
+  unit
 (** Install the transport's receive handler and cost model. The handler gets
-    the transport payload; packets failing the header checksum and packets
-    for unregistered protocols are dropped (and counted). *)
+    the transport payload as a view of a packet that owns its storage (safe
+    to retain); packets failing the header checksum and packets for
+    unregistered protocols are dropped (and counted). *)
 
 val header_size : int
 val bad_packets : t -> int

@@ -46,25 +46,37 @@ module Bytebuf = struct
     if t.len <> 0 then invalid_arg "Bytebuf.set_base: non-empty";
     t.base <- b
 
-  (* append as much of [src] as fits; returns the number of bytes taken *)
-  let append t src pos len =
+  (* append as much of [src] as fits; returns the number of bytes taken.
+     The blit into the ring is a counted copy (socket-buffer fill). *)
+  let append t ~layer src pos len =
     let n = min len (space t) in
     let start = (t.base_idx + t.len) mod t.cap in
     let first = min n (t.cap - start) in
-    Bytes.blit src pos t.data start first;
-    if n > first then Bytes.blit src (pos + first) t.data 0 (n - first);
+    if first > 0 then
+      Buf.copy_into ~layer (Buf.sub src ~pos ~len:first) ~dst:t.data
+        ~dst_pos:start;
+    if n > first then
+      Buf.copy_into ~layer
+        (Buf.sub src ~pos:(pos + first) ~len:(n - first))
+        ~dst:t.data ~dst_pos:0;
     t.len <- t.len + n;
     n
 
-  (* copy out [len] bytes starting at absolute stream offset [abs] *)
-  let read t ~abs ~len =
+  (* copy out [len] bytes starting at absolute stream offset [abs]. This is
+     a counted copy, not a view: the ring reuses its storage once data is
+     acked, but emitted segments (and frames still on the wire) may outlive
+     that — retransmittable data must own its bytes. *)
+  let read t ~layer ~abs ~len =
     if abs < t.base || abs + len > tail t then
       invalid_arg "Bytebuf.read: range not buffered";
     let out = Bytes.create len in
     let start = (t.base_idx + (abs - t.base)) mod t.cap in
     let first = min len (t.cap - start) in
-    Bytes.blit t.data start out 0 first;
-    if len > first then Bytes.blit t.data 0 out first (len - first);
+    Buf.blit_bytes ~layer ~src:t.data ~src_pos:start ~dst:out ~dst_pos:0
+      ~len:first;
+    if len > first then
+      Buf.blit_bytes ~layer ~src:t.data ~src_pos:0 ~dst:out ~dst_pos:first
+        ~len:(len - first);
     out
 
   (* drop [n] bytes from the front *)
@@ -190,7 +202,9 @@ type t = {
   (* receive side; rcvbuf.base is the application's read point *)
   rcvbuf : Bytebuf.t;
   mutable rcv_nxt : int;
-  mutable ooo : (int * bytes * bool) list; (* (seq, data, fin) sorted *)
+  mutable ooo : (int * Buf.t * bool) list;
+      (* (seq, data, fin) sorted; retained views of delivered packets,
+         which own their storage *)
   mutable fin_rcvd : bool;
   mutable segs_since_ack : int;
   (* timers *)
@@ -235,19 +249,21 @@ let unacked t = Bytebuf.tail t.sndbuf - t.snd_una
 
 let emit t ~flags ~seq ~payload =
   let len = Bytes.length payload in
-  let pdu = Bytes.create (header_size + len) in
-  Bytes.set_uint16_be pdu 0 t.lport;
-  Bytes.set_uint16_be pdu 2 t.rport;
-  Bytes.set_int32_be pdu 4 (Int32.of_int (seq land 0x3FFFFFFF));
-  Bytes.set_int32_be pdu 8 (Int32.of_int (t.rcv_nxt land 0x3FFFFFFF));
-  Bytes.set_uint8 pdu 12 ((header_size / 4) lsl 4);
-  Bytes.set_uint8 pdu 13 flags;
-  Bytes.set_uint16_be pdu 14 (min 0xffff (Bytebuf.space t.rcvbuf));
-  Bytes.set_uint16_be pdu 16 0;
-  Bytes.set_uint16_be pdu 18 0;
-  Bytes.blit payload 0 pdu header_size len;
-  let c = Checksum.compute_bytes pdu in
-  Bytes.set_uint16_be pdu 16 (if c = 0 then 0xffff else c);
+  let hdr = Bytes.create header_size in
+  Bytes.set_uint16_be hdr 0 t.lport;
+  Bytes.set_uint16_be hdr 2 t.rport;
+  Bytes.set_int32_be hdr 4 (Int32.of_int (seq land 0x3FFFFFFF));
+  Bytes.set_int32_be hdr 8 (Int32.of_int (t.rcv_nxt land 0x3FFFFFFF));
+  Bytes.set_uint8 hdr 12 ((header_size / 4) lsl 4);
+  Bytes.set_uint8 hdr 13 flags;
+  Bytes.set_uint16_be hdr 14 (min 0xffff (Bytebuf.space t.rcvbuf));
+  Bytes.set_uint16_be hdr 16 0;
+  Bytes.set_uint16_be hdr 18 0;
+  (* header prepend by slice concatenation; [payload] comes out of
+     Bytebuf.read and is owned by this segment *)
+  let pdu = Buf.append (Buf.of_bytes hdr) (Buf.of_bytes payload) in
+  let c = Checksum.compute_buf pdu in
+  Bytes.set_uint16_be hdr 16 (if c = 0 then 0xffff else c);
   (* every segment carries the current cumulative ack *)
   t.segs_since_ack <- 0;
   (match t.delack_timer with
@@ -330,7 +346,9 @@ and on_retx_timeout t =
         (* persist: probe the zero window with one byte *)
         t.n_retx <- t.n_retx + 1;
         note_rto t;
-        let payload = Bytebuf.read t.sndbuf ~abs:t.snd_una ~len:1 in
+        let payload =
+          Bytebuf.read t.sndbuf ~layer:"tcp_sndbuf" ~abs:t.snd_una ~len:1
+        in
         emit t ~flags:f_ack ~seq:t.snd_una ~payload;
         t.rto <- min t.cfg.max_rto (t.rto * 2);
         arm_retx t
@@ -357,7 +375,10 @@ and pump t =
           in
           if data_len <= 0 then continue := false
           else begin
-            let payload = Bytebuf.read t.sndbuf ~abs:t.snd_nxt ~len:data_len in
+            let payload =
+              Bytebuf.read t.sndbuf ~layer:"tcp_sndbuf" ~abs:t.snd_nxt
+                ~len:data_len
+            in
             let fin_now = t.fin_queued && t.snd_nxt + data_len = t.fin_seq in
             let flags = if fin_now then f_fin lor f_ack else f_ack in
             if t.timing = None then
@@ -417,7 +438,9 @@ let retransmit_one t =
   (* fast retransmit: resend the segment at snd_una *)
   let data_len = min t.cfg.mss (data_end t - t.snd_una) in
   if data_len > 0 then begin
-    let payload = Bytebuf.read t.sndbuf ~abs:t.snd_una ~len:data_len in
+    let payload =
+      Bytebuf.read t.sndbuf ~layer:"tcp_sndbuf" ~abs:t.snd_una ~len:data_len
+    in
     let fin_now = t.fin_queued && t.snd_una + data_len = t.fin_seq in
     emit t
       ~flags:(if fin_now then f_fin lor f_ack else f_ack)
@@ -475,9 +498,9 @@ let rec drain_ooo t =
   | (seq, data, fin) :: rest when seq <= t.rcv_nxt ->
       t.ooo <- rest;
       let skip = t.rcv_nxt - seq in
-      if skip <= Bytes.length data then begin
-        let fresh = Bytes.length data - skip in
-        let n = Bytebuf.append t.rcvbuf data skip fresh in
+      if skip <= Buf.length data then begin
+        let fresh = Buf.length data - skip in
+        let n = Bytebuf.append t.rcvbuf ~layer:"tcp_rcvbuf" data skip fresh in
         t.rcv_nxt <- t.rcv_nxt + n;
         t.n_bytes_rcvd <- t.n_bytes_rcvd + n;
         if n = fresh && fin then begin
@@ -505,10 +528,10 @@ let insert_ooo t seq data fin =
   if List.length t.ooo < 64 then t.ooo <- ins t.ooo
 
 let process_data t ~seq ~payload ~fin =
-  let len = Bytes.length payload in
+  let len = Buf.length payload in
   if len = 0 && not fin then ()
   else if seq = t.rcv_nxt then begin
-    let n = Bytebuf.append t.rcvbuf payload 0 len in
+    let n = Bytebuf.append t.rcvbuf ~layer:"tcp_rcvbuf" payload 0 len in
     t.rcv_nxt <- t.rcv_nxt + n;
     t.n_bytes_rcvd <- t.n_bytes_rcvd + n;
     if n = len && fin then begin
@@ -530,7 +553,10 @@ let process_data t ~seq ~payload ~fin =
     (* old duplicate (e.g. after our ack was lost): re-ack *)
     let fresh_from = t.rcv_nxt - seq in
     if fresh_from < len then begin
-      let n = Bytebuf.append t.rcvbuf payload fresh_from (len - fresh_from) in
+      let n =
+        Bytebuf.append t.rcvbuf ~layer:"tcp_rcvbuf" payload fresh_from
+          (len - fresh_from)
+      in
       t.rcv_nxt <- t.rcv_nxt + n;
       t.n_bytes_rcvd <- t.n_bytes_rcvd + n;
       if n = len - fresh_from && fin then begin
@@ -615,7 +641,7 @@ let conn_input t ~flags ~seq ~ack_no ~window ~payload =
             Sync.Condition.broadcast l.l_cond
         | None -> ());
         (* the ack may carry data *)
-        if Bytes.length payload > 0 || fin then
+        if Buf.length payload > 0 || fin then
           process_data t ~seq ~payload ~fin;
         Sync.Condition.broadcast t.cond
       end
@@ -646,21 +672,21 @@ let attach ipv4 cfg =
     }
   in
   let rx_cost payload =
-    cfg.recv_cost (max 0 (Bytes.length payload - header_size))
+    cfg.recv_cost (max 0 (Buf.length payload - header_size))
   in
   let rx ~src payload =
-    if Bytes.length payload < header_size then ()
-    else if not (Checksum.verify payload ~pos:0 ~len:(Bytes.length payload))
-    then ()
+    if Buf.length payload < header_size then ()
+    else if not (Checksum.verify_buf payload) then ()
     else begin
-      let sport = Bytes.get_uint16_be payload 0 in
-      let dport = Bytes.get_uint16_be payload 2 in
-      let seq = Int32.to_int (Bytes.get_int32_be payload 4) in
-      let ack_no = Int32.to_int (Bytes.get_int32_be payload 8) in
-      let flags = Bytes.get_uint8 payload 13 in
-      let window = Bytes.get_uint16_be payload 14 in
+      let sport = Buf.get_uint16_be payload 0 in
+      let dport = Buf.get_uint16_be payload 2 in
+      let seq = Int32.to_int (Buf.get_uint32_be payload 4) in
+      let ack_no = Int32.to_int (Buf.get_uint32_be payload 8) in
+      let flags = Buf.get_uint8 payload 13 in
+      let window = Buf.get_uint16_be payload 14 in
       let data =
-        Bytes.sub payload header_size (Bytes.length payload - header_size)
+        Buf.sub payload ~pos:header_size
+          ~len:(Buf.length payload - header_size)
       in
       match Hashtbl.find_opt stack.s_conns (dport, src, sport) with
       | Some conn ->
@@ -730,9 +756,10 @@ let send t data =
   | Established | Close_wait -> ()
   | st -> Fmt.invalid_arg "Tcp.send in state %a" pp_state st);
   let len = Bytes.length data in
+  let src = Buf.of_bytes data in
   let pos = ref 0 in
   while !pos < len do
-    let n = Bytebuf.append t.sndbuf data !pos (len - !pos) in
+    let n = Bytebuf.append t.sndbuf ~layer:"tcp_app" src !pos (len - !pos) in
     pos := !pos + n;
     pump t;
     if !pos < len then
@@ -750,7 +777,10 @@ let recv t ~max =
   if n = 0 then Bytes.empty (* EOF *)
   else begin
     let low_window_before = Bytebuf.space t.rcvbuf < t.cfg.mss in
-    let out = Bytebuf.read t.rcvbuf ~abs:(Bytebuf.base t.rcvbuf) ~len:n in
+    let out =
+      Bytebuf.read t.rcvbuf ~layer:"tcp_app" ~abs:(Bytebuf.base t.rcvbuf)
+        ~len:n
+    in
     Bytebuf.advance t.rcvbuf n;
     (* window update once the application frees significant space *)
     if low_window_before && Bytebuf.space t.rcvbuf >= t.cfg.mss then

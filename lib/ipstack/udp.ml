@@ -51,7 +51,9 @@ let kernel_costs kcfg =
 type socket = {
   s_port : int;
   s_stack : stack;
-  s_queue : (int * int * bytes) Queue.t;
+  s_queue : (int * int * Buf.t) Queue.t;
+      (* queued datagrams are views of delivered packets, which own their
+         storage (see Iface) — retaining them until recvfrom is safe *)
   s_cond : Sync.Condition.t;
   s_sockbuf : Host.Kernel.Sockbuf.t option;
   mutable s_open : bool;
@@ -97,18 +99,19 @@ let attach ?(checksum = true) ?sockbuf_limit ~costs ip =
     }
   in
   let rx_cost payload =
-    t.costs.stack_recv_ns (Bytes.length payload)
-    + checksum_cost t (Bytes.length payload)
+    t.costs.stack_recv_ns (Buf.length payload)
+    + checksum_cost t (Buf.length payload)
   in
   let rx ~src payload =
-    if Bytes.length payload < header_size then t.csum_failures <- t.csum_failures + 1
+    if Buf.length payload < header_size then
+      t.csum_failures <- t.csum_failures + 1
     else begin
-      let sport = Bytes.get_uint16_be payload 0 in
-      let dport = Bytes.get_uint16_be payload 2 in
+      let sport = Buf.get_uint16_be payload 0 in
+      let dport = Buf.get_uint16_be payload 2 in
       let ok =
         (not t.checksum)
-        || Bytes.get_uint16_be payload 6 = 0 (* sender had checksum off *)
-        || Checksum.verify payload ~pos:0 ~len:(Bytes.length payload)
+        || Buf.get_uint16_be payload 6 = 0 (* sender had checksum off *)
+        || Checksum.verify_buf payload
       in
       if not ok then t.csum_failures <- t.csum_failures + 1
       else
@@ -116,11 +119,12 @@ let attach ?(checksum = true) ?sockbuf_limit ~costs ip =
         | None -> () (* no listener: silently dropped (no ICMP, §7.1) *)
         | Some s ->
             let data =
-              Bytes.sub payload header_size (Bytes.length payload - header_size)
+              Buf.sub payload ~pos:header_size
+                ~len:(Buf.length payload - header_size)
             in
             let accept =
               match s.s_sockbuf with
-              | Some sb -> Host.Kernel.Sockbuf.offer sb (Bytes.length data)
+              | Some sb -> Host.Kernel.Sockbuf.offer sb (Buf.length data)
               | None -> true
             in
             if accept then begin
@@ -166,35 +170,39 @@ let sendto s ~dst ~dst_port data =
       Engine.Proc.sleep (Ipv4.sim t.ip) ~time:(Engine.Sim.us 10)
     done
   end;
-  let pdu = Bytes.create (header_size + Bytes.length data) in
-  Bytes.set_uint16_be pdu 0 s.s_port;
-  Bytes.set_uint16_be pdu 2 dst_port;
-  Bytes.set_uint16_be pdu 4 (Bytes.length pdu);
-  Bytes.set_uint16_be pdu 6 0;
-  Bytes.blit data 0 pdu header_size (Bytes.length data);
+  let hdr = Bytes.create header_size in
+  Bytes.set_uint16_be hdr 0 s.s_port;
+  Bytes.set_uint16_be hdr 2 dst_port;
+  Bytes.set_uint16_be hdr 4 (header_size + Bytes.length data);
+  Bytes.set_uint16_be hdr 6 0;
+  let view = Buf.append (Buf.of_bytes hdr) (Buf.of_bytes data) in
   if t.checksum then begin
-    let c = Checksum.compute_bytes pdu in
+    let c = Checksum.compute_buf view in
     (* an all-zero checksum field means "no checksum" in UDP *)
-    Bytes.set_uint16_be pdu 6 (if c = 0 then 0xffff else c)
+    Bytes.set_uint16_be hdr 6 (if c = 0 then 0xffff else c)
   end;
+  (* sendto has copy semantics: snapshot so the caller may reuse [data]
+     while the datagram sits in transmit queues — the socket-layer copy *)
+  let pdu = Buf.copy ~layer:"udp_app" view in
   t.sent <- t.sent + 1;
   let cost =
     t.costs.stack_send_ns (Bytes.length data)
-    + checksum_cost t (Bytes.length pdu)
+    + checksum_cost t (Buf.length pdu)
   in
   Ipv4.send t.ip Ipv4.Udp ~dst ~cost_ns:cost pdu
 
 let take s =
   match Queue.take_opt s.s_queue with
   | None -> None
-  | Some ((_, _, data) as r) ->
+  | Some (src, sport, data) ->
       (match s.s_sockbuf with
-      | Some sb -> Host.Kernel.Sockbuf.take sb (Bytes.length data)
+      | Some sb -> Host.Kernel.Sockbuf.take sb (Buf.length data)
       | None -> ());
       Host.Cpu.charge
         (Ipv4.cpu s.s_stack.ip)
-        (s.s_stack.costs.app_recv_ns (Bytes.length data));
-      Some r
+        (s.s_stack.costs.app_recv_ns (Buf.length data));
+      (* the copy into the application's buffer *)
+      Some (src, sport, Buf.to_bytes ~layer:"udp_app" data)
 
 let recvfrom s =
   let rec loop () =

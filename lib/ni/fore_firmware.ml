@@ -5,6 +5,7 @@
 let default_config =
   {
     I960_nic.name = "SBA-200/Fore";
+    copy_layer = "sba200_fore";
     doorbell_ns = 3_000; (* host composes a linked buffer-chain descriptor *)
     rx_poll_ns = 1_500;
     kernel_op_ns = 20_000;

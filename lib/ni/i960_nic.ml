@@ -2,6 +2,7 @@ open Engine
 
 type config = {
   name : string;
+  copy_layer : string;
   doorbell_ns : int;
   rx_poll_ns : int;
   kernel_op_ns : int;
@@ -42,46 +43,38 @@ type t = {
 let direct_prefix_size = 5
 
 let add_direct_prefix dest_offset data =
-  let out = Bytes.create (direct_prefix_size + Bytes.length data) in
+  let prefix = Bytes.create direct_prefix_size in
   (match dest_offset with
   | Some off ->
-      Bytes.set_uint8 out 0 1;
-      Bytes.set_int32_be out 1 (Int32.of_int off)
+      Bytes.set_uint8 prefix 0 1;
+      Bytes.set_int32_be prefix 1 (Int32.of_int off)
   | None ->
-      Bytes.set_uint8 out 0 0;
-      Bytes.set_int32_be out 1 0l);
-  Bytes.blit data 0 out direct_prefix_size (Bytes.length data);
-  out
+      Bytes.set_uint8 prefix 0 0;
+      Bytes.set_int32_be prefix 1 0l);
+  Buf.append (Buf.of_bytes prefix) data
 
 let parse_direct_prefix payload =
-  if Bytes.length payload < direct_prefix_size then (None, payload)
+  if Buf.length payload < direct_prefix_size then (None, payload)
   else
-    let flag = Bytes.get_uint8 payload 0 in
-    let off = Int32.to_int (Bytes.get_int32_be payload 1) in
+    let flag = Buf.get_uint8 payload 0 in
+    let off = Int32.to_int (Buf.get_uint32_be payload 1) in
     let data =
-      Bytes.sub payload direct_prefix_size
-        (Bytes.length payload - direct_prefix_size)
+      Buf.sub payload ~pos:direct_prefix_size
+        ~len:(Buf.length payload - direct_prefix_size)
     in
     ((if flag = 1 then Some off else None), data)
 
-(* Gather a descriptor's bytes out of the communication segment (the DMA the
-   i960 performs; its cost is in the per-cell charges). *)
+(* A descriptor's payload as a zero-copy view over the communication
+   segment; the DMA happens in one burst in [process_desc]. *)
 let gather (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
   let data =
     match desc.tx_payload with
-    | Unet.Desc.Inline b -> Bytes.copy b
+    | Unet.Desc.Inline b -> b
     | Unet.Desc.Buffers ranges ->
-        let total =
-          List.fold_left (fun acc (_, len) -> acc + len) 0 ranges
-        in
-        let out = Bytes.create total in
-        let pos = ref 0 in
-        List.iter
-          (fun (off, len) ->
-            Unet.Segment.blit_out ep.segment ~off ~dst:out ~dst_pos:!pos ~len;
-            pos := !pos + len)
-          ranges;
-        out
+        Buf.concat
+          (List.map
+             (fun (off, len) -> Unet.Segment.view ep.segment ~off ~len)
+             ranges)
   in
   if ep.direct_access then add_direct_prefix desc.dest_offset data else data
 
@@ -99,14 +92,20 @@ and process_desc t (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
       (* channel torn down after the descriptor was posted: discard *)
       pump_next t
   | Some chan -> (
-      let data = gather ep desc in
-      Metrics.Counter.add t.m_dma_bytes (Bytes.length data);
+      (* one DMA burst moves the whole PDU out of the segment into i960
+         memory: a single counted copy however many cells follow, and the
+         snapshot keeps in-flight cells valid after the sender reuses its
+         buffers (desc.injected) *)
+      let data =
+        Buf.copy ~layer:(t.cfg.copy_layer ^ "_tx_dma") (gather ep desc)
+      in
+      Metrics.Counter.add t.m_dma_bytes (Buf.length data);
       let cells = Atm.Aal5.segment ~vci:chan.Unet.Channel.tx_vci data in
       if Trace.enabled () then
         Trace.instant Trace.Desc "ni.tx" ~tid:t.host
           ~args:
             [
-              ("len", Trace.Int (Bytes.length data));
+              ("len", Trace.Int (Buf.length data));
               ("cells", Trace.Int (List.length cells));
             ];
       match cells with
@@ -156,7 +155,7 @@ let deliver t vci payload =
     Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
       ~args:
         [
-          ("vci", Trace.Int vci); ("len", Trace.Int (Bytes.length payload));
+          ("vci", Trace.Int vci); ("len", Trace.Int (Buf.length payload));
         ];
   match Unet.Mux.lookup t.mux ~rx_vci:vci with
   | None -> ignore (Unet.Mux.deliver t.mux ~rx_vci:vci payload)
@@ -172,7 +171,7 @@ let deliver t vci payload =
       | None -> ())
 
 let fits_single_cell payload =
-  Bytes.length payload <= Atm.Cell.payload_size - Atm.Aal5.trailer_size
+  Buf.length payload <= Atm.Cell.payload_size - Atm.Aal5.trailer_size
 
 let on_cell t (cell : Atm.Cell.t) =
   Sync.Server.submit t.server ~cost:t.cfg.rx_cell_ns (fun () ->
@@ -209,7 +208,7 @@ let create net ~host cfg =
       cfg;
       server = Sync.Server.create sim;
       kernel = Sync.Server.create sim;
-      mux = Unet.Mux.create ~host ();
+      mux = Unet.Mux.create ~host ~copy_layer:(cfg.copy_layer ^ "_rx") ();
       txq = Queue.create ();
       tx_active = false;
       reasm = Hashtbl.create 16;

@@ -9,6 +9,9 @@
 
 type config = {
   name : string;
+  copy_layer : string;
+      (** label prefix for this NI's counted copies in [buf_copies_total]
+          (["<copy_layer>_tx_dma"] and ["<copy_layer>_rx"]) *)
   (* host-side costs (reference-machine ns) *)
   doorbell_ns : int;  (** compose + post a send descriptor *)
   rx_poll_ns : int;  (** check/pop the receive queue *)

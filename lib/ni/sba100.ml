@@ -59,7 +59,7 @@ let deliver t vci payload =
     Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
       ~args:
         [
-          ("vci", Trace.Int vci); ("len", Trace.Int (Bytes.length payload));
+          ("vci", Trace.Int vci); ("len", Trace.Int (Buf.length payload));
         ];
   match Unet.Mux.deliver t.mux ~rx_vci:vci payload with
   | Some _ ->
@@ -71,6 +71,11 @@ let on_cell t (cell : Atm.Cell.t) =
   (* The receive trap plus software AAL5/CRC processing, serialized through
      the kernel (which is also what emulated-endpoint operations queue
      behind). *)
+  (* the host reads the cell out of the interface FIFO word by word: one
+     counted PIO copy per cell on the receive side too *)
+  let cell =
+    { cell with Atm.Cell.payload = Buf.copy ~layer:"sba100_rx_pio" cell.payload }
+  in
   Sync.Server.submit t.kernel ~cost:t.cfg.rx_per_cell_ns (fun () ->
       let r =
         match Hashtbl.find_opt t.reasm cell.vci with
@@ -100,33 +105,36 @@ let do_send t (ep : Unet.Endpoint.t) =
       | Some chan ->
           let data =
             match desc.tx_payload with
-            | Unet.Desc.Inline b -> Bytes.copy b
+            | Unet.Desc.Inline b -> b
             | Unet.Desc.Buffers ranges ->
-                let total =
-                  List.fold_left (fun acc (_, len) -> acc + len) 0 ranges
-                in
-                let out = Bytes.create total in
-                let pos = ref 0 in
-                List.iter
-                  (fun (off, len) ->
-                    Unet.Segment.blit_out ep.segment ~off ~dst:out
-                      ~dst_pos:!pos ~len;
-                    pos := !pos + len)
-                  ranges;
-                out
+                Buf.concat
+                  (List.map
+                     (fun (off, len) -> Unet.Segment.view ep.segment ~off ~len)
+                     ranges)
           in
           let cells = Atm.Aal5.segment ~vci:chan.Unet.Channel.tx_vci data in
           if Trace.enabled () then
             Trace.instant Trace.Desc "ni.tx" ~tid:t.host
               ~args:
                 [
-                  ("len", Trace.Int (Bytes.length data));
+                  ("len", Trace.Int (Buf.length data));
                   ("cells", Trace.Int (List.length cells));
                 ];
           Host.Cpu.charge ~layer:"ni_tx" t.cpu t.cfg.tx_fixed_ns;
           List.iter
-            (fun cell ->
+            (fun (cell : Atm.Cell.t) ->
               Host.Cpu.charge ~layer:"ni_tx" t.cpu t.cfg.tx_per_cell_ns;
+              (* the host stores the cell into the output FIFO word by
+                 word: one counted PIO copy per cell, and the snapshot
+                 keeps the in-flight cell valid once the sender's buffers
+                 are reused *)
+              let cell =
+                {
+                  cell with
+                  Atm.Cell.payload =
+                    Buf.copy ~layer:"sba100_tx_pio" cell.payload;
+                }
+              in
               (* PIO is slower than the wire, so the 36-cell output FIFO
                  never backs up; a failed push would mean a modelling bug. *)
               if not (Atm.Network.send t.net ~host:t.host cell) then
@@ -147,7 +155,7 @@ let create net ~host ~cpu ?(config = default_config) () =
       cpu;
       cfg = config;
       kernel = Sync.Server.create sim;
-      mux = Unet.Mux.create ~host ();
+      mux = Unet.Mux.create ~host ~copy_layer:"sba100_rx" ();
       reasm = Hashtbl.create 16;
       sent = 0;
       received = 0;

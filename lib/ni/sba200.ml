@@ -10,6 +10,7 @@
 let default_config =
   {
     I960_nic.name = "SBA-200/U-Net";
+    copy_layer = "sba200";
     doorbell_ns = 2_000;
     rx_poll_ns = 1_500;
     kernel_op_ns = 20_000; (* emulated endpoints pay a real system call *)

@@ -5,7 +5,7 @@ type t = {
   am : Uam.t;
   deliver : seq:int -> src:int -> bytes -> unit;
   mutable next_deliver : int; (* next sequence number to deliver *)
-  early : (int, int * bytes) Hashtbl.t; (* seq -> (src, payload) *)
+  early : (int, int * Engine.Buf.t) Hashtbl.t; (* seq -> (src, payload) *)
   mutable n_delivered : int;
   (* sequencer state (node 0) *)
   mutable next_seq : int;
@@ -22,7 +22,8 @@ let rec deliver_ready t =
       let seq = t.next_deliver in
       t.next_deliver <- seq + 1;
       t.n_delivered <- t.n_delivered + 1;
-      t.deliver ~seq ~src payload;
+      (* the copy out of the transport into the application's message *)
+      t.deliver ~seq ~src (Engine.Buf.to_bytes ~layer:"group" payload);
       deliver_ready t
 
 let accept t ~seq ~src payload =
@@ -58,6 +59,7 @@ let create am ~deliver =
   t
 
 let broadcast t payload =
+  let payload = Engine.Buf.of_bytes payload in
   if Uam.rank t.am = 0 then begin
     (* local fast path through the sequencer *)
     let seq = t.next_seq in

@@ -48,18 +48,18 @@ let attach am =
       match Hashtbl.find_opt t.procs proc with
       | None ->
           Uam.reply am tk ~handler:h_error ~args:[| xid |]
-            ~payload:
-              (Bytes.of_string (Printf.sprintf "no such procedure %d" proc))
+            ~payload:(Buf.of_string (Printf.sprintf "no such procedure %d" proc))
             ()
       | Some f -> (
-          match f ~src payload with
+          (* the copy out of the transport into the server's argument bytes *)
+          match f ~src (Buf.to_bytes ~layer:"rpc" payload) with
           | result ->
               t.served <- t.served + 1;
               Uam.reply am tk ~handler:h_return ~args:[| xid |]
-                ~payload:result ()
+                ~payload:(Buf.of_bytes result) ()
           | exception e ->
               Uam.reply am tk ~handler:h_error ~args:[| xid |]
-                ~payload:(Bytes.of_string (Printexc.to_string e))
+                ~payload:(Buf.of_string (Printexc.to_string e))
                 ()));
   let complete outcome ~args ~payload =
     match Hashtbl.find_opt t.pending args.(0) with
@@ -67,9 +67,11 @@ let attach am =
     | None -> () (* reply past its timeout: dropped *)
   in
   Uam.register_handler am h_return (fun _ ~src:_ _ ~args ~payload ->
-      complete (fun p -> Value p) ~args ~payload);
+      complete (fun p -> Value (Buf.to_bytes ~layer:"rpc" p)) ~args ~payload);
   Uam.register_handler am h_error (fun _ ~src:_ _ ~args ~payload ->
-      complete (fun p -> Failed (Bytes.to_string p)) ~args ~payload);
+      complete
+        (fun p -> Failed (Bytes.to_string (Buf.to_bytes ~layer:"rpc" p)))
+        ~args ~payload);
   t
 
 let call ?(timeout = Sim.sec 1) t ~dst ~proc arg =
@@ -79,7 +81,8 @@ let call ?(timeout = Sim.sec 1) t ~dst ~proc arg =
   let slot = ref None in
   Hashtbl.replace t.pending xid slot;
   t.made <- t.made + 1;
-  Uam.request t.am ~dst ~handler:h_call ~args:[| xid; proc |] ~payload:arg ();
+  Uam.request t.am ~dst ~handler:h_call ~args:[| xid; proc |]
+    ~payload:(Buf.of_bytes arg) ();
   let deadline = Sim.now sim + timeout in
   (* serve our own incoming traffic while waiting (a server can call out) *)
   Uam.poll_until t.am (fun () -> !slot <> None || Sim.now sim >= deadline);

@@ -32,7 +32,7 @@ type msg = {
   m_src : int;
   m_handler : int;
   m_args : int array;
-  m_payload : bytes;
+  m_payload : Buf.t;
   m_is_reply : bool;
 }
 
@@ -83,7 +83,7 @@ let send_msg f ~src ~dst msg =
   let me = f.f_nodes.(src) in
   me.n_sent <- me.n_sent + 1;
   Proc.sleep f.f_sim
-    ~time:(o_ns f + occupancy f (Bytes.length msg.m_payload));
+    ~time:(o_ns f + occupancy f (Buf.length msg.m_payload));
   let there = f.f_nodes.(dst) in
   ignore
     (Sim.schedule f.f_sim ~delay:(net_time f) (fun () ->
@@ -100,7 +100,7 @@ let rec dispatch f ~rank msg =
         if msg.m_is_reply then None
         else
           Some
-            (fun ~handler ?(args = [||]) ?(payload = Bytes.empty) () ->
+            (fun ~handler ?(args = [||]) ?(payload = Buf.empty) () ->
               send_msg f ~src:rank ~dst:msg.m_src
                 {
                   m_src = rank;
@@ -144,7 +144,7 @@ let transport f ~rank =
     sim = f.f_sim;
     register = (fun idx h -> node.n_handlers.(idx) <- Some h);
     request =
-      (fun ~dst ~handler ?(args = [||]) ?(payload = Bytes.empty) () ->
+      (fun ~dst ~handler ?(args = [||]) ?(payload = Buf.empty) () ->
         send_msg f ~src:rank ~dst
           {
             m_src = rank;

@@ -104,25 +104,31 @@ let fresh_req ctx =
 
 (* --- payload encodings ------------------------------------------------ *)
 
+(* Encoders build the payload in a fresh store and hand out a slice of it;
+   decoders materialize the received slice once (the copy into the
+   application's data structure, counted under the splitc layer). *)
 let bytes_of_int64 v =
   let b = Bytes.create 8 in
   Bytes.set_int64_le b 0 v;
-  b
+  Engine.Buf.of_bytes b
 
-let int64_of_bytes b = Bytes.get_int64_le b 0
+let int64_of_payload p =
+  Bytes.get_int64_le (Engine.Buf.to_bytes ~layer:"splitc" p) 0
+
 let bytes_of_int v = bytes_of_int64 (Int64.of_int v)
-let int_of_payload b = Int64.to_int (int64_of_bytes b)
+let int_of_payload b = Int64.to_int (int64_of_payload b)
 let bytes_of_float v = bytes_of_int64 (Int64.bits_of_float v)
-let float_of_payload b = Int64.float_of_bits (int64_of_bytes b)
+let float_of_payload b = Int64.float_of_bits (int64_of_payload b)
 
 let encode_ints a pos len =
   let b = Bytes.create (8 * len) in
   for i = 0 to len - 1 do
     Bytes.set_int64_le b (8 * i) (Int64.of_int a.(pos + i))
   done;
-  b
+  Engine.Buf.of_bytes b
 
-let decode_ints b =
+let decode_ints p =
+  let b = Engine.Buf.to_bytes ~layer:"splitc" p in
   Array.init (Bytes.length b / 8) (fun i ->
       Int64.to_int (Bytes.get_int64_le b (8 * i)))
 
@@ -131,9 +137,10 @@ let encode_floats a pos len =
   for i = 0 to len - 1 do
     Bytes.set_int64_le b (8 * i) (Int64.bits_of_float a.(pos + i))
   done;
-  b
+  Engine.Buf.of_bytes b
 
-let decode_floats b =
+let decode_floats p =
+  let b = Engine.Buf.to_bytes ~layer:"splitc" p in
   Array.init (Bytes.length b / 8) (fun i ->
       Int64.float_of_bits (Bytes.get_int64_le b (8 * i)))
 

@@ -1,7 +1,8 @@
-type reply_fn = handler:int -> ?args:int array -> ?payload:bytes -> unit -> unit
+type reply_fn =
+  handler:int -> ?args:int array -> ?payload:Engine.Buf.t -> unit -> unit
 
 type handler =
-  src:int -> reply:reply_fn option -> args:int array -> payload:bytes -> unit
+  src:int -> reply:reply_fn option -> args:int array -> payload:Engine.Buf.t -> unit
 
 type t = {
   rank : int;
@@ -10,7 +11,12 @@ type t = {
   sim : Engine.Sim.t;
   register : int -> handler -> unit;
   request :
-    dst:int -> handler:int -> ?args:int array -> ?payload:bytes -> unit -> unit;
+    dst:int ->
+    handler:int ->
+    ?args:int array ->
+    ?payload:Engine.Buf.t ->
+    unit ->
+    unit;
   poll : unit -> unit;
   poll_until : (unit -> bool) -> unit;
   flush : unit -> unit;

@@ -60,7 +60,10 @@ let default_config =
 type unacked = {
   u_seq : int;
   u_type : msg_type;
-  u_bytes : bytes; (* full serialized message, for retransmission *)
+  u_resend : Unet.Desc.payload;
+      (* what retransmission re-sends: an owned inline snapshot, or the
+         ranges of the transmit buffer the message was staged into (held
+         until acknowledged, so it doubles as the retransmission copy) *)
   u_buffer : (int * int) option; (* tx buffer held until acknowledged *)
 }
 
@@ -93,7 +96,7 @@ type t = {
 and token = { tk_uam : t; tk_src : int; mutable tk_replied : bool }
 
 and handler =
-  t -> src:int -> token option -> args:int array -> payload:bytes -> unit
+  t -> src:int -> token option -> args:int array -> payload:Buf.t -> unit
 
 let buffer_block cfg = cfg.chunk_data + header_size + (max_args * 4) + 16
 
@@ -183,18 +186,21 @@ let peer t dst =
   | Some p -> p
   | None -> Fmt.invalid_arg "Uam: no channel to node %d" dst
 
+(* The wire message is a slice: a fresh header store concatenated with a
+   zero-copy view of the caller's payload. It is only materialized where it
+   is staged for transmission. *)
 let encode ~ty ~handler ~seq ~ack ~args ~payload =
   let nargs = Array.length args in
   if nargs > max_args then invalid_arg "Uam: too many arguments";
-  let len = header_size + (4 * nargs) + Bytes.length payload in
-  let b = Bytes.create len in
-  Bytes.set_uint8 b 0 (type_code ty lor (nargs lsl 2));
-  Bytes.set_uint8 b 1 handler;
-  Bytes.set_uint16_le b 2 seq;
-  Bytes.set_uint16_le b 4 ack;
-  Array.iteri (fun i a -> Bytes.set_int32_le b (header_size + (4 * i)) (Int32.of_int a)) args;
-  Bytes.blit payload 0 b (header_size + (4 * nargs)) (Bytes.length payload);
-  b
+  let hdr = Bytes.create (header_size + (4 * nargs)) in
+  Bytes.set_uint8 hdr 0 (type_code ty lor (nargs lsl 2));
+  Bytes.set_uint8 hdr 1 handler;
+  Bytes.set_uint16_le hdr 2 seq;
+  Bytes.set_uint16_le hdr 4 ack;
+  Array.iteri
+    (fun i a -> Bytes.set_int32_le hdr (header_size + (4 * i)) (Int32.of_int a))
+    args;
+  Buf.append (Buf.of_bytes hdr) payload
 
 type decoded = {
   d_type : msg_type;
@@ -202,52 +208,53 @@ type decoded = {
   d_seq : int;
   d_ack : int;
   d_args : int array;
-  d_payload : bytes;
+  d_payload : Buf.t;
 }
 
 let decode b =
-  let b0 = Bytes.get_uint8 b 0 in
+  let b0 = Buf.get_uint8 b 0 in
   let ty = code_type (b0 land 3) in
   let nargs = (b0 lsr 2) land 7 in
   let args =
     Array.init nargs (fun i ->
-        Int32.to_int (Bytes.get_int32_le b (header_size + (4 * i))))
+        Int32.to_int (Buf.get_uint32_le b (header_size + (4 * i))))
   in
   let poff = header_size + (4 * nargs) in
   {
     d_type = ty;
-    d_handler = Bytes.get_uint8 b 1;
-    d_seq = Bytes.get_uint16_le b 2;
-    d_ack = Bytes.get_uint16_le b 4;
+    d_handler = Buf.get_uint8 b 1;
+    d_seq = Buf.get_uint16_le b 2;
+    d_ack = Buf.get_uint16_le b 4;
     d_args = args;
-    d_payload = Bytes.sub b poff (Bytes.length b - poff);
+    d_payload = Buf.sub b ~pos:poff ~len:(Buf.length b - poff);
   }
 
-(* Push serialized bytes out through U-Net: small messages ride inline in
-   the descriptor; larger ones are staged in a transmit buffer which is held
-   until acknowledgment (it doubles as the retransmission copy). *)
-let unet_transmit t (p : peer) (b : bytes) =
-  if Bytes.length b <= Unet.Desc.inline_max then begin
+(* Push a serialized message out through U-Net: small messages ride inline
+   in the descriptor; larger ones are staged in a transmit buffer which is
+   held until acknowledgment (it doubles as the retransmission copy).
+   Returns what a retransmission should re-send plus the buffer to release
+   on acknowledgment. *)
+let unet_transmit t (p : peer) (b : Buf.t) =
+  if Buf.length b <= Unet.Desc.inline_max then begin
+    (* snapshot: the descriptor (and the go-back-N window) must own the
+       bytes once the caller's payload buffer is reused *)
+    let b = Buf.copy ~layer:"uam_tx" b in
     (match Unet.send t.u t.ep (Unet.Desc.tx ~chan:p.p_chan (Unet.Desc.Inline b)) with
     | Ok () -> ()
     | Error e -> Fmt.failwith "Uam: send failed: %a" Unet.pp_error e);
-    None
+    (Unet.Desc.Inline b, None)
   end
   else begin
     match Unet.Segment.Allocator.alloc t.alloc with
     | None -> Fmt.failwith "Uam: transmit buffer pool exhausted"
     | Some (off, blen) ->
-        assert (Bytes.length b <= blen);
-        Unet.Segment.write t.ep.segment ~off ~src:b ~src_pos:0
-          ~len:(Bytes.length b);
-        (match
-           Unet.send t.u t.ep
-             (Unet.Desc.tx ~chan:p.p_chan
-                (Unet.Desc.Buffers [ (off, Bytes.length b) ]))
-         with
+        assert (Buf.length b <= blen);
+        Unet.Segment.write_buf ~layer:"uam_tx" t.ep.segment ~off b;
+        let ranges = Unet.Desc.Buffers [ (off, Buf.length b) ] in
+        (match Unet.send t.u t.ep (Unet.Desc.tx ~chan:p.p_chan ranges) with
         | Ok () -> ()
         | Error e -> Fmt.failwith "Uam: send failed: %a" Unet.pp_error e);
-        Some (off, blen)
+        (ranges, Some (off, blen))
 end
 
 let retransmit_unacked t (p : peer) =
@@ -267,17 +274,9 @@ let retransmit_unacked t (p : peer) =
         t.retx <- t.retx + 1;
         Metrics.Counter.inc m_retx;
         Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
-        (* re-send the stored copy; buffered messages reuse their buffer *)
-        match u.u_buffer with
-        | Some (off, _) ->
-            ignore
-              (Unet.send t.u t.ep
-                 (Unet.Desc.tx ~chan:p.p_chan
-                    (Unet.Desc.Buffers [ (off, Bytes.length u.u_bytes) ])))
-        | None ->
-            ignore
-              (Unet.send t.u t.ep
-                 (Unet.Desc.tx ~chan:p.p_chan (Unet.Desc.Inline u.u_bytes))))
+        (* re-send the retained message: the inline snapshot, or the still-
+           held transmit buffer — no fresh copy either way *)
+        ignore (Unet.send t.u t.ep (Unet.Desc.tx ~chan:p.p_chan u.u_resend)))
       p.p_unacked;
     p.p_last_progress <- Sim.now (Unet.sim t.u)
   end
@@ -302,16 +301,16 @@ let send_explicit_ack t (p : peer) =
   Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
   let b =
     encode ~ty:Ack ~handler:0 ~seq:0 ~ack:p.p_expected ~args:[||]
-      ~payload:Bytes.empty
+      ~payload:Buf.empty
   in
   ignore (unet_transmit t p b);
   p.p_need_ack <- false
 
 let send_seq t (p : peer) ~ty ~handler ~args ~payload =
   Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
-  if Bytes.length payload > 0 then
+  if Buf.length payload > 0 then
     (* the copy from the source data structure into the transmit buffer *)
-    Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Bytes.length payload);
+    Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Buf.length payload);
   let seq = p.p_next_seq in
   p.p_next_seq <- (p.p_next_seq + 1) land 0xffff;
   let b = encode ~ty ~handler ~seq ~ack:p.p_expected ~args ~payload in
@@ -319,8 +318,8 @@ let send_seq t (p : peer) ~ty ~handler ~args ~payload =
   p.p_need_ack <- false;
   if Queue.is_empty p.p_unacked then
     p.p_last_progress <- Sim.now (Unet.sim t.u);
-  let buffer = unet_transmit t p b in
-  Queue.add { u_seq = seq; u_type = ty; u_bytes = b; u_buffer = buffer }
+  let resend, buffer = unet_transmit t p b in
+  Queue.add { u_seq = seq; u_type = ty; u_resend = resend; u_buffer = buffer }
     p.p_unacked;
   if ty = Req then begin
     p.p_unacked_reqs <- p.p_unacked_reqs + 1;
@@ -334,9 +333,9 @@ let send_seq t (p : peer) ~ty ~handler ~args ~payload =
 
 let dispatch t ~src d =
   Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
-  if Bytes.length d.d_payload > 0 then
+  if Buf.length d.d_payload > 0 then
     (* the copy from the receive buffer into the destination structure *)
-    Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Bytes.length d.d_payload);
+    Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Buf.length d.d_payload);
   match t.handlers.(d.d_handler) with
   | None -> Fmt.failwith "Uam: no handler %d registered" d.d_handler
   | Some h -> (
@@ -361,16 +360,19 @@ let peer_of_chan t chan =
 
 let read_message t (d : Unet.Desc.rx) =
   match d.rx_payload with
-  | Unet.Desc.Inline b -> b
+  | Unet.Desc.Inline b -> b (* snapshot owned by the descriptor *)
   | Unet.Desc.Buffers bufs ->
-      let total = List.fold_left (fun acc (_, len) -> acc + len) 0 bufs in
-      let out = Bytes.create total in
-      let pos = ref 0 in
+      (* materialize before the buffers go back on the free queue — the
+         handler (and anything it retains) must not see them refilled *)
+      let out =
+        Buf.copy ~layer:"uam_rx"
+          (Buf.concat
+             (List.map
+                (fun (off, len) -> Unet.Segment.view t.ep.segment ~off ~len)
+                bufs))
+      in
       List.iter
-        (fun (off, len) ->
-          Unet.Segment.blit_out t.ep.segment ~off ~dst:out ~dst_pos:!pos ~len;
-          pos := !pos + len;
-          (* hand the buffer straight back to the NI's free queue *)
+        (fun (off, _len) ->
           match
             Unet.provide_free_buffer t.u t.ep ~off
               ~len:(Unet.Segment.Allocator.block_size t.alloc)
@@ -466,19 +468,19 @@ let poll_until t pred =
     poll_blocking_step t
   done
 
-let request t ~dst ~handler ?(args = [||]) ?(payload = Bytes.empty) () =
+let request t ~dst ~handler ?(args = [||]) ?(payload = Buf.empty) () =
   if handler < 0 || handler > 255 then invalid_arg "Uam.request: bad handler";
-  if Bytes.length payload > t.cfg.chunk_data then
+  if Buf.length payload > t.cfg.chunk_data then
     invalid_arg "Uam.request: payload exceeds the transfer-buffer size";
   let p = peer t dst in
   (* window check: poll for acknowledgments while w requests are in flight *)
   poll_until t (fun () -> p.p_unacked_reqs < t.cfg.window);
   send_seq t p ~ty:Req ~handler ~args ~payload
 
-let reply t tk ~handler ?(args = [||]) ?(payload = Bytes.empty) () =
+let reply t tk ~handler ?(args = [||]) ?(payload = Buf.empty) () =
   if tk.tk_replied then invalid_arg "Uam.reply: token already replied";
   if not (tk.tk_uam == t) then invalid_arg "Uam.reply: token from another instance";
-  if Bytes.length payload > t.cfg.chunk_data then
+  if Buf.length payload > t.cfg.chunk_data then
     invalid_arg "Uam.reply: payload exceeds the transfer-buffer size";
   tk.tk_replied <- true;
   let p = peer t tk.tk_src in

@@ -14,8 +14,11 @@ type token
 (** Identifies a received request so the handler can reply to it. *)
 
 type handler =
-  t -> src:int -> token option -> args:int array -> payload:bytes -> unit
-(** [token] is [Some] when dispatching a request, [None] for a reply. *)
+  t -> src:int -> token option -> args:int array -> payload:Engine.Buf.t -> unit
+(** [token] is [Some] when dispatching a request, [None] for a reply. The
+    payload slice owns its storage (an inline snapshot or a materialized
+    multi-cell message), so handlers may retain it; copying it into its
+    destination is a counted [Engine.Buf.copy_into]. *)
 
 type config = {
   window : int;  (** w: max outstanding unacknowledged requests per peer *)
@@ -54,14 +57,30 @@ val register_handler : t -> int -> handler -> unit
     bulk-transfer layer. *)
 
 val request :
-  t -> dst:int -> handler:int -> ?args:int array -> ?payload:bytes -> unit -> unit
+  t ->
+  dst:int ->
+  handler:int ->
+  ?args:int array ->
+  ?payload:Engine.Buf.t ->
+  unit ->
+  unit
 (** Send a request. Blocks (polling, with retransmission on timeout) while
-    the window to [dst] is full. *)
+    the window to [dst] is full. The payload may be a zero-copy view of
+    caller memory: it is staged (inline snapshot or transmit-buffer write,
+    both counted) before the call returns, so the caller may reuse its
+    buffer afterwards. *)
 
 val reply :
-  t -> token -> handler:int -> ?args:int array -> ?payload:bytes -> unit -> unit
+  t ->
+  token ->
+  handler:int ->
+  ?args:int array ->
+  ?payload:Engine.Buf.t ->
+  unit ->
+  unit
 (** Reply to a request. No window check (§5.1.2); at most one reply per
-    token. Raises [Invalid_argument] on a second reply. *)
+    token. Raises [Invalid_argument] on a second reply. Payload staging as
+    in {!request}. *)
 
 val poll : t -> unit
 (** Drain the receive queue, dispatching handlers for every pending message,

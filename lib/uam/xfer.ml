@@ -40,9 +40,11 @@ let attach am =
       let region, _len = unpack_region_len args.(0) in
       let offset = args.(1) in
       let r = region_exn t region in
-      if offset < 0 || offset + Bytes.length payload > Bytes.length r then
+      if offset < 0 || offset + Engine.Buf.length payload > Bytes.length r then
         Fmt.failwith "Xfer: store outside region %d" region
-      else Bytes.blit payload 0 r offset (Bytes.length payload));
+      else
+        (* the one receive-side copy: message into the target region *)
+        Engine.Buf.copy_into ~layer:"xfer" payload ~dst:r ~dst_pos:offset);
   Am.register_handler am h_get_req
     (fun am ~src:_ tk ~args ~payload:_ ->
       let region, len = unpack_region_len args.(0) in
@@ -52,7 +54,9 @@ let attach am =
       let r = region_exn t region in
       if offset < 0 || offset + len > Bytes.length r then
         Fmt.failwith "Xfer: get outside region %d" region;
-      let data = Bytes.sub r offset len in
+      (* serve the get straight out of the region: a zero-copy view, staged
+         once by the Am transport *)
+      let data = Engine.Buf.of_bytes_sub r ~pos:offset ~len in
       match tk with
       | Some tk ->
           Am.reply am tk ~handler:h_get_rep
@@ -66,7 +70,8 @@ let attach am =
       match Hashtbl.find_opt t.gets get_id with
       | None -> Fmt.failwith "Xfer: reply for unknown get %d" get_id
       | Some g ->
-          Bytes.blit payload 0 g.g_dest dest_pos (Bytes.length payload);
+          Engine.Buf.copy_into ~layer:"xfer" payload ~dst:g.g_dest
+            ~dst_pos:dest_pos;
           g.g_remaining <- g.g_remaining - 1);
   t
 
@@ -80,9 +85,11 @@ let store t ~dst ~region ~offset data =
   if region land 0xffff0000 <> 0 then invalid_arg "Xfer.store: region id too large";
   List.iter
     (fun (pos, len) ->
+      (* each chunk is a zero-copy view of the source; Am stages it before
+         the request returns *)
       Am.request t.am ~dst ~handler:h_store
         ~args:[| pack_region_len ~region ~len; offset + pos |]
-        ~payload:(Bytes.sub data pos len) ())
+        ~payload:(Engine.Buf.of_bytes_sub data ~pos ~len) ())
     (chunks t (Bytes.length data))
 
 let quiet t = Am.flush t.am

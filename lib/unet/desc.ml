@@ -1,17 +1,17 @@
 let inline_max = Atm.Cell.payload_size - Atm.Aal5.trailer_size
 
-type payload = Inline of bytes | Buffers of (int * int) list
+type payload = Inline of Engine.Buf.t | Buffers of (int * int) list
 
 let payload_length = function
-  | Inline b -> Bytes.length b
+  | Inline b -> Engine.Buf.length b
   | Buffers bs -> List.fold_left (fun acc (_, len) -> acc + len) 0 bs
 
 let validate_inline b =
-  if Bytes.length b <= inline_max then Ok ()
+  if Engine.Buf.length b <= inline_max then Ok ()
   else
     Error
       (Printf.sprintf "inline payload of %d bytes exceeds the %d-byte limit"
-         (Bytes.length b) inline_max)
+         (Engine.Buf.length b) inline_max)
 
 type tx = {
   chan : int;

@@ -9,16 +9,18 @@ val inline_max : int
 (** 40 = 48-byte cell payload minus the 8-byte AAL5 trailer. *)
 
 type payload =
-  | Inline of bytes
+  | Inline of Engine.Buf.t
       (** small message carried in the descriptor itself; length must be at
-          most {!inline_max} *)
+          most {!inline_max}. On transmit this may be a zero-copy view into
+          caller memory; on receive it is always a snapshot owned by the
+          descriptor. *)
   | Buffers of (int * int) list
       (** scatter-gather list of (offset, length) ranges within the
           endpoint's communication segment *)
 
 val payload_length : payload -> int
 
-val validate_inline : bytes -> (unit, string) result
+val validate_inline : Engine.Buf.t -> (unit, string) result
 (** Check the inline size bound. *)
 
 (** A send-queue entry: destination channel plus the data. [injected] is the

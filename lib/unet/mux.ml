@@ -5,6 +5,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type t = {
   table : (int, Endpoint.t * Channel.id) Hashtbl.t;
   host : int;
+  copy_layer : string;
   (* registry-backed counters (shared per host label across instances) *)
   m_deliveries : Engine.Metrics.Counter.t;
   m_unknown : Engine.Metrics.Counter.t;
@@ -40,7 +41,7 @@ let all_outcomes =
     Dropped_bad_offset;
   ]
 
-let create ?host () =
+let create ?host ?(copy_layer = "mux") () =
   let labels =
     match host with None -> [] | Some h -> [ ("host", string_of_int h) ]
   in
@@ -57,6 +58,7 @@ let create ?host () =
   {
     table = Hashtbl.create 64;
     host = Option.value host ~default:0;
+    copy_layer;
     m_deliveries =
       Engine.Metrics.counter
         ~help:"messages the mux delivered into an endpoint"
@@ -92,13 +94,14 @@ let take_free_buffers (ep : Endpoint.t) len =
   in
   loop [] 0
 
-let fill_buffers (ep : Endpoint.t) buffers data =
-  let len = Bytes.length data in
+let fill_buffers ~layer (ep : Endpoint.t) buffers data =
+  let len = Engine.Buf.length data in
   let pos = ref 0 in
   List.map
     (fun (off, blen) ->
       let n = min blen (len - !pos) in
-      Segment.write ep.segment ~off ~src:data ~src_pos:!pos ~len:n;
+      Segment.write_buf ~layer ep.segment ~off
+        (Engine.Buf.sub data ~pos:!pos ~len:n);
       pos := !pos + n;
       (off, n))
     buffers
@@ -116,8 +119,9 @@ let push_rx (ep : Endpoint.t) desc =
     false
   end
 
-let deliver_to (ep : Endpoint.t) ~chan ?dest_offset data =
-  let len = Bytes.length data in
+let deliver_to ?(copy_layer = "mux") (ep : Endpoint.t) ~chan ?dest_offset data
+    =
+  let len = Engine.Buf.length data in
   let outcome =
     match dest_offset with
     | Some off when ep.direct_access -> (
@@ -126,15 +130,20 @@ let deliver_to (ep : Endpoint.t) ~chan ?dest_offset data =
         match Segment.check_range ep.segment ~off ~len with
         | Error _ -> Dropped_bad_offset
         | Ok () ->
-            Segment.write ep.segment ~off ~src:data ~src_pos:0 ~len;
+            Segment.write_buf ~layer:copy_layer ep.segment ~off data;
             let desc =
               { Desc.src_chan = chan; rx_payload = Desc.Buffers [ (off, len) ] }
             in
             if push_rx ep desc then Delivered_direct else Dropped_rx_full)
     | Some _ | None ->
         if len <= Desc.inline_max then begin
+          (* the descriptor retains the payload, so snapshot it out of the
+             sender's storage *)
           let desc =
-            { Desc.src_chan = chan; rx_payload = Desc.Inline (Bytes.copy data) }
+            {
+              Desc.src_chan = chan;
+              rx_payload = Desc.Inline (Engine.Buf.copy ~layer:copy_layer data);
+            }
           in
           if push_rx ep desc then Delivered_inline else Dropped_rx_full
         end
@@ -144,7 +153,7 @@ let deliver_to (ep : Endpoint.t) ~chan ?dest_offset data =
               ep.drops_no_free_buffer <- ep.drops_no_free_buffer + 1;
               Dropped_no_free_buffer
           | Some buffers ->
-              let filled = fill_buffers ep buffers data in
+              let filled = fill_buffers ~layer:copy_layer ep buffers data in
               let desc =
                 { Desc.src_chan = chan; rx_payload = Desc.Buffers filled }
               in
@@ -180,7 +189,7 @@ let deliver t ~rx_vci ?dest_offset data =
           ~args:[ ("vci", Engine.Trace.Int rx_vci) ];
       None
   | Some (ep, chan) ->
-      let outcome = deliver_to ep ~chan ?dest_offset data in
+      let outcome = deliver_to ~copy_layer:t.copy_layer ep ~chan ?dest_offset data in
       (match outcome with
       | Delivered_inline | Delivered_buffers _ | Delivered_direct ->
           t.delivered <- t.delivered + 1;
@@ -192,7 +201,7 @@ let deliver t ~rx_vci ?dest_offset data =
           ~args:
             [
               ("vci", Engine.Trace.Int rx_vci);
-              ("len", Engine.Trace.Int (Bytes.length data));
+              ("len", Engine.Trace.Int (Engine.Buf.length data));
               ("outcome", Engine.Trace.Str (outcome_label outcome));
             ];
       Some (ep, chan, outcome)

@@ -5,10 +5,12 @@
 
 type t
 
-val create : ?host:int -> unit -> t
+val create : ?host:int -> ?copy_layer:string -> unit -> t
 (** [host] labels this mux's registry metrics ([unet_mux_deliveries_total],
     [unet_mux_unknown_tag_drops_total], [unet_mux_outcomes_total]) and tags
-    its trace events. *)
+    its trace events. [copy_layer] labels the delivery copies this mux
+    performs in [buf_copies_total] (the NI that owns the mux names its
+    receive path, e.g. ["sba200_rx_dma"]). *)
 
 val register : t -> rx_vci:int -> Endpoint.t -> chan:Channel.id -> unit
 (** Raises if the VCI is already registered (tag conflict). *)
@@ -28,7 +30,7 @@ val deliver :
   t ->
   rx_vci:int ->
   ?dest_offset:int ->
-  bytes ->
+  Engine.Buf.t ->
   (Endpoint.t * Channel.id * delivery) option
 (** Demultiplex a reassembled PDU to its endpoint: small messages go inline
     into a receive descriptor; larger ones fill buffers popped from the free
@@ -38,10 +40,11 @@ val deliver :
     was discarded. *)
 
 val deliver_to :
+  ?copy_layer:string ->
   Endpoint.t ->
   chan:Channel.id ->
   ?dest_offset:int ->
-  bytes ->
+  Engine.Buf.t ->
   delivery
 (** The delivery core without the tag lookup: place a message into an
     endpoint (inline / free-queue buffers / direct deposit), fire upcalls,

@@ -18,17 +18,26 @@ let fail_range t ~off ~len =
   | Ok () -> ()
   | Error msg -> invalid_arg ("Segment: " ^ msg)
 
-let write t ~off ~src ~src_pos ~len =
+let view t ~off ~len =
   fail_range t ~off ~len;
-  Bytes.blit src src_pos t.data off len
+  Engine.Buf.of_bytes_sub t.data ~pos:off ~len
 
-let read t ~off ~len =
-  fail_range t ~off ~len;
-  Bytes.sub t.data off len
+let write_buf ~layer t ~off src =
+  fail_range t ~off ~len:(Engine.Buf.length src);
+  Engine.Buf.copy_into ~layer src ~dst:t.data ~dst_pos:off
 
-let blit_out t ~off ~dst ~dst_pos ~len =
+(* the bytes-based accessors are the application staging path: every call
+   moves data between process memory and the segment, and is counted *)
+let write ?(layer = "segment") t ~off ~src ~src_pos ~len =
   fail_range t ~off ~len;
-  Bytes.blit t.data off dst dst_pos len
+  Engine.Buf.blit_bytes ~layer ~src ~src_pos ~dst:t.data ~dst_pos:off ~len
+
+let read ?(layer = "segment") t ~off ~len =
+  Engine.Buf.to_bytes ~layer (view t ~off ~len)
+
+let blit_out ?(layer = "segment") t ~off ~dst ~dst_pos ~len =
+  fail_range t ~off ~len;
+  Engine.Buf.blit_bytes ~layer ~src:t.data ~src_pos:off ~dst ~dst_pos ~len
 
 let unsafe_bytes t = t.data
 

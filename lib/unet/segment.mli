@@ -13,9 +13,25 @@ val check_range : t -> off:int -> len:int -> (unit, string) result
 (** Validate that [off, off+len) lies within the segment — the protection
     check the NI performs on every descriptor. *)
 
-val write : t -> off:int -> src:bytes -> src_pos:int -> len:int -> unit
-val read : t -> off:int -> len:int -> bytes
-val blit_out : t -> off:int -> dst:bytes -> dst_pos:int -> len:int -> unit
+val view : t -> off:int -> len:int -> Engine.Buf.t
+(** Zero-copy view of a range of the segment. The view aliases segment
+    memory: it is valid only while the range is owned by the caller (see
+    DESIGN.md, "Buffer ownership and copy accounting"). *)
+
+val write_buf : layer:string -> t -> off:int -> Engine.Buf.t -> unit
+(** Materialize a slice into the segment at [off]; counted against
+    [buf_copies_total{layer}]. *)
+
+val write :
+  ?layer:string -> t -> off:int -> src:bytes -> src_pos:int -> len:int -> unit
+
+val read : ?layer:string -> t -> off:int -> len:int -> bytes
+
+val blit_out :
+  ?layer:string -> t -> off:int -> dst:bytes -> dst_pos:int -> len:int -> unit
+(** [write]/[read]/[blit_out] move bytes between process memory and the
+    segment — the application staging copies of base-level U-Net. Each call
+    is counted (default layer ["segment"]). *)
 
 val unsafe_bytes : t -> bytes
 (** The backing store (for zero-copy style access by co-located layers). *)

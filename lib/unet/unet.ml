@@ -179,7 +179,7 @@ let fresh_chan_id t =
 
 let validate_payload (ep : Endpoint.t) = function
   | Desc.Inline b ->
-      if Bytes.length b > Desc.inline_max then Error Inline_too_large else Ok ()
+      if Buf.length b > Desc.inline_max then Error Inline_too_large else Ok ()
   | Desc.Buffers ranges ->
       let rec check = function
         | [] -> Ok ()
@@ -302,19 +302,12 @@ let kemu_block = 4_160
 let kemu_pool = 64 (* blocks in the kernel endpoint's segment *)
 let kemu_rx_buffers = 32 (* posted to the kernel endpoint's free queue *)
 
-(* read a descriptor's payload out of an endpoint's segment *)
+(* a descriptor's payload as a zero-copy view over the endpoint's segment *)
 let gather_payload (ep : Endpoint.t) = function
-  | Desc.Inline b -> Bytes.copy b
+  | Desc.Inline b -> b
   | Desc.Buffers ranges ->
-      let total = List.fold_left (fun acc (_, len) -> acc + len) 0 ranges in
-      let out = Bytes.create total in
-      let pos = ref 0 in
-      List.iter
-        (fun (off, len) ->
-          Segment.blit_out ep.segment ~off ~dst:out ~dst_pos:!pos ~len;
-          pos := !pos + len)
-        ranges;
-      out
+      Buf.concat
+        (List.map (fun (off, len) -> Segment.view ep.segment ~off ~len) ranges)
 
 let kemu_reap k =
   let rec go () =
@@ -339,10 +332,10 @@ let kemu_tx t k (ep : Endpoint.t) =
           let data = gather_payload ep desc.tx_payload in
           (* the kernel's staging copy into its own pinned buffers *)
           Host.Cpu.charge ~layer:"kernel" t.cpu t.backend.kernel_op_ns;
-          Host.Cpu.charge_copy t.cpu ~bytes:(Bytes.length data);
+          Host.Cpu.charge_copy t.cpu ~bytes:(Buf.length data);
           desc.injected <- true;
           let rec take_bufs acc got =
-            if got >= Bytes.length data then List.rev acc
+            if got >= Buf.length data then List.rev acc
             else begin
               kemu_reap k;
               match Segment.Allocator.alloc k.kalloc with
@@ -354,10 +347,13 @@ let kemu_tx t k (ep : Endpoint.t) =
                   take_bufs acc got
             end
           in
-          if Bytes.length data <= Desc.inline_max then begin
+          if Buf.length data <= Desc.inline_max then begin
+            (* snapshot out of the emulated segment: the descriptor may
+               outlive the application's reuse of that memory *)
+            let staged = Buf.copy ~layer:"kernel" data in
             let rec push () =
               match
-                send t k.kep (Desc.tx ~chan:kchan (Desc.Inline data))
+                send t k.kep (Desc.tx ~chan:kchan (Desc.Inline staged))
               with
               | Ok () -> ()
               | Error Queue_full ->
@@ -373,9 +369,9 @@ let kemu_tx t k (ep : Endpoint.t) =
             let ranges =
               List.map
                 (fun (off, blen) ->
-                  let n = min blen (Bytes.length data - !pos) in
-                  Segment.write k.kep.segment ~off ~src:data ~src_pos:!pos
-                    ~len:n;
+                  let n = min blen (Buf.length data - !pos) in
+                  Segment.write_buf ~layer:"kernel" k.kep.segment ~off
+                    (Buf.sub data ~pos:!pos ~len:n);
                   pos := !pos + n;
                   (off, n))
                 bufs
@@ -399,16 +395,20 @@ let kemu_rx t k (d : Desc.rx) =
     match d.rx_payload with
     | Desc.Inline b -> b
     | Desc.Buffers bufs ->
-        let total = List.fold_left (fun acc (_, l) -> acc + l) 0 bufs in
-        let out = Bytes.create total in
-        let pos = ref 0 in
+        (* snapshot out of the kernel segment before the buffers go back on
+           the free queue and get overwritten by later arrivals *)
+        let data =
+          Buf.copy ~layer:"kernel"
+            (Buf.concat
+               (List.map
+                  (fun (off, len) -> Segment.view k.kep.segment ~off ~len)
+                  bufs))
+        in
         List.iter
-          (fun (off, l) ->
-            Segment.blit_out k.kep.segment ~off ~dst:out ~dst_pos:!pos ~len:l;
-            pos := !pos + l;
+          (fun (off, _) ->
             ignore (provide_free_buffer t k.kep ~off ~len:kemu_block))
           bufs;
-        out
+        data
   in
   match Hashtbl.find_opt k.kdemux d.src_chan with
   | None ->
@@ -417,8 +417,8 @@ let kemu_rx t k (d : Desc.rx) =
             d.src_chan)
   | Some (ep, emu_chan) ->
       Host.Cpu.charge ~layer:"kernel" t.cpu t.backend.kernel_op_ns;
-      Host.Cpu.charge_copy t.cpu ~bytes:(Bytes.length data);
-      ignore (Mux.deliver_to ep ~chan:emu_chan data)
+      Host.Cpu.charge_copy t.cpu ~bytes:(Buf.length data);
+      ignore (Mux.deliver_to ~copy_layer:"kernel" ep ~chan:emu_chan data)
 
 let ensure_kemu t =
   match t.kemu with

@@ -8,6 +8,8 @@ let checki = check Alcotest.int
 let checkb = check Alcotest.bool
 
 let mk_payload n = Bytes.init n (fun i -> Char.chr ((i * 7) mod 256))
+let mk_buf n = Buf.of_bytes (mk_payload n)
+let buf_bytes b = Buf.to_bytes ~layer:"test" b
 
 (* --- Cell ---------------------------------------------------------- *)
 
@@ -17,7 +19,7 @@ let test_cell_sizes () =
   checki "wire" 53 Atm.Cell.on_wire_size
 
 let test_cell_make () =
-  let c = Atm.Cell.make ~vci:42 ~eop:true (Bytes.create 48) in
+  let c = Atm.Cell.make ~vci:42 ~eop:true (Buf.alloc 48) in
   checki "vci" 42 c.Atm.Cell.vci;
   checkb "eop" true c.Atm.Cell.eop;
   let c' = Atm.Cell.with_vci c 7 in
@@ -27,12 +29,12 @@ let test_cell_make () =
 let test_cell_bad_payload () =
   checkb "wrong size rejected" true
     (try
-       ignore (Atm.Cell.make ~vci:1 ~eop:false (Bytes.create 47));
+       ignore (Atm.Cell.make ~vci:1 ~eop:false (Buf.alloc 47));
        false
      with Invalid_argument _ -> true);
   checkb "negative vci rejected" true
     (try
-       ignore (Atm.Cell.make ~vci:(-1) ~eop:false (Bytes.create 48));
+       ignore (Atm.Cell.make ~vci:(-1) ~eop:false (Buf.alloc 48));
        false
      with Invalid_argument _ -> true)
 
@@ -73,7 +75,7 @@ let test_cells_for () =
   checki "89 need three" 3 (Atm.Aal5.cells_for 89)
 
 let test_segment_structure () =
-  let cells = Atm.Aal5.segment ~vci:9 (mk_payload 100) in
+  let cells = Atm.Aal5.segment ~vci:9 (mk_buf 100) in
   checki "cell count" (Atm.Aal5.cells_for 100) (List.length cells);
   List.iteri
     (fun i c ->
@@ -89,8 +91,8 @@ let reassemble cells =
 
 let test_roundtrip_simple () =
   let data = mk_payload 333 in
-  match reassemble (Atm.Aal5.segment ~vci:1 data) with
-  | Some (Ok got) -> check Alcotest.bytes "payload intact" data got
+  match reassemble (Atm.Aal5.segment ~vci:1 (Buf.of_bytes data)) with
+  | Some (Ok got) -> check Alcotest.bytes "payload intact" data (buf_bytes got)
   | _ -> Alcotest.fail "reassembly failed"
 
 let prop_aal5_roundtrip =
@@ -98,19 +100,19 @@ let prop_aal5_roundtrip =
     QCheck.(int_range 0 5_000)
     (fun len ->
       let data = mk_payload len in
-      match reassemble (Atm.Aal5.segment ~vci:3 data) with
-      | Some (Ok got) -> Bytes.equal data got
+      match reassemble (Atm.Aal5.segment ~vci:3 (Buf.of_bytes data)) with
+      | Some (Ok got) -> Buf.equal_bytes got data
       | _ -> false)
 
 let test_corruption_detected () =
-  let cells = Atm.Aal5.segment ~vci:1 (mk_payload 200) in
+  let cells = Atm.Aal5.segment ~vci:1 (mk_buf 200) in
   let corrupted =
     List.mapi
       (fun i (c : Atm.Cell.t) ->
         if i = 1 then begin
-          let p = Bytes.copy c.payload in
+          let p = buf_bytes c.payload in
           Bytes.set p 10 (Char.chr (Char.code (Bytes.get p 10) lxor 0xff));
-          Atm.Cell.make ~vci:c.vci ~eop:c.eop p
+          Atm.Cell.make ~vci:c.vci ~eop:c.eop (Buf.of_bytes p)
         end
         else c)
       cells
@@ -120,7 +122,7 @@ let test_corruption_detected () =
   | _ -> Alcotest.fail "corruption not detected"
 
 let test_lost_cell_detected () =
-  let cells = Atm.Aal5.segment ~vci:1 (mk_payload 200) in
+  let cells = Atm.Aal5.segment ~vci:1 (mk_buf 200) in
   (* drop the middle cell: the PDU must be rejected at EOP *)
   let cells = List.filteri (fun i _ -> i <> 1) cells in
   (match reassemble cells with
@@ -131,7 +133,7 @@ let test_lost_cell_detected () =
 
 let test_reassembler_error_count () =
   let r = Atm.Aal5.Reassembler.create () in
-  let cells = Atm.Aal5.segment ~vci:1 (mk_payload 100) in
+  let cells = Atm.Aal5.segment ~vci:1 (mk_buf 100) in
   let cells = List.filteri (fun i _ -> i <> 0) cells in
   List.iter (fun c -> ignore (Atm.Aal5.Reassembler.push r c)) cells;
   checki "error counted" 1 (Atm.Aal5.Reassembler.errors r);
@@ -141,7 +143,7 @@ let test_reassembler_error_count () =
        (fun acc c ->
          match Atm.Aal5.Reassembler.push r c with Some x -> Some x | None -> acc)
        None
-       (Atm.Aal5.segment ~vci:1 (mk_payload 50))
+       (Atm.Aal5.segment ~vci:1 (mk_buf 50))
    with
   | Some (Ok _) -> ()
   | _ -> Alcotest.fail "recovery after error failed")
@@ -152,7 +154,8 @@ let test_interleaved_vcis () =
   let r1 = Atm.Aal5.Reassembler.create () in
   let r2 = Atm.Aal5.Reassembler.create () in
   let d1 = mk_payload 200 and d2 = Bytes.init 150 (fun i -> Char.chr ((i * 3) mod 256)) in
-  let c1 = Atm.Aal5.segment ~vci:1 d1 and c2 = Atm.Aal5.segment ~vci:2 d2 in
+  let c1 = Atm.Aal5.segment ~vci:1 (Buf.of_bytes d1)
+  and c2 = Atm.Aal5.segment ~vci:2 (Buf.of_bytes d2) in
   let out1 = ref None and out2 = ref None in
   let rec interleave a b =
     match (a, b) with
@@ -178,10 +181,10 @@ let test_interleaved_vcis () =
   in
   interleave c1 c2;
   (match !out1 with
-  | Some p -> check Alcotest.bytes "vci 1 intact" d1 p
+  | Some p -> check Alcotest.bytes "vci 1 intact" d1 (buf_bytes p)
   | None -> Alcotest.fail "vci 1 incomplete");
   match !out2 with
-  | Some p -> check Alcotest.bytes "vci 2 intact" d2 p
+  | Some p -> check Alcotest.bytes "vci 2 intact" d2 (buf_bytes p)
   | None -> Alcotest.fail "vci 2 incomplete"
 
 let test_pdu_wire_bytes () =
@@ -194,7 +197,7 @@ let mk_link ?queue_capacity sim =
   Atm.Link.create sim ?queue_capacity ~bandwidth_mbps:140.
     ~propagation:(Sim.ns 500) ()
 
-let one_cell vci = Atm.Cell.make ~vci ~eop:true (Bytes.create 48)
+let one_cell vci = Atm.Cell.make ~vci ~eop:true (Buf.alloc 48)
 
 let test_link_cell_time () =
   let sim = Sim.create () in

@@ -436,10 +436,13 @@ let test_framed_fragmentation () =
   let got = ref None in
   Iface.set_rx ifb ~rx_cost_ns:(fun _ -> 0) (fun pkt -> got := Some pkt);
   let pkt = Bytes.init 8_000 (fun i -> Char.chr (i mod 256)) in
-  ignore (Proc.spawn sim (fun () -> Iface.send ifa ~cost_ns:0 pkt));
+  ignore
+    (Proc.spawn sim (fun () -> Iface.send ifa ~cost_ns:0 (Buf.of_bytes pkt)));
   Sim.run ~until:(Sim.sec 1) sim;
   match !got with
-  | Some p -> check Alcotest.bytes "8 KB packet re-assembled over 1.5 KB wire" pkt p
+  | Some p ->
+      check Alcotest.bytes "8 KB packet re-assembled over 1.5 KB wire" pkt
+        (Buf.to_bytes ~layer:"test" p)
   | None -> Alcotest.fail "nothing delivered"
 
 let test_iface_tx_drops () =
@@ -453,7 +456,7 @@ let test_iface_tx_drops () =
   ignore
     (Proc.spawn sim (fun () ->
          for _ = 1 to 100 do
-           Iface.send ifa ~cost_ns:1_000 (Bytes.create 1_000)
+           Iface.send ifa ~cost_ns:1_000 (Buf.alloc 1_000)
          done));
   Sim.run ~until:(Sim.ms 100) sim;
   checkb "device queue dropped silently (§7.4)" true (Iface.tx_drops ifa > 0)

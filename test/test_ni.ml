@@ -26,7 +26,7 @@ let test_pdu_counters () =
          for _ = 1 to 5 do
            ignore
              (Unet.send n0.unet ep0
-                (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Bytes.create 8))))
+                (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.alloc 8))))
          done));
   Sim.run c.sim;
   checki "sender counted 5 PDUs" 5 (Ni.I960_nic.pdus_sent (Option.get n0.i960));
@@ -102,7 +102,7 @@ let test_message_order_preserved () =
              if i mod 2 = 1 then begin
                let b = Bytes.create 4 in
                Bytes.set_uint16_be b 0 i;
-               Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline b)
+               Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.of_bytes b))
              end
              else begin
                Unet.Segment.write ep0.segment ~off
@@ -128,7 +128,7 @@ let test_message_order_preserved () =
            let d = Unet.recv n1.unet ep1 in
            let seq =
              match d.rx_payload with
-             | Unet.Desc.Inline b -> Bytes.get_uint16_be b 0
+             | Unet.Desc.Inline b -> Buf.get_uint16_be b 0
              | Unet.Desc.Buffers ((off, _) :: _) ->
                  Bytes.get_uint16_be (Unet.Segment.read ep1.segment ~off ~len:2) 0
              | Unet.Desc.Buffers [] -> -1
@@ -159,7 +159,7 @@ let rtt_of nic =
            let t0 = Sim.now c.sim in
            ignore
              (Unet.send n0.unet ep0
-                (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Bytes.create 16))));
+                (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.alloc 16))));
            ignore (Unet.recv n0.unet ep0);
            sum := !sum +. Sim.to_us (Sim.now c.sim - t0)
          done));
@@ -218,11 +218,61 @@ let test_sba100_stats () =
          for _ = 1 to 3 do
            ignore
              (Unet.send n0.unet ep0
-                (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Bytes.create 8))))
+                (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.alloc 8))))
          done));
   Sim.run c.sim;
   checki "sent" 3 (Ni.Sba100.pdus_sent (Option.get n0.sba100));
   checki "received" 3 (Ni.Sba100.pdus_received (Option.get n1.sba100))
+
+(* --- copy accounting ----------------------------------------------------- *)
+
+let nic_copies layers =
+  List.fold_left
+    (fun acc l ->
+      acc
+      + Option.value ~default:0
+          (Metrics.counter_value "buf_copies_total" [ ("layer", l) ]))
+    0 layers
+
+let test_copy_counts_sba100_vs_sba200 () =
+  (* the same workload — 10 multi-cell (1000-byte) messages — on both NIs:
+     the SBA-100 PIOs every cell while the i960 DMAs whole PDUs, so the
+     SBA-200 must show strictly fewer counted data-path copies *)
+  let run nic layers =
+    let before = nic_copies layers in
+    let c, n0, n1, ep0, ep1, a0, ch0, _ = mk_pair ~nic () in
+    let off, _ = Option.get (Unet.Segment.Allocator.alloc a0) in
+    ignore
+      (Proc.spawn c.sim (fun () ->
+           for _ = 1 to 10 do
+             Unet.Segment.write ep0.segment ~off ~src:(Bytes.create 1000)
+               ~src_pos:0 ~len:1000;
+             (match
+                Unet.send n0.unet ep0
+                  (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Buffers [ (off, 1000) ]))
+              with
+             | Ok () -> ()
+             | Error e -> Fmt.failwith "%a" Unet.pp_error e);
+             Proc.sleep c.sim ~time:(Sim.ms 1)
+           done));
+    ignore
+      (Proc.spawn c.sim (fun () ->
+           for _ = 1 to 10 do
+             ignore (Unet.recv n1.unet ep1)
+           done));
+    Sim.run ~until:(Sim.sec 2) c.sim;
+    nic_copies layers - before
+  in
+  let sba100 =
+    run Cluster.Sba100 [ "sba100_tx_pio"; "sba100_rx_pio"; "sba100_rx" ]
+  in
+  let sba200 = run Cluster.Sba200_unet [ "sba200_tx_dma"; "sba200_rx" ] in
+  checkb "sba100 counted copies non-zero" true (sba100 > 0);
+  checkb "sba200 counted copies non-zero" true (sba200 > 0);
+  checkb
+    (Printf.sprintf "sba200 %d < sba100 %d (per-PDU DMA vs per-cell PIO)"
+       sba200 sba100)
+    true (sba200 < sba100)
 
 (* --- firmware configuration sanity -------------------------------------- *)
 
@@ -256,6 +306,11 @@ let () =
           Alcotest.test_case "emulated only" `Quick test_sba100_requires_emulated;
           Alcotest.test_case "sender pays" `Quick test_sba100_sender_pays;
           Alcotest.test_case "stats" `Quick test_sba100_stats;
+        ] );
+      ( "copy-accounting",
+        [
+          Alcotest.test_case "SBA-200 copies < SBA-100" `Quick
+            test_copy_counts_sba100_vs_sba200;
         ] );
       ( "configs",
         [ Alcotest.test_case "firmware parameters" `Quick test_config_access ] );

@@ -24,20 +24,21 @@ let test_request_reply_roundtrip () =
   Uam.register_handler a1 1 (fun am ~src tk ~args ~payload ->
       checki "source rank" 0 src;
       got_args := args;
-      got_payload := payload;
+      got_payload := Buf.to_bytes ~layer:"test" payload;
       Uam.reply am (Option.get tk) ~handler:2 ~args:[| 9 |]
-        ~payload:(Bytes.of_string "pong") ());
+        ~payload:(Buf.of_string "pong") ());
   Uam.register_handler a0 2 (fun _ ~src tk ~args ~payload ->
       checki "reply source" 1 src;
       checkb "replies carry no token" true (tk = None);
       checki "reply arg" 9 args.(0);
-      check Alcotest.string "reply payload" "pong" (Bytes.to_string payload);
+      check Alcotest.string "reply payload" "pong"
+        (Bytes.to_string (Buf.to_bytes ~layer:"test" payload));
       replied := true);
   serve c a1;
   ignore
     (Proc.spawn c.sim (fun () ->
          Uam.request a0 ~dst:1 ~handler:1 ~args:[| 1; 2; 3; 4 |]
-           ~payload:(Bytes.of_string "ping") ();
+           ~payload:(Buf.of_string "ping") ();
          Uam.poll_until a0 (fun () -> !replied)));
   Sim.run ~until:(Sim.sec 1) c.sim;
   checkb "reply processed" true !replied;
@@ -79,7 +80,7 @@ let test_oversized_payload_rejected () =
     (Proc.spawn c.sim (fun () ->
          checkb "payload above the buffer size rejected" true
            (try
-              Uam.request a0 ~dst:1 ~handler:1 ~payload:(Bytes.create 5_000) ();
+              Uam.request a0 ~dst:1 ~handler:1 ~payload:(Buf.alloc 5_000) ();
               false
             with Invalid_argument _ -> true)));
   Sim.run c.sim
@@ -264,7 +265,7 @@ let test_uam_single_cell_rtt () =
     (Proc.spawn c.sim (fun () ->
          for i = 1 to iters do
            let t0 = Sim.now c.sim in
-           Uam.request a0 ~dst:1 ~handler:1 ~payload:(Bytes.create 16) ();
+           Uam.request a0 ~dst:1 ~handler:1 ~payload:(Buf.alloc 16) ();
            Uam.poll_until a0 (fun () -> !got >= i);
            sum := !sum +. Sim.to_us (Sim.now c.sim - t0)
          done));
@@ -283,12 +284,15 @@ let prop_uam_payload_roundtrip =
       let c, a0, a1 = pair () in
       let received = ref [] in
       Uam.register_handler a1 1 (fun _ ~src:_ _ ~args:_ ~payload ->
-          received := Bytes.copy payload :: !received);
+          received := Buf.to_bytes ~layer:"test" payload :: !received);
       serve c a1;
       let sent = List.map (fun n -> Bytes.init n (fun i -> Char.chr ((i * 3) mod 256))) sizes in
       ignore
         (Proc.spawn c.sim (fun () ->
-             List.iter (fun p -> Uam.request a0 ~dst:1 ~handler:1 ~payload:p ()) sent;
+             List.iter
+               (fun p ->
+                 Uam.request a0 ~dst:1 ~handler:1 ~payload:(Buf.of_bytes p) ())
+               sent;
              Uam.flush a0));
       Sim.run ~until:(Sim.sec 10) c.sim;
       List.length !received = List.length sent

@@ -155,12 +155,13 @@ let test_mux_deliver_inline () =
   let mux = Unet.Mux.create () in
   let ep = mk_ep sim ~free_slots:4 ~rx_slots:4 in
   Unet.Mux.register mux ~rx_vci:32 ep ~chan:7;
-  (match Unet.Mux.deliver mux ~rx_vci:32 (Bytes.of_string "hi") with
+  (match Unet.Mux.deliver mux ~rx_vci:32 (Buf.of_string "hi") with
   | Some (_, 7, Unet.Mux.Delivered_inline) -> ()
   | _ -> Alcotest.fail "expected inline delivery");
   match Unet.Ring.pop ep.rx_ring with
   | Some { Unet.Desc.src_chan = 7; rx_payload = Unet.Desc.Inline b } ->
-      check Alcotest.string "payload" "hi" (Bytes.to_string b)
+      check Alcotest.string "payload" "hi"
+        (Bytes.to_string (Buf.to_bytes ~layer:"test" b))
   | _ -> Alcotest.fail "bad rx descriptor"
 
 let test_mux_deliver_buffers () =
@@ -171,7 +172,7 @@ let test_mux_deliver_buffers () =
   ignore (Unet.Ring.push ep.free_ring (64, 64));
   Unet.Mux.register mux ~rx_vci:32 ep ~chan:1;
   let data = Bytes.init 100 Char.chr in
-  (match Unet.Mux.deliver mux ~rx_vci:32 data with
+  (match Unet.Mux.deliver mux ~rx_vci:32 (Buf.of_bytes data) with
   | Some (_, _, Unet.Mux.Delivered_buffers bufs) ->
       checki "two buffers used" 2 (List.length bufs);
       checki "lengths cover the message" 100
@@ -187,7 +188,7 @@ let test_mux_drop_no_free_buffer () =
   let mux = Unet.Mux.create () in
   let ep = mk_ep sim ~free_slots:4 ~rx_slots:4 in
   Unet.Mux.register mux ~rx_vci:32 ep ~chan:1;
-  (match Unet.Mux.deliver mux ~rx_vci:32 (Bytes.create 100) with
+  (match Unet.Mux.deliver mux ~rx_vci:32 (Buf.alloc 100) with
   | Some (_, _, Unet.Mux.Dropped_no_free_buffer) -> ()
   | _ -> Alcotest.fail "expected drop");
   checki "drop counted" 1 ep.drops_no_free_buffer
@@ -197,15 +198,16 @@ let test_mux_drop_rx_full () =
   let mux = Unet.Mux.create () in
   let ep = mk_ep sim ~free_slots:4 ~rx_slots:1 in
   Unet.Mux.register mux ~rx_vci:32 ep ~chan:1;
-  ignore (Unet.Mux.deliver mux ~rx_vci:32 (Bytes.of_string "a"));
-  (match Unet.Mux.deliver mux ~rx_vci:32 (Bytes.of_string "b") with
+  ignore (Unet.Mux.deliver mux ~rx_vci:32 (Buf.of_string "a"));
+  (match Unet.Mux.deliver mux ~rx_vci:32 (Buf.of_string "b") with
   | Some (_, _, Unet.Mux.Dropped_rx_full) -> ()
   | _ -> Alcotest.fail "expected rx-full drop");
   checki "drop counted" 1 ep.drops_rx_full
 
 let test_mux_unknown_tag () =
   let mux = Unet.Mux.create () in
-  checkb "unknown tag" true (Unet.Mux.deliver mux ~rx_vci:9 (Bytes.create 1) = None);
+  checkb "unknown tag" true
+    (Unet.Mux.deliver mux ~rx_vci:9 (Buf.alloc 1) = None);
   checki "counted" 1 (Unet.Mux.unknown_tag_drops mux)
 
 (* --- endpoint lifecycle, protection, limits -------------------------- *)
@@ -276,7 +278,7 @@ let test_send_protection () =
              (* unknown channel *)
              (match
                 Unet.send n0.unet ep0
-                  (Unet.Desc.tx ~chan:999 (Unet.Desc.Inline (Bytes.create 4)))
+                  (Unet.Desc.tx ~chan:999 (Unet.Desc.Inline (Buf.alloc 4)))
               with
              | Error Unet.Bad_channel -> ()
              | _ -> Alcotest.fail "expected Bad_channel");
@@ -291,7 +293,7 @@ let test_send_protection () =
              (* inline too large *)
              match
                Unet.send n0.unet ep0
-                 (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Bytes.create 41)))
+                 (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.alloc 41)))
              with
              | Error Unet.Inline_too_large -> ()
              | _ -> Alcotest.fail "expected Inline_too_large"));
@@ -307,7 +309,7 @@ let test_send_backpressure () =
       let ch0, _ = Unet.connect_pair (n0.unet, ep0) (n1.unet, ep1) in
       ignore
         (Proc.spawn c.sim (fun () ->
-             let payload = Unet.Desc.Inline (Bytes.create 4) in
+             let payload = Unet.Desc.Inline (Buf.alloc 4) in
              (* the NI picks up the first descriptor immediately; the second
                 parks in the 1-slot ring; the third bounces *)
              checkb "1st accepted" true
@@ -336,7 +338,7 @@ let ping ~c ~n0 ~n1 ~ep0 ~ep1 ~ch0 size =
     (Proc.spawn c.Cluster.sim (fun () ->
          ignore
            (Unet.send n0.Cluster.unet ep0
-              (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Bytes.create size))))));
+              (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.alloc size))))));
   ignore
     (Proc.spawn c.Cluster.sim (fun () ->
          got := Some (Unet.recv n1.Cluster.unet ep1)));
@@ -352,7 +354,7 @@ let test_end_to_end_delivery () =
       match ping ~c ~n0 ~n1 ~ep0 ~ep1 ~ch0 16 with
       | Some { Unet.Desc.src_chan; rx_payload = Unet.Desc.Inline b } ->
           checki "source channel reported" ch1 src_chan;
-          checki "length" 16 (Bytes.length b)
+          checki "length" 16 (Buf.length b)
       | _ -> Alcotest.fail "no delivery")
 
 let test_data_integrity_large () =
@@ -395,7 +397,7 @@ let test_upcall_nonempty_edge () =
              for _ = 1 to 3 do
                ignore
                  (Unet.send n0.unet ep0
-                    (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Bytes.create 4))));
+                    (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.alloc 4))));
                Proc.sleep c.sim ~time:(Sim.us 5)
              done));
       Sim.run c.sim;
@@ -415,7 +417,7 @@ let test_upcall_disable_enable () =
         (Proc.spawn c.sim (fun () ->
              ignore
                (Unet.send n0.unet ep0
-                  (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Bytes.create 4))))));
+                  (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.alloc 4))))));
       Sim.run c.sim;
       checki "masked during the critical section" 0 !fired;
       Unet.enable_upcalls n1.unet ep1;
@@ -435,7 +437,7 @@ let test_upcall_almost_full () =
              for _ = 1 to 3 do
                ignore
                  (Unet.send n0.unet ep0
-                    (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Bytes.create 4))))
+                    (Unet.Desc.tx ~chan:ch0 (Unet.Desc.Inline (Buf.alloc 4))))
              done));
       Sim.run c.sim;
       checkb "fires as the queue approaches capacity" true (!fired >= 1))
@@ -446,7 +448,7 @@ let measure_rtt ?(emulated = false) ?(nic = Cluster.Sba200_unet) ~size iters =
   let ep0, _ = Cluster.simple_endpoint ~emulated n0 in
   let ep1, _ = Cluster.simple_endpoint ~emulated n1 in
   let ch0, ch1 = Unet.connect_pair (n0.unet, ep0) (n1.unet, ep1) in
-  let payload = Unet.Desc.Inline (Bytes.create size) in
+  let payload = Unet.Desc.Inline (Buf.alloc size) in
   ignore
     (Proc.spawn c.sim (fun () ->
          let rec loop () =
@@ -495,7 +497,7 @@ let test_direct_access_deposit () =
       let ep0, _ = Cluster.simple_endpoint ~direct_access:true n0 in
       let ep1, _ = Cluster.simple_endpoint ~direct_access:true n1 in
       let ch0, _ = Unet.connect_pair (n0.unet, ep0) (n1.unet, ep1) in
-      let data = Bytes.of_string "deposited-directly" in
+      let data = Buf.of_string "deposited-directly" in
       ignore
         (Proc.spawn c.sim (fun () ->
              ignore
@@ -506,11 +508,12 @@ let test_direct_access_deposit () =
       ignore (Proc.spawn c.sim (fun () -> got := Some (Unet.recv n1.unet ep1)));
       Sim.run c.sim;
       (* data is at the sender-specified offset in the receiver's segment *)
-      check Alcotest.bytes "at offset 512" data
-        (Unet.Segment.read ep1.segment ~off:512 ~len:(Bytes.length data));
+      check Alcotest.bytes "at offset 512"
+        (Buf.to_bytes ~layer:"test" data)
+        (Unet.Segment.read ep1.segment ~off:512 ~len:(Buf.length data));
       match !got with
       | Some { Unet.Desc.rx_payload = Unet.Desc.Buffers [ (512, len) ]; _ } ->
-          checki "notification points at the deposit" (Bytes.length data) len
+          checki "notification points at the deposit" (Buf.length data) len
       | _ -> Alcotest.fail "expected a direct-access notification")
 
 let test_direct_access_bad_offset () =
@@ -526,7 +529,7 @@ let test_direct_access_bad_offset () =
              ignore
                (Unet.send n0.unet ep0
                   (Unet.Desc.tx ~dest_offset:100_000 ~chan:ch0
-                     (Unet.Desc.Inline (Bytes.of_string "x"))))));
+                     (Unet.Desc.Inline (Buf.of_string "x"))))));
       Sim.run c.sim;
       checki "nothing delivered" 0 ep1.rx_delivered)
 
@@ -550,7 +553,7 @@ let test_dest_offset_requires_direct () =
              match
                Unet.send n0.unet ep0
                  (Unet.Desc.tx ~dest_offset:64 ~chan:ch0
-                    (Unet.Desc.Inline (Bytes.of_string "x")))
+                    (Unet.Desc.Inline (Buf.of_string "x")))
              with
              | Error Unet.Not_direct_access -> ()
              | _ -> Alcotest.fail "expected Not_direct_access"));
@@ -646,12 +649,13 @@ let test_kemu_emulated_to_emulated () =
          ignore
            (Unet.send n0.unet ep0
               (Unet.Desc.tx ~chan:ch0
-                 (Unet.Desc.Inline (Bytes.of_string "via-two-kernels"))))));
+                 (Unet.Desc.Inline (Buf.of_string "via-two-kernels"))))));
   ignore (Proc.spawn c.sim (fun () -> got := Some (Unet.recv n1.unet ep1)));
   Sim.run c.sim;
   match !got with
   | Some { Unet.Desc.rx_payload = Unet.Desc.Inline b; _ } ->
-      check Alcotest.string "payload" "via-two-kernels" (Bytes.to_string b)
+      check Alcotest.string "payload" "via-two-kernels"
+        (Bytes.to_string (Buf.to_bytes ~layer:"test" b))
   | _ -> Alcotest.fail "nothing delivered"
 
 let test_kemu_demux_two_endpoints () =
@@ -668,20 +672,20 @@ let test_kemu_demux_two_endpoints () =
     (Proc.spawn c.sim (fun () ->
          ignore
            (Unet.send n1.unet r
-              (Unet.Desc.tx ~chan:ch_ra (Unet.Desc.Inline (Bytes.of_string "A"))));
+              (Unet.Desc.tx ~chan:ch_ra (Unet.Desc.Inline (Buf.of_string "A"))));
          ignore
            (Unet.send n1.unet r
-              (Unet.Desc.tx ~chan:ch_rb (Unet.Desc.Inline (Bytes.of_string "B"))))));
+              (Unet.Desc.tx ~chan:ch_rb (Unet.Desc.Inline (Buf.of_string "B"))))));
   let at_a = ref "" and at_b = ref "" in
   ignore
     (Proc.spawn c.sim (fun () ->
          (match (Unet.recv n0.unet e_a).rx_payload with
-         | Unet.Desc.Inline b -> at_a := Bytes.to_string b
+         | Unet.Desc.Inline b -> at_a := Bytes.to_string (Buf.to_bytes ~layer:"test" b)
          | _ -> ())));
   ignore
     (Proc.spawn c.sim (fun () ->
          (match (Unet.recv n0.unet e_b).rx_payload with
-         | Unet.Desc.Inline b -> at_b := Bytes.to_string b
+         | Unet.Desc.Inline b -> at_b := Bytes.to_string (Buf.to_bytes ~layer:"test" b)
          | _ -> ())));
   Sim.run c.sim;
   check Alcotest.string "endpoint A got A" "A" !at_a;
