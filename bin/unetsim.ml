@@ -13,16 +13,16 @@ let run_experiment name quick check =
         (String.concat ", " Experiments.Registry.names);
       1
   | Some e ->
+      let o = e.run ~quick in
       if check then begin
-        let results = e.checks ~quick in
         List.iter
           (fun (what, ok) ->
             Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") what)
-          results;
-        if List.for_all snd results then 0 else 1
+          o.Experiments.Registry.o_checks;
+        if List.for_all snd o.o_checks then 0 else 1
       end
       else begin
-        e.print ~quick;
+        o.Experiments.Registry.o_print ();
         0
       end
 
@@ -39,7 +39,7 @@ let write_plotdata dir quick =
   let wrote = ref [] in
   List.iter
     (fun (e : Experiments.Registry.experiment) ->
-      match e.series ~quick with
+      match (e.run ~quick).Experiments.Registry.o_series with
       | [] -> ()
       | curves ->
           List.iter
@@ -119,7 +119,8 @@ let trace_file =
         ~doc:
           "Record virtual-time trace events during the run and write them as \
            Chrome trace_event JSON to $(docv) (open in Perfetto or \
-           chrome://tracing).")
+           chrome://tracing). Combined with $(b,--spans), flow events link \
+           the send and receive sides of each message.")
 
 let metrics_file =
   Arg.(
@@ -139,6 +140,35 @@ let out =
           "Write every figure's curves as gnuplot-ready .dat files (plus a \
            plot.gp driver) into $(docv) and exit.")
 
+let spans_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"FILE"
+        ~doc:
+          "Collect per-message causal spans during the run and write the \
+           span trees (ids, parentage, milestone marks, phase breakdowns) \
+           as JSON to $(docv).")
+
+let pcap_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pcap" ] ~docv:"FILE"
+        ~doc:
+          "Capture simulated traffic (AAL5 cells, Ethernet frames) with \
+           virtual-time timestamps and write a pcapng file to $(docv), \
+           openable in Wireshark.")
+
+let breakdown =
+  Arg.(
+    value & flag
+    & info [ "breakdown" ]
+        ~doc:
+          "Collect spans during the run and print the per-phase latency \
+           attribution afterwards (the measured Table 2 decomposition when \
+           the run contains UAM round trips).")
+
 let names_doc =
   "EXPERIMENT is one of: all, " ^ String.concat ", " Experiments.Registry.names
 
@@ -152,9 +182,12 @@ let cmd =
   let doc = "reproduce the tables and figures of the U-Net paper (SOSP 1995)" in
   let term =
     Term.(
-      const (fun name quick check out verbose trace metrics ->
+      const (fun name quick check out verbose trace metrics spans pcap
+                 breakdown ->
           setup_logs verbose;
           if trace <> None then Engine.Trace.start ();
+          if spans <> None || breakdown then Engine.Span.start ();
+          if pcap <> None then Engine.Pcapng.start ();
           let finish code =
             let code = ref code in
             let or_fail what f =
@@ -163,6 +196,7 @@ let cmd =
                 Format.eprintf "cannot write %s: %s@." what msg;
                 code := 1
             in
+            if breakdown then Experiments.Breakdown.print_report ();
             (match trace with
             | Some path ->
                 or_fail "trace" (fun () ->
@@ -175,6 +209,21 @@ let cmd =
                        else
                          Printf.sprintf
                            " (%d older events beyond the ring dropped)" dropped))
+            | None -> ());
+            (match spans with
+            | Some path ->
+                or_fail "spans" (fun () ->
+                    Engine.Span.write_file path;
+                    Format.printf "wrote %d spans to %s@." (Engine.Span.count ())
+                      path)
+            | None -> ());
+            (match pcap with
+            | Some path ->
+                or_fail "pcap" (fun () ->
+                    Engine.Pcapng.write_file path;
+                    Format.printf "wrote %d captured packets to %s@."
+                      (Engine.Pcapng.packet_count ())
+                      path)
             | None -> ());
             (match metrics with
             | Some path ->
@@ -189,7 +238,8 @@ let cmd =
           | None ->
               if name = "all" then finish (run_all quick check)
               else finish (run_experiment name quick check))
-      $ experiment $ quick $ check $ out $ verbose $ trace_file $ metrics_file)
+      $ experiment $ quick $ check $ out $ verbose $ trace_file $ metrics_file
+      $ spans_file $ pcap_file $ breakdown)
   in
   Cmd.v (Cmd.info "unetsim" ~doc) term
 

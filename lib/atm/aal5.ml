@@ -18,7 +18,7 @@ let pdu_wire_bytes len = cells_for len * Cell.on_wire_size
    The CS-PDU is never materialized: it is the payload view followed by a
    fresh pad+trailer store, and every cell is a 48-byte view into that
    concatenation. *)
-let segment ~vci payload =
+let segment ?ctx ~vci payload =
   let len = Buf.length payload in
   if len > max_payload then invalid_arg "Aal5.segment: payload too long";
   let ncells = cells_for len in
@@ -33,7 +33,7 @@ let segment ~vci payload =
   Bytes.set_int32_be tail (tail_len - 4) crc;
   let pdu = Buf.append payload (Buf.of_bytes tail) in
   List.init ncells (fun i ->
-      Cell.make ~vci ~eop:(i = ncells - 1)
+      Cell.make ?ctx ~vci ~eop:(i = ncells - 1)
         (Buf.sub pdu ~pos:(i * Cell.payload_size) ~len:Cell.payload_size))
 
 type error = Crc_mismatch | Length_mismatch | Too_long
@@ -48,11 +48,13 @@ module Reassembler = struct
     mutable cells : Buf.t list;  (* received payload views, reversed *)
     mutable got : int;  (* bytes across [cells] *)
     mutable error_count : int;
+    mutable last_ctx : Span.ctx option;  (* context of the last EOP cell *)
   }
 
-  let create () = { cells = []; got = 0; error_count = 0 }
+  let create () = { cells = []; got = 0; error_count = 0; last_ctx = None }
   let in_progress t = t.got > 0
   let errors t = t.error_count
+  let last_ctx t = t.last_ctx
   let max_pdu_bytes = cells_for max_payload * Cell.payload_size
 
   let finish t =
@@ -87,6 +89,10 @@ module Reassembler = struct
     else begin
       t.cells <- cell.payload :: t.cells;
       t.got <- t.got + Cell.payload_size;
-      if cell.eop then Some (finish t) else None
+      if cell.eop then begin
+        t.last_ctx <- cell.ctx;
+        Some (finish t)
+      end
+      else None
     end
 end

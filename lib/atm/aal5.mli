@@ -16,10 +16,11 @@ val pdu_wire_bytes : int -> int
 (** Bytes on the wire (53 per cell) for a payload of the given length — the
     exact sawtooth of the paper's Figure 4 "AAL-5 limit" curve. *)
 
-val segment : vci:int -> Engine.Buf.t -> Cell.t list
+val segment : ?ctx:Engine.Span.ctx -> vci:int -> Engine.Buf.t -> Cell.t list
 (** Split a payload into cells with padding, trailer and CRC. The CS-PDU is
     the payload view concatenated with a fresh pad+trailer store; every cell
-    payload is a zero-copy view into it. *)
+    payload is a zero-copy view into it. Every cell inherits the CS-PDU's
+    span context [ctx]. *)
 
 type error =
   | Crc_mismatch
@@ -43,4 +44,9 @@ module Reassembler : sig
   val in_progress : t -> bool
   val errors : t -> int
   (** Count of PDUs discarded due to errors so far. *)
+
+  val last_ctx : t -> Engine.Span.ctx option
+  (** Span context carried by the most recent EOP cell — the context of
+      the PDU that [push] just completed (valid after [push] returned
+      [Some _], until the next EOP). *)
 end

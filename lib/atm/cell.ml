@@ -1,17 +1,22 @@
-type t = { vci : int; eop : bool; payload : Engine.Buf.t }
+type t = {
+  vci : int;
+  eop : bool;
+  payload : Engine.Buf.t;
+  ctx : Engine.Span.ctx option;
+}
 
 let header_size = 5
 let payload_size = 48
 let on_wire_size = header_size + payload_size
 
-let make ~vci ~eop payload =
+let make ?ctx ~vci ~eop payload =
   if Engine.Buf.length payload <> payload_size then
     invalid_arg
       (Printf.sprintf "Cell.make: payload must be %d bytes, got %d"
          payload_size
          (Engine.Buf.length payload));
   if vci < 0 then invalid_arg "Cell.make: negative VCI";
-  { vci; eop; payload }
+  { vci; eop; payload; ctx }
 
 let with_vci t vci = { t with vci }
 

@@ -8,13 +8,16 @@ type t = {
   payload : Engine.Buf.t;
       (** exactly {!payload_size} bytes; usually a zero-copy view into the
           CS-PDU it was segmented from *)
+  ctx : Engine.Span.ctx option;
+      (** span context of the CS-PDU this cell was segmented from; rides
+          the cell through links and switches for causal tracing *)
 }
 
 val header_size : int (* 5 *)
 val payload_size : int (* 48 *)
 val on_wire_size : int (* 53 *)
 
-val make : vci:int -> eop:bool -> Engine.Buf.t -> t
+val make : ?ctx:Engine.Span.ctx -> vci:int -> eop:bool -> Engine.Buf.t -> t
 (** Raises [Invalid_argument] unless the payload is exactly 48 bytes. *)
 
 val with_vci : t -> int -> t

@@ -76,6 +76,10 @@ let deliver t cell =
   end
 
 let rec transmit t cell =
+  (* serialization starts now: for the EOP cell this separates switch /
+     queue wait from wire time in the span breakdown (marks replace, so
+     the last link the cell crosses wins) *)
+  if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Link_tx;
   t.transmitting <- true;
   ignore
     (Sim.schedule t.sim ~delay:t.cell_time (fun () ->

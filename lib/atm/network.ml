@@ -83,8 +83,36 @@ let attach_rx t ~host f =
   check_host t host;
   t.rx_handlers.(host) <- Some f
 
+(* pcap tap at the injection point: every cell that enters the fabric is
+   captured as a LINKTYPE_SUNATM record (4-byte pseudo-header: flags,
+   VPI, VCI big-endian; then the 48-byte cell payload). Bytes are
+   materialized with the *uncounted* span iterator — a capture must not
+   perturb the data path's copy accounting. *)
+let capture_cell ~host cell =
+  if Pcapng.enabled () then begin
+    let ifc =
+      Pcapng.iface
+        ~name:(Printf.sprintf "atm%d" host)
+        ~linktype:Pcapng.linktype_sunatm
+    in
+    let payload = cell.Cell.payload in
+    let b = Bytes.create (4 + Buf.length payload) in
+    Bytes.set_uint8 b 0 0;
+    (* flags *)
+    Bytes.set_uint8 b 1 0;
+    (* VPI *)
+    Bytes.set_uint16_be b 2 (cell.Cell.vci land 0xffff);
+    let pos = ref 4 in
+    Buf.iter_spans payload (fun src ~pos:sp ~len ->
+        Bytes.blit src sp b !pos len;
+        pos := !pos + len);
+    Pcapng.capture ~iface:ifc (Bytes.unsafe_to_string b)
+  end
+
 let send t ~host cell =
   check_host t host;
+  if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Injected;
+  capture_cell ~host cell;
   Link.send t.uplinks.(host) cell
 
 let uplink t ~host =

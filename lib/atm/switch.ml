@@ -82,6 +82,7 @@ let drop t ~out_port ~vci =
 
 let input t ~port cell =
   check_port t port;
+  if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Switch_in;
   match Hashtbl.find_opt t.routes (port, cell.Cell.vci) with
   | None ->
       t.unroutable <- t.unroutable + 1;
@@ -100,7 +101,12 @@ let input t ~port cell =
                     segments fragile over ATM (§7.8). *)
                  if Link.queue_length link >= t.output_queue_capacity then
                    drop t ~out_port ~vci:out_vci
-                 else if Link.send link (Cell.with_vci cell out_vci) then begin
+                 else if begin
+                   if cell.Cell.eop then
+                     Span.mark cell.Cell.ctx Span.Switch_out;
+                   Link.send link (Cell.with_vci cell out_vci)
+                 end
+                 then begin
                    t.routed <- t.routed + 1;
                    Metrics.Counter.inc t.m_routed;
                    Metrics.Gauge.set_max t.port_queue_hw.(out_port)

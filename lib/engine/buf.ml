@@ -164,3 +164,8 @@ let copies_total () =
   Hashtbl.fold
     (fun _ (c, _) acc -> acc + Metrics.Counter.value c)
     layer_counters 0
+
+let copy_bytes_total () =
+  Hashtbl.fold
+    (fun _ (_, m) acc -> acc + Metrics.Counter.value m)
+    layer_counters 0

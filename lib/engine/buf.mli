@@ -90,3 +90,6 @@ val blit_bytes :
 
 val copies_total : unit -> int
 (** Sum of [buf_copies_total] across all layers (for tests and checks). *)
+
+val copy_bytes_total : unit -> int
+(** Sum of [buf_copy_bytes_total] across all layers. *)

@@ -77,9 +77,11 @@ type t = {
 
 let create () =
   let t = { clock = 0; heap = Heap.create (); next_seq = 0; live = 0 } in
-  (* the newest simulator stamps trace events (exactly one is live at a
-     time in every runner; see Trace) *)
+  (* the newest simulator stamps trace events, spans and captures
+     (exactly one is live at a time in every runner; see Trace) *)
   Trace.attach_clock (fun () -> t.clock);
+  Span.attach_clock (fun () -> t.clock);
+  Pcapng.attach_clock (fun () -> t.clock);
   t
 let now t = t.clock
 let pending t = t.live

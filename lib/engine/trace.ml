@@ -28,6 +28,9 @@ type phase =
   | Span_end
   | Instant
   | Complete of int (* duration in virtual ns *)
+  | Flow_start of int (* flow id *)
+  | Flow_step of int
+  | Flow_end of int
 
 type event = {
   ts : int; (* virtual ns *)
@@ -83,10 +86,31 @@ let attach_clock f =
   cur_pid := !next_pid;
   clock := f
 
+(* Ring overwrites are silent data loss; surface them in Metrics so a
+   too-small ring is visible in every dump. Registered lazily: a run
+   that never overflows keeps its dumps unchanged. *)
+let dropped_counter = ref None
+
+let note_drop () =
+  let c =
+    match !dropped_counter with
+    | Some c -> c
+    | None ->
+        let c =
+          Metrics.counter
+            ~help:"Trace events lost to ring-buffer overwrite"
+            "trace_events_dropped_total" []
+        in
+        dropped_counter := Some c;
+        c
+  in
+  Metrics.Counter.inc c
+
 let record e =
   List.iter (fun s -> s e) !sinks;
   let cap = Array.length !buf in
   if cap > 0 then begin
+    if !total >= cap then note_drop ();
     !buf.(!head) <- e;
     head := (!head + 1) mod cap;
     incr total
@@ -100,6 +124,14 @@ let instant ?tid ?args cat name = emit ?tid ?args cat Instant name
 let span_begin ?tid ?args cat name = emit ?tid ?args cat Span_begin name
 let span_end ?tid ?args cat name = emit ?tid ?args cat Span_end name
 let complete ?tid ?args ~dur cat name = emit ?tid ?args cat (Complete dur) name
+
+(* Flow events: arrows between slices in Perfetto. All points of one
+   flow share the same id (and should share a name). *)
+let flow_start ?tid ?args ~id cat name =
+  emit ?tid ?args cat (Flow_start id) name
+
+let flow_step ?tid ?args ~id cat name = emit ?tid ?args cat (Flow_step id) name
+let flow_end ?tid ?args ~id cat name = emit ?tid ?args cat (Flow_end id) name
 let total_events () = !total
 
 let dropped_events () =
@@ -158,7 +190,10 @@ let add_event b e =
   | Span_begin -> Buffer.add_char b 'B'
   | Span_end -> Buffer.add_char b 'E'
   | Instant -> Buffer.add_char b 'i'
-  | Complete _ -> Buffer.add_char b 'X');
+  | Complete _ -> Buffer.add_char b 'X'
+  | Flow_start _ -> Buffer.add_char b 's'
+  | Flow_step _ -> Buffer.add_char b 't'
+  | Flow_end _ -> Buffer.add_char b 'f');
   Buffer.add_string b "\",\"ts\":";
   Buffer.add_string b (us e.ts);
   (match e.ph with
@@ -166,6 +201,10 @@ let add_event b e =
       Buffer.add_string b ",\"dur\":";
       Buffer.add_string b (us dur)
   | Instant -> Buffer.add_string b ",\"s\":\"t\""
+  | Flow_start id | Flow_step id ->
+      Buffer.add_string b (Printf.sprintf ",\"id\":%d" id)
+  | Flow_end id ->
+      Buffer.add_string b (Printf.sprintf ",\"id\":%d,\"bp\":\"e\"" id)
   | Span_begin | Span_end -> ());
   Buffer.add_string b ",\"pid\":";
   Buffer.add_string b (string_of_int e.pid);

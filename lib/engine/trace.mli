@@ -26,6 +26,9 @@ type phase =
   | Span_end
   | Instant
   | Complete of int  (** a whole span with its duration in virtual ns *)
+  | Flow_start of int  (** flow arrow start; payload is the flow id *)
+  | Flow_step of int
+  | Flow_end of int
 
 type event = {
   ts : int;  (** virtual ns *)
@@ -67,6 +70,18 @@ val complete :
   ?tid:int -> ?args:(string * arg) list -> dur:int -> category -> string -> unit
 (** A span of [dur] virtual ns starting now, as one event. *)
 
+val flow_start :
+  ?tid:int -> ?args:(string * arg) list -> id:int -> category -> string -> unit
+(** Flow events draw arrows between slices in Perfetto; all points of a
+    flow share [id] (and should share a name). Used by {!Span} to link
+    the send and receive sides of one message. *)
+
+val flow_step :
+  ?tid:int -> ?args:(string * arg) list -> id:int -> category -> string -> unit
+
+val flow_end :
+  ?tid:int -> ?args:(string * arg) list -> id:int -> category -> string -> unit
+
 val events : unit -> event list
 (** The retained events, oldest first. *)
 
@@ -74,7 +89,9 @@ val total_events : unit -> int
 (** Events emitted since {!start}, including overwritten ones. *)
 
 val dropped_events : unit -> int
-(** Events lost to ring overwrite. *)
+(** Events lost to ring overwrite. Also exposed as the
+    [trace_events_dropped_total] counter in {!Metrics} (registered on
+    first drop), so silent loss shows up in metric dumps. *)
 
 val to_chrome_json : unit -> string
 (** The retained events as a Chrome [trace_event] JSON array: objects with

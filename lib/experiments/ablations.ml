@@ -166,8 +166,8 @@ module Window = struct
     let a1 = Uam.create ~config (Cluster.node c 1).unet ~rank:1 ~nodes:2 in
     Uam.connect a0 a1;
     let x0 = Uam.Xfer.attach a0 and x1 = Uam.Xfer.attach a1 in
-    Uam.Xfer.register_region x1 ~id:1 (Bytes.create (max size 8192));
-    let block = Bytes.create size in
+    Uam.Xfer.register_region x1 ~id:1 (Bytes.make (max size 8192) '\000');
+    let block = Bytes.make size '\000' in
     let t_done = ref 0 in
     ignore
       (Proc.spawn c.sim (fun () -> Uam.poll_until a1 (fun () -> false)));
@@ -250,7 +250,7 @@ module Tcp_tuning = struct
     ignore
       (Proc.spawn c.sim (fun () ->
            let conn = Ipstack.Tcp.connect sa ~dst:1 ~dst_port:80 () in
-           let chunk = Bytes.create 8192 in
+           let chunk = Bytes.make 8192 '\000' in
            let sent = ref 0 in
            while !sent < total do
              Ipstack.Tcp.send conn chunk;
@@ -277,7 +277,7 @@ module Tcp_tuning = struct
            let conn = Ipstack.Tcp.connect sa ~dst:1 ~dst_port:80 () in
            Proc.sleep c.sim ~time:(Sim.ms 2);
            let t0 = Sim.now c.sim in
-           Ipstack.Tcp.send conn (Bytes.create 64);
+           Ipstack.Tcp.send conn (Bytes.make 64 '\000');
            while Ipstack.Tcp.unacked conn > 0 do
              Proc.sleep c.sim ~time:(Sim.us 50)
            done;
@@ -309,7 +309,7 @@ module Tcp_tuning = struct
            let conn = Ipstack.Tcp.connect sa ~dst:1 ~dst_port:80 () in
            for _ = 1 to iters do
              let t0 = Sim.now c.sim in
-             Ipstack.Tcp.send conn (Bytes.create 64);
+             Ipstack.Tcp.send conn (Bytes.make 64 '\000');
              ignore (Ipstack.Tcp.recv_exact conn ~len:64);
              sum := !sum +. Sim.to_us (Sim.now c.sim - t0);
              incr n

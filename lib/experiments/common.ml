@@ -139,9 +139,9 @@ let uam_xfer_rtt ?(iters = 20) ~size () =
   let c, a0, a1 = uam_pair () in
   let x0 = Uam.Xfer.attach a0 and x1 = Uam.Xfer.attach a1 in
   let region = 1 in
-  Uam.Xfer.register_region x0 ~id:region (Bytes.create (max 1 size));
-  Uam.Xfer.register_region x1 ~id:region (Bytes.create (max 1 size));
-  let block = Bytes.create size in
+  Uam.Xfer.register_region x0 ~id:region (Bytes.make (max 1 size) '\000');
+  Uam.Xfer.register_region x1 ~id:region (Bytes.make (max 1 size) '\000');
+  let block = Bytes.make size '\000' in
   (* server echoes: poll for "ping" notifications *)
   let h_ping = 3 and h_pong = 4 in
   let pongs = ref 0 in
@@ -170,8 +170,8 @@ let uam_xfer_rtt ?(iters = 20) ~size () =
 let uam_store_bandwidth ?(count = 400) ~size () =
   let c, a0, a1 = uam_pair () in
   let x0 = Uam.Xfer.attach a0 and x1 = Uam.Xfer.attach a1 in
-  Uam.Xfer.register_region x1 ~id:1 (Bytes.create (max size 8192));
-  let block = Bytes.create size in
+  Uam.Xfer.register_region x1 ~id:1 (Bytes.make (max size 8192) '\000');
+  let block = Bytes.make size '\000' in
   let t_done = ref 0 in
   ignore
     (Proc.spawn ~name:"server" c.sim (fun () ->
@@ -191,7 +191,7 @@ let uam_get_bandwidth ?(count = 400) ~size () =
   let c, a0, a1 = uam_pair () in
   let x0 = Uam.Xfer.attach a0 and x1 = Uam.Xfer.attach a1 in
   ignore x0;
-  Uam.Xfer.register_region x1 ~id:1 (Bytes.create (max size 8192));
+  Uam.Xfer.register_region x1 ~id:1 (Bytes.make (max size 8192) '\000');
   let t_done = ref 0 in
   ignore
     (Proc.spawn ~name:"server" c.sim (fun () ->
@@ -264,7 +264,7 @@ let udp_rtt ?(iters = 30) ~path ~size () =
   let sum = ref 0. and n = ref 0 in
   ignore
     (Proc.spawn ~name:"udp-client" sim (fun () ->
-         let payload = Bytes.create size in
+         let payload = Bytes.make size '\000' in
          for _ = 1 to iters do
            let t0 = Sim.now sim in
            Udp.sendto sock_a ~dst:1 ~dst_port:2000 payload;
@@ -296,7 +296,7 @@ let tcp_rtt ?(iters = 30) ~path ~size () =
   ignore
     (Proc.spawn ~name:"tcp-client" sim (fun () ->
          let conn = Tcp.connect sa.Suite.tcp ~dst:1 ~dst_port:80 () in
-         let payload = Bytes.create size in
+         let payload = Bytes.make size '\000' in
          for _ = 1 to iters do
            let t0 = Sim.now sim in
            Tcp.send conn payload;
@@ -327,7 +327,7 @@ let udp_blast ?(count = 400) ~path ~size () =
          loop ()));
   ignore
     (Proc.spawn ~name:"udp-blaster" sim (fun () ->
-         let payload = Bytes.create size in
+         let payload = Bytes.make size '\000' in
          for _ = 1 to count do
            Udp.sendto sock_a ~dst:1 ~dst_port:2000 payload
          done;
@@ -366,7 +366,7 @@ let tcp_stream ?window ?(total = 4 * 1024 * 1024) ?app_rate_mb ~path () =
     (Proc.spawn ~name:"tcp-source" sim (fun () ->
          let conn = Tcp.connect sa.Suite.tcp ~dst:1 ~dst_port:80 () in
          let chunk_size = 8192 in
-         let chunk = Bytes.create chunk_size in
+         let chunk = Bytes.make chunk_size '\000' in
          let interval =
            match app_rate_mb with
            | None -> 0

@@ -70,7 +70,7 @@ let run_contest ~mss ~total ~switch_cells =
     ignore
       (Proc.spawn c.sim (fun () ->
            let conn = Tcp.connect sender ~dst:2 ~dst_port:port () in
-           let chunk = Bytes.create 8192 in
+           let chunk = Bytes.make 8192 '\000' in
            let sent = ref 0 in
            while !sent < total do
              Tcp.send conn chunk;

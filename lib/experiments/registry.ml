@@ -1,21 +1,30 @@
+type outcome = {
+  o_print : unit -> unit;
+  o_checks : (string * bool) list;
+  o_series : (string * (float * float) list) list;
+}
+
 type experiment = {
   name : string;
   description : string;
-  print : quick:bool -> unit;
-  checks : quick:bool -> (string * bool) list;
-  series : quick:bool -> (string * (float * float) list) list;
+  run : quick:bool -> outcome;
 }
 
+(* Adapter from the per-figure module shape (run/print/checks over a result
+   record) to the single-run outcome: the experiment executes once and the
+   outcome carries everything derived from that one execution. *)
 let exp ?series name description run print checks =
   {
     name;
     description;
-    print = (fun ~quick -> print (run ~quick));
-    checks = (fun ~quick -> checks (run ~quick));
-    series =
-      (match series with
-      | None -> fun ~quick:_ -> []
-      | Some f -> fun ~quick -> f (run ~quick));
+    run =
+      (fun ~quick ->
+        let t = run ~quick in
+        {
+          o_print = (fun () -> print t);
+          o_checks = checks t;
+          o_series = (match series with None -> [] | Some f -> f t);
+        });
   }
 
 let curves (l : Engine.Stats.Series.t list) =
@@ -57,6 +66,9 @@ let all =
     exp "fig9" "U-Net UDP and TCP round-trip latency vs message size"
       Fig9.run Fig9.print Fig9.checks
       ~series:(fun (t : Fig9.t) -> curves [ t.raw; t.udp; t.tcp ]);
+    exp "breakdown"
+      "measured Table 2: per-phase span attribution of the UAM round trip"
+      Breakdown.run Breakdown.print Breakdown.checks;
     exp "resources" "what bounds the number of network-active processes (§4.2.4)"
       Resources.run Resources.print Resources.checks;
     exp "scaling" "cluster-size sweep: bulk sort + all-to-all (extension)"

@@ -2,14 +2,24 @@
     evaluation, runnable by name from the CLI, the bench harness and the
     test suite. *)
 
+(** Everything one execution of an experiment yields. [run] executes the
+    experiment exactly once; printing, check evaluation and curve extraction
+    all read the same result, so the CLI can print a table, verify the
+    paper's claims and snapshot the curves without re-running the
+    simulation (which would also re-run its side effects on the span,
+    trace and pcap stores). *)
+type outcome = {
+  o_print : unit -> unit;  (** print the table/series to stdout *)
+  o_checks : (string * bool) list;
+      (** the paper's qualitative claims, evaluated *)
+  o_series : (string * (float * float) list) list;
+      (** the figure's curves as (label, points) — empty for tables *)
+}
+
 type experiment = {
   name : string;
   description : string;
-  print : quick:bool -> unit;  (** run and print the table/series *)
-  checks : quick:bool -> (string * bool) list;
-      (** run and evaluate the paper's qualitative claims *)
-  series : quick:bool -> (string * (float * float) list) list;
-      (** the figure's curves as (label, points) — empty for tables *)
+  run : quick:bool -> outcome;
 }
 
 val all : experiment list

@@ -55,7 +55,7 @@ let run_path ~path ~requests =
            let src, sport, req = Udp.recvfrom server in
            (* response size rides in the first 4 bytes of the request *)
            let rsize = Int32.to_int (Bytes.get_int32_be req 0) in
-           Udp.sendto server ~dst:src ~dst_port:sport (Bytes.create rsize);
+           Udp.sendto server ~dst:src ~dst_port:sport (Bytes.make rsize '\000');
            loop ()
          in
          loop ()));
@@ -65,7 +65,7 @@ let run_path ~path ~requests =
     (Proc.spawn ~name:"client" sim (fun () ->
          List.iter
            (fun (req_size, resp_size) ->
-             let req = Bytes.create (max 4 req_size) in
+             let req = Bytes.make (max 4 req_size) '\000' in
              Bytes.set_int32_be req 0 (Int32.of_int resp_size);
              let t0 = Sim.now sim in
              Udp.sendto client ~dst:1 ~dst_port:2049 req;

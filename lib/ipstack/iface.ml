@@ -1,6 +1,6 @@
 open Engine
 
-type job = Tx of int * Buf.t | Deliver of Buf.t
+type job = Tx of int * Span.ctx option * Buf.t | Deliver of Buf.t
 
 type t = {
   sim : Sim.t;
@@ -10,7 +10,8 @@ type t = {
   tx_queue_limit : int;
   mutable rx_handler : Buf.t -> unit;
   mutable rx_cost : Buf.t -> int;
-  mutable transmit : Buf.t -> unit; (* set once the pair is wired *)
+  mutable transmit : Span.ctx option -> Buf.t -> unit;
+      (* set once the pair is wired *)
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
@@ -25,7 +26,7 @@ let tx_drops t = t.dropped
 let queue_length t = Sync.Mailbox.length t.mbox
 let queue_limit t = t.tx_queue_limit
 
-let send t ~cost_ns pkt =
+let send t ?ctx ~cost_ns pkt =
   if Buf.length pkt > t.mtu then
     Fmt.invalid_arg "Iface.send: packet of %d bytes exceeds MTU %d"
       (Buf.length pkt) t.mtu;
@@ -33,7 +34,7 @@ let send t ~cost_ns pkt =
      packets under overload, without telling the sending application *)
   if Sync.Mailbox.length t.mbox >= t.tx_queue_limit then
     t.dropped <- t.dropped + 1
-  else Sync.Mailbox.send t.mbox (Tx (cost_ns, pkt))
+  else Sync.Mailbox.send t.mbox (Tx (cost_ns, ctx, pkt))
 
 let set_rx t ~rx_cost_ns handler =
   t.rx_cost <- rx_cost_ns;
@@ -48,10 +49,10 @@ let start_stack t =
     (Proc.spawn ~name:"ipstack" t.sim (fun () ->
          let rec loop () =
            (match Sync.Mailbox.recv t.mbox with
-           | Tx (cost, pkt) ->
+           | Tx (cost, ctx, pkt) ->
                Host.Cpu.charge ~layer:"ipstack" t.cpu cost;
                t.sent <- t.sent + 1;
-               t.transmit pkt
+               t.transmit ctx pkt
            | Deliver pkt ->
                Host.Cpu.charge ~layer:"ipstack" t.cpu (t.rx_cost pkt);
                t.delivered <- t.delivered + 1;
@@ -70,7 +71,7 @@ let make ~sim ~cpu ~mtu ~tx_queue =
       tx_queue_limit = tx_queue;
       rx_handler = (fun _ -> ());
       rx_cost = (fun _ -> 0);
-      transmit = (fun _ -> failwith "Iface: not wired");
+      transmit = (fun _ _ -> failwith "Iface: not wired");
       sent = 0;
       delivered = 0;
       dropped = 0;
@@ -125,7 +126,8 @@ let unet_side u ~mtu =
   done;
   (ep, alloc)
 
-let unet_transmit u (ep : Unet.Endpoint.t) alloc ~chan in_flight ~encap raw_pkt =
+let unet_transmit u (ep : Unet.Endpoint.t) alloc ~chan in_flight ~encap ?ctx
+    raw_pkt =
   let pkt = if encap then encapsulate raw_pkt else raw_pkt in
   (* reclaim transmit buffers whose descriptors the NI has consumed *)
   let rec reap () =
@@ -154,7 +156,9 @@ let unet_transmit u (ep : Unet.Endpoint.t) alloc ~chan in_flight ~encap raw_pkt 
     (* stage the packet into the communication segment: the one mandatory
        send-side copy of IP-over-U-Net *)
     Unet.Segment.write_buf ~layer:"ip_tx" ep.segment ~off pkt;
-    let desc = Unet.Desc.tx ~chan (Unet.Desc.Buffers [ (off, Buf.length pkt) ]) in
+    let desc =
+      Unet.Desc.tx ?ctx ~chan (Unet.Desc.Buffers [ (off, Buf.length pkt) ])
+    in
     match Unet.send u ep desc with
     | Ok () -> Queue.add (desc, (off, _blen)) in_flight
     | Error Unet.Queue_full ->
@@ -211,9 +215,9 @@ let unet_pair ?(mtu = 9_000) ?(tx_queue = 64) ?(encapsulation = false) ua ub =
   let ch_a, ch_b = Unet.connect_pair (ua, ep_a) (ub, ep_b) in
   let fl_a = Queue.create () and fl_b = Queue.create () in
   ta.transmit <-
-    (fun pkt -> unet_transmit ua ep_a alloc_a ~chan:ch_a fl_a ~encap pkt);
+    (fun ctx pkt -> unet_transmit ua ep_a alloc_a ~chan:ch_a fl_a ~encap ?ctx pkt);
   tb.transmit <-
-    (fun pkt -> unet_transmit ub ep_b alloc_b ~chan:ch_b fl_b ~encap pkt);
+    (fun ctx pkt -> unet_transmit ub ep_b alloc_b ~chan:ch_b fl_b ~encap ?ctx pkt);
   start_unet_poller ta ua ep_a alloc_a ~encap;
   start_unet_poller tb ub ep_b alloc_b ~encap;
   (ta, tb)
@@ -233,7 +237,25 @@ type frame_link = {
 
 let frame_header = 8
 
+(* pcap tap for the framed (Ethernet-baseline) link: each frame is
+   captured with a synthetic 14-byte Ethernet header (zero MACs, a
+   local-experimental ethertype) so Wireshark renders the capture. Bytes
+   are materialized with the uncounted span iterator — captures must not
+   perturb the copy accounting. *)
+let capture_frame frame =
+  if Pcapng.enabled () then begin
+    let ifc = Pcapng.iface ~name:"eth0" ~linktype:Pcapng.linktype_ethernet in
+    let b = Bytes.make (14 + Buf.length frame) '\000' in
+    Bytes.set_uint16_be b 12 0x88B5;
+    let pos = ref 14 in
+    Buf.iter_spans frame (fun src ~pos:sp ~len ->
+        Bytes.blit src sp b !pos len;
+        pos := !pos + len);
+    Pcapng.capture ~iface:ifc (Bytes.unsafe_to_string b)
+  end
+
 let link_transmit fl frame =
+  capture_frame frame;
   let now = Sim.now fl.fl_sim in
   let start = max now fl.fl_busy_until in
   let ser =
@@ -263,7 +285,7 @@ let framed_pair ~sim ~cpu_a ~cpu_b ~bandwidth_mbps ~wire_mtu ~per_frame_ns
   let l_ab = mk_link () and l_ba = mk_link () in
   let ta = make ~sim ~cpu:cpu_a ~mtu:ip_mtu ~tx_queue in
   let tb = make ~sim ~cpu:cpu_b ~mtu:ip_mtu ~tx_queue in
-  let mk_transmit cpu link pkt =
+  let mk_transmit cpu link _ctx pkt =
     (* fragment into wire-MTU frames, charging the driver per frame; each
        frame is a header plus a zero-copy slice of the packet (transports
        hand the interface packets they no longer mutate) *)

@@ -20,11 +20,12 @@ val sim : t -> Engine.Sim.t
 val cpu : t -> Host.Cpu.t
 val mtu : t -> int
 
-val send : t -> cost_ns:int -> Engine.Buf.t -> unit
+val send : t -> ?ctx:Engine.Span.ctx -> cost_ns:int -> Engine.Buf.t -> unit
 (** Queue a packet for transmission; [cost_ns] is the sender-side protocol
     processing to charge (computed by the caller: UDP/TCP/IP costs). Never
     blocks the caller; safe to call from timers and handlers. The packet's
-    underlying storage must not be mutated after the call. *)
+    underlying storage must not be mutated after the call. [ctx] rides the
+    packet down to the U-Net descriptor (ignored by the framed link). *)
 
 val set_rx : t -> rx_cost_ns:(Engine.Buf.t -> int) -> (Engine.Buf.t -> unit) -> unit
 (** Install the packet-delivery upcall. [rx_cost_ns] prices the

@@ -61,7 +61,7 @@ let cpu t = Iface.cpu t.iface
 let mtu t = Iface.mtu t.iface - header_size
 let bad_packets t = t.bad
 
-let send t proto ~dst ~cost_ns payload =
+let send t proto ?ctx ~dst ~cost_ns payload =
   let len = Buf.length payload in
   if len > mtu t then
     Fmt.invalid_arg
@@ -81,7 +81,7 @@ let send t proto ~dst ~cost_ns payload =
   let csum = Checksum.compute hdr ~pos:0 ~len:header_size in
   Bytes.set_uint16_be hdr 10 csum;
   (* header prepend is slice concatenation; the payload is never copied *)
-  Iface.send t.iface ~cost_ns:(cost_ns + ip_overhead_ns)
+  Iface.send t.iface ?ctx ~cost_ns:(cost_ns + ip_overhead_ns)
     (Buf.append (Buf.of_bytes hdr) payload)
 
 let register t proto ~rx_cost_ns fn =

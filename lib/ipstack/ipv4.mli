@@ -17,7 +17,14 @@ val cpu : t -> Host.Cpu.t
 val mtu : t -> int
 (** Maximum transport payload per packet (iface MTU minus the IP header). *)
 
-val send : t -> proto -> dst:int -> cost_ns:int -> Engine.Buf.t -> unit
+val send :
+  t ->
+  proto ->
+  ?ctx:Engine.Span.ctx ->
+  dst:int ->
+  cost_ns:int ->
+  Engine.Buf.t ->
+  unit
 (** Wrap the transport payload in an IP header (a zero-copy slice prepend)
     and hand it to the interface; [cost_ns] is the transport's send-side
     processing cost (the send half of IP is collapsed into the transport,

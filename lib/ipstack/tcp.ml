@@ -216,6 +216,9 @@ type t = {
   mutable n_timeouts : int;
   mutable n_bytes_sent : int;
   mutable n_bytes_rcvd : int;
+  (* seq -> span of the first emission, for retransmit parentage; pruned
+     below snd_una as acks arrive *)
+  seg_ctx : (int, Span.ctx) Hashtbl.t;
 }
 
 and listener = {
@@ -247,6 +250,20 @@ let unacked t = Bytebuf.tail t.sndbuf - t.snd_una
 
 (* --- segment emission --------------------------------------------- *)
 
+(* Span parentage for data segments: first emission of a sequence number
+   mints a root; any re-emission (RTO go-back-N, fast retransmit, window
+   probe) is a child of the original, so retries stay in the same trace. *)
+let seg_span t ~seq ~len =
+  if (not (Span.enabled ())) || len = 0 then None
+  else
+    let host = Ipv4.addr t.stack.s_ip in
+    match Hashtbl.find_opt t.seg_ctx seq with
+    | Some orig -> Some (Span.child ~host "tcp_retx" orig)
+    | None ->
+        let ctx = Span.root ~host "tcp_seg" in
+        Hashtbl.replace t.seg_ctx seq ctx;
+        Some ctx
+
 let emit t ~flags ~seq ~payload =
   let len = Bytes.length payload in
   let hdr = Bytes.create header_size in
@@ -271,8 +288,9 @@ let emit t ~flags ~seq ~payload =
       Sim.cancel h;
       t.delack_timer <- None
   | None -> ());
-  Ipv4.send t.stack.s_ip Ipv4.Tcp ~dst:t.raddr ~cost_ns:(t.cfg.send_cost len)
-    pdu
+  let ctx = seg_span t ~seq ~len in
+  Ipv4.send t.stack.s_ip Ipv4.Tcp ?ctx ~dst:t.raddr
+    ~cost_ns:(t.cfg.send_cost len) pdu
 
 let round_to_granularity t delay =
   let g = t.cfg.granularity in
@@ -456,6 +474,10 @@ let process_ack t ack =
       Bytebuf.advance t.sndbuf (data_ack - Bytebuf.base t.sndbuf);
     t.snd_una <- ack;
     if t.snd_nxt < t.snd_una then t.snd_nxt <- t.snd_una;
+    if Hashtbl.length t.seg_ctx > 0 then
+      Hashtbl.filter_map_inplace
+        (fun seq ctx -> if seq < t.snd_una then None else Some ctx)
+        t.seg_ctx;
     t.dup_acks <- 0;
     (match t.timing with
     | Some (seq, sent_at) when ack >= seq ->
@@ -606,6 +628,7 @@ let mk_conn stack ~lport ~raddr ~rport ~st =
     n_timeouts = 0;
     n_bytes_sent = 0;
     n_bytes_rcvd = 0;
+    seg_ctx = Hashtbl.create 8;
   }
 
 let conn_key t = (t.lport, t.raddr, t.rport)

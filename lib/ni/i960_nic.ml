@@ -96,11 +96,14 @@ and process_desc t (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
          memory: a single counted copy however many cells follow, and the
          snapshot keeps in-flight cells valid after the sender reuses its
          buffers (desc.injected) *)
+      Span.mark desc.ctx Span.Nic_tx;
       let data =
         Buf.copy ~layer:(t.cfg.copy_layer ^ "_tx_dma") (gather ep desc)
       in
       Metrics.Counter.add t.m_dma_bytes (Buf.length data);
-      let cells = Atm.Aal5.segment ~vci:chan.Unet.Channel.tx_vci data in
+      let cells =
+        Atm.Aal5.segment ?ctx:desc.ctx ~vci:chan.Unet.Channel.tx_vci data
+      in
       if Trace.enabled () then
         Trace.instant Trace.Desc "ni.tx" ~tid:t.host
           ~args:
@@ -149,7 +152,7 @@ let notify_tx t ep =
     pump_next t
   end
 
-let deliver t vci payload =
+let deliver t ?ctx vci payload =
   Metrics.Counter.inc t.m_demux;
   if Trace.enabled () then
     Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
@@ -158,13 +161,13 @@ let deliver t vci payload =
           ("vci", Trace.Int vci); ("len", Trace.Int (Buf.length payload));
         ];
   match Unet.Mux.lookup t.mux ~rx_vci:vci with
-  | None -> ignore (Unet.Mux.deliver t.mux ~rx_vci:vci payload)
+  | None -> ignore (Unet.Mux.deliver t.mux ~rx_vci:vci ?ctx payload)
   | Some (ep, _) ->
       let dest_offset, data =
         if ep.Unet.Endpoint.direct_access then parse_direct_prefix payload
         else (None, payload)
       in
-      (match Unet.Mux.deliver t.mux ~rx_vci:vci ?dest_offset data with
+      (match Unet.Mux.deliver t.mux ~rx_vci:vci ?ctx ?dest_offset data with
       | Some _ ->
           t.received <- t.received + 1;
           Metrics.Counter.inc t.m_received
@@ -174,6 +177,7 @@ let fits_single_cell payload =
   Buf.length payload <= Atm.Cell.payload_size - Atm.Aal5.trailer_size
 
 let on_cell t (cell : Atm.Cell.t) =
+  if cell.eop then Span.mark cell.ctx Span.Rx_cell;
   Sync.Server.submit t.server ~cost:t.cfg.rx_cell_ns (fun () ->
       let r =
         match Hashtbl.find_opt t.reasm cell.vci with
@@ -189,13 +193,14 @@ let on_cell t (cell : Atm.Cell.t) =
           t.errors <- t.errors + 1;
           Metrics.Counter.inc t.m_errors
       | Some (Ok payload) ->
+          let ctx = Atm.Aal5.Reassembler.last_ctx r in
           let cost =
             if t.cfg.single_cell_optimization && fits_single_cell payload then
               t.cfg.rx_single_ns
             else t.cfg.rx_multi_fixed_ns
           in
           Sync.Server.submit t.server ~cost (fun () ->
-              deliver t cell.vci payload))
+              deliver t ?ctx cell.vci payload))
 
 let create net ~host cfg =
   let sim = Atm.Network.sim net in

@@ -53,7 +53,7 @@ type t = {
   m_demux : Metrics.Counter.t;
 }
 
-let deliver t vci payload =
+let deliver t ?ctx vci payload =
   Metrics.Counter.inc t.m_demux;
   if Trace.enabled () then
     Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
@@ -61,13 +61,14 @@ let deliver t vci payload =
         [
           ("vci", Trace.Int vci); ("len", Trace.Int (Buf.length payload));
         ];
-  match Unet.Mux.deliver t.mux ~rx_vci:vci payload with
+  match Unet.Mux.deliver t.mux ~rx_vci:vci ?ctx payload with
   | Some _ ->
       t.received <- t.received + 1;
       Metrics.Counter.inc t.m_received
   | None -> ()
 
 let on_cell t (cell : Atm.Cell.t) =
+  if cell.Atm.Cell.eop then Span.mark cell.Atm.Cell.ctx Span.Rx_cell;
   (* The receive trap plus software AAL5/CRC processing, serialized through
      the kernel (which is also what emulated-endpoint operations queue
      behind). *)
@@ -91,8 +92,9 @@ let on_cell t (cell : Atm.Cell.t) =
           t.errors <- t.errors + 1;
           Metrics.Counter.inc t.m_errors
       | Some (Ok payload) ->
+          let ctx = Atm.Aal5.Reassembler.last_ctx r in
           Sync.Server.submit t.kernel ~cost:t.cfg.rx_fixed_ns (fun () ->
-              deliver t cell.vci payload))
+              deliver t ?ctx cell.vci payload))
 
 (* Sending happens synchronously in the sender's fast trap: the process
    pays the whole software SAR + CRC + PIO cost itself. *)
@@ -112,7 +114,10 @@ let do_send t (ep : Unet.Endpoint.t) =
                      (fun (off, len) -> Unet.Segment.view ep.segment ~off ~len)
                      ranges)
           in
-          let cells = Atm.Aal5.segment ~vci:chan.Unet.Channel.tx_vci data in
+          Span.mark desc.ctx Span.Nic_tx;
+          let cells =
+            Atm.Aal5.segment ?ctx:desc.ctx ~vci:chan.Unet.Channel.tx_vci data
+          in
           if Trace.enabled () then
             Trace.instant Trace.Desc "ni.tx" ~tid:t.host
               ~args:

@@ -65,6 +65,7 @@ type unacked = {
          ranges of the transmit buffer the message was staged into (held
          until acknowledged, so it doubles as the retransmission copy) *)
   u_buffer : (int * int) option; (* tx buffer held until acknowledged *)
+  u_ctx : Span.ctx option; (* original span: retries become its children *)
 }
 
 type peer = {
@@ -93,7 +94,12 @@ type t = {
   mutable dups : int;
 }
 
-and token = { tk_uam : t; tk_src : int; mutable tk_replied : bool }
+and token = {
+  tk_uam : t;
+  tk_src : int;
+  mutable tk_replied : bool;
+  tk_ctx : Span.ctx option; (* request's span: the reply joins its trace *)
+}
 
 and handler =
   t -> src:int -> token option -> args:int array -> payload:Buf.t -> unit
@@ -234,12 +240,15 @@ let decode b =
    held until acknowledgment (it doubles as the retransmission copy).
    Returns what a retransmission should re-send plus the buffer to release
    on acknowledgment. *)
-let unet_transmit t (p : peer) (b : Buf.t) =
+let unet_transmit ?ctx t (p : peer) (b : Buf.t) =
   if Buf.length b <= Unet.Desc.inline_max then begin
     (* snapshot: the descriptor (and the go-back-N window) must own the
        bytes once the caller's payload buffer is reused *)
     let b = Buf.copy ~layer:"uam_tx" b in
-    (match Unet.send t.u t.ep (Unet.Desc.tx ~chan:p.p_chan (Unet.Desc.Inline b)) with
+    (match
+       Unet.send t.u t.ep
+         (Unet.Desc.tx ?ctx ~chan:p.p_chan (Unet.Desc.Inline b))
+     with
     | Ok () -> ()
     | Error e -> Fmt.failwith "Uam: send failed: %a" Unet.pp_error e);
     (Unet.Desc.Inline b, None)
@@ -251,7 +260,7 @@ let unet_transmit t (p : peer) (b : Buf.t) =
         assert (Buf.length b <= blen);
         Unet.Segment.write_buf ~layer:"uam_tx" t.ep.segment ~off b;
         let ranges = Unet.Desc.Buffers [ (off, Buf.length b) ] in
-        (match Unet.send t.u t.ep (Unet.Desc.tx ~chan:p.p_chan ranges) with
+        (match Unet.send t.u t.ep (Unet.Desc.tx ?ctx ~chan:p.p_chan ranges) with
         | Ok () -> ()
         | Error e -> Fmt.failwith "Uam: send failed: %a" Unet.pp_error e);
         (ranges, Some (off, blen))
@@ -274,9 +283,18 @@ let retransmit_unacked t (p : peer) =
         t.retx <- t.retx + 1;
         Metrics.Counter.inc m_retx;
         Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
+        (* each retry is a child span of the original message, so a
+           retransmitted message stays one connected trace *)
+        let ctx =
+          match u.u_ctx with
+          | Some orig when Span.enabled () ->
+              Some (Span.child ~host:t.rank "uam_retx" orig)
+          | _ -> None
+        in
         (* re-send the retained message: the inline snapshot, or the still-
            held transmit buffer — no fresh copy either way *)
-        ignore (Unet.send t.u t.ep (Unet.Desc.tx ~chan:p.p_chan u.u_resend)))
+        ignore
+          (Unet.send t.u t.ep (Unet.Desc.tx ?ctx ~chan:p.p_chan u.u_resend)))
       p.p_unacked;
     p.p_last_progress <- Sim.now (Unet.sim t.u)
   end
@@ -303,10 +321,27 @@ let send_explicit_ack t (p : peer) =
     encode ~ty:Ack ~handler:0 ~seq:0 ~ack:p.p_expected ~args:[||]
       ~payload:Buf.empty
   in
-  ignore (unet_transmit t p b);
+  let ctx =
+    if Span.enabled () then Some (Span.root ~host:t.rank "uam_ack") else None
+  in
+  ignore (unet_transmit ?ctx t p b);
   p.p_need_ack <- false
 
-let send_seq t (p : peer) ~ty ~handler ~args ~payload =
+let send_seq ?parent t (p : peer) ~ty ~handler ~args ~payload =
+  (* the span starts at the API call: everything up to the doorbell is
+     the send-side CPU phase *)
+  let ctx =
+    if Span.enabled () then begin
+      let name =
+        match ty with Req -> "uam_req" | Rep -> "uam_rep" | Ack -> "uam_ack"
+      in
+      Some
+        (match parent with
+        | Some pctx -> Span.child ~host:t.rank name pctx
+        | None -> Span.root ~host:t.rank name)
+    end
+    else None
+  in
   Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
   if Buf.length payload > 0 then
     (* the copy from the source data structure into the transmit buffer *)
@@ -318,8 +353,9 @@ let send_seq t (p : peer) ~ty ~handler ~args ~payload =
   p.p_need_ack <- false;
   if Queue.is_empty p.p_unacked then
     p.p_last_progress <- Sim.now (Unet.sim t.u);
-  let resend, buffer = unet_transmit t p b in
-  Queue.add { u_seq = seq; u_type = ty; u_resend = resend; u_buffer = buffer }
+  let resend, buffer = unet_transmit ?ctx t p b in
+  Queue.add
+    { u_seq = seq; u_type = ty; u_resend = resend; u_buffer = buffer; u_ctx = ctx }
     p.p_unacked;
   if ty = Req then begin
     p.p_unacked_reqs <- p.p_unacked_reqs + 1;
@@ -331,20 +367,24 @@ let send_seq t (p : peer) ~ty ~handler ~args ~payload =
     Metrics.Counter.inc m_reps
   end
 
-let dispatch t ~src d =
+let dispatch t ~src ?ctx d =
   Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
   if Buf.length d.d_payload > 0 then
     (* the copy from the receive buffer into the destination structure *)
     Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Buf.length d.d_payload);
   match t.handlers.(d.d_handler) with
   | None -> Fmt.failwith "Uam: no handler %d registered" d.d_handler
-  | Some h -> (
-      match d.d_type with
+  | Some h ->
+      (match d.d_type with
       | Req ->
-          let tk = { tk_uam = t; tk_src = src; tk_replied = false } in
+          let tk =
+            { tk_uam = t; tk_src = src; tk_replied = false; tk_ctx = ctx }
+          in
           h t ~src (Some tk) ~args:d.d_args ~payload:d.d_payload
       | Rep -> h t ~src None ~args:d.d_args ~payload:d.d_payload
-      | Ack -> ())
+      | Ack -> ());
+      (* the handler has returned: the message's journey ends here *)
+      Span.mark ctx Span.Dispatched
 
 (* Identify the peer a received U-Net message came from via its channel. *)
 let peer_of_chan t chan =
@@ -396,7 +436,7 @@ let process_one t (rx : Unet.Desc.rx) =
            the reply) clears the flag by carrying the ack, and only
            otherwise does the trailing explicit ACK go out *)
         p.p_need_ack <- true;
-        dispatch t ~src:p.p_rank d
+        dispatch t ~src:p.p_rank ?ctx:rx.ctx d
       end
       else if seq_lt d.d_seq p.p_expected then begin
         (* duplicate after a retransmission: drop but re-acknowledge *)
@@ -484,7 +524,7 @@ let reply t tk ~handler ?(args = [||]) ?(payload = Buf.empty) () =
     invalid_arg "Uam.reply: payload exceeds the transfer-buffer size";
   tk.tk_replied <- true;
   let p = peer t tk.tk_src in
-  send_seq t p ~ty:Rep ~handler ~args ~payload
+  send_seq ?parent:tk.tk_ctx t p ~ty:Rep ~handler ~args ~payload
 
 let barrier_ready t ~dst =
   let p = peer t dst in

@@ -18,9 +18,14 @@ type tx = {
   tx_payload : payload;
   dest_offset : int option;
   mutable injected : bool;
+  mutable ctx : Engine.Span.ctx option;
 }
 
-let tx ?dest_offset ~chan payload =
-  { chan; tx_payload = payload; dest_offset; injected = false }
+let tx ?dest_offset ?ctx ~chan payload =
+  { chan; tx_payload = payload; dest_offset; injected = false; ctx }
 
-type rx = { src_chan : int; rx_payload : payload }
+type rx = {
+  src_chan : int;
+  rx_payload : payload;
+  ctx : Engine.Span.ctx option;
+}

@@ -33,9 +33,17 @@ type tx = {
       (** direct-access U-Net (§3.6): deposit the data at this offset in the
           destination's communication segment *)
   mutable injected : bool;
+  mutable ctx : Engine.Span.ctx option;
+      (** causal span context riding this message; minted by the sending
+          API (or [Unet.send] itself) and inherited by the AAL5 cells *)
 }
 
-val tx : ?dest_offset:int -> chan:int -> payload -> tx
+val tx : ?dest_offset:int -> ?ctx:Engine.Span.ctx -> chan:int -> payload -> tx
 
-(** A receive-queue entry: originating channel plus the data location. *)
-type rx = { src_chan : int; rx_payload : payload }
+(** A receive-queue entry: originating channel plus the data location.
+    [ctx] is the sender's span context, recovered from the EOP cell. *)
+type rx = {
+  src_chan : int;
+  rx_payload : payload;
+  ctx : Engine.Span.ctx option;
+}

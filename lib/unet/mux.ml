@@ -119,8 +119,8 @@ let push_rx (ep : Endpoint.t) desc =
     false
   end
 
-let deliver_to ?(copy_layer = "mux") (ep : Endpoint.t) ~chan ?dest_offset data
-    =
+let deliver_to ?(copy_layer = "mux") ?ctx (ep : Endpoint.t) ~chan ?dest_offset
+    data =
   let len = Engine.Buf.length data in
   let outcome =
     match dest_offset with
@@ -132,9 +132,17 @@ let deliver_to ?(copy_layer = "mux") (ep : Endpoint.t) ~chan ?dest_offset data
         | Ok () ->
             Segment.write_buf ~layer:copy_layer ep.segment ~off data;
             let desc =
-              { Desc.src_chan = chan; rx_payload = Desc.Buffers [ (off, len) ] }
+              {
+                Desc.src_chan = chan;
+                rx_payload = Desc.Buffers [ (off, len) ];
+                ctx;
+              }
             in
-            if push_rx ep desc then Delivered_direct else Dropped_rx_full)
+            if push_rx ep desc then begin
+              Engine.Span.mark ctx Engine.Span.Demuxed;
+              Delivered_direct
+            end
+            else Dropped_rx_full)
     | Some _ | None ->
         if len <= Desc.inline_max then begin
           (* the descriptor retains the payload, so snapshot it out of the
@@ -143,9 +151,14 @@ let deliver_to ?(copy_layer = "mux") (ep : Endpoint.t) ~chan ?dest_offset data
             {
               Desc.src_chan = chan;
               rx_payload = Desc.Inline (Engine.Buf.copy ~layer:copy_layer data);
+              ctx;
             }
           in
-          if push_rx ep desc then Delivered_inline else Dropped_rx_full
+          if push_rx ep desc then begin
+            Engine.Span.mark ctx Engine.Span.Demuxed;
+            Delivered_inline
+          end
+          else Dropped_rx_full
         end
         else begin
           match take_free_buffers ep len with
@@ -155,9 +168,12 @@ let deliver_to ?(copy_layer = "mux") (ep : Endpoint.t) ~chan ?dest_offset data
           | Some buffers ->
               let filled = fill_buffers ~layer:copy_layer ep buffers data in
               let desc =
-                { Desc.src_chan = chan; rx_payload = Desc.Buffers filled }
+                { Desc.src_chan = chan; rx_payload = Desc.Buffers filled; ctx }
               in
-              if push_rx ep desc then Delivered_buffers filled
+              if push_rx ep desc then begin
+                Engine.Span.mark ctx Engine.Span.Demuxed;
+                Delivered_buffers filled
+              end
               else begin
                 (* receive ring full: give the buffers back *)
                 List.iter (fun b -> ignore (Ring.push ep.free_ring b)) buffers;
@@ -179,7 +195,7 @@ let deliver_to ?(copy_layer = "mux") (ep : Endpoint.t) ~chan ?dest_offset data
           m "endpoint %d: direct-access offset out of range" ep.ep_id));
   outcome
 
-let deliver t ~rx_vci ?dest_offset data =
+let deliver t ~rx_vci ?ctx ?dest_offset data =
   match lookup t ~rx_vci with
   | None ->
       t.unknown <- t.unknown + 1;
@@ -189,7 +205,9 @@ let deliver t ~rx_vci ?dest_offset data =
           ~args:[ ("vci", Engine.Trace.Int rx_vci) ];
       None
   | Some (ep, chan) ->
-      let outcome = deliver_to ~copy_layer:t.copy_layer ep ~chan ?dest_offset data in
+      let outcome =
+        deliver_to ~copy_layer:t.copy_layer ?ctx ep ~chan ?dest_offset data
+      in
       (match outcome with
       | Delivered_inline | Delivered_buffers _ | Delivered_direct ->
           t.delivered <- t.delivered + 1;

@@ -29,6 +29,7 @@ type delivery =
 val deliver :
   t ->
   rx_vci:int ->
+  ?ctx:Engine.Span.ctx ->
   ?dest_offset:int ->
   Engine.Buf.t ->
   (Endpoint.t * Channel.id * delivery) option
@@ -41,6 +42,7 @@ val deliver :
 
 val deliver_to :
   ?copy_layer:string ->
+  ?ctx:Engine.Span.ctx ->
   Endpoint.t ->
   chan:Channel.id ->
   ?dest_offset:int ->
@@ -49,7 +51,9 @@ val deliver_to :
 (** The delivery core without the tag lookup: place a message into an
     endpoint (inline / free-queue buffers / direct deposit), fire upcalls,
     wake receivers. Used by the mux itself and by the kernel when it
-    re-delivers multiplexed traffic to an emulated endpoint (§3.5). *)
+    re-delivers multiplexed traffic to an emulated endpoint (§3.5). [ctx]
+    is stamped onto the receive descriptor and marked [Demuxed] when the
+    push succeeds. *)
 
 val deliveries : t -> int
 val unknown_tag_drops : t -> int

@@ -212,9 +212,14 @@ let send t (ep : Endpoint.t) (desc : Desc.tx) =
             && Desc.payload_length desc.tx_payload = 0
           then Error (Bad_buffer "empty direct-access message")
           else begin
+            (* a raw descriptor push with no upper-layer context starts
+               its own trace here *)
+            if Span.enabled () && desc.ctx = None then
+              desc.ctx <- Some (Span.root ~host:t.host "unet_msg");
             charge_op ~layer:"unet_doorbell" t ep t.backend.doorbell_ns;
             Metrics.Counter.inc t.m_doorbells;
             if Ring.push ep.tx_ring desc then begin
+              Span.mark desc.ctx Span.Doorbell;
               if ep.emulated then kemu_notify t ep
               else t.backend.notify_tx ep;
               Ok ()
@@ -222,16 +227,22 @@ let send t (ep : Endpoint.t) (desc : Desc.tx) =
             else Error Queue_full
           end)
 
+let mark_popped (d : Desc.rx option) =
+  (match d with Some d -> Span.mark d.ctx Span.Popped | None -> ());
+  d
+
 let poll t (ep : Endpoint.t) =
   charge_op ~layer:"unet_rx_poll" t ep t.backend.rx_poll_ns;
-  Ring.pop ep.rx_ring
+  mark_popped (Ring.pop ep.rx_ring)
 
 let recv t (ep : Endpoint.t) =
   let rec loop () =
     Sync.Condition.wait_for ep.rx_cond (fun () -> not (Ring.is_empty ep.rx_ring));
     charge_op ~layer:"unet_rx_poll" t ep t.backend.rx_poll_ns;
     (* another receiver may have taken it while we were charged *)
-    match Ring.pop ep.rx_ring with Some d -> d | None -> loop ()
+    match mark_popped (Ring.pop ep.rx_ring) with
+    | Some d -> d
+    | None -> loop ()
   in
   loop ()
 
@@ -240,7 +251,9 @@ let recv_timeout t (ep : Endpoint.t) ~timeout =
   let rec loop () =
     if not (Ring.is_empty ep.rx_ring) then begin
       charge_op ~layer:"unet_rx_poll" t ep t.backend.rx_poll_ns;
-      match Ring.pop ep.rx_ring with Some d -> Some d | None -> loop ()
+      match mark_popped (Ring.pop ep.rx_ring) with
+      | Some d -> Some d
+      | None -> loop ()
     end
     else if Sim.now (sim t) >= deadline then None
     else begin
@@ -353,7 +366,8 @@ let kemu_tx t k (ep : Endpoint.t) =
             let staged = Buf.copy ~layer:"kernel" data in
             let rec push () =
               match
-                send t k.kep (Desc.tx ~chan:kchan (Desc.Inline staged))
+                send t k.kep
+                  (Desc.tx ?ctx:desc.ctx ~chan:kchan (Desc.Inline staged))
               with
               | Ok () -> ()
               | Error Queue_full ->
@@ -376,7 +390,9 @@ let kemu_tx t k (ep : Endpoint.t) =
                   (off, n))
                 bufs
             in
-            let kdesc = Desc.tx ~chan:kchan (Desc.Buffers ranges) in
+            let kdesc =
+              Desc.tx ?ctx:desc.ctx ~chan:kchan (Desc.Buffers ranges)
+            in
             let rec push () =
               match send t k.kep kdesc with
               | Ok () -> Queue.add (kdesc, bufs) k.k_in_flight
@@ -418,7 +434,7 @@ let kemu_rx t k (d : Desc.rx) =
   | Some (ep, emu_chan) ->
       Host.Cpu.charge ~layer:"kernel" t.cpu t.backend.kernel_op_ns;
       Host.Cpu.charge_copy t.cpu ~bytes:(Buf.length data);
-      ignore (Mux.deliver_to ~copy_layer:"kernel" ep ~chan:emu_chan data)
+      ignore (Mux.deliver_to ~copy_layer:"kernel" ?ctx:d.ctx ep ~chan:emu_chan data)
 
 let ensure_kemu t =
   match t.kemu with

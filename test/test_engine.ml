@@ -735,6 +735,71 @@ let test_metrics_pingpong_deterministic () =
     | None -> -1);
   Metrics.reset ()
 
+(* --- Trace ring overflow counter ----------------------------------- *)
+
+let test_trace_dropped_counter () =
+  Metrics.reset ();
+  Trace.start ~capacity:4 ();
+  let sim = Sim.create () in
+  for i = 1 to 10 do
+    ignore (Sim.schedule sim ~delay:i (fun () -> Trace.instant Trace.Mux "e"))
+  done;
+  Sim.run sim;
+  checki "overwrites surface in the metrics registry" 6
+    (match Metrics.counter_value "trace_events_dropped_total" [] with
+    | Some v -> v
+    | None -> -1);
+  checki "counter agrees with dropped_events" (Trace.dropped_events ()) 6;
+  Trace.stop ();
+  Trace.clear ();
+  Metrics.reset ()
+
+(* --- Json ----------------------------------------------------------- *)
+
+(* Ej, not Json: the local chrome-trace reader above shadows Engine.Json *)
+module Ej = Engine.Json
+
+let test_json_roundtrip () =
+  let v =
+    Ej.Obj
+      [
+        ("name", Ej.Str "fig3");
+        ("quick", Ej.Bool true);
+        ("nothing", Ej.Null);
+        ( "series",
+          Ej.List
+            [
+              Ej.List [ Ej.Num 4.; Ej.Num 64.916 ];
+              Ej.List [ Ej.Num 1024.; Ej.Num 239.534 ];
+            ] );
+      ]
+  in
+  let v' = Ej.of_string (Ej.to_string v) in
+  checkb "round-trips structurally" true (v = v');
+  check (Alcotest.float 1e-9) "field access" 64.916
+    (match Ej.member "series" v' with
+    | Some (Ej.List (Ej.List [ _; y ] :: _)) ->
+        Option.value ~default:nan (Ej.to_float y)
+    | _ -> nan)
+
+let test_json_parses_escapes_and_numbers () =
+  let v =
+    Ej.of_string
+      {| { "s" : "a\"b\\c\nd\u0041", "neg": -1.5e2, "i": 42, "l": [true, false, null] } |}
+  in
+  checkb "string escapes" true
+    (Ej.member "s" v |> Option.map Ej.to_str
+    = Some (Some "a\"b\\c\nd\065"));
+  checkb "scientific notation" true
+    (Option.bind (Ej.member "neg" v) Ej.to_float = Some (-150.));
+  checkb "integral numbers print without decimals" true
+    (Ej.to_string (Ej.Num 42.) = "42");
+  checkb "malformed input raises" true
+    (try
+       ignore (Ej.of_string "{ \"x\": }");
+       false
+     with Ej.Parse_error _ -> true)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -805,6 +870,14 @@ let () =
             test_trace_disabled_is_silent;
           Alcotest.test_case "chrome JSON round-trip" `Quick
             test_trace_chrome_roundtrip;
+          Alcotest.test_case "overflow feeds dropped counter" `Quick
+            test_trace_dropped_counter;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes and numbers" `Quick
+            test_json_parses_escapes_and_numbers;
         ] );
       ( "metrics",
         [

@@ -5,7 +5,7 @@
 
 let experiment_case (e : Experiments.Registry.experiment) =
   Alcotest.test_case e.name `Slow (fun () ->
-      let results = e.checks ~quick:true in
+      let results = (e.run ~quick:true).Experiments.Registry.o_checks in
       Alcotest.(check bool)
         (Fmt.str "%s: %a" e.name
            Fmt.(list ~sep:comma (pair ~sep:(any "=") string bool))

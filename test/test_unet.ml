@@ -159,7 +159,7 @@ let test_mux_deliver_inline () =
   | Some (_, 7, Unet.Mux.Delivered_inline) -> ()
   | _ -> Alcotest.fail "expected inline delivery");
   match Unet.Ring.pop ep.rx_ring with
-  | Some { Unet.Desc.src_chan = 7; rx_payload = Unet.Desc.Inline b } ->
+  | Some { Unet.Desc.src_chan = 7; rx_payload = Unet.Desc.Inline b; _ } ->
       check Alcotest.string "payload" "hi"
         (Bytes.to_string (Buf.to_bytes ~layer:"test" b))
   | _ -> Alcotest.fail "bad rx descriptor"
@@ -352,7 +352,7 @@ let test_end_to_end_delivery () =
       let ch0, ch1 = Unet.connect_pair (n0.unet, ep0) (n1.unet, ep1) in
       ignore ch1;
       match ping ~c ~n0 ~n1 ~ep0 ~ep1 ~ch0 16 with
-      | Some { Unet.Desc.src_chan; rx_payload = Unet.Desc.Inline b } ->
+      | Some { Unet.Desc.src_chan; rx_payload = Unet.Desc.Inline b; _ } ->
           checki "source channel reported" ch1 src_chan;
           checki "length" 16 (Buf.length b)
       | _ -> Alcotest.fail "no delivery")
