@@ -160,6 +160,21 @@ let pcap_file =
            virtual-time timestamps and write a pcapng file to $(docv), \
            openable in Wireshark.")
 
+let fault =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection: a comma-separated key=value spec, \
+           e.g. $(b,loss=0.01,seed=42,at=link). Keys: seed, loss (alias p), \
+           corrupt, dup, reorder, reorder_span, burst_enter, burst_exit, \
+           burst_loss, dma_stall, dma_stall_ns, rx_overrun, and at — a \
+           +-separated subset of up, down, switch, ni (shorthands: link = \
+           up+down, all). Every simulated cluster built during the run \
+           attaches the spec at the selected sites; all draws come from the \
+           seed, so a faulty run replays exactly.")
+
 let breakdown =
   Arg.(
     value & flag
@@ -183,8 +198,18 @@ let cmd =
   let term =
     Term.(
       const (fun name quick check out verbose trace metrics spans pcap
-                 breakdown ->
+                 breakdown fault ->
           setup_logs verbose;
+          (match fault with
+          | None -> ()
+          | Some spec -> (
+              match Engine.Fault.parse spec with
+              | Ok f ->
+                  Format.printf "fault injection: %a@." Engine.Fault.pp_spec f;
+                  Engine.Fault.configure (Some f)
+              | Error msg ->
+                  Format.eprintf "bad --fault spec: %s@." msg;
+                  Stdlib.exit 2));
           if trace <> None then Engine.Trace.start ();
           if spans <> None || breakdown then Engine.Span.start ();
           if pcap <> None then Engine.Pcapng.start ();
@@ -239,7 +264,7 @@ let cmd =
               if name = "all" then finish (run_all quick check)
               else finish (run_experiment name quick check))
       $ experiment $ quick $ check $ out $ verbose $ trace_file $ metrics_file
-      $ spans_file $ pcap_file $ breakdown)
+      $ spans_file $ pcap_file $ breakdown $ fault)
   in
   Cmd.v (Cmd.info "unetsim" ~doc) term
 

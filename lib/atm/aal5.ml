@@ -43,6 +43,31 @@ let pp_error fmt = function
   | Length_mismatch -> Format.pp_print_string fmt "length-mismatch"
   | Too_long -> Format.pp_print_string fmt "too-long"
 
+let error_reason = function
+  | Crc_mismatch -> "crc_mismatch"
+  | Length_mismatch -> "length_mismatch"
+  | Too_long -> "too_long"
+
+(* One counter per discard reason, cached so the hot path is a hashtable
+   hit rather than a registry walk. *)
+let m_discarded =
+  let tbl : (string, Metrics.Counter.t) Hashtbl.t = Hashtbl.create 4 in
+  fun reason ->
+    let c =
+      match Hashtbl.find_opt tbl reason with
+      | Some c -> c
+      | None ->
+          let c =
+            Metrics.counter
+              ~help:"AAL5 CS-PDUs discarded during reassembly"
+              "aal5_pdus_discarded_total"
+              [ ("reason", reason) ]
+          in
+          Hashtbl.add tbl reason c;
+          c
+    in
+    Metrics.Counter.inc c
+
 module Reassembler = struct
   type t = {
     mutable cells : Buf.t list;  (* received payload views, reversed *)
@@ -57,34 +82,40 @@ module Reassembler = struct
   let last_ctx t = t.last_ctx
   let max_pdu_bytes = cells_for max_payload * Cell.payload_size
 
+  (* Every discard path funnels through here: the per-VCI state is already
+     reset by the caller, so a bad PDU never poisons the next one; the loss
+     is visible in the error count, a metric, and the message's span. *)
+  let discard t err =
+    t.error_count <- t.error_count + 1;
+    m_discarded (error_reason err);
+    Span.mark t.last_ctx Span.Dropped;
+    Error err
+
   let finish t =
     let pdu = Buf.concat (List.rev t.cells) in
     t.cells <- [];
     t.got <- 0;
     let total = Buf.length pdu in
-    (* total is a positive multiple of 48 by construction *)
+    (* total is a positive multiple of 48 by construction, so the trailer
+       reads below stay in bounds even for a garbage PDU *)
     let stored_len = Buf.get_uint16_be pdu (total - 6) in
     let stored_crc = Buf.get_uint32_be pdu (total - 4) in
     let crc = Crc32.digest_buf (Buf.sub pdu ~pos:0 ~len:(total - 4)) in
-    if crc <> stored_crc then begin
-      t.error_count <- t.error_count + 1;
-      Error Crc_mismatch
-    end
+    if crc <> stored_crc then discard t Crc_mismatch
     else if
+      (* validate the stored length before trusting it as a [Buf.sub]
+         bound: it must fit inside the PDU and agree with the cell count *)
       stored_len > total - trailer_size
       || cells_for stored_len * Cell.payload_size <> total
-    then begin
-      t.error_count <- t.error_count + 1;
-      Error Length_mismatch
-    end
+    then discard t Length_mismatch
     else Ok (Buf.sub pdu ~pos:0 ~len:stored_len)
 
   let push t (cell : Cell.t) =
     if t.got + Cell.payload_size > max_pdu_bytes then begin
       t.cells <- [];
       t.got <- 0;
-      t.error_count <- t.error_count + 1;
-      Some (Error Too_long)
+      t.last_ctx <- cell.ctx;
+      Some (discard t Too_long)
     end
     else begin
       t.cells <- cell.payload :: t.cells;

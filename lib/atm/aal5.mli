@@ -39,7 +39,11 @@ module Reassembler : sig
   val push : t -> Cell.t -> (Engine.Buf.t, error) result option
   (** [None] while mid-PDU; [Some (Ok payload)] on success; [Some (Error _)]
       when the completed PDU fails its checks (it is then discarded, exactly
-      as cell loss discards a whole segment in the paper's §7.8). *)
+      as cell loss discards a whole segment in the paper's §7.8). Per-VCI
+      state is reset before the error is reported, so a corrupted PDU never
+      poisons the next one; every discard increments
+      [aal5_pdus_discarded_total{reason}] and marks the PDU's span
+      [Dropped]. *)
 
   val in_progress : t -> bool
   val errors : t -> int

@@ -20,5 +20,22 @@ let make ?ctx ~vci ~eop payload =
 
 let with_vci t vci = { t with vci }
 
+(* LINKTYPE_SUNATM record: 4-byte pseudo-header (flags, VPI, VCI
+   big-endian) followed by the 48-byte payload. Bytes are materialized
+   with the uncounted span iterator — captures must not perturb the data
+   path's copy accounting. *)
+let sunatm_bytes t =
+  let b = Bytes.create (4 + Engine.Buf.length t.payload) in
+  Bytes.set_uint8 b 0 0;
+  (* flags *)
+  Bytes.set_uint8 b 1 0;
+  (* VPI *)
+  Bytes.set_uint16_be b 2 (t.vci land 0xffff);
+  let pos = ref 4 in
+  Engine.Buf.iter_spans t.payload (fun src ~pos:sp ~len ->
+      Bytes.blit src sp b !pos len;
+      pos := !pos + len);
+  Bytes.unsafe_to_string b
+
 let pp fmt t =
   Format.fprintf fmt "cell(vci=%d%s)" t.vci (if t.eop then ", eop" else "")

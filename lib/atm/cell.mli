@@ -23,4 +23,8 @@ val make : ?ctx:Engine.Span.ctx -> vci:int -> eop:bool -> Engine.Buf.t -> t
 val with_vci : t -> int -> t
 (** Same cell relabelled with a new VCI (switch header rewrite). *)
 
+val sunatm_bytes : t -> string
+(** The cell as a LINKTYPE_SUNATM capture record (4-byte pseudo-header +
+    payload), for pcapng taps. Uncounted materialization. *)
+
 val pp : Format.formatter -> t -> unit

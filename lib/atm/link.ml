@@ -9,6 +9,7 @@ type t = {
   mutable transmitting : bool;
   mutable receiver : (Cell.t -> unit) option;
   mutable loss : (Rng.t * float) option;
+  mutable fault : Fault.t option;
   mutable sent : int;
   mutable dropped : int;
   m_sent : Metrics.Counter.t;
@@ -30,6 +31,7 @@ let create sim ?(queue_capacity = max_int) ?(metrics_labels = []) ~bandwidth_mbp
     transmitting = false;
     receiver = None;
     loss = None;
+    fault = None;
     sent = 0;
     dropped = 0;
     m_sent =
@@ -46,34 +48,93 @@ let create sim ?(queue_capacity = max_int) ?(metrics_labels = []) ~bandwidth_mbp
 
 let set_receiver t f = t.receiver <- Some f
 let set_loss t rng ~p = t.loss <- Some (rng, p)
+let set_fault t f = t.fault <- Some f
 let cell_time t = t.cell_time
 let cells_sent t = t.sent
 let cells_dropped t = t.dropped
+let cells_offered t = t.sent + t.dropped
 let queue_length t = Queue.length t.queue
 let busy t = t.transmitting
 
+(* Fault-tagged cells land on a dedicated "fault" capture interface so a
+   lossy run shows exactly which cells were killed or damaged in
+   Wireshark, next to the clean injection-point capture. *)
+let capture_fault cell =
+  if Pcapng.enabled () then
+    let ifc = Pcapng.iface ~name:"fault" ~linktype:Pcapng.linktype_sunatm in
+    Pcapng.capture ~iface:ifc (Cell.sunatm_bytes cell)
+
+let drop_cell t ~kind (cell : Cell.t) =
+  t.dropped <- t.dropped + 1;
+  Metrics.Counter.inc t.m_dropped;
+  Span.mark cell.Cell.ctx Span.Dropped;
+  capture_fault cell;
+  if Trace.enabled () then
+    Trace.instant Trace.Cell "link.loss"
+      ~args:[ ("vci", Trace.Int cell.Cell.vci); ("kind", Trace.Str kind) ]
+
+let forward t ?(extra_delay = 0) (cell : Cell.t) =
+  t.sent <- t.sent + 1;
+  Metrics.Counter.inc t.m_sent;
+  if Trace.enabled () then
+    Trace.instant Trace.Cell "link.tx" ~args:[ ("vci", Trace.Int cell.Cell.vci) ];
+  match t.receiver with
+  | Some f ->
+      ignore
+        (Sim.schedule t.sim ~delay:(t.propagation + extra_delay) (fun () ->
+             f cell))
+  | None -> failwith "Link: no receiver attached"
+
+(* A snapshot of the cell with one payload byte flipped: the original
+   payload is a view aliasing the CS-PDU store (and the sender's retained
+   retransmission copy), so corruption must never write through it. The
+   copy is uncounted, like a capture — injecting a fault is not a
+   data-path copy. *)
+let corrupted f (cell : Cell.t) =
+  let b = Bytes.create (Buf.length cell.Cell.payload) in
+  let pos = ref 0 in
+  Buf.iter_spans cell.Cell.payload (fun src ~pos:sp ~len ->
+      Bytes.blit src sp b !pos len;
+      pos := !pos + len);
+  Fault.corrupt_bytes f b;
+  { cell with Cell.payload = Buf.of_bytes b }
+
 let deliver t cell =
-  let lost =
+  let legacy_lost =
     match t.loss with Some (rng, p) -> Rng.bernoulli rng ~p | None -> false
   in
-  if lost then begin
-    t.dropped <- t.dropped + 1;
-    Metrics.Counter.inc t.m_dropped;
-    if Trace.enabled () then
-      Trace.instant Trace.Cell "link.loss"
-        ~args:[ ("vci", Trace.Int cell.Cell.vci) ]
-  end
-  else begin
-    t.sent <- t.sent + 1;
-    Metrics.Counter.inc t.m_sent;
-    if Trace.enabled () then
-      Trace.instant Trace.Cell "link.tx"
-        ~args:[ ("vci", Trace.Int cell.Cell.vci) ];
-    match t.receiver with
-    | Some f ->
-        ignore (Sim.schedule t.sim ~delay:t.propagation (fun () -> f cell))
-    | None -> failwith "Link: no receiver attached"
-  end
+  if legacy_lost then drop_cell t ~kind:"loss" cell
+  else
+    match t.fault with
+    | None -> forward t cell
+    | Some f -> (
+        match Fault.decide f with
+        | Fault.Pass -> forward t cell
+        | Fault.Drop -> drop_cell t ~kind:"drop" cell
+        | Fault.Corrupt ->
+            let cell = corrupted f cell in
+            capture_fault cell;
+            if Trace.enabled () then
+              Trace.instant Trace.Cell "link.corrupt"
+                ~args:[ ("vci", Trace.Int cell.Cell.vci) ];
+            forward t cell
+        | Fault.Duplicate ->
+            if Trace.enabled () then
+              Trace.instant Trace.Cell "link.duplicate"
+                ~args:[ ("vci", Trace.Int cell.Cell.vci) ];
+            forward t cell;
+            (* the copy trails by one slot, as a stuttering repeater would *)
+            forward t ~extra_delay:t.cell_time cell
+        | Fault.Reorder slots ->
+            if Trace.enabled () then
+              Trace.instant Trace.Cell "link.reorder"
+                ~args:
+                  [
+                    ("vci", Trace.Int cell.Cell.vci);
+                    ("slots", Trace.Int slots);
+                  ];
+            (* held back while later cells overtake it *)
+            forward t ~extra_delay:(slots * t.cell_time) cell)
 
 let rec transmit t cell =
   (* serialization starts now: for the EOP cell this separates switch /
@@ -93,6 +154,7 @@ let send t cell =
     if Queue.length t.queue >= t.queue_capacity then begin
       t.dropped <- t.dropped + 1;
       Metrics.Counter.inc t.m_dropped;
+      Span.mark cell.Cell.ctx Span.Dropped;
       if Trace.enabled () then
         Trace.instant Trace.Cell "link.queue_drop"
           ~args:[ ("vci", Trace.Int cell.Cell.vci) ];

@@ -21,7 +21,16 @@ val set_receiver : t -> (Cell.t -> unit) -> unit
 (** The delivery callback at the far end. Must be set before traffic flows. *)
 
 val set_loss : t -> Engine.Rng.t -> p:float -> unit
-(** Drop each cell independently with probability [p]. *)
+(** Drop each cell independently with probability [p]. Legacy simple-loss
+    process; kept separate from {!set_fault} so its draw stream is
+    unchanged by the fault layer. *)
+
+val set_fault : t -> Engine.Fault.t -> unit
+(** Attach a fault injector: each delivered cell is passed through
+    {!Engine.Fault.decide} and may be dropped, corrupted (one payload
+    byte flipped in a fresh copy), duplicated, or held back a few cell
+    slots. Dropped and corrupted cells get a [Dropped] span mark /
+    "fault" pcapng tap respectively. *)
 
 val send : t -> Cell.t -> bool
 (** Enqueue a cell for transmission. Returns [false] if it was dropped
@@ -33,6 +42,10 @@ val cell_time : t -> Engine.Sim.time
 val cells_sent : t -> int
 val cells_dropped : t -> int
 (** Queue-overflow drops plus injected losses. *)
+
+val cells_offered : t -> int
+(** [cells_sent + cells_dropped]: every cell that reached the delivery
+    point, the denominator for loss-rate arithmetic. *)
 
 val queue_length : t -> int
 val busy : t -> bool

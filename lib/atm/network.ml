@@ -34,6 +34,34 @@ type t = {
   next_rx_vci : int array; (* next free VCI on host's downlink *)
 }
 
+(* One injector per attachment point — per link direction per host, per
+   switch output port — so each has its own seed-derived stream and its
+   own [site] metric label, and faults on host 0's uplink never shift the
+   draws seen by host 1. *)
+let apply_fault t fspec =
+  let open Fault in
+  List.iter
+    (function
+      | Link_up ->
+          Array.iteri
+            (fun h link ->
+              Link.set_fault link
+                (create ~site:(Printf.sprintf "link.up.%d" h) fspec))
+            t.uplinks
+      | Link_down ->
+          Array.iteri
+            (fun h link ->
+              Link.set_fault link
+                (create ~site:(Printf.sprintf "link.down.%d" h) fspec))
+            t.downlinks
+      | Switch ->
+          for p = 0 to t.hosts - 1 do
+            Switch.set_fault t.switch ~port:p
+              (create ~site:(Printf.sprintf "switch.port.%d" p) fspec)
+          done
+      | Ni -> () (* NI constructors consult [Fault.configured] themselves *))
+    fspec.sites
+
 let create sim ~hosts config =
   if hosts <= 0 then invalid_arg "Network.create: hosts must be positive";
   let switch =
@@ -71,6 +99,9 @@ let create sim ~hosts config =
         | Some f -> f cell
         | None -> () (* host NI not attached yet: cell is lost *))
   done;
+  (match Fault.configured () with
+  | Some fspec -> apply_fault t fspec
+  | None -> ());
   t
 
 let sim t = t.sim
@@ -84,10 +115,7 @@ let attach_rx t ~host f =
   t.rx_handlers.(host) <- Some f
 
 (* pcap tap at the injection point: every cell that enters the fabric is
-   captured as a LINKTYPE_SUNATM record (4-byte pseudo-header: flags,
-   VPI, VCI big-endian; then the 48-byte cell payload). Bytes are
-   materialized with the *uncounted* span iterator — a capture must not
-   perturb the data path's copy accounting. *)
+   captured as a LINKTYPE_SUNATM record. *)
 let capture_cell ~host cell =
   if Pcapng.enabled () then begin
     let ifc =
@@ -95,18 +123,7 @@ let capture_cell ~host cell =
         ~name:(Printf.sprintf "atm%d" host)
         ~linktype:Pcapng.linktype_sunatm
     in
-    let payload = cell.Cell.payload in
-    let b = Bytes.create (4 + Buf.length payload) in
-    Bytes.set_uint8 b 0 0;
-    (* flags *)
-    Bytes.set_uint8 b 1 0;
-    (* VPI *)
-    Bytes.set_uint16_be b 2 (cell.Cell.vci land 0xffff);
-    let pos = ref 4 in
-    Buf.iter_spans payload (fun src ~pos:sp ~len ->
-        Bytes.blit src sp b !pos len;
-        pos := !pos + len);
-    Pcapng.capture ~iface:ifc (Bytes.unsafe_to_string b)
+    Pcapng.capture ~iface:ifc (Cell.sunatm_bytes cell)
   end
 
 let send t ~host cell =

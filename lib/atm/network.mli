@@ -19,8 +19,17 @@ val default_config : config
 type t
 
 val create : Engine.Sim.t -> hosts:int -> config -> t
+(** If a global fault spec is configured ({!Engine.Fault.configure}), its
+    link and switch sites are applied to the new fabric automatically. *)
+
 val sim : t -> Engine.Sim.t
 val host_count : t -> int
+
+val apply_fault : t -> Engine.Fault.spec -> unit
+(** Instantiate the spec's link/switch sites on this fabric: one injector
+    per uplink ([link.up.<host>]), downlink ([link.down.<host>]), and
+    switch output port ([switch.port.<port>]), each with an independent
+    seed-derived stream. NI sites are handled by the NI constructors. *)
 
 val attach_rx : t -> host:int -> (Cell.t -> unit) -> unit
 (** Install the host NI's cell-receive handler (downlink receiver). *)

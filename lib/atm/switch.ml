@@ -7,6 +7,7 @@ type t = {
   output_queue_capacity : int;
   outputs : Link.t option array;
   routes : (int * int, int * int) Hashtbl.t; (* (in_port, in_vci) -> (out_port, out_vci) *)
+  port_faults : Fault.t option array;
   mutable routed : int;
   mutable dropped : int;
   mutable unroutable : int;
@@ -25,6 +26,7 @@ let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
     transit;
     output_queue_capacity;
     outputs = Array.make ports None;
+    port_faults = Array.make ports None;
     routes = Hashtbl.create 64;
     routed = 0;
     dropped = 0;
@@ -57,6 +59,10 @@ let attach_output t ~port link =
   check_port t port;
   t.outputs.(port) <- Some link
 
+let set_fault t ~port f =
+  check_port t port;
+  t.port_faults.(port) <- Some f
+
 let add_route t ~in_port ~in_vci ~out_port ~out_vci =
   check_port t in_port;
   check_port t out_port;
@@ -72,13 +78,22 @@ let cells_routed t = t.routed
 let cells_dropped t = t.dropped
 let unroutable t = t.unroutable
 
-let drop t ~out_port ~vci =
+let drop t ?ctx ~out_port ~vci () =
   t.dropped <- t.dropped + 1;
   Metrics.Counter.inc t.m_dropped;
   Metrics.Counter.inc t.port_drops.(out_port);
+  Span.mark ctx Span.Dropped;
   if Trace.enabled () then
     Trace.instant Trace.Cell "switch.drop" ~tid:out_port
       ~args:[ ("vci", Trace.Int vci) ]
+
+(* Switch-site faults model a congested or misbehaving output port, so
+   only loss is meaningful here — corruption and reordering belong to the
+   fiber. Faulted cells take the same path as queue-overflow drops. *)
+let fault_drops t ~out_port =
+  match t.port_faults.(out_port) with
+  | None -> false
+  | Some f -> Fault.drops f
 
 let input t ~port cell =
   check_port t port;
@@ -99,8 +114,10 @@ let input t ~port cell =
                  (* The output port queue is the link's transmit queue; a
                     full queue drops the cell, which is what makes large TCP
                     segments fragile over ATM (§7.8). *)
-                 if Link.queue_length link >= t.output_queue_capacity then
-                   drop t ~out_port ~vci:out_vci
+                 if
+                   Link.queue_length link >= t.output_queue_capacity
+                   || fault_drops t ~out_port
+                 then drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ()
                  else if begin
                    if cell.Cell.eop then
                      Span.mark cell.Cell.ctx Span.Switch_out;
@@ -112,4 +129,4 @@ let input t ~port cell =
                    Metrics.Gauge.set_max t.port_queue_hw.(out_port)
                      (float_of_int (Link.queue_length link))
                  end
-                 else drop t ~out_port ~vci:out_vci)))
+                 else drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ())))

@@ -17,6 +17,12 @@ val create :
 val attach_output : t -> port:int -> Link.t -> unit
 (** Connect the outgoing link of a port. *)
 
+val set_fault : t -> port:int -> Engine.Fault.t -> unit
+(** Attach a fault injector to an output port: cells routed to it are
+    additionally dropped per {!Engine.Fault.drops}, sharing the
+    queue-overflow drop path (same counters, trace event, and [Dropped]
+    span mark). *)
+
 val add_route :
   t -> in_port:int -> in_vci:int -> out_port:int -> out_vci:int -> unit
 (** Raises if the (in_port, in_vci) pair is already routed. *)

@@ -1,0 +1,279 @@
+type site = Link_up | Link_down | Switch | Ni
+
+type burst = { p_enter : float; p_exit : float; burst_loss : float }
+
+type spec = {
+  seed : int;
+  sites : site list;
+  loss : float;
+  corrupt : float;
+  duplicate : float;
+  reorder : float;
+  reorder_span : int;
+  burst : burst option;
+  dma_stall : float;
+  dma_stall_ns : int;
+  rx_overrun : float;
+}
+
+let none =
+  {
+    seed = 42;
+    sites = [ Link_up; Link_down ];
+    loss = 0.;
+    corrupt = 0.;
+    duplicate = 0.;
+    reorder = 0.;
+    reorder_span = 3;
+    burst = None;
+    dma_stall = 0.;
+    dma_stall_ns = 20_000;
+    rx_overrun = 0.;
+  }
+
+let site_name = function
+  | Link_up -> "up"
+  | Link_down -> "down"
+  | Switch -> "switch"
+  | Ni -> "ni"
+
+let pp_spec fmt s =
+  let prob name p = if p > 0. then [ Printf.sprintf "%s=%g" name p ] else [] in
+  let parts =
+    [ Printf.sprintf "seed=%d" s.seed ]
+    @ prob "loss" s.loss @ prob "corrupt" s.corrupt @ prob "dup" s.duplicate
+    @ prob "reorder" s.reorder
+    @ (match s.burst with
+      | None -> []
+      | Some b ->
+          [
+            Printf.sprintf "burst_enter=%g" b.p_enter;
+            Printf.sprintf "burst_exit=%g" b.p_exit;
+            Printf.sprintf "burst_loss=%g" b.burst_loss;
+          ])
+    @ prob "dma_stall" s.dma_stall @ prob "rx_overrun" s.rx_overrun
+    @ [
+        Printf.sprintf "at=%s"
+          (String.concat "+" (List.map site_name s.sites));
+      ]
+  in
+  Format.pp_print_string fmt (String.concat "," parts)
+
+(* --- spec parsing ----------------------------------------------------- *)
+
+let parse_sites v =
+  let one = function
+    | "up" -> Ok [ Link_up ]
+    | "down" -> Ok [ Link_down ]
+    | "link" -> Ok [ Link_up; Link_down ]
+    | "switch" -> Ok [ Switch ]
+    | "ni" -> Ok [ Ni ]
+    | "all" -> Ok [ Link_up; Link_down; Switch; Ni ]
+    | s -> Error (Printf.sprintf "unknown fault site %S" s)
+  in
+  List.fold_left
+    (fun acc s ->
+      match (acc, one s) with
+      | Ok sites, Ok more ->
+          Ok (sites @ List.filter (fun x -> not (List.mem x sites)) more)
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> e)
+    (Ok [])
+    (String.split_on_char '+' v)
+
+let parse str =
+  let ( let* ) = Result.bind in
+  let prob name v =
+    match float_of_string_opt v with
+    | Some p when p >= 0. && p <= 1. -> Ok p
+    | _ -> Error (Printf.sprintf "%s must be a probability in [0,1]: %S" name v)
+  in
+  let int_field name v =
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "%s must be an integer: %S" name v)
+  in
+  let burst_of s = Option.value s.burst ~default:{ p_enter = 0.01; p_exit = 0.1; burst_loss = 0.5 } in
+  let field s key v =
+    match key with
+    | "seed" ->
+        let* n = int_field "seed" v in
+        Ok { s with seed = n }
+    | "loss" | "p" ->
+        let* p = prob key v in
+        Ok { s with loss = p }
+    | "corrupt" ->
+        let* p = prob key v in
+        Ok { s with corrupt = p }
+    | "dup" | "duplicate" ->
+        let* p = prob key v in
+        Ok { s with duplicate = p }
+    | "reorder" ->
+        let* p = prob key v in
+        Ok { s with reorder = p }
+    | "reorder_span" ->
+        let* n = int_field key v in
+        if n < 1 then Error "reorder_span must be >= 1"
+        else Ok { s with reorder_span = n }
+    | "burst_enter" ->
+        let* p = prob key v in
+        Ok { s with burst = Some { (burst_of s) with p_enter = p } }
+    | "burst_exit" ->
+        let* p = prob key v in
+        Ok { s with burst = Some { (burst_of s) with p_exit = p } }
+    | "burst_loss" ->
+        let* p = prob key v in
+        Ok { s with burst = Some { (burst_of s) with burst_loss = p } }
+    | "dma_stall" ->
+        let* p = prob key v in
+        Ok { s with dma_stall = p }
+    | "dma_stall_ns" ->
+        let* n = int_field key v in
+        if n < 0 then Error "dma_stall_ns must be >= 0"
+        else Ok { s with dma_stall_ns = n }
+    | "rx_overrun" ->
+        let* p = prob key v in
+        Ok { s with rx_overrun = p }
+    | "at" ->
+        let* sites = parse_sites v in
+        Ok { s with sites }
+    | k -> Error (Printf.sprintf "unknown fault spec key %S" k)
+  in
+  String.split_on_char ',' str
+  |> List.filter (fun kv -> String.trim kv <> "")
+  |> List.fold_left
+       (fun acc kv ->
+         let* s = acc in
+         match String.index_opt kv '=' with
+         | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+         | Some i ->
+             field s
+               (String.trim (String.sub kv 0 i))
+               (String.trim (String.sub kv (i + 1) (String.length kv - i - 1))))
+       (Ok none)
+
+(* --- injectors -------------------------------------------------------- *)
+
+type t = {
+  fspec : spec;
+  rng : Rng.t;
+  mutable in_burst : bool;
+  mutable count : int;
+  counters : (string * Metrics.Counter.t) list; (* by kind *)
+}
+
+type decision = Pass | Drop | Corrupt | Duplicate | Reorder of int
+
+let kinds = [ "drop"; "corrupt"; "duplicate"; "reorder"; "dma_stall"; "rx_overrun" ]
+let total = ref 0
+let injected_total () = !total
+
+(* deterministic string hash (FNV-1a) so per-site streams depend only on
+   (seed, site name), never on process state *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int !h
+
+let create ~site fspec =
+  {
+    fspec;
+    rng = Rng.create (fspec.seed lxor fnv1a site);
+    in_burst = false;
+    count = 0;
+    counters =
+      List.map
+        (fun kind ->
+          ( kind,
+            Metrics.counter
+              ~help:"faults injected by the deterministic fault layer"
+              "fault_injected_total"
+              [ ("kind", kind); ("site", site) ] ))
+        kinds;
+  }
+
+let spec t = t.fspec
+let injected t = t.count
+
+let count t kind =
+  t.count <- t.count + 1;
+  incr total;
+  Metrics.Counter.inc (List.assoc kind t.counters)
+
+let effective_loss t =
+  match t.fspec.burst with
+  | None -> t.fspec.loss
+  | Some b ->
+      (* one transition draw per cell keeps the chain's dwell times
+         geometric regardless of the other policies *)
+      if t.in_burst then begin
+        if Rng.bernoulli t.rng ~p:b.p_exit then t.in_burst <- false
+      end
+      else if Rng.bernoulli t.rng ~p:b.p_enter then t.in_burst <- true;
+      if t.in_burst then b.burst_loss else t.fspec.loss
+
+let decide t =
+  let s = t.fspec in
+  let loss = effective_loss t in
+  if loss > 0. && Rng.bernoulli t.rng ~p:loss then begin
+    count t "drop";
+    Drop
+  end
+  else if s.corrupt > 0. && Rng.bernoulli t.rng ~p:s.corrupt then begin
+    count t "corrupt";
+    Corrupt
+  end
+  else if s.duplicate > 0. && Rng.bernoulli t.rng ~p:s.duplicate then begin
+    count t "duplicate";
+    Duplicate
+  end
+  else if s.reorder > 0. && Rng.bernoulli t.rng ~p:s.reorder then begin
+    count t "reorder";
+    Reorder (1 + Rng.int t.rng s.reorder_span)
+  end
+  else Pass
+
+let drops t =
+  let loss = effective_loss t in
+  if loss > 0. && Rng.bernoulli t.rng ~p:loss then begin
+    count t "drop";
+    true
+  end
+  else false
+
+let dma_stall t =
+  if t.fspec.dma_stall > 0. && Rng.bernoulli t.rng ~p:t.fspec.dma_stall then begin
+    count t "dma_stall";
+    t.fspec.dma_stall_ns
+  end
+  else 0
+
+let rx_overrun t =
+  if t.fspec.rx_overrun > 0. && Rng.bernoulli t.rng ~p:t.fspec.rx_overrun
+  then begin
+    count t "rx_overrun";
+    true
+  end
+  else false
+
+let corrupt_bytes t b =
+  if Bytes.length b > 0 then begin
+    let i = Rng.int t.rng (Bytes.length b) in
+    Bytes.set_uint8 b i
+      (Bytes.get_uint8 b i lxor (1 + Rng.int t.rng 255))
+  end
+
+(* --- global configuration --------------------------------------------- *)
+
+let global : spec option ref = ref None
+let configure s = global := s
+let configured () = !global
+
+let configured_at kind ~site =
+  match !global with
+  | Some s when List.mem kind s.sites -> Some (create ~site s)
+  | _ -> None

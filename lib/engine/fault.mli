@@ -1,0 +1,122 @@
+(** Deterministic, seeded fault injection at module boundaries.
+
+    A {!spec} describes a fault process — Bernoulli cell loss, byte
+    corruption, bounded reordering, duplication, Gilbert–Elliott burst
+    loss, DMA stalls and receive-ring overruns — and an {!t} is that
+    process instantiated at one injection site (one link direction, one
+    switch output port, one NI). Every random decision is drawn from a
+    {!Rng} stream derived from [spec.seed] and the site name, never from
+    wall-clock randomness, so a faulty run replays exactly from its seed
+    and two sites with the same spec still see independent streams.
+
+    Sites consult the injector per unit of work ({!decide} per cell,
+    {!dma_stall} per descriptor DMA, {!rx_overrun} per delivered PDU) and
+    apply the returned decision themselves; the injector counts every
+    non-pass decision in [fault_injected_total{kind,site}]. A spec whose
+    probabilities are all zero never draws and never perturbs the run,
+    which is what keeps zero-fault baselines byte-identical. *)
+
+type site = Link_up | Link_down | Switch | Ni
+(** Where a parsed [--fault] spec attaches. [Link_up]/[Link_down] are the
+    host uplink / downlink fibers, [Switch] the switch output ports, [Ni]
+    the network-interface models (DMA stall, rx-ring overrun). *)
+
+type burst = {
+  p_enter : float;  (** per-cell probability good -> bad *)
+  p_exit : float;  (** per-cell probability bad -> good *)
+  burst_loss : float;  (** loss probability while in the bad state *)
+}
+(** Gilbert–Elliott two-state loss modulation: in the good state the base
+    [loss] applies; in the bad state [burst_loss] applies. *)
+
+type spec = {
+  seed : int;
+  sites : site list;  (** where the CLI/experiment attaches this spec *)
+  loss : float;  (** Bernoulli per-cell loss probability *)
+  corrupt : float;  (** per-cell byte-corruption probability *)
+  duplicate : float;  (** per-cell duplication probability *)
+  reorder : float;  (** probability a cell is held back (reordered) *)
+  reorder_span : int;  (** max cell-slots a reordered cell is held *)
+  burst : burst option;
+  dma_stall : float;  (** NI: probability a descriptor DMA stalls *)
+  dma_stall_ns : int;  (** NI: stall duration *)
+  rx_overrun : float;  (** NI: probability a received PDU is dropped *)
+}
+
+val none : spec
+(** All probabilities zero, seed 42, sites [[Link_up; Link_down]]: a
+    pass-through spec. *)
+
+val parse : string -> (spec, string) result
+(** Parse a comma-separated [key=value] spec, e.g.
+    ["loss=0.01,seed=42,at=link"]. Keys: [seed], [loss] (alias [p]),
+    [corrupt], [dup], [reorder], [reorder_span], [burst_enter],
+    [burst_exit], [burst_loss] (any of the three enables the
+    Gilbert–Elliott model), [dma_stall], [dma_stall_ns], [rx_overrun],
+    and [at] — a [+]-separated subset of [up], [down], [switch], [ni],
+    or the shorthands [link] (up+down) and [all]. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+(** {2 Injectors} *)
+
+type t
+
+type decision =
+  | Pass
+  | Drop
+  | Corrupt
+  | Duplicate
+  | Reorder of int  (** deliver late by this many cell-slots *)
+
+val create : site:string -> spec -> t
+(** Instantiate the spec at a named site. The site name labels the
+    [fault_injected_total] metric and perturbs the seed, so distinct
+    sites draw independent streams. *)
+
+val spec : t -> spec
+
+val decide : t -> decision
+(** One per-cell decision. Draws only for the probabilities that are
+    non-zero, in a fixed order (burst transition, loss, corrupt,
+    duplicate, reorder), so a loss-only spec consumes exactly one draw
+    per cell. Counts every non-[Pass] decision. *)
+
+val drops : t -> bool
+(** Loss-only per-cell decision (burst transition + loss draw, nothing
+    else) for sites where only dropping is meaningful, e.g. a switch
+    output port. Counts a ["drop"] when [true]. *)
+
+val dma_stall : t -> int
+(** Per-DMA stall in ns: [dma_stall_ns] with probability [dma_stall],
+    else [0] (no draw when the probability is zero). *)
+
+val rx_overrun : t -> bool
+(** Per-PDU receive-ring overrun decision. *)
+
+val corrupt_bytes : t -> bytes -> unit
+(** Flip one byte of [b] in place at a random position to a guaranteed
+    different value (used to apply a [Corrupt] decision to a snapshot of
+    the cell payload). *)
+
+val injected : t -> int
+(** Non-pass decisions this injector has made. *)
+
+val injected_total : unit -> int
+(** Non-pass decisions across every injector since program start
+    (process-global, like the metrics registry; {!Metrics.reset} does not
+    clear it — compare deltas). *)
+
+(** {2 Global configuration ([--fault] threading)}
+
+    The CLI parses one spec and configures it here; [Atm.Network.create]
+    and the NI models consult it at construction time so every experiment
+    run picks the faults up without changing the registry's run
+    signature. *)
+
+val configure : spec option -> unit
+val configured : unit -> spec option
+
+val configured_at : site -> site:string -> t option
+(** An injector for the named site if a global spec is configured and
+    lists the given site kind; [None] otherwise. *)

@@ -26,6 +26,7 @@ type mark =
   | Demuxed
   | Popped
   | Dispatched
+  | Dropped
 
 let mark_index = function
   | Doorbell -> 0
@@ -38,8 +39,9 @@ let mark_index = function
   | Demuxed -> 7
   | Popped -> 8
   | Dispatched -> 9
+  | Dropped -> 10
 
-let n_marks = 10
+let n_marks = 11
 
 let mark_name = function
   | Doorbell -> "doorbell"
@@ -52,6 +54,7 @@ let mark_name = function
   | Demuxed -> "demuxed"
   | Popped -> "popped"
   | Dispatched -> "dispatched"
+  | Dropped -> "dropped"
 
 (* The phase a milestone *ends*, in canonical data-path order. Marks use
    replacement semantics (the latest write wins — e.g. [Link_tx] fires on
@@ -75,6 +78,12 @@ let milestones =
   |]
 
 let phase_names = Array.to_list (Array.map snd milestones)
+
+(* [Dropped] is deliberately absent from [milestones]: a fault can kill a
+   mid-PDU cell whose EOP still lands milestones later, and a
+   phase-attributed drop would then yield a negative delta. It is exported
+   with the other marks but contributes no phase. *)
+let export_marks = Array.append (Array.map fst milestones) [| Dropped |]
 let no_mark = min_int
 
 type span = {
@@ -273,7 +282,7 @@ let add_span b s =
   Buffer.add_string b ",\"marks\":{";
   let first = ref true in
   Array.iter
-    (fun (m, _) ->
+    (fun m ->
       match mark_time s m with
       | None -> ()
       | Some t ->
@@ -283,7 +292,7 @@ let add_span b s =
           Buffer.add_string b (mark_name m);
           Buffer.add_string b "\":";
           Buffer.add_string b (string_of_int t))
-    milestones;
+    export_marks;
   Buffer.add_string b "},\"phases\":{";
   List.iteri
     (fun i (p, d) ->

@@ -31,6 +31,11 @@ type mark =
   | Demuxed  (** mux matched the channel and filled an rx descriptor *)
   | Popped  (** host popped the rx descriptor from the free/rx ring *)
   | Dispatched  (** UAM handler returned *)
+  | Dropped
+      (** the message (or one of its cells) was discarded — injected
+          fault, queue overflow, reassembly failure, or receive-path
+          exhaustion. Not part of the phase taxonomy: a retransmission
+          appears as a child span, the drop as this mark on the victim. *)
 
 val mark_name : mark -> string
 

@@ -1,0 +1,21 @@
+(** Loss sweep (extension): seeded Bernoulli cell loss at the host uplinks,
+    swept over loss rates, measuring goodput, latency and retransmission
+    cost of the two reliable layers (UAM go-back-N, TCP over U-Net) and
+    checking payload integrity plus the analytic fault-count expectation. *)
+
+type leg = {
+  goodput_mb : float;
+  retransmits : int;
+  completed : bool;
+  intact : bool;
+  delivered : int;
+  injected : int;
+}
+
+type point = { rate : float; uam : leg; tcp : leg; rtt_us : float }
+type t = { points : point list }
+
+val run : quick:bool -> t
+val series : t -> (string * (float * float) list) list
+val print : t -> unit
+val checks : t -> (string * bool) list

@@ -89,6 +89,12 @@ let all =
       Ablations.Tcp_tuning.checks;
     exp "ablation-upcall" "polling vs signal-driven reception"
       Ablations.Upcall.run Ablations.Upcall.print Ablations.Upcall.checks;
+    (* fault injection (extension): runs last so the cumulative copy
+       counters in the earlier experiments' snapshots keep their values *)
+    exp "loss-sweep"
+      "UAM and TCP recovery under seeded cell loss (fault injection)"
+      Loss_sweep.run Loss_sweep.print Loss_sweep.checks
+      ~series:Loss_sweep.series;
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

@@ -27,6 +27,7 @@ type t = {
   mux : Unet.Mux.t;
   txq : Unet.Endpoint.t Queue.t; (* one entry per posted descriptor *)
   mutable tx_active : bool;
+  mutable fault : Fault.t option;
   reasm : (int, Atm.Aal5.Reassembler.t) Hashtbl.t;
   mutable sent : int;
   mutable received : int;
@@ -111,13 +112,21 @@ and process_desc t (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
               ("len", Trace.Int (Buf.length data));
               ("cells", Trace.Int (List.length cells));
             ];
+      (* a stalled DMA burst shows up as extra occupancy of the i960,
+         delaying this descriptor and everything serialized behind it *)
+      let stall =
+        match t.fault with Some f -> Fault.dma_stall f | None -> 0
+      in
+      if stall > 0 && Trace.enabled () then
+        Trace.instant Trace.Desc "ni.dma_stall" ~tid:t.host
+          ~args:[ ("ns", Trace.Int stall) ];
       match cells with
       | [ cell ] when t.cfg.single_cell_optimization ->
-          Sync.Server.submit t.server ~cost:t.cfg.tx_single_ns (fun () ->
-              inject t desc cell [])
+          Sync.Server.submit t.server ~cost:(t.cfg.tx_single_ns + stall)
+            (fun () -> inject t desc cell [])
       | _ ->
-          Sync.Server.submit t.server ~cost:t.cfg.tx_fixed_ns (fun () ->
-              send_cells t desc cells))
+          Sync.Server.submit t.server ~cost:(t.cfg.tx_fixed_ns + stall)
+            (fun () -> send_cells t desc cells))
 
 and send_cells t desc = function
   | [] ->
@@ -152,7 +161,7 @@ let notify_tx t ep =
     pump_next t
   end
 
-let deliver t ?ctx vci payload =
+let deliver_pdu t ?ctx vci payload =
   Metrics.Counter.inc t.m_demux;
   if Trace.enabled () then
     Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
@@ -172,6 +181,17 @@ let deliver t ?ctx vci payload =
           t.received <- t.received + 1;
           Metrics.Counter.inc t.m_received
       | None -> ())
+
+let deliver t ?ctx vci payload =
+  match t.fault with
+  | Some f when Fault.rx_overrun f ->
+      (* the rx ring overran while the PDU sat in i960 memory: it never
+         reaches the mux, and recovery is the sender's problem *)
+      Unet.Mux.rx_dropped ?ctx "ni_overrun";
+      if Trace.enabled () then
+        Trace.instant Trace.Desc "ni.rx_overrun" ~tid:t.host
+          ~args:[ ("vci", Trace.Int vci) ]
+  | _ -> deliver_pdu t ?ctx vci payload
 
 let fits_single_cell payload =
   Buf.length payload <= Atm.Cell.payload_size - Atm.Aal5.trailer_size
@@ -216,6 +236,8 @@ let create net ~host cfg =
       mux = Unet.Mux.create ~host ~copy_layer:(cfg.copy_layer ^ "_rx") ();
       txq = Queue.create ();
       tx_active = false;
+      fault =
+        Fault.configured_at Fault.Ni ~site:(Printf.sprintf "ni.%d" host);
       reasm = Hashtbl.create 16;
       sent = 0;
       received = 0;
@@ -253,6 +275,7 @@ let backend t =
     kernel_path = Some t.kernel;
   }
 
+let set_fault t f = t.fault <- Some f
 let config t = t.cfg
 let server t = t.server
 let pdus_sent t = t.sent

@@ -41,6 +41,12 @@ val backend : t -> Unet.backend
 
 val config : t -> config
 
+val set_fault : t -> Engine.Fault.t -> unit
+(** Attach a fault injector: [dma_stall] adds occupancy to the i960 for
+    the stalled descriptor's DMA burst, [rx_overrun] drops reassembled
+    PDUs before the mux. [create] already attaches one when a global
+    spec names the [Ni] site. *)
+
 (* Statistics *)
 
 val server : t -> Engine.Sync.Server.t

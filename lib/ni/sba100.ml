@@ -44,6 +44,7 @@ type t = {
   kernel : Sync.Server.t;
   mux : Unet.Mux.t;
   reasm : (int, Atm.Aal5.Reassembler.t) Hashtbl.t;
+  mutable fault : Fault.t option;
   mutable sent : int;
   mutable received : int;
   mutable errors : int;
@@ -54,18 +55,27 @@ type t = {
 }
 
 let deliver t ?ctx vci payload =
-  Metrics.Counter.inc t.m_demux;
-  if Trace.enabled () then
-    Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
-      ~args:
-        [
-          ("vci", Trace.Int vci); ("len", Trace.Int (Buf.length payload));
-        ];
-  match Unet.Mux.deliver t.mux ~rx_vci:vci ?ctx payload with
-  | Some _ ->
-      t.received <- t.received + 1;
-      Metrics.Counter.inc t.m_received
-  | None -> ()
+  match t.fault with
+  | Some f when Fault.rx_overrun f ->
+      (* the host fell behind the interface FIFO and the PDU was
+         overwritten before it could be demultiplexed *)
+      Unet.Mux.rx_dropped ?ctx "ni_overrun";
+      if Trace.enabled () then
+        Trace.instant Trace.Desc "ni.rx_overrun" ~tid:t.host
+          ~args:[ ("vci", Trace.Int vci) ]
+  | _ -> (
+      Metrics.Counter.inc t.m_demux;
+      if Trace.enabled () then
+        Trace.instant Trace.Desc "ni.rx_demux" ~tid:t.host
+          ~args:
+            [
+              ("vci", Trace.Int vci); ("len", Trace.Int (Buf.length payload));
+            ];
+      match Unet.Mux.deliver t.mux ~rx_vci:vci ?ctx payload with
+      | Some _ ->
+          t.received <- t.received + 1;
+          Metrics.Counter.inc t.m_received
+      | None -> ())
 
 let on_cell t (cell : Atm.Cell.t) =
   if cell.Atm.Cell.eop then Span.mark cell.Atm.Cell.ctx Span.Rx_cell;
@@ -126,6 +136,13 @@ let do_send t (ep : Unet.Endpoint.t) =
                   ("cells", Trace.Int (List.length cells));
                 ];
           Host.Cpu.charge ~layer:"ni_tx" t.cpu t.cfg.tx_fixed_ns;
+          (* on the SBA-100 the "DMA" is the host's own PIO loop, so a
+             stall charges the sending CPU directly *)
+          (match t.fault with
+          | Some f ->
+              let stall = Fault.dma_stall f in
+              if stall > 0 then Host.Cpu.charge ~layer:"ni_tx" t.cpu stall
+          | None -> ());
           List.iter
             (fun (cell : Atm.Cell.t) ->
               Host.Cpu.charge ~layer:"ni_tx" t.cpu t.cfg.tx_per_cell_ns;
@@ -162,6 +179,8 @@ let create net ~host ~cpu ?(config = default_config) () =
       kernel = Sync.Server.create sim;
       mux = Unet.Mux.create ~host ~copy_layer:"sba100_rx" ();
       reasm = Hashtbl.create 16;
+      fault =
+        Fault.configured_at Fault.Ni ~site:(Printf.sprintf "ni.%d" host);
       sent = 0;
       received = 0;
       errors = 0;
@@ -195,6 +214,7 @@ let backend t =
     kernel_path = Some t.kernel;
   }
 
+let set_fault t f = t.fault <- Some f
 let config t = t.cfg
 let pdus_sent t = t.sent
 let pdus_received t = t.received

@@ -30,6 +30,11 @@ val backend : t -> Unet.backend
 (** All endpoints on this backend must be created with [~emulated:true]
     ([max_endpoints] is 0). *)
 
+val set_fault : t -> Engine.Fault.t -> unit
+(** Attach a fault injector: [dma_stall] charges the sending CPU extra
+    per-PDU PIO time, [rx_overrun] drops reassembled PDUs before the mux.
+    [create] already attaches one when a global spec names the [Ni] site. *)
+
 val config : t -> config
 val pdus_sent : t -> int
 val pdus_received : t -> int

@@ -50,12 +50,19 @@ let seq_lt a b = (b - a) land 0xffff <> 0 && (b - a) land 0xffff < 0x8000
 type config = {
   window : int;
   rto : Sim.time;
+  rto_max : Sim.time;
   op_ns : int;
   chunk_data : int;
 }
 
 let default_config =
-  { window = 8; rto = Sim.ms 20; op_ns = 800; chunk_data = 4_160 }
+  {
+    window = 8;
+    rto = Sim.ms 20;
+    rto_max = Sim.ms 320;
+    op_ns = 800;
+    chunk_data = 4_160;
+  }
 
 type unacked = {
   u_seq : int;
@@ -76,6 +83,8 @@ type peer = {
   mutable p_unacked_reqs : int;
   mutable p_expected : int; (* next seq expected from this peer *)
   mutable p_last_progress : Sim.time; (* for the retransmission timer *)
+  mutable p_backoff : int; (* consecutive timeouts without progress *)
+  mutable p_rto_timer : Sim.handle option; (* armed while unacked exist *)
   mutable p_need_ack : bool; (* owe the peer an explicit ACK *)
 }
 
@@ -167,6 +176,8 @@ let mk_peer rank chan now =
     p_unacked_reqs = 0;
     p_expected = 0;
     p_last_progress = now;
+    p_backoff = 0;
+    p_rto_timer = None;
     p_need_ack = false;
   }
 
@@ -299,6 +310,57 @@ let retransmit_unacked t (p : peer) =
     p.p_last_progress <- Sim.now (Unet.sim t.u)
   end
 
+(* Retransmission timeout with exponential backoff, capped at rto_max. *)
+let cur_rto t (p : peer) =
+  min (t.cfg.rto lsl min p.p_backoff 20) t.cfg.rto_max
+
+(* The self-driving timer stops re-arming after this many consecutive
+   unanswered timeouts: a peer that stopped participating (a finished
+   program, not a lossy link) would otherwise keep the event queue
+   non-empty forever and unbounded [Sim.run]s would never return. A
+   later send or poll re-arms it. *)
+let max_timeouts = 6
+
+(* The timeout is driven by a scheduled Sim event, so a sender that
+   queues messages and then stops polling still retransmits (the timer
+   used to run only inside the recv polling loops, and a stalled sender
+   never recovered). The timer fires as a bare Sim event, so the actual
+   retransmission — which charges send-side CPU — runs in a freshly
+   spawned process. *)
+let rec arm_rto t (p : peer) =
+  cancel_rto p;
+  let sim = Unet.sim t.u in
+  let at = max (p.p_last_progress + cur_rto t p) (Sim.now sim) in
+  p.p_rto_timer <- Some (Sim.schedule_at sim at (fun () -> on_rto t p))
+
+and cancel_rto (p : peer) =
+  match p.p_rto_timer with
+  | Some h ->
+      Sim.cancel h;
+      p.p_rto_timer <- None
+  | None -> ()
+
+and on_rto t (p : peer) =
+  p.p_rto_timer <- None;
+  if not (Queue.is_empty p.p_unacked) then
+    if Sim.now (Unet.sim t.u) - p.p_last_progress >= cur_rto t p then
+      if p.p_backoff >= max_timeouts then
+        Log.debug (fun m ->
+            m "node %d: giving up timer-driven retransmission to node %d \
+               after %d timeouts"
+              t.rank p.p_rank p.p_backoff)
+      else begin
+        p.p_backoff <- p.p_backoff + 1;
+        ignore
+          (Proc.spawn ~name:"uam_rto" (Unet.sim t.u) (fun () ->
+               retransmit_unacked t p;
+               arm_rto t p))
+      end
+    else
+      (* a poller retransmitted or acks progressed since arming: wait out
+         the remainder of the (possibly backed-off) timeout *)
+      arm_rto t p
+
 let apply_ack t (p : peer) ack =
   let progressed = ref false in
   let continue = ref true in
@@ -313,7 +375,13 @@ let apply_ack t (p : peer) ack =
         progressed := true
     | _ -> continue := false
   done;
-  if !progressed then p.p_last_progress <- Sim.now (Unet.sim t.u)
+  if !progressed then begin
+    p.p_last_progress <- Sim.now (Unet.sim t.u);
+    p.p_backoff <- 0;
+    (* keep the timer in step with the window: gone when empty, pushed
+       out past the fresh progress otherwise *)
+    if Queue.is_empty p.p_unacked then cancel_rto p else arm_rto t p
+  end
 
 let send_explicit_ack t (p : peer) =
   Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
@@ -357,6 +425,7 @@ let send_seq ?parent t (p : peer) ~ty ~handler ~args ~payload =
   Queue.add
     { u_seq = seq; u_type = ty; u_resend = resend; u_buffer = buffer; u_ctx = ctx }
     p.p_unacked;
+  if p.p_rto_timer = None then arm_rto t p;
   if ty = Req then begin
     p.p_unacked_reqs <- p.p_unacked_reqs + 1;
     t.reqs_sent <- t.reqs_sent + 1;
@@ -463,8 +532,10 @@ let check_timers t =
     (function
       | Some p
         when (not (Queue.is_empty p.p_unacked))
-             && now - p.p_last_progress > t.cfg.rto ->
-          retransmit_unacked t p
+             && now - p.p_last_progress >= cur_rto t p ->
+          p.p_backoff <- p.p_backoff + 1;
+          retransmit_unacked t p;
+          arm_rto t p
       | _ -> ())
     t.peers
 

@@ -22,7 +22,11 @@ type handler =
 
 type config = {
   window : int;  (** w: max outstanding unacknowledged requests per peer *)
-  rto : Engine.Sim.time;  (** retransmission timeout *)
+  rto : Engine.Sim.time;
+      (** base retransmission timeout; doubles on each consecutive
+          timeout without progress (timer-driven, so retransmission does
+          not depend on the sender polling) *)
+  rto_max : Engine.Sim.time;  (** exponential-backoff cap *)
   op_ns : int;  (** UAM library cost per send / per dispatch (≈1.5 µs) *)
   chunk_data : int;  (** transfer-buffer data size: 4160 bytes (§5.2) *)
 }

@@ -41,6 +41,28 @@ let all_outcomes =
     Dropped_bad_offset;
   ]
 
+(* Every receive-path discard, wherever it happens (mux outcome, kernel
+   mux unknown channel, NI overrun), funnels through here so nothing is
+   dropped silently: a labelled counter plus a [Dropped] span mark. *)
+let rx_dropped =
+  let tbl : (string, Engine.Metrics.Counter.t) Hashtbl.t = Hashtbl.create 8 in
+  fun ?ctx reason ->
+    let c =
+      match Hashtbl.find_opt tbl reason with
+      | Some c -> c
+      | None ->
+          let c =
+            Engine.Metrics.counter
+              ~help:"messages discarded on the U-Net receive path, by reason"
+              "unet_rx_dropped_total"
+              [ ("reason", reason) ]
+          in
+          Hashtbl.add tbl reason c;
+          c
+    in
+    Engine.Metrics.Counter.inc c;
+    Engine.Span.mark ctx Engine.Span.Dropped
+
 let create ?host ?(copy_layer = "mux") () =
   let labels =
     match host with None -> [] | Some h -> [ ("host", string_of_int h) ]
@@ -184,13 +206,16 @@ let deliver_to ?(copy_layer = "mux") ?ctx (ep : Endpoint.t) ~chan ?dest_offset
   (match outcome with
   | Delivered_inline | Delivered_buffers _ | Delivered_direct -> ()
   | Dropped_rx_full ->
+      rx_dropped ?ctx "rx_full";
       Log.debug (fun m ->
           m "endpoint %d: receive queue full, message dropped" ep.ep_id)
   | Dropped_no_free_buffer ->
+      rx_dropped ?ctx "no_free_buffer";
       Log.debug (fun m ->
           m "endpoint %d: free queue empty, %d-byte message dropped" ep.ep_id
             len)
   | Dropped_bad_offset ->
+      rx_dropped ?ctx "bad_offset";
       Log.debug (fun m ->
           m "endpoint %d: direct-access offset out of range" ep.ep_id));
   outcome
@@ -200,6 +225,7 @@ let deliver t ~rx_vci ?ctx ?dest_offset data =
   | None ->
       t.unknown <- t.unknown + 1;
       Engine.Metrics.Counter.inc t.m_unknown;
+      rx_dropped ?ctx "unknown_channel";
       if Engine.Trace.enabled () then
         Engine.Trace.instant Engine.Trace.Mux "mux.unknown_tag" ~tid:t.host
           ~args:[ ("vci", Engine.Trace.Int rx_vci) ];

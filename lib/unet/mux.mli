@@ -57,3 +57,10 @@ val deliver_to :
 
 val deliveries : t -> int
 val unknown_tag_drops : t -> int
+
+val rx_dropped : ?ctx:Engine.Span.ctx -> string -> unit
+(** Account one receive-path discard: bumps
+    [unet_rx_dropped_total{reason}] and marks the span [Dropped]. Every
+    drop site on the receive path (mux outcomes, the kernel mux's unknown
+    channel, NI overruns) must report here so no message vanishes
+    silently. *)

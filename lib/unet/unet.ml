@@ -428,6 +428,7 @@ let kemu_rx t k (d : Desc.rx) =
   in
   match Hashtbl.find_opt k.kdemux d.src_chan with
   | None ->
+      Mux.rx_dropped ?ctx:d.ctx "unknown_channel";
       Log.debug (fun m ->
           m "kernel mux: message on unknown kernel channel %d dropped"
             d.src_chan)

@@ -230,7 +230,12 @@ let test_unknown_region () =
   Sim.run c.sim
 
 let test_store_under_loss () =
-  let config = { Uam.default_config with rto = Sim.ms 2 } in
+  (* 5% cell loss on ~88-cell chunks leaves each go-back-N attempt ≈1%
+     likely to land, so cap the exponential backoff low to keep the
+     many retries inside the 30 s horizon *)
+  let config =
+    { Uam.default_config with rto = Sim.ms 2; rto_max = Sim.ms 10 }
+  in
   let c = Cluster.create () in
   let a0 = Uam.create ~config (Cluster.node c 0).unet ~rank:0 ~nodes:2 in
   let a1 = Uam.create ~config (Cluster.node c 1).unet ~rank:1 ~nodes:2 in
