@@ -95,10 +95,56 @@ let diff ~tolerance old_j new_j =
     [ "buf_copies_total"; "buf_copy_bytes_total" ];
   !flagged
 
+(* every top-level numeric member is a metric worth showing side by side *)
+let numeric_members j =
+  match j with
+  | Engine.Json.Obj kvs ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with Engine.Json.Num n -> Some (k, n) | _ -> None)
+        kvs
+  | _ -> []
+
+let print_metric_table old_j new_j =
+  let olds = numeric_members old_j in
+  let news = numeric_members new_j in
+  let keys =
+    List.map fst olds
+    @ List.filter (fun k -> not (List.mem_assoc k olds)) (List.map fst news)
+  in
+  if keys <> [] then begin
+    Format.printf "  %-28s %14s %14s %9s@." "metric" "baseline" "current"
+      "delta";
+    List.iter
+      (fun k ->
+        let o = List.assoc_opt k olds in
+        let n = List.assoc_opt k news in
+        let num = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+        let delta =
+          match (o, n) with
+          | Some o, Some n ->
+              Printf.sprintf "%+.1f%%"
+                ((n -. o) /. Float.max (Float.abs o) 1e-9 *. 100.)
+          | _ -> "-"
+        in
+        Format.printf "  %-28s %14s %14s %9s@." k (num o) (num n) delta)
+      keys
+  end
+
 let run old_path new_path tolerance =
+  if not (Sys.file_exists old_path) then begin
+    (* its own exit code so CI can distinguish "no baseline recorded yet"
+       (seed it) from a real regression or a broken snapshot *)
+    Format.eprintf
+      "benchdiff: baseline %s does not exist (record one with bench/main.exe)@."
+      old_path;
+    3
+  end
+  else
   try
     let old_j = Engine.Json.of_file old_path in
     let new_j = Engine.Json.of_file new_path in
+    print_metric_table old_j new_j;
     let flagged = diff ~tolerance old_j new_j in
     if flagged = 0 then begin
       Format.printf "ok: %s and %s agree within %.0f%%@." old_path new_path
@@ -118,16 +164,18 @@ let run old_path new_path tolerance =
       Format.eprintf "benchdiff: parse error: %s@." msg;
       2
 
+(* plain strings, not Arg.file: a missing baseline must reach [run] so it
+   can exit 3 rather than cmdliner's generic 124 *)
 let old_path =
   Arg.(
     required
-    & pos 0 (some file) None
+    & pos 0 (some string) None
     & info [] ~docv:"BASELINE" ~doc:"The baseline BENCH_*.json snapshot.")
 
 let new_path =
   Arg.(
     required
-    & pos 1 (some file) None
+    & pos 1 (some string) None
     & info [] ~docv:"CURRENT" ~doc:"The snapshot to compare against it.")
 
 let tolerance =

@@ -6,7 +6,11 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
-let run_experiment name quick check =
+(* Experiment-specific report fragments accumulated across the run (one
+   entry per experiment when --report is active). *)
+let report_acc : string list list ref = ref []
+
+let run_experiment ?(collect_report = false) name quick check =
   match Experiments.Registry.find name with
   | None ->
       Format.eprintf "unknown experiment %S; try: %s@." name
@@ -14,12 +18,21 @@ let run_experiment name quick check =
       1
   | Some e ->
       let o = e.run ~quick in
+      if collect_report then
+        report_acc := Experiments.Registry.report_sections e o :: !report_acc;
       if check then begin
         List.iter
           (fun (what, ok) ->
             Format.printf "  [%s] %s@." (if ok then "PASS" else "FAIL") what)
           o.Experiments.Registry.o_checks;
-        if List.for_all snd o.o_checks then 0 else 1
+        if List.for_all snd o.o_checks then 0
+        else begin
+          (* a failed claim is as postmortem-worthy as a stall *)
+          if Engine.Recorder.armed () then
+            Engine.Recorder.trigger
+              ~reason:(Printf.sprintf "experiment %s: checks failed" name);
+          1
+        end
       end
       else begin
         o.Experiments.Registry.o_print ();
@@ -89,11 +102,11 @@ let write_plotdata dir quick =
   Format.printf "wrote %s (run: cd %s && gnuplot plot.gp)@." gp dir;
   0
 
-let run_all quick check =
+let run_all ?collect_report quick check =
   List.fold_left
     (fun acc (e : Experiments.Registry.experiment) ->
       Format.printf "@.=== %s: %s ===@.@." e.name e.description;
-      max acc (run_experiment e.name quick check))
+      max acc (run_experiment ?collect_report e.name quick check))
     0 Experiments.Registry.all
 
 let quick =
@@ -184,6 +197,61 @@ let breakdown =
            attribution afterwards (the measured Table 2 decomposition when \
            the run contains UAM round trips).")
 
+let profile_file =
+  Arg.(
+    value
+    & opt ~vopt:(Some "profile.folded") (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Attribute virtual time to per-host frame stacks during the run \
+           and write a collapsed-stack (folded) file to $(docv) (default \
+           $(b,profile.folded)), the format flamegraph.pl and speedscope \
+           ingest. Each host's root frame's inclusive time equals the \
+           run's elapsed virtual time.")
+
+let timeseries_file =
+  Arg.(
+    value
+    & opt ~vopt:(Some "timeseries.json") (some string) None
+    & info [ "timeseries" ] ~docv:"FILE"
+        ~doc:
+          "Sample registered resource probes (ring occupancy, switch port \
+           queues, link and i960 utilization, TCP cwnd/flight/rto, UAM \
+           unacked windows, fault activity) every --sample-interval of \
+           simulated time and write the series as JSON to $(docv) (default \
+           $(b,timeseries.json)) plus CSV next to it.")
+
+let sample_interval =
+  Arg.(
+    value & opt int 10
+    & info [ "sample-interval" ] ~docv:"MICROSECONDS"
+        ~doc:"Timeseries sampling interval in simulated microseconds.")
+
+let report_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write a single self-contained HTML run report to $(docv): \
+           experiment description, checks, figure curves, the per-phase \
+           latency breakdown, resource-timeseries sparklines, a per-host \
+           flamegraph and the metrics registry. Implies span, profile and \
+           timeseries collection. The file has no scripts and no external \
+           references.")
+
+let postmortem_dir =
+  Arg.(
+    value
+    & opt ~vopt:(Some "postmortem") (some string) None
+    & info [ "postmortem" ] ~docv:"DIR"
+        ~doc:
+          "Arm the flight recorder: if some flow sits undelivered past the \
+           stall deadline, or an experiment check fails under $(b,--check), \
+           dump a post-mortem bundle (flow table, queue snapshots, recent \
+           trace events, metrics, and any enabled telemetry) into $(docv) \
+           (default $(b,postmortem)).")
+
 let names_doc =
   "EXPERIMENT is one of: all, " ^ String.concat ", " Experiments.Registry.names
 
@@ -193,13 +261,22 @@ let experiment =
     & pos 0 string "all"
     & info [] ~docv:"EXPERIMENT" ~doc:names_doc)
 
+let experiment_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "experiment" ] ~docv:"EXPERIMENT"
+        ~doc:"Same as the positional argument; takes precedence over it.")
+
 let cmd =
   let doc = "reproduce the tables and figures of the U-Net paper (SOSP 1995)" in
   let term =
     Term.(
-      const (fun name quick check out verbose trace metrics spans pcap
-                 breakdown fault ->
+      const (fun name exp_opt quick check out verbose trace metrics spans pcap
+                 breakdown fault profile timeseries interval_us report
+                 postmortem ->
           setup_logs verbose;
+          let name = Option.value exp_opt ~default:name in
           (match fault with
           | None -> ()
           | Some spec -> (
@@ -211,8 +288,20 @@ let cmd =
                   Format.eprintf "bad --fault spec: %s@." msg;
                   Stdlib.exit 2));
           if trace <> None then Engine.Trace.start ();
-          if spans <> None || breakdown then Engine.Span.start ();
+          if spans <> None || breakdown || report <> None then
+            Engine.Span.start ();
           if pcap <> None then Engine.Pcapng.start ();
+          if interval_us <= 0 then begin
+            Format.eprintf "--sample-interval must be positive@.";
+            Stdlib.exit 2
+          end;
+          Engine.Timeseries.set_interval (Engine.Sim.us interval_us);
+          if profile <> None || report <> None then Engine.Profile.start ();
+          if timeseries <> None || report <> None then
+            Engine.Timeseries.start ();
+          (match postmortem with
+          | Some dir -> Engine.Recorder.start ~dir ()
+          | None -> ());
           let finish code =
             let code = ref code in
             let or_fail what f =
@@ -256,15 +345,55 @@ let cmd =
                     Engine.Metrics.write_file path;
                     Format.printf "wrote metrics to %s@." path)
             | None -> ());
+            (match profile with
+            | Some path ->
+                or_fail "profile" (fun () ->
+                    Engine.Profile.write_folded path;
+                    Format.printf
+                      "wrote folded profile (%d hosts, %d ns elapsed) to %s@."
+                      (List.length (Engine.Profile.hosts ()))
+                      (Engine.Profile.elapsed ())
+                      path)
+            | None -> ());
+            (match timeseries with
+            | Some path ->
+                or_fail "timeseries" (fun () ->
+                    Engine.Timeseries.write_json path;
+                    let csv = Filename.remove_extension path ^ ".csv" in
+                    Engine.Timeseries.write_csv csv;
+                    Format.printf "wrote %d timeseries to %s and %s@."
+                      (List.length (Engine.Timeseries.series ()))
+                      path csv)
+            | None -> ());
+            (match report with
+            | Some path ->
+                or_fail "report" (fun () ->
+                    let sections =
+                      List.concat (List.rev !report_acc)
+                      @ [
+                          Engine.Report.breakdown_section ();
+                          Engine.Report.timeseries_section ();
+                          Engine.Report.profile_section ();
+                          Engine.Report.metrics_section ();
+                        ]
+                    in
+                    Engine.Report.write ~path
+                      ~title:("U-Net simulation report: " ^ name)
+                      sections;
+                    Format.printf "wrote report to %s@." path)
+            | None -> ());
             Stdlib.exit !code
           in
+          let collect_report = report <> None in
           match out with
           | Some dir -> finish (write_plotdata dir quick)
           | None ->
-              if name = "all" then finish (run_all quick check)
-              else finish (run_experiment name quick check))
-      $ experiment $ quick $ check $ out $ verbose $ trace_file $ metrics_file
-      $ spans_file $ pcap_file $ breakdown $ fault)
+              if name = "all" then finish (run_all ~collect_report quick check)
+              else finish (run_experiment ~collect_report name quick check))
+      $ experiment $ experiment_opt $ quick $ check $ out $ verbose
+      $ trace_file $ metrics_file $ spans_file $ pcap_file $ breakdown $ fault
+      $ profile_file $ timeseries_file $ sample_interval $ report_file
+      $ postmortem_dir)
   in
   Cmd.v (Cmd.info "unetsim" ~doc) term
 

@@ -12,6 +12,7 @@ type t = {
   mutable fault : Fault.t option;
   mutable sent : int;
   mutable dropped : int;
+  mutable busy_ns : int; (* cumulative serialization time (utilization) *)
   m_sent : Metrics.Counter.t;
   m_dropped : Metrics.Counter.t;
   m_queue_hw : Metrics.Gauge.t;
@@ -22,29 +23,38 @@ let create sim ?(queue_capacity = max_int) ?(metrics_labels = []) ~bandwidth_mbp
   if bandwidth_mbps <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   let bits = float_of_int (Cell.on_wire_size * 8) in
   let cell_time = int_of_float (Float.round (bits /. bandwidth_mbps *. 1_000.)) in
-  {
-    sim;
-    cell_time;
-    propagation;
-    queue_capacity;
-    queue = Queue.create ();
-    transmitting = false;
-    receiver = None;
-    loss = None;
-    fault = None;
-    sent = 0;
-    dropped = 0;
-    m_sent =
-      Metrics.counter ~help:"cells delivered to the far end of a link"
-        "atm_link_cells_sent_total" metrics_labels;
-    m_dropped =
-      Metrics.counter
-        ~help:"cells lost on a link (transmit-queue overflow or injected loss)"
-        "atm_link_cells_dropped_total" metrics_labels;
-    m_queue_hw =
-      Metrics.gauge ~help:"deepest a link transmit queue has ever been"
-        "atm_link_queue_high_water" metrics_labels;
-  }
+  let t =
+    {
+      sim;
+      cell_time;
+      propagation;
+      queue_capacity;
+      queue = Queue.create ();
+      transmitting = false;
+      receiver = None;
+      loss = None;
+      fault = None;
+      sent = 0;
+      dropped = 0;
+      busy_ns = 0;
+      m_sent =
+        Metrics.counter ~help:"cells delivered to the far end of a link"
+          "atm_link_cells_sent_total" metrics_labels;
+      m_dropped =
+        Metrics.counter
+          ~help:
+            "cells lost on a link (transmit-queue overflow or injected loss)"
+          "atm_link_cells_dropped_total" metrics_labels;
+      m_queue_hw =
+        Metrics.gauge ~help:"deepest a link transmit queue has ever been"
+          "atm_link_queue_high_water" metrics_labels;
+    }
+  in
+  Timeseries.register "atm_link_queue_depth" metrics_labels (fun () ->
+      float_of_int (Queue.length t.queue));
+  Timeseries.register ~kind:Timeseries.Utilization "atm_link_utilization"
+    metrics_labels (fun () -> float_of_int t.busy_ns);
+  t
 
 let set_receiver t f = t.receiver <- Some f
 let set_loss t rng ~p = t.loss <- Some (rng, p)
@@ -142,6 +152,7 @@ let rec transmit t cell =
      the last link the cell crosses wins) *)
   if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Link_tx;
   t.transmitting <- true;
+  t.busy_ns <- t.busy_ns + t.cell_time;
   ignore
     (Sim.schedule t.sim ~delay:t.cell_time (fun () ->
          deliver t cell;

@@ -20,44 +20,67 @@ type t = {
 
 let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
   if ports <= 0 then invalid_arg "Switch.create: ports must be positive";
-  {
-    sim;
-    ports;
-    transit;
-    output_queue_capacity;
-    outputs = Array.make ports None;
-    port_faults = Array.make ports None;
-    routes = Hashtbl.create 64;
-    routed = 0;
-    dropped = 0;
-    unroutable = 0;
-    m_routed =
-      Metrics.counter ~help:"cells forwarded onto an output port"
-        "atm_switch_cells_routed_total" [];
-    m_dropped =
-      Metrics.counter ~help:"cells dropped at a full switch output queue"
-        "atm_switch_cell_drops_total" [];
-    m_unroutable =
-      Metrics.counter ~help:"cells arriving with no matching VCI route"
-        "atm_switch_unroutable_total" [];
-    port_drops =
-      Array.init ports (fun p ->
-          Metrics.counter ~help:"cells dropped at a full switch output queue"
-            "atm_switch_port_drops_total"
-            [ ("port", string_of_int p) ]);
-    port_queue_hw =
-      Array.init ports (fun p ->
-          Metrics.gauge ~help:"deepest a switch output queue has ever been"
-            "atm_switch_port_queue_high_water"
-            [ ("port", string_of_int p) ]);
-  }
+  let t =
+    {
+      sim;
+      ports;
+      transit;
+      output_queue_capacity;
+      outputs = Array.make ports None;
+      port_faults = Array.make ports None;
+      routes = Hashtbl.create 64;
+      routed = 0;
+      dropped = 0;
+      unroutable = 0;
+      m_routed =
+        Metrics.counter ~help:"cells forwarded onto an output port"
+          "atm_switch_cells_routed_total" [];
+      m_dropped =
+        Metrics.counter ~help:"cells dropped at a full switch output queue"
+          "atm_switch_cell_drops_total" [];
+      m_unroutable =
+        Metrics.counter ~help:"cells arriving with no matching VCI route"
+          "atm_switch_unroutable_total" [];
+      port_drops =
+        Array.init ports (fun p ->
+            Metrics.counter ~help:"cells dropped at a full switch output queue"
+              "atm_switch_port_drops_total"
+              [ ("port", string_of_int p) ]);
+      port_queue_hw =
+        Array.init ports (fun p ->
+            Metrics.gauge ~help:"deepest a switch output queue has ever been"
+              "atm_switch_port_queue_high_water"
+              [ ("port", string_of_int p) ]);
+    }
+  in
+  Recorder.register_snapshot "atm.switch" (fun () ->
+      Json.Obj
+        (List.init t.ports (fun p ->
+             ( "port" ^ string_of_int p,
+               match t.outputs.(p) with
+               | None -> Json.Null
+               | Some l ->
+                   Json.Obj
+                     [
+                       ( "queue_depth",
+                         Json.Num (float_of_int (Link.queue_length l)) );
+                       ( "drops",
+                         Json.Num
+                           (float_of_int
+                              (Metrics.Counter.value t.port_drops.(p))) );
+                     ] ))));
+  t
 
 let check_port t port =
   if port < 0 || port >= t.ports then invalid_arg "Switch: port out of range"
 
 let attach_output t ~port link =
   check_port t port;
-  t.outputs.(port) <- Some link
+  t.outputs.(port) <- Some link;
+  (* the output-port queue *is* the link's transmit queue *)
+  Timeseries.register "atm_switch_port_queue_depth"
+    [ ("port", string_of_int port) ]
+    (fun () -> float_of_int (Link.queue_length link))
 
 let set_fault t ~port f =
   check_port t port;

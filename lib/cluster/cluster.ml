@@ -16,7 +16,7 @@ let create ?(hosts = 2) ?(net_config = Atm.Network.default_config)
   let net = Atm.Network.create sim ~hosts net_config in
   let nodes =
     Array.init hosts (fun host ->
-        let cpu = Host.Cpu.create sim machine in
+        let cpu = Host.Cpu.create ~host sim machine in
         match nic with
         | Sba200_unet ->
             let i960 = Ni.Sba200.create net ~host ?config:nic_config () in

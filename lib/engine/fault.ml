@@ -180,21 +180,27 @@ let fnv1a s =
   Int64.to_int !h
 
 let create ~site fspec =
-  {
-    fspec;
-    rng = Rng.create (fspec.seed lxor fnv1a site);
-    in_burst = false;
-    count = 0;
-    counters =
-      List.map
-        (fun kind ->
-          ( kind,
-            Metrics.counter
-              ~help:"faults injected by the deterministic fault layer"
-              "fault_injected_total"
-              [ ("kind", kind); ("site", site) ] ))
-        kinds;
-  }
+  let t =
+    {
+      fspec;
+      rng = Rng.create (fspec.seed lxor fnv1a site);
+      in_burst = false;
+      count = 0;
+      counters =
+        List.map
+          (fun kind ->
+            ( kind,
+              Metrics.counter
+                ~help:"faults injected by the deterministic fault layer"
+                "fault_injected_total"
+                [ ("kind", kind); ("site", site) ] ))
+          kinds;
+    }
+  in
+  Timeseries.register ~kind:Timeseries.Rate "fault_injected_rate"
+    [ ("site", site) ]
+    (fun () -> float_of_int t.count);
+  t
 
 let spec t = t.fspec
 let injected t = t.count

@@ -97,10 +97,31 @@ let gauge ?(help = "") name labels =
   | _ -> assert false
 
 (* Callback gauges are read at dump time; re-registration replaces the
-   callback so a fresh component instance (same identity, new run) wins. *)
+   callback so a fresh component instance (same identity, new run) wins.
+   Observers (the Timeseries bridge) see every registration too, so one
+   gauge_fn call feeds both the dump-time gauge and the sampler. *)
+let gauge_fn_observers :
+    (string -> labels -> (unit -> float) -> unit) list ref =
+  ref []
+
+let on_gauge_fn obs =
+  gauge_fn_observers := obs :: !gauge_fn_observers;
+  (* replay registrations made before the observer arrived *)
+  List.iter
+    (fun f ->
+      if f.f_kind = Gauge_k then
+        List.iter
+          (fun (labels, i) ->
+            match i with
+            | I_gauge { Gauge.fn = Some fn; _ } -> obs f.f_name labels fn
+            | _ -> ())
+          f.f_samples)
+    (List.rev_map (Hashtbl.find registry) !order)
+
 let gauge_fn ?help name labels f =
   let g = gauge ?help name labels in
-  g.Gauge.fn <- Some f
+  g.Gauge.fn <- Some f;
+  List.iter (fun obs -> obs name (canon labels) f) !gauge_fn_observers
 
 let histogram ?(help = "") name labels =
   let f = family ~kind:Histogram_k ~help name in

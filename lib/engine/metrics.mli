@@ -45,6 +45,12 @@ val gauge_fn : ?help:string -> string -> labels -> (unit -> float) -> unit
     Re-registration replaces the callback (a fresh component instance with
     the same identity wins). *)
 
+val on_gauge_fn : (string -> labels -> (unit -> float) -> unit) -> unit
+(** Observe every {!gauge_fn} registration — past (replayed immediately
+    with canonical labels) and future. One registration, two consumers:
+    this is how [Engine.Timeseries] samples callback gauges continuously
+    instead of only reading them at dump time. *)
+
 val histogram : ?help:string -> string -> labels -> Histogram.t
 
 val reset : unit -> unit

@@ -1,0 +1,169 @@
+(* A virtual-time attribution profiler.
+
+   Layers push/pop named frames around the regions that spend virtual time
+   (CPU charges, NI server occupancy), and the places that actually account
+   that time — [Host.Cpu.charge_raw], the NI submit sites — report it here
+   with [charge] at the moment it is charged, *before* the implied
+   [Proc.sleep]. Attributing at the charge site rather than measuring
+   elapsed time between push and pop is what keeps the numbers honest in a
+   discrete-event world: while one process sleeps through its charge,
+   other processes (other hosts, the NI, timers) run, and their time must
+   not leak into the sleeping frame.
+
+   Frames are keyed per host. Two processes on the same host can interleave
+   pushes and pops across sleeps, in which case a pop may structurally
+   remove the other process's frame; the stacks stay balanced and the total
+   time conserved, but a charge landing in that window is attributed to the
+   unioned path. This is rare (it needs two runnable processes on one
+   simulated CPU) and bounded, and it is the price of not threading a
+   profiler context through every layer; DESIGN.md §12 discusses it.
+
+   The folded ("collapsed-stack") output is the flamegraph.pl / speedscope
+   interchange format: one line per stack, semicolon-separated frames, a
+   space, and the exclusive time in that stack. Each host gets a synthetic
+   root frame [host<N>] whose exclusive time is the run's elapsed virtual
+   time minus everything attributed beneath it, so the root's *inclusive*
+   time equals elapsed virtual time by construction and idle time is
+   visible rather than hidden. *)
+
+type node = {
+  n_name : string;
+  n_children : (string, node) Hashtbl.t;
+  mutable n_order : string list; (* creation order, reversed *)
+  mutable n_self : int; (* exclusive virtual ns charged right here *)
+}
+
+let mk_node name =
+  { n_name = name; n_children = Hashtbl.create 4; n_order = []; n_self = 0 }
+
+type host_state = {
+  h_root : node;
+  mutable h_stack : node list; (* innermost frame first; [] = at root *)
+}
+
+let enabled_flag = ref false
+let clock : (unit -> int) ref = ref (fun () -> 0)
+let start_ts = ref 0
+let hosts_tbl : (int, host_state) Hashtbl.t = Hashtbl.create 8
+let host_order : int list ref = ref []
+let underflows = ref 0
+
+let enabled () = !enabled_flag
+let attach_clock f = clock := f
+
+let clear () =
+  Hashtbl.reset hosts_tbl;
+  host_order := [];
+  underflows := 0;
+  start_ts := !clock ()
+
+let start () =
+  clear ();
+  enabled_flag := true
+
+let stop () = enabled_flag := false
+let elapsed () = !clock () - !start_ts
+
+let host_state host =
+  match Hashtbl.find_opt hosts_tbl host with
+  | Some h -> h
+  | None ->
+      let h =
+        { h_root = mk_node (Printf.sprintf "host%d" host); h_stack = [] }
+      in
+      Hashtbl.replace hosts_tbl host h;
+      host_order := host :: !host_order;
+      h
+
+let child parent name =
+  match Hashtbl.find_opt parent.n_children name with
+  | Some n -> n
+  | None ->
+      let n = mk_node name in
+      Hashtbl.replace parent.n_children name n;
+      parent.n_order <- name :: parent.n_order;
+      n
+
+let top h = match h.h_stack with n :: _ -> n | [] -> h.h_root
+
+let push ?(host = 0) name =
+  if !enabled_flag then begin
+    let h = host_state host in
+    h.h_stack <- child (top h) name :: h.h_stack
+  end
+
+let pop ?(host = 0) () =
+  if !enabled_flag then
+    let h = host_state host in
+    match h.h_stack with
+    | _ :: rest -> h.h_stack <- rest
+    | [] -> incr underflows
+
+let charge ?(host = 0) ?(frames = []) ns =
+  if !enabled_flag && ns > 0 then begin
+    let h = host_state host in
+    let n = List.fold_left child (top h) frames in
+    n.n_self <- n.n_self + ns
+  end
+
+let charge_root ?(host = 0) ~frames ns =
+  if !enabled_flag && ns > 0 then begin
+    let h = host_state host in
+    let n = List.fold_left child h.h_root frames in
+    n.n_self <- n.n_self + ns
+  end
+
+let depth ~host =
+  match Hashtbl.find_opt hosts_tbl host with
+  | None -> 0
+  | Some h -> List.length h.h_stack
+
+let unmatched_pops () = !underflows
+let hosts () = List.rev !host_order
+
+(* Inclusive time of a subtree: its own exclusive time plus everything
+   below it. *)
+let rec inclusive n =
+  Hashtbl.fold (fun _ c acc -> acc + inclusive c) n.n_children n.n_self
+
+(* Stacks in deterministic order (children in creation order), with the
+   root's exclusive time computed as elapsed - attributed (clamped at 0 in
+   case concurrent same-host charges ever overlap past 100% utilization). *)
+let stacks () =
+  let el = elapsed () in
+  let acc = ref [] in
+  let rec walk path n self =
+    let path = path @ [ n.n_name ] in
+    if self > 0 || path = [ n.n_name ] then acc := (path, self) :: !acc;
+    List.iter
+      (fun name ->
+        let c = Hashtbl.find n.n_children name in
+        walk path c c.n_self)
+      (List.rev n.n_order)
+  in
+  List.iter
+    (fun host ->
+      let h = Hashtbl.find hosts_tbl host in
+      let attributed = inclusive h.h_root in
+      let root_self = max 0 (el - attributed) in
+      walk [] h.h_root (h.h_root.n_self + root_self))
+    (hosts ());
+  List.rev !acc
+
+let to_folded_string () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (path, self) ->
+      if self > 0 then begin
+        Buffer.add_string b (String.concat ";" path);
+        Buffer.add_char b ' ';
+        Buffer.add_string b (string_of_int self);
+        Buffer.add_char b '\n'
+      end)
+    (stacks ());
+  Buffer.contents b
+
+let write_folded path =
+  let oc = open_out path in
+  output_string oc (to_folded_string ());
+  close_out oc

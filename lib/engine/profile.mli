@@ -1,0 +1,66 @@
+(** Virtual-time attribution profiler with collapsed-stack output.
+
+    Layers {!push}/{!pop} named frames around regions that spend virtual
+    time, and the sites that actually account that time (CPU charges, NI
+    server occupancy) report it with {!charge} at the instant it is
+    charged — before the implied sleep — so time spent by other processes
+    while a frame's owner sleeps is never mis-attributed to that frame.
+
+    Frames are keyed per simulated host. Each host gets a synthetic root
+    frame [host<N>] whose exclusive time is the elapsed virtual time since
+    {!start} minus everything attributed beneath it, so the root's
+    inclusive time equals elapsed virtual time by construction (idle shows
+    up as root-exclusive time rather than being hidden).
+
+    Like the other telemetry registries this is process-global, off by
+    default, and free when disabled (one boolean test per call). *)
+
+val start : unit -> unit
+(** Enable and clear; the elapsed-time origin is the current virtual time. *)
+
+val stop : unit -> unit
+val clear : unit -> unit
+val enabled : unit -> bool
+
+val attach_clock : (unit -> int) -> unit
+(** Called by [Sim.create] with a cumulative virtual-time clock (monotone
+    across simulator instances within one run). *)
+
+val push : ?host:int -> string -> unit
+(** Enter a named frame on [host]'s stack. No-op when disabled. *)
+
+val pop : ?host:int -> unit -> unit
+(** Leave the innermost frame. Popping an empty stack only bumps
+    {!unmatched_pops} (never raises). *)
+
+val charge : ?host:int -> ?frames:string list -> int -> unit
+(** [charge ~host ~frames ns] attributes [ns] of virtual time to the node
+    reached by descending [frames] from the current top of [host]'s stack
+    (creating nodes as needed). Call this synchronously where the time is
+    charged, before any sleep. *)
+
+val charge_root : ?host:int -> frames:string list -> int -> unit
+(** Like {!charge} but always descends from the host root, ignoring the
+    current stack — for asynchronous device time (NI servers) that should
+    not nest under whatever application frame happens to be open. *)
+
+val elapsed : unit -> int
+(** Virtual ns since {!start} (cumulative across simulator instances). *)
+
+val depth : host:int -> int
+(** Current stack depth for a host (0 when balanced). *)
+
+val unmatched_pops : unit -> int
+val hosts : unit -> int list
+
+val stacks : unit -> (string list * int) list
+(** Every stack with its exclusive time, deterministic order. Paths start
+    with the [host<N>] root; the root line carries the residual
+    (idle/unattributed) time so that per host the sum of all exclusive
+    times equals {!elapsed}. *)
+
+val to_folded_string : unit -> string
+(** Collapsed-stack ("folded") text: [frame;frame;... <ns>] per line, the
+    format flamegraph.pl and speedscope ingest. *)
+
+val write_folded : string -> unit

@@ -75,15 +75,34 @@ type t = {
   mutable live : int; (* scheduled and not yet fired/cancelled *)
 }
 
+(* Cumulative virtual time across simulator instances. Experiments build a
+   fresh simulator per sweep point; telemetry that spans a whole run (the
+   profiler's elapsed time, timeseries timestamps, the recorder's stall
+   clock) needs a clock that keeps climbing instead of restarting at every
+   [create]. Each [create] folds the previous instance's final clock into
+   the base, so [time_base + clock] is monotone for the whole process. *)
+let time_base = ref 0
+let last_sim : t option ref = ref None
+
 let create () =
+  (match !last_sim with
+  | Some prev -> time_base := !time_base + prev.clock
+  | None -> ());
   let t = { clock = 0; heap = Heap.create (); next_seq = 0; live = 0 } in
+  last_sim := Some t;
   (* the newest simulator stamps trace events, spans and captures
      (exactly one is live at a time in every runner; see Trace) *)
   Trace.attach_clock (fun () -> t.clock);
   Span.attach_clock (fun () -> t.clock);
   Pcapng.attach_clock (fun () -> t.clock);
+  let cumulative () = !time_base + t.clock in
+  Profile.attach_clock cumulative;
+  Timeseries.attach_clock cumulative;
+  Recorder.attach_clock cumulative;
   t
+
 let now t = t.clock
+let global_now t = !time_base + t.clock
 let pending t = t.live
 
 let schedule_at t at f =
@@ -107,7 +126,10 @@ let cancel (e : handle) =
   | Some _ -> e.thunk <- None
 (* note: [live] is decremented lazily when the tombstone is popped *)
 
-(* Pop events, skipping tombstones, firing the first live one. *)
+(* Pop events, skipping tombstones, firing the first live one. The
+   telemetry hooks cost one boolean read each when their subsystem is off,
+   and never touch the event queue or the clock, so runs with telemetry
+   disabled are byte-identical to runs without these lines. *)
 let rec step t =
   match Heap.pop t.heap with
   | None -> false
@@ -121,11 +143,13 @@ let rec step t =
           e.thunk <- None;
           t.live <- t.live - 1;
           t.clock <- e.at;
+          if Timeseries.enabled () then Timeseries.on_event (global_now t);
+          if Recorder.armed () then Recorder.tick (global_now t);
           f ();
           true)
 
 let run ?until t =
-  match until with
+  (match until with
   | None -> while step t do () done
   | Some limit ->
       let continue = ref true in
@@ -136,7 +160,11 @@ let run ?until t =
             if e.at > limit then continue := false
             else if not (step t) then continue := false
       done;
-      if t.clock < limit then t.clock <- limit
+      if t.clock < limit then t.clock <- limit);
+  (* a final sample/watchdog check at the end-of-run clock, so a run that
+     drains (or coasts to its limit) still observes its last state *)
+  if Timeseries.enabled () then Timeseries.on_event (global_now t);
+  if Recorder.armed () then Recorder.tick (global_now t)
 
 let ns n = n
 let us n = n * 1_000

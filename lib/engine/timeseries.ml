@@ -1,0 +1,237 @@
+(* A periodic virtual-time sampler over registered probes.
+
+   Components register probes (a name, labels, and a read callback) at
+   construction time, exactly like metrics; sampling is driven by the
+   simulator's event loop. [Sim.step] calls [sample] at most once per
+   fired event, and only once the clock has passed the next sample point,
+   so the cadence is [interval] during active phases and degrades to
+   one-sample-per-event when events are sparser than the interval (a
+   quiescent simulation produces no new information anyway, and catching
+   up across a long idle gap would cost time proportional to the gap).
+
+   Probes are generation-scoped: [attach_clock] — called by every
+   [Sim.create] — bumps a generation counter, and only probes (re-)
+   registered under the current generation are sampled. Components
+   re-created for each sweep point re-register (registration replaces the
+   callback, keeping one series per identity, mirroring the metrics
+   registry), while probes left over from a previous simulator instance
+   stop being read rather than reporting stale state.
+
+   Each series is a bounded ring (oldest points dropped, drops counted);
+   each sample also folds into a [<name>_hw] metrics gauge via set_max, so
+   high-water marks survive into the ordinary metrics dump. *)
+
+type labels = (string * string) list
+
+let canon (labels : labels) =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+type kind = Gauge | Rate | Utilization
+
+let kind_name = function
+  | Gauge -> "gauge"
+  | Rate -> "rate"
+  | Utilization -> "utilization"
+
+type probe = {
+  p_name : string;
+  p_labels : labels;
+  p_kind : kind;
+  mutable p_fn : unit -> float;
+  mutable p_gen : int;
+  (* previous (time, raw value) for Rate/Utilization differencing *)
+  mutable p_prev : (int * float) option;
+  mutable p_hw : Metrics.Gauge.t option;
+  p_points : (int * float) array; (* ring *)
+  mutable p_len : int;
+  mutable p_head : int; (* next write position *)
+  mutable p_dropped : int;
+}
+
+let capacity = 8192
+let probes : (string * labels, probe) Hashtbl.t = Hashtbl.create 32
+let order : (string * labels) list ref = ref [] (* reversed *)
+let enabled_flag = ref false
+let generation = ref 0
+let interval_ns = ref 10_000 (* 10 µs of simulated time *)
+let next_sample = ref 0
+
+let enabled () = !enabled_flag
+let interval () = !interval_ns
+
+let set_interval ns =
+  if ns <= 0 then invalid_arg "Timeseries.set_interval";
+  interval_ns := ns
+
+let attach_clock _f =
+  (* a new simulator instance: scope out probes owned by the previous one *)
+  incr generation
+
+let register ?(kind = Gauge) name labels fn =
+  let labels = canon labels in
+  let key = (name, labels) in
+  match Hashtbl.find_opt probes key with
+  | Some p ->
+      p.p_fn <- fn;
+      p.p_gen <- !generation;
+      p.p_prev <- None
+  | None ->
+      let p =
+        {
+          p_name = name;
+          p_labels = labels;
+          p_kind = kind;
+          p_fn = fn;
+          p_gen = !generation;
+          p_prev = None;
+          p_hw = None;
+          p_points = Array.make capacity (0, 0.);
+          p_len = 0;
+          p_head = 0;
+          p_dropped = 0;
+        }
+      in
+      Hashtbl.replace probes key p;
+      order := key :: !order
+
+let record p now v =
+  p.p_points.(p.p_head) <- (now, v);
+  p.p_head <- (p.p_head + 1) mod capacity;
+  if p.p_len < capacity then p.p_len <- p.p_len + 1
+  else p.p_dropped <- p.p_dropped + 1;
+  let hw =
+    match p.p_hw with
+    | Some g -> g
+    | None ->
+        let g =
+          Metrics.gauge
+            ~help:"high-water mark folded back from a timeseries probe"
+            (p.p_name ^ "_hw") p.p_labels
+        in
+        p.p_hw <- Some g;
+        g
+  in
+  Metrics.Gauge.set_max hw v
+
+let sample_probe now p =
+  let raw = p.p_fn () in
+  match p.p_kind with
+  | Gauge -> record p now raw
+  | Rate | Utilization -> (
+      match p.p_prev with
+      | None -> p.p_prev <- Some (now, raw)
+      | Some (t0, v0) ->
+          if now > t0 then begin
+            let dv = raw -. v0 and dt = float_of_int (now - t0) in
+            let v =
+              match p.p_kind with
+              | Rate -> dv /. dt *. 1e9 (* per simulated second *)
+              | Utilization -> Float.min 1. (Float.max 0. (dv /. dt))
+              | Gauge -> assert false
+            in
+            p.p_prev <- Some (now, raw);
+            record p now v
+          end)
+
+(* Called from Sim.step with the cumulative virtual time of the event
+   about to fire. At most one sweep over the probes per event. *)
+let on_event now =
+  if now >= !next_sample then begin
+    next_sample := ((now / !interval_ns) + 1) * !interval_ns;
+    List.iter
+      (fun key ->
+        let p = Hashtbl.find probes key in
+        if p.p_gen = !generation then sample_probe now p)
+      (List.rev !order)
+  end
+
+(* gauge_fn bridge: every Metrics.gauge_fn registration also becomes a
+   Gauge probe, so one registration feeds both the dump-time gauge and
+   the sampler. Installed once, on first start. *)
+let bridged = ref false
+
+let clear () =
+  Hashtbl.reset probes;
+  order := [];
+  next_sample := 0
+
+let start () =
+  if not !bridged then begin
+    bridged := true;
+    Metrics.on_gauge_fn (fun name labels fn -> register name labels fn)
+  end;
+  enabled_flag := true
+
+let stop () = enabled_flag := false
+
+(* --- accessors and dumps --------------------------------------------- *)
+
+type series = {
+  s_name : string;
+  s_labels : labels;
+  s_kind : kind;
+  s_dropped : int;
+  s_points : (int * float) list; (* oldest first *)
+}
+
+let points p =
+  let out = ref [] in
+  for i = p.p_len - 1 downto 0 do
+    let idx = (p.p_head - 1 - i + (2 * capacity)) mod capacity in
+    out := p.p_points.(idx) :: !out
+  done;
+  List.rev !out
+
+let series () =
+  List.rev_map
+    (fun key ->
+      let p = Hashtbl.find probes key in
+      {
+        s_name = p.p_name;
+        s_labels = p.p_labels;
+        s_kind = p.p_kind;
+        s_dropped = p.p_dropped;
+        s_points = points p;
+      })
+    !order
+
+let to_json () =
+  let series_json s =
+    Json.Obj
+      [
+        ("name", Json.Str s.s_name);
+        ( "labels",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.s_labels) );
+        ("kind", Json.Str (kind_name s.s_kind));
+        ("dropped", Json.Num (float_of_int s.s_dropped));
+        ( "points",
+          Json.List
+            (List.map
+               (fun (t, v) ->
+                 Json.List [ Json.Num (float_of_int t); Json.Num v ])
+               s.s_points) );
+      ]
+  in
+  Json.Obj
+    [
+      ("interval_ns", Json.Num (float_of_int !interval_ns));
+      ("series", Json.List (List.map series_json (series ())));
+    ]
+
+let write_json path = Json.write_file path (to_json ())
+
+let write_csv path =
+  let oc = open_out path in
+  output_string oc "series,labels,t_ns,value\n";
+  List.iter
+    (fun s ->
+      let labels =
+        String.concat ";"
+          (List.map (fun (k, v) -> k ^ "=" ^ v) s.s_labels)
+      in
+      List.iter
+        (fun (t, v) ->
+          Printf.fprintf oc "%s,%s,%d,%g\n" s.s_name labels t v)
+        s.s_points)
+    (series ());
+  close_out oc

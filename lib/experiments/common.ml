@@ -240,8 +240,8 @@ let make_suites ?tcp_window path =
       (c.sim, a, b)
   | Kernel_ethernet ->
       let sim = Sim.create () in
-      let cpu_a = Host.Cpu.create sim Host.Machine.ss20 in
-      let cpu_b = Host.Cpu.create sim Host.Machine.ss20 in
+      let cpu_a = Host.Cpu.create ~host:0 sim Host.Machine.ss20 in
+      let cpu_b = Host.Cpu.create ~host:1 sim Host.Machine.ss20 in
       let a, b =
         Ipstack.Suite.kernel_ethernet_pair ?tcp_window ~sim ~cpu_a ~cpu_b
           ~addr_a:0 ~addr_b:1 ()

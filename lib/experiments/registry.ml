@@ -99,3 +99,23 @@ let all =
 
 let find name = List.find_opt (fun e -> e.name = name) all
 let names = List.map (fun e -> e.name) all
+
+(* The experiment-specific part of an HTML run report: description, the
+   paper's claims as a PASS/FAIL table, and the figure's curves. The
+   registry-wide telemetry sections (breakdown, timeseries, flamegraph,
+   metrics) are appended by the CLI since they span all experiments run. *)
+let report_sections (e : experiment) (o : outcome) =
+  let open Engine in
+  let body =
+    Printf.sprintf "<p>%s</p>\n%s"
+      (Report.escape e.description)
+      (Report.checks_table o.o_checks)
+  in
+  Report.section ~title:("Experiment: " ^ e.name) body
+  ::
+  (match o.o_series with
+  | [] -> []
+  | curves ->
+      [
+        Report.section ~title:(e.name ^ " curves") (Report.curves_html curves);
+      ])

@@ -25,3 +25,7 @@ type experiment = {
 val all : experiment list
 val find : string -> experiment option
 val names : string list
+
+val report_sections : experiment -> outcome -> string list
+(** HTML fragments (via [Engine.Report]) describing one execution:
+    description, checks table, and the figure's curves when present. *)

@@ -1,10 +1,16 @@
 open Engine
 
-type t = { sim : Sim.t; machine : Machine.t; mutable busy : Sim.time }
+type t = {
+  sim : Sim.t;
+  machine : Machine.t;
+  host : int;
+  mutable busy : Sim.time;
+}
 
-let create sim machine = { sim; machine; busy = 0 }
+let create ?(host = 0) sim machine = { sim; machine; host; busy = 0 }
 let machine t = t.machine
 let sim t = t.sim
+let host t = t.host
 let busy_time t = t.busy
 let reset_busy t = t.busy <- 0
 
@@ -29,7 +35,11 @@ let charge_raw ?(layer = "other") t ns =
   t.busy <- t.busy + ns;
   if ns > 0 then begin
     Metrics.Counter.add (layer_counter layer) ns;
-    if Trace.enabled () then Trace.complete Trace.Cpu layer ~dur:ns
+    if Trace.enabled () then Trace.complete Trace.Cpu layer ~dur:ns;
+    (* attribute at the charge site, before the sleep, so time spent by
+       other processes while this one sleeps stays out of this frame *)
+    if Profile.enabled () then
+      Profile.charge ~host:t.host ~frames:[ layer ] ns
   end;
   Proc.sleep t.sim ~time:ns
 

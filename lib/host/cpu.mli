@@ -4,9 +4,13 @@
 
 type t
 
-val create : Engine.Sim.t -> Machine.t -> t
+val create : ?host:int -> Engine.Sim.t -> Machine.t -> t
+(** [host] identifies the simulated host this CPU belongs to (default 0);
+    it keys the per-host stacks of [Engine.Profile]. *)
+
 val machine : t -> Machine.t
 val sim : t -> Engine.Sim.t
+val host : t -> int
 
 val charge : ?layer:string -> t -> Engine.Sim.time -> unit
 (** Block the calling process for a reference-machine cost scaled to this

@@ -47,16 +47,24 @@ let deliver t pkt = Sync.Mailbox.send t.mbox (Deliver pkt)
 let start_stack t =
   ignore
     (Proc.spawn ~name:"ipstack" t.sim (fun () ->
+         (* protocol costs are charged here, not at the Iface.send call
+            site, so the profile frames that split tx from rx must wrap
+            the charges in this process *)
+         let host = Host.Cpu.host t.cpu in
          let rec loop () =
            (match Sync.Mailbox.recv t.mbox with
            | Tx (cost, ctx, pkt) ->
+               Profile.push ~host "iface.tx";
                Host.Cpu.charge ~layer:"ipstack" t.cpu cost;
                t.sent <- t.sent + 1;
-               t.transmit ctx pkt
+               t.transmit ctx pkt;
+               Profile.pop ~host ()
            | Deliver pkt ->
+               Profile.push ~host "iface.rx";
                Host.Cpu.charge ~layer:"ipstack" t.cpu (t.rx_cost pkt);
                t.delivered <- t.delivered + 1;
-               t.rx_handler pkt);
+               t.rx_handler pkt;
+               Profile.pop ~host ());
            loop ()
          in
          loop ()))

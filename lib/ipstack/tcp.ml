@@ -307,6 +307,37 @@ let data_end t = Bytebuf.tail t.sndbuf
 let send_limit t = if t.fin_queued then t.fin_seq + 1 else data_end t
 let flight t = t.snd_nxt - t.snd_una
 
+(* Directed flow keys for the flight recorder: the sender reports pending
+   (unacked) bytes under its own address first; the receiver reports
+   deliveries under the mirrored key. *)
+let flow_key t =
+  Printf.sprintf "tcp.%d:%d->%d:%d"
+    (Ipv4.addr t.stack.s_ip)
+    t.lport t.raddr t.rport
+
+let rev_flow_key t =
+  Printf.sprintf "tcp.%d:%d->%d:%d" t.raddr t.rport
+    (Ipv4.addr t.stack.s_ip)
+    t.lport
+
+let report_flight t =
+  if Recorder.armed () then
+    Recorder.sender_pending ~key:(flow_key t) (flight t)
+
+(* Per-connection resource probes; sampled only while a timeseries
+   collection is running. *)
+let watch_conn t =
+  let labels =
+    [
+      ("host", string_of_int (Ipv4.addr t.stack.s_ip));
+      ("lport", string_of_int t.lport);
+      ("rport", string_of_int t.rport);
+    ]
+  in
+  Timeseries.register "tcp_cwnd" labels (fun () -> float_of_int t.cwnd);
+  Timeseries.register "tcp_flight" labels (fun () -> float_of_int (flight t));
+  Timeseries.register "tcp_rto_ns" labels (fun () -> float_of_int t.rto)
+
 (* --- transmission pump, timers ------------------------------------ *)
 
 let rec arm_retx t =
@@ -407,7 +438,8 @@ and pump t =
             arm_retx t
           end
         end
-      done
+      done;
+      report_flight t
   | _ -> ()
 
 (* --- acknowledgment policy ----------------------------------------- *)
@@ -639,6 +671,9 @@ let establish_buffers t =
   t.rcv_nxt <- 1
 
 let conn_input t ~flags ~seq ~ack_no ~window ~payload =
+  (* any arrival on the connection proves the remote->local direction
+     alive, which exonerates it from the stall watchdog *)
+  if Recorder.armed () then Recorder.flow_delivered ~key:(rev_flow_key t);
   t.rwnd <- window;
   let syn = flags land f_syn <> 0 in
   let ackf = flags land f_ack <> 0 in
@@ -724,6 +759,7 @@ let attach ipv4 cfg =
               establish_buffers conn;
               conn.rwnd <- window;
               Hashtbl.replace stack.s_conns (conn_key conn) conn;
+              watch_conn conn;
               emit conn ~flags:(f_syn lor f_ack) ~seq:0 ~payload:Bytes.empty;
               arm_retx conn
           | _ -> ())
@@ -767,6 +803,7 @@ let connect stack ~dst ~dst_port ?src_port () =
   in
   let t = mk_conn stack ~lport ~raddr:dst ~rport:dst_port ~st:Syn_sent in
   Hashtbl.replace stack.s_conns (conn_key t) t;
+  watch_conn t;
   emit t ~flags:f_syn ~seq:0 ~payload:Bytes.empty;
   arm_retx t;
   Sync.Condition.wait_for t.cond (fun () -> t.st = Established);

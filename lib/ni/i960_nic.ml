@@ -79,6 +79,15 @@ let gather (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
   in
   if ep.direct_access then add_direct_prefix desc.dest_offset data else data
 
+(* i960 occupancy attributed under a per-NI subtree of the host's profile
+   root (never nested under whatever application frame happens to be open:
+   the device runs asynchronously to the host CPU). *)
+let prof t stage cost =
+  if Profile.enabled () then
+    Profile.charge_root ~host:t.host
+      ~frames:[ "ni"; t.cfg.name; stage ]
+      cost
+
 let rec pump_next t =
   match Queue.take_opt t.txq with
   | None -> t.tx_active <- false
@@ -122,9 +131,11 @@ and process_desc t (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
           ~args:[ ("ns", Trace.Int stall) ];
       match cells with
       | [ cell ] when t.cfg.single_cell_optimization ->
+          prof t "tx_single" (t.cfg.tx_single_ns + stall);
           Sync.Server.submit t.server ~cost:(t.cfg.tx_single_ns + stall)
             (fun () -> inject t desc cell [])
       | _ ->
+          prof t "tx_dma" (t.cfg.tx_fixed_ns + stall);
           Sync.Server.submit t.server ~cost:(t.cfg.tx_fixed_ns + stall)
             (fun () -> send_cells t desc cells))
 
@@ -135,6 +146,7 @@ and send_cells t desc = function
       Metrics.Counter.inc t.m_sent;
       pump_next t
   | cell :: rest ->
+      prof t "tx_cell" t.cfg.tx_per_cell_ns;
       Sync.Server.submit t.server ~cost:t.cfg.tx_per_cell_ns (fun () ->
           inject t desc cell rest)
 
@@ -198,6 +210,7 @@ let fits_single_cell payload =
 
 let on_cell t (cell : Atm.Cell.t) =
   if cell.eop then Span.mark cell.ctx Span.Rx_cell;
+  prof t "rx_cell" t.cfg.rx_cell_ns;
   Sync.Server.submit t.server ~cost:t.cfg.rx_cell_ns (fun () ->
       let r =
         match Hashtbl.find_opt t.reasm cell.vci with
@@ -219,6 +232,7 @@ let on_cell t (cell : Atm.Cell.t) =
               t.cfg.rx_single_ns
             else t.cfg.rx_multi_fixed_ns
           in
+          prof t "rx_deliver" cost;
           Sync.Server.submit t.server ~cost (fun () ->
               deliver t ?ctx cell.vci payload))
 
@@ -260,6 +274,10 @@ let create net ~host cfg =
     }
   in
   Atm.Network.attach_rx net ~host (fun cell -> on_cell t cell);
+  Timeseries.register ~kind:Timeseries.Utilization "ni_i960_utilization"
+    labels (fun () -> float_of_int (Sync.Server.busy_time t.server));
+  Timeseries.register "ni_i960_queue_depth" labels (fun () ->
+      float_of_int (Sync.Server.queue_length t.server));
   t
 
 let backend t =

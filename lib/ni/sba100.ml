@@ -77,6 +77,15 @@ let deliver t ?ctx vci payload =
           Metrics.Counter.inc t.m_received
       | None -> ())
 
+(* kernel-server occupancy attributed under the host root, not under
+   whatever application frame happens to be open (the receive path runs
+   asynchronously to the application) *)
+let prof t stage cost =
+  if Profile.enabled () then
+    Profile.charge_root ~host:t.host
+      ~frames:[ "ni"; t.cfg.name; stage ]
+      cost
+
 let on_cell t (cell : Atm.Cell.t) =
   if cell.Atm.Cell.eop then Span.mark cell.Atm.Cell.ctx Span.Rx_cell;
   (* The receive trap plus software AAL5/CRC processing, serialized through
@@ -87,6 +96,7 @@ let on_cell t (cell : Atm.Cell.t) =
   let cell =
     { cell with Atm.Cell.payload = Buf.copy ~layer:"sba100_rx_pio" cell.payload }
   in
+  prof t "rx_cell" t.cfg.rx_per_cell_ns;
   Sync.Server.submit t.kernel ~cost:t.cfg.rx_per_cell_ns (fun () ->
       let r =
         match Hashtbl.find_opt t.reasm cell.vci with
@@ -103,6 +113,7 @@ let on_cell t (cell : Atm.Cell.t) =
           Metrics.Counter.inc t.m_errors
       | Some (Ok payload) ->
           let ctx = Atm.Aal5.Reassembler.last_ctx r in
+          prof t "rx_deliver" t.cfg.rx_fixed_ns;
           Sync.Server.submit t.kernel ~cost:t.cfg.rx_fixed_ns (fun () ->
               deliver t ?ctx cell.vci payload))
 
@@ -199,6 +210,10 @@ let create net ~host ~cpu ?(config = default_config) () =
     }
   in
   Atm.Network.attach_rx net ~host (fun cell -> on_cell t cell);
+  Timeseries.register ~kind:Timeseries.Utilization "ni_kernel_utilization"
+    labels (fun () -> float_of_int (Sync.Server.busy_time t.kernel));
+  Timeseries.register "ni_kernel_queue_depth" labels (fun () ->
+      float_of_int (Sync.Server.queue_length t.kernel));
   t
 
 let backend t =

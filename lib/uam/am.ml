@@ -167,6 +167,24 @@ let replies_sent t = t.reps_sent
 let retransmissions t = t.retx
 let duplicates_dropped t = t.dups
 
+(* Profile frames must live on the same host key the CPU charges use. *)
+let phost t = Host.Cpu.host (Unet.cpu t.u)
+
+(* Directed flow key for the flight recorder; both ends build the same
+   string for a given direction. *)
+let flow_key ~src ~dst = Printf.sprintf "uam.%d->%d" src dst
+
+let watch_peer t (p : peer) =
+  Timeseries.register "uam_unacked"
+    [ ("rank", string_of_int t.rank); ("peer", string_of_int p.p_rank) ]
+    (fun () -> float_of_int (Queue.length p.p_unacked))
+
+let report_pending t (p : peer) =
+  if Recorder.armed () then
+    Recorder.sender_pending
+      ~key:(flow_key ~src:t.rank ~dst:p.p_rank)
+      (Queue.length p.p_unacked)
+
 let mk_peer rank chan now =
   {
     p_rank = rank;
@@ -186,8 +204,12 @@ let connect a b =
   if a.rank = b.rank then invalid_arg "Uam.connect: same rank";
   if a.peers.(b.rank) <> None then invalid_arg "Uam.connect: already connected";
   let ch_a, ch_b = Unet.connect_pair (a.u, a.ep) (b.u, b.ep) in
-  a.peers.(b.rank) <- Some (mk_peer b.rank ch_a (Sim.now (Unet.sim a.u)));
-  b.peers.(a.rank) <- Some (mk_peer a.rank ch_b (Sim.now (Unet.sim b.u)))
+  let pa = mk_peer b.rank ch_a (Sim.now (Unet.sim a.u)) in
+  let pb = mk_peer a.rank ch_b (Sim.now (Unet.sim b.u)) in
+  a.peers.(b.rank) <- Some pa;
+  b.peers.(a.rank) <- Some pb;
+  watch_peer a pa;
+  watch_peer b pb
 
 let connect_all arr =
   Array.iteri
@@ -289,6 +311,7 @@ let retransmit_unacked t (p : peer) =
             ("peer", Trace.Int p.p_rank);
             ("unacked", Trace.Int (Queue.length p.p_unacked));
           ];
+    Profile.push ~host:(phost t) "uam.retransmit";
     Queue.iter
       (fun u ->
         t.retx <- t.retx + 1;
@@ -307,6 +330,7 @@ let retransmit_unacked t (p : peer) =
         ignore
           (Unet.send t.u t.ep (Unet.Desc.tx ?ctx ~chan:p.p_chan u.u_resend)))
       p.p_unacked;
+    Profile.pop ~host:(phost t) ();
     p.p_last_progress <- Sim.now (Unet.sim t.u)
   end
 
@@ -344,11 +368,14 @@ and on_rto t (p : peer) =
   p.p_rto_timer <- None;
   if not (Queue.is_empty p.p_unacked) then
     if Sim.now (Unet.sim t.u) - p.p_last_progress >= cur_rto t p then
-      if p.p_backoff >= max_timeouts then
+      if p.p_backoff >= max_timeouts then begin
+        if Recorder.armed () then
+          Recorder.gave_up ~key:(flow_key ~src:t.rank ~dst:p.p_rank);
         Log.debug (fun m ->
             m "node %d: giving up timer-driven retransmission to node %d \
                after %d timeouts"
               t.rank p.p_rank p.p_backoff)
+      end
       else begin
         p.p_backoff <- p.p_backoff + 1;
         ignore
@@ -376,6 +403,7 @@ let apply_ack t (p : peer) ack =
     | _ -> continue := false
   done;
   if !progressed then begin
+    report_pending t p;
     p.p_last_progress <- Sim.now (Unet.sim t.u);
     p.p_backoff <- 0;
     (* keep the timer in step with the window: gone when empty, pushed
@@ -410,6 +438,7 @@ let send_seq ?parent t (p : peer) ~ty ~handler ~args ~payload =
     end
     else None
   in
+  Profile.push ~host:(phost t) "uam.send";
   Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
   if Buf.length payload > 0 then
     (* the copy from the source data structure into the transmit buffer *)
@@ -422,9 +451,11 @@ let send_seq ?parent t (p : peer) ~ty ~handler ~args ~payload =
   if Queue.is_empty p.p_unacked then
     p.p_last_progress <- Sim.now (Unet.sim t.u);
   let resend, buffer = unet_transmit ?ctx t p b in
+  Profile.pop ~host:(phost t) ();
   Queue.add
     { u_seq = seq; u_type = ty; u_resend = resend; u_buffer = buffer; u_ctx = ctx }
     p.p_unacked;
+  report_pending t p;
   if p.p_rto_timer = None then arm_rto t p;
   if ty = Req then begin
     p.p_unacked_reqs <- p.p_unacked_reqs + 1;
@@ -437,23 +468,28 @@ let send_seq ?parent t (p : peer) ~ty ~handler ~args ~payload =
   end
 
 let dispatch t ~src ?ctx d =
-  Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
-  if Buf.length d.d_payload > 0 then
-    (* the copy from the receive buffer into the destination structure *)
-    Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Buf.length d.d_payload);
-  match t.handlers.(d.d_handler) with
-  | None -> Fmt.failwith "Uam: no handler %d registered" d.d_handler
-  | Some h ->
-      (match d.d_type with
-      | Req ->
-          let tk =
-            { tk_uam = t; tk_src = src; tk_replied = false; tk_ctx = ctx }
-          in
-          h t ~src (Some tk) ~args:d.d_args ~payload:d.d_payload
-      | Rep -> h t ~src None ~args:d.d_args ~payload:d.d_payload
-      | Ack -> ());
-      (* the handler has returned: the message's journey ends here *)
-      Span.mark ctx Span.Dispatched
+  Profile.push ~host:(phost t) "uam.dispatch";
+  (* pop via protect: a raising handler must not leave the frame open *)
+  Fun.protect
+    ~finally:(fun () -> Profile.pop ~host:(phost t) ())
+    (fun () ->
+      Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
+      if Buf.length d.d_payload > 0 then
+        (* the copy from the receive buffer into the destination structure *)
+        Host.Cpu.charge_copy (Unet.cpu t.u) ~bytes:(Buf.length d.d_payload);
+      match t.handlers.(d.d_handler) with
+      | None -> Fmt.failwith "Uam: no handler %d registered" d.d_handler
+      | Some h ->
+          (match d.d_type with
+          | Req ->
+              let tk =
+                { tk_uam = t; tk_src = src; tk_replied = false; tk_ctx = ctx }
+              in
+              h t ~src (Some tk) ~args:d.d_args ~payload:d.d_payload
+          | Rep -> h t ~src None ~args:d.d_args ~payload:d.d_payload
+          | Ack -> ());
+          (* the handler has returned: the message's journey ends here *)
+          Span.mark ctx Span.Dispatched)
 
 (* Identify the peer a received U-Net message came from via its channel. *)
 let peer_of_chan t chan =
@@ -494,6 +530,10 @@ let read_message t (d : Unet.Desc.rx) =
 let process_one t (rx : Unet.Desc.rx) =
   let p = peer_of_chan t rx.src_chan in
   let d = decode (read_message t rx) in
+  (* any arrival — data, duplicate, or bare ACK — proves the peer->us
+     direction alive, which is what exonerates it from the stall watchdog *)
+  if Recorder.armed () then
+    Recorder.flow_delivered ~key:(flow_key ~src:p.p_rank ~dst:t.rank);
   apply_ack t p d.d_ack;
   match d.d_type with
   | Ack -> ()

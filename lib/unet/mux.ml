@@ -132,6 +132,9 @@ let push_rx (ep : Endpoint.t) desc =
   let was_empty = Ring.is_empty ep.rx_ring in
   if Ring.push ep.rx_ring desc then begin
     ep.rx_delivered <- ep.rx_delivered + 1;
+    (* every successful delivery funnels through here, which is what the
+       flight recorder's stall watchdog counts as global progress *)
+    if Engine.Recorder.armed () then Engine.Recorder.note_delivery ();
     Endpoint.fire_upcalls ep ~was_empty;
     Engine.Sync.Condition.broadcast ep.rx_cond;
     true

@@ -146,6 +146,38 @@ let create_endpoint t ?(emulated = false) ?(direct_access = false)
       ring_gauge "tx" (fun () -> Ring.high_water ep.tx_ring);
       ring_gauge "rx" (fun () -> Ring.high_water ep.rx_ring);
       ring_gauge "free" (fun () -> Ring.high_water ep.free_ring);
+      (* continuous occupancy probes, one series per ring *)
+      let ring_probe name ring =
+        Timeseries.register "unet_ring_occupancy"
+          [
+            ("endpoint", string_of_int ep.ep_id);
+            ("host", string_of_int t.host);
+            ("ring", name);
+          ]
+          (fun () -> float_of_int (Ring.length ring))
+      in
+      ring_probe "tx" ep.tx_ring;
+      ring_probe "rx" ep.rx_ring;
+      ring_probe "free" ep.free_ring;
+      (* post-mortem ring snapshot for the flight recorder *)
+      let ring_json (r : _ Ring.t) =
+        Json.Obj
+          [
+            ("length", Json.Num (float_of_int (Ring.length r)));
+            ("capacity", Json.Num (float_of_int (Ring.capacity r)));
+            ("high_water", Json.Num (float_of_int (Ring.high_water r)));
+          ]
+      in
+      Recorder.register_snapshot
+        (Printf.sprintf "unet.host%d.ep%d" t.host ep.ep_id)
+        (fun () ->
+          Json.Obj
+            [
+              ("tx_ring", ring_json ep.tx_ring);
+              ("rx_ring", ring_json ep.rx_ring);
+              ("free_ring", ring_json ep.free_ring);
+              ("emulated", Json.Bool ep.emulated);
+            ]);
       Ok ep
     end
   end

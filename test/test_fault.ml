@@ -161,6 +161,71 @@ let test_backoff_gives_up () =
   checki "the event queue drained (no timer livelock)" 0
     (Sim.pending c.Cluster.sim)
 
+(* --- flight recorder / stall watchdog ------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let with_recorder ~deadline f =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "unetsim-pm-test" in
+  Recorder.start ~dir ~deadline ();
+  Fun.protect ~finally:(fun () -> Recorder.stop ()) f
+
+(* A black-holed sender past the give-up point must fire the watchdog
+   exactly once, and the bundle must hold the stalled endpoint's rings. *)
+let test_watchdog_black_hole () =
+  with_recorder ~deadline:(Sim.ms 200) @@ fun () ->
+  let config =
+    { Uam.default_config with rto = Sim.ms 1; rto_max = Sim.ms 8 }
+  in
+  let c, a0, a1 = uam_pair ~config () in
+  ignore a1;
+  Atm.Link.set_loss (Atm.Network.uplink c.Cluster.net ~host:0) (Rng.create 5)
+    ~p:1.0;
+  ignore
+    (Proc.spawn c.Cluster.sim (fun () -> Uam.request a0 ~dst:1 ~handler:1 ()));
+  Sim.run ~until:(Sim.sec 5) c.Cluster.sim;
+  checki "exactly one post-mortem" 1 (Recorder.trigger_count ());
+  (match Recorder.last_trigger () with
+  | None -> Alcotest.fail "trigger fired but left no info"
+  | Some tr ->
+      checkb "reason names the stalled flow" true
+        (contains tr.Recorder.tr_reason "flow uam.0->1"));
+  match List.assoc_opt "snapshots" (Recorder.last_bundle ()) with
+  | Some (Json.Obj kvs) ->
+      let has_rings = function
+        | Json.Obj fields ->
+            List.mem_assoc "tx_ring" fields
+            && List.mem_assoc "rx_ring" fields
+            && List.mem_assoc "free_ring" fields
+        | _ -> false
+      in
+      checkb "bundle snapshots the sender's endpoint rings" true
+        (List.exists
+           (fun (k, v) -> contains k "unet.host0" && has_rings v)
+           kvs)
+  | _ -> Alcotest.fail "bundle carries no snapshots object"
+
+(* The benign end-of-run shape — the last message was delivered but its
+   ack is still pending when the run ends — must NOT trigger: delivery on
+   the flow after the pending epoch began exonerates it. *)
+let test_watchdog_clean_run () =
+  with_recorder ~deadline:(Sim.ms 200) @@ fun () ->
+  let config = { Uam.default_config with rto = Sim.ms 1 } in
+  let c, a0, a1 = uam_pair ~config () in
+  let got = ref 0 in
+  Uam.register_handler a1 1 (fun _ ~src:_ _ ~args:_ ~payload:_ -> incr got);
+  serve c a1;
+  ignore
+    (Proc.spawn c.Cluster.sim (fun () ->
+         Uam.request a0 ~dst:1 ~handler:1 ();
+         Uam.poll_until a0 (fun () -> !got >= 1)));
+  Sim.run ~until:(Sim.sec 5) c.Cluster.sim;
+  checki "request arrived" 1 !got;
+  checki "no post-mortem on a clean run" 0 (Recorder.trigger_count ())
+
 (* Retransmissions mint child spans of the original message, so a retried
    transfer stays one connected trace. *)
 let test_retransmit_parentage () =
@@ -376,6 +441,13 @@ let () =
             test_backoff_gives_up;
           Alcotest.test_case "retransmissions are child spans" `Quick
             test_retransmit_parentage;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "black-holed sender fires one post-mortem"
+            `Quick test_watchdog_black_hole;
+          Alcotest.test_case "clean run never triggers" `Quick
+            test_watchdog_clean_run;
         ] );
       ( "rx-drops",
         [

@@ -1,0 +1,216 @@
+(* Tests for the virtual-time attribution profiler and the timeseries
+   sampler: frame nesting and charge attribution, disabled no-ops,
+   underflow accounting, the per-host root-inclusive-equals-elapsed
+   invariant over real experiment runs, event-driven sampling cadence,
+   high-water folding into metrics gauges, and the gauge_fn bridge. *)
+
+open Engine
+
+let checki = Alcotest.check Alcotest.int
+let checkb = Alcotest.check Alcotest.bool
+
+let with_profile f =
+  Profile.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.stop ();
+      Profile.clear ())
+    f
+
+(* --- frame mechanics ------------------------------------------------- *)
+
+let test_nesting () =
+  with_profile @@ fun () ->
+  Profile.push "a";
+  Profile.charge 10;
+  Profile.push "b";
+  Profile.charge ~frames:[ "x" ] 5;
+  Profile.pop ();
+  Profile.pop ();
+  checki "stack balanced" 0 (Profile.depth ~host:0);
+  checki "no unmatched pops" 0 (Profile.unmatched_pops ());
+  let s = Profile.stacks () in
+  checkb "charge lands in the open frame" true
+    (List.assoc_opt [ "host0"; "a" ] s = Some 10);
+  checkb "extra frames descend from the top" true
+    (List.assoc_opt [ "host0"; "a"; "b"; "x" ] s = Some 5)
+
+let test_charge_root () =
+  with_profile @@ fun () ->
+  Profile.push ~host:3 "app";
+  (* device time must not nest under the open application frame *)
+  Profile.charge_root ~host:3 ~frames:[ "ni"; "dev" ] 7;
+  Profile.pop ~host:3 ();
+  let s = Profile.stacks () in
+  checkb "charge_root ignores the stack" true
+    (List.assoc_opt [ "host3"; "ni"; "dev" ] s = Some 7);
+  checkb "nothing under the app frame" true
+    (List.assoc_opt [ "host3"; "app"; "ni"; "dev" ] s = None)
+
+let test_disabled_noop () =
+  Profile.stop ();
+  Profile.clear ();
+  Profile.push "z";
+  Profile.charge 100;
+  Profile.pop ();
+  Profile.pop ();
+  checkb "nothing recorded while disabled" true (Profile.stacks () = []);
+  checki "pops while disabled are not underflows" 0 (Profile.unmatched_pops ())
+
+let test_underflow_counted () =
+  with_profile @@ fun () ->
+  Profile.pop ();
+  Profile.pop ();
+  checki "underflows counted, never raised" 2 (Profile.unmatched_pops ())
+
+(* --- the root-inclusive invariant over real runs ---------------------- *)
+
+(* Per host the exclusive times over all stacks must sum to the elapsed
+   virtual time: the synthetic root absorbs idle/unattributed time, so the
+   root's inclusive time is the run's virtual duration by construction. *)
+let balanced_run name () =
+  match Experiments.Registry.find name with
+  | None -> Alcotest.failf "unknown experiment %s" name
+  | Some e ->
+      with_profile @@ fun () ->
+      ignore (e.run ~quick:true);
+      let hosts = Profile.hosts () in
+      checkb "profiled at least one host" true (hosts <> []);
+      List.iter
+        (fun h ->
+          checki (Printf.sprintf "host %d stack balanced" h) 0
+            (Profile.depth ~host:h))
+        hosts;
+      checki "no unmatched pops" 0 (Profile.unmatched_pops ());
+      let el = Profile.elapsed () in
+      checkb "virtual time elapsed" true (el > 0);
+      let sums = Hashtbl.create 8 in
+      List.iter
+        (fun (path, self) ->
+          match path with
+          | root :: _ ->
+              Hashtbl.replace sums root
+                ((Option.value ~default:0 (Hashtbl.find_opt sums root)) + self)
+          | [] -> ())
+        (Profile.stacks ());
+      checkb "every host produced stacks" true (Hashtbl.length sums > 0);
+      Hashtbl.iter
+        (fun root sum ->
+          checki (Printf.sprintf "%s root inclusive = elapsed" root) el sum)
+        sums
+
+(* --- timeseries sampling --------------------------------------------- *)
+
+let with_timeseries f =
+  Timeseries.clear ();
+  Timeseries.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Timeseries.stop ();
+      Timeseries.clear ())
+    f
+
+let find_series name =
+  List.find_opt
+    (fun (s : Timeseries.series) -> s.s_name = name)
+    (Timeseries.series ())
+
+let test_event_driven_sampling () =
+  with_timeseries @@ fun () ->
+  Timeseries.set_interval (Sim.us 10);
+  let sim = Sim.create () in
+  let v = ref 0. in
+  (* registered after Sim.create, so the probe is current-generation *)
+  Timeseries.register "ts_test_probe" [] (fun () -> !v);
+  for i = 1 to 40 do
+    ignore
+      (Sim.schedule sim ~delay:(Sim.us (5 * i)) (fun () -> v := float_of_int i))
+  done;
+  Sim.run sim;
+  match find_series "ts_test_probe" with
+  | None -> Alcotest.fail "probe never sampled"
+  | Some s ->
+      checkb "at least 10 samples over 200 us" true
+        (List.length s.s_points >= 10);
+      (* at most one sample per interval crossing: consecutive sample
+         times differ by at least the interval. The very first sample is
+         taken immediately on the first event, so start from the second. *)
+      let rec spaced = function
+        | (t1, _) :: ((t2, _) :: _ as rest) ->
+            t2 - t1 >= Sim.us 10 && spaced rest
+        | _ -> true
+      in
+      checkb "samples spaced by >= interval" true
+        (match s.s_points with [] -> false | _ :: rest -> spaced rest)
+
+let prom_gauge_value name =
+  let prefix = name ^ " " in
+  Metrics.to_prometheus_string ()
+  |> String.split_on_char '\n'
+  |> List.find_map (fun line ->
+         if
+           String.length line > String.length prefix
+           && String.sub line 0 (String.length prefix) = prefix
+         then
+           float_of_string_opt
+             (String.sub line (String.length prefix)
+                (String.length line - String.length prefix))
+         else None)
+
+let test_high_water_gauge () =
+  with_timeseries @@ fun () ->
+  Timeseries.set_interval (Sim.us 10);
+  let sim = Sim.create () in
+  let v = ref 1. in
+  Timeseries.register "ts_test_hw_probe" [] (fun () -> !v);
+  ignore (Sim.schedule sim ~delay:(Sim.us 15) (fun () -> v := 42.));
+  ignore (Sim.schedule sim ~delay:(Sim.us 25) (fun () -> v := 5.));
+  ignore (Sim.schedule sim ~delay:(Sim.us 45) (fun () -> ()));
+  Sim.run sim;
+  match prom_gauge_value "ts_test_hw_probe_hw" with
+  | None -> Alcotest.fail "no high-water gauge registered"
+  | Some hw -> checkb "peak value folded via set_max" true (hw >= 42.)
+
+let test_gauge_fn_bridge () =
+  with_timeseries @@ fun () ->
+  Timeseries.set_interval (Sim.us 10);
+  let sim = Sim.create () in
+  let v = ref 7. in
+  (* one registration, two consumers: dump-time metrics gauge AND a
+     continuously sampled probe *)
+  Metrics.gauge_fn ~help:"bridge test" "ts_test_bridge_gauge" [] (fun () ->
+      !v);
+  ignore (Sim.schedule sim ~delay:(Sim.us 15) (fun () -> v := 9.));
+  ignore (Sim.schedule sim ~delay:(Sim.us 25) (fun () -> ()));
+  Sim.run sim;
+  match find_series "ts_test_bridge_gauge" with
+  | None -> Alcotest.fail "gauge_fn registration was not bridged"
+  | Some s -> checkb "bridged gauge sampled" true (s.s_points <> [])
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "frames",
+        [
+          Alcotest.test_case "push/charge/pop nesting" `Quick test_nesting;
+          Alcotest.test_case "charge_root skips the stack" `Quick
+            test_charge_root;
+          Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "underflow counted" `Quick test_underflow_counted;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "fig3: root inclusive = elapsed" `Quick
+            (balanced_run "fig3");
+          Alcotest.test_case "fig5: root inclusive = elapsed" `Quick
+            (balanced_run "fig5");
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "event-driven sampling cadence" `Quick
+            test_event_driven_sampling;
+          Alcotest.test_case "high-water folds into a gauge" `Quick
+            test_high_water_gauge;
+          Alcotest.test_case "gauge_fn bridge" `Quick test_gauge_fn_bridge;
+        ] );
+    ]
