@@ -1,134 +1,36 @@
 (* benchdiff: compare two BENCH_<figure>.json snapshots (written by
-   bench/main.exe) and flag values that moved beyond a tolerance. The
-   snapshots hold virtual-time measurements and copy counters, which are
-   deterministic for a given simulator, so any drift is a behavior
-   change, not noise. *)
+   bench/main.exe and bin/enginebench.exe) and flag values that moved
+   beyond tolerance.
+
+   Virtual-time members (curves, checks, copy counters) are
+   deterministic for a given simulator, so they get one symmetric
+   --tolerance: any drift is a behavior change, not noise. Wall-clock
+   members (events/sec, µs/event) are gated per metric by the baseline
+   snapshot's "gates" object with direction-aware tolerances — only
+   movement in the bad direction fails, so noise can never flake an
+   improvement (see Engine.Benchgate).
+
+   Exit codes: 0 agreement, 1 flagged regression/drift, 2 unreadable
+   snapshot, 3 missing baseline (so CI can say "seed one" distinctly). *)
 
 open Cmdliner
 
-let j_series j =
-  match Engine.Json.member "series" j with
-  | Some (Engine.Json.Obj kvs) ->
-      List.map
-        (fun (label, v) ->
-          let pts =
-            match v with
-            | Engine.Json.List l ->
-                List.filter_map
-                  (function
-                    | Engine.Json.List [ a; b ] -> (
-                        match
-                          (Engine.Json.to_float a, Engine.Json.to_float b)
-                        with
-                        | Some x, Some y -> Some (x, y)
-                        | _ -> None)
-                    | _ -> None)
-                  l
-            | _ -> []
-          in
-          (label, pts))
-        kvs
-  | _ -> []
-
-let j_checks j =
-  match Engine.Json.member "checks" j with
-  | Some (Engine.Json.Obj kvs) ->
-      List.filter_map
-        (fun (what, v) ->
-          match v with Engine.Json.Bool b -> Some (what, b) | _ -> None)
-        kvs
-  | _ -> []
-
-let j_counter name j =
-  Option.bind (Engine.Json.member name j) Engine.Json.to_float
-
-let rel_delta old_v new_v =
-  if old_v = new_v then 0.
-  else Float.abs (new_v -. old_v) /. Float.max (Float.abs old_v) 1e-9
-
-let diff ~tolerance old_j new_j =
-  let flagged = ref 0 in
-  let flag fmt =
-    incr flagged;
-    Format.printf fmt
-  in
-  (* checks that went PASS -> FAIL are regressions outright *)
-  let new_checks = j_checks new_j in
-  List.iter
-    (fun (what, old_ok) ->
-      match List.assoc_opt what new_checks with
-      | Some new_ok when old_ok && not new_ok ->
-          flag "  REGRESSION check now fails: %s@." what
-      | None when old_ok -> flag "  MISSING check disappeared: %s@." what
-      | _ -> ())
-    (j_checks old_j);
-  (* curve points, matched by label and x value *)
-  let new_series = j_series new_j in
-  List.iter
-    (fun (label, old_pts) ->
-      match List.assoc_opt label new_series with
-      | None -> flag "  MISSING series disappeared: %s@." label
-      | Some new_pts ->
-          List.iter
-            (fun (x, old_y) ->
-              match
-                List.find_opt (fun (x', _) -> x' = x) new_pts
-              with
-              | None -> flag "  MISSING point %s at x=%g@." label x
-              | Some (_, new_y) ->
-                  let d = rel_delta old_y new_y in
-                  if d > tolerance then
-                    flag "  DRIFT %s at x=%g: %g -> %g (%+.1f%%)@." label x
-                      old_y
-                      new_y
-                      ((new_y -. old_y) /. Float.max (Float.abs old_y) 1e-9
-                      *. 100.))
-            old_pts)
-    (j_series old_j);
-  (* the zero-copy layer's totals *)
-  List.iter
-    (fun name ->
-      match (j_counter name old_j, j_counter name new_j) with
-      | Some o, Some n when rel_delta o n > tolerance ->
-          flag "  DRIFT %s: %.0f -> %.0f@." name o n
-      | _ -> ())
-    [ "buf_copies_total"; "buf_copy_bytes_total" ];
-  !flagged
-
-(* every top-level numeric member is a metric worth showing side by side *)
-let numeric_members j =
-  match j with
-  | Engine.Json.Obj kvs ->
-      List.filter_map
-        (fun (k, v) ->
-          match v with Engine.Json.Num n -> Some (k, n) | _ -> None)
-        kvs
-  | _ -> []
-
 let print_metric_table old_j new_j =
-  let olds = numeric_members old_j in
-  let news = numeric_members new_j in
-  let keys =
-    List.map fst olds
-    @ List.filter (fun k -> not (List.mem_assoc k olds)) (List.map fst news)
-  in
-  if keys <> [] then begin
-    Format.printf "  %-28s %14s %14s %9s@." "metric" "baseline" "current"
+  let rows = Engine.Benchgate.metric_rows old_j new_j in
+  if rows <> [] then begin
+    Format.printf "  %-34s %14s %14s %9s@." "metric" "baseline" "current"
       "delta";
     List.iter
-      (fun k ->
-        let o = List.assoc_opt k olds in
-        let n = List.assoc_opt k news in
+      (fun (k, o, n) ->
         let num = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
         let delta =
           match (o, n) with
           | Some o, Some n ->
-              Printf.sprintf "%+.1f%%"
-                ((n -. o) /. Float.max (Float.abs o) 1e-9 *. 100.)
+              Printf.sprintf "%+.1f%%" (Engine.Benchgate.signed_delta o n *. 100.)
           | _ -> "-"
         in
-        Format.printf "  %-28s %14s %14s %9s@." k (num o) (num n) delta)
-      keys
+        Format.printf "  %-34s %14s %14s %9s@." k (num o) (num n) delta)
+      rows
   end
 
 let run old_path new_path tolerance =
@@ -141,28 +43,30 @@ let run old_path new_path tolerance =
     3
   end
   else
-  try
-    let old_j = Engine.Json.of_file old_path in
-    let new_j = Engine.Json.of_file new_path in
-    print_metric_table old_j new_j;
-    let flagged = diff ~tolerance old_j new_j in
-    if flagged = 0 then begin
-      Format.printf "ok: %s and %s agree within %.0f%%@." old_path new_path
-        (tolerance *. 100.);
-      0
-    end
-    else begin
-      Format.printf "%d value(s) beyond the %.0f%% tolerance (%s -> %s)@."
-        flagged (tolerance *. 100.) old_path new_path;
-      1
-    end
-  with
-  | Sys_error msg ->
-      Format.eprintf "benchdiff: %s@." msg;
-      2
-  | Engine.Json.Parse_error msg ->
-      Format.eprintf "benchdiff: parse error: %s@." msg;
-      2
+    try
+      let old_j = Engine.Json.of_file old_path in
+      let new_j = Engine.Json.of_file new_path in
+      print_metric_table old_j new_j;
+      let flagged = Engine.Benchgate.diff ~tolerance old_j new_j in
+      List.iter (fun msg -> Format.printf "  %s@." msg) flagged;
+      if flagged = [] then begin
+        Format.printf "ok: %s and %s agree within %.0f%% (plus %d gate(s))@."
+          old_path new_path (tolerance *. 100.)
+          (List.length (Engine.Benchgate.gates_of_json old_j));
+        0
+      end
+      else begin
+        Format.printf "%d value(s) beyond tolerance (%s -> %s)@."
+          (List.length flagged) old_path new_path;
+        1
+      end
+    with
+    | Sys_error msg ->
+        Format.eprintf "benchdiff: %s@." msg;
+        2
+    | Engine.Json.Parse_error msg ->
+        Format.eprintf "benchdiff: parse error: %s@." msg;
+        2
 
 (* plain strings, not Arg.file: a missing baseline must reach [run] so it
    can exit 3 rather than cmdliner's generic 124 *)
@@ -184,7 +88,8 @@ let tolerance =
     & info [ "tolerance" ] ~docv:"FRACTION"
         ~doc:
           "Relative drift allowed per value before it is flagged (0.1 = \
-           10%).")
+           10%). Metrics named by the baseline's per-metric \
+           direction-aware gates use their own tolerances instead.")
 
 let cmd =
   let doc = "diff two bench snapshots and flag regressions" in

@@ -209,6 +209,20 @@ let profile_file =
            ingest. Each host's root frame's inclusive time equals the \
            run's elapsed virtual time.")
 
+let selfprof_file =
+  Arg.(
+    value
+    & opt ~vopt:(Some "selfprof.folded") (some string) None
+    & info [ "selfprof" ] ~docv:"FILE"
+        ~doc:
+          "Attribute wall-clock time and GC allocation to the same frame \
+           taxonomy as $(b,--profile) (the two compose; one push feeds \
+           both) and write a collapsed-stack wall-time file to $(docv) \
+           (default $(b,selfprof.folded)). The root's inclusive wall time \
+           equals measured elapsed wall time. Also prints a per-event-kind \
+           summary and queue pop-cost figures, and warns when the \
+           event-queue tombstone ratio exceeds 25%.")
+
 let timeseries_file =
   Arg.(
     value
@@ -273,7 +287,7 @@ let cmd =
   let term =
     Term.(
       const (fun name exp_opt quick check out verbose trace metrics spans pcap
-                 breakdown fault profile timeseries interval_us report
+                 breakdown fault profile selfprof timeseries interval_us report
                  postmortem ->
           setup_logs verbose;
           let name = Option.value exp_opt ~default:name in
@@ -297,6 +311,7 @@ let cmd =
           end;
           Engine.Timeseries.set_interval (Engine.Sim.us interval_us);
           if profile <> None || report <> None then Engine.Profile.start ();
+          if selfprof <> None || report <> None then Engine.Selfprof.start ();
           if timeseries <> None || report <> None then
             Engine.Timeseries.start ();
           (match postmortem with
@@ -310,6 +325,9 @@ let cmd =
                 Format.eprintf "cannot write %s: %s@." what msg;
                 code := 1
             in
+            (* stop before any dump so the folded per-layer counters land
+               in --metrics output and the report sections *)
+            if Engine.Selfprof.enabled () then Engine.Selfprof.stop ();
             if breakdown then Experiments.Breakdown.print_report ();
             (match trace with
             | Some path ->
@@ -355,6 +373,23 @@ let cmd =
                       (Engine.Profile.elapsed ())
                       path)
             | None -> ());
+            (match selfprof with
+            | Some path ->
+                or_fail "selfprof" (fun () ->
+                    Engine.Selfprof.write_folded path;
+                    Format.printf
+                      "wrote wall-time self-profile (%d ns elapsed) to %s@."
+                      (Engine.Selfprof.elapsed_wall_ns ())
+                      path;
+                    Format.printf "%a" Engine.Selfprof.pp_summary ();
+                    if Engine.Sim.tombstone_ratio () > 0.25 then
+                      Logs.warn (fun m ->
+                          m
+                            "tombstone ratio %.0f%%: over a quarter of \
+                             event-queue traffic is cancelled events, pure \
+                             pop-path waste"
+                            (Engine.Sim.tombstone_ratio () *. 100.)))
+            | None -> ());
             (match timeseries with
             | Some path ->
                 or_fail "timeseries" (fun () ->
@@ -374,6 +409,7 @@ let cmd =
                           Engine.Report.breakdown_section ();
                           Engine.Report.timeseries_section ();
                           Engine.Report.profile_section ();
+                          Engine.Report.engine_section ();
                           Engine.Report.metrics_section ();
                         ]
                     in
@@ -392,7 +428,8 @@ let cmd =
               else finish (run_experiment ~collect_report name quick check))
       $ experiment $ experiment_opt $ quick $ check $ out $ verbose
       $ trace_file $ metrics_file $ spans_file $ pcap_file $ breakdown $ fault
-      $ profile_file $ timeseries_file $ sample_interval $ report_file
+      $ profile_file $ selfprof_file $ timeseries_file $ sample_interval
+      $ report_file
       $ postmortem_dir)
   in
   Cmd.v (Cmd.info "unetsim" ~doc) term

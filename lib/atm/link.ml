@@ -91,7 +91,8 @@ let forward t ?(extra_delay = 0) (cell : Cell.t) =
   match t.receiver with
   | Some f ->
       ignore
-        (Sim.schedule t.sim ~delay:(t.propagation + extra_delay) (fun () ->
+        (Sim.schedule ~label:"link.deliver" t.sim
+           ~delay:(t.propagation + extra_delay) (fun () ->
              f cell))
   | None -> failwith "Link: no receiver attached"
 
@@ -154,7 +155,7 @@ let rec transmit t cell =
   t.transmitting <- true;
   t.busy_ns <- t.busy_ns + t.cell_time;
   ignore
-    (Sim.schedule t.sim ~delay:t.cell_time (fun () ->
+    (Sim.schedule ~label:"link.tx_cell" t.sim ~delay:t.cell_time (fun () ->
          deliver t cell;
          match Queue.take_opt t.queue with
          | Some next -> transmit t next

@@ -133,7 +133,7 @@ let input t ~port cell =
       | None -> failwith "Switch: route to a port with no output link"
       | Some link ->
           ignore
-            (Sim.schedule t.sim ~delay:t.transit (fun () ->
+            (Sim.schedule ~label:"switch.transit" t.sim ~delay:t.transit (fun () ->
                  (* The output port queue is the link's transmit queue; a
                     full queue drops the cell, which is what makes large TCP
                     segments fragile over ATM (§7.8). *)

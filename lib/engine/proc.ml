@@ -50,7 +50,9 @@ let spawn ?(name = "proc") sim body =
           | _ -> None);
     }
   in
-  ignore (Sim.schedule sim ~delay:0 (fun () -> Effect.Deep.match_with body () handler));
+  ignore
+    (Sim.schedule ~label:"proc.spawn" sim ~delay:0 (fun () ->
+         Effect.Deep.match_with body () handler));
   p
 
 let suspend register =
@@ -58,7 +60,8 @@ let suspend register =
   with Effect.Unhandled _ -> raise Not_in_process
 
 let sleep sim ~time =
-  suspend (fun resume -> ignore (Sim.schedule sim ~delay:time resume))
+  suspend (fun resume ->
+      ignore (Sim.schedule ~label:"proc.sleep" sim ~delay:time resume))
 
 let yield sim = sleep sim ~time:0
 

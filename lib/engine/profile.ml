@@ -86,13 +86,21 @@ let child parent name =
 
 let top h = match h.h_stack with n :: _ -> n | [] -> h.h_root
 
+(* One frame instrumentation site feeds both attributions: pushes and
+   pops forward to the wall-clock self-profiler ([Selfprof]) whenever it
+   is enabled, independently of this profiler's own flag, so --selfprof
+   works alone and composes with --profile without double charging —
+   virtual time is attributed at charge sites, wall time at transitions,
+   and neither reads the other's accumulators. *)
 let push ?(host = 0) name =
+  if Selfprof.enabled () then Selfprof.enter name;
   if !enabled_flag then begin
     let h = host_state host in
     h.h_stack <- child (top h) name :: h.h_stack
   end
 
 let pop ?(host = 0) () =
+  if Selfprof.enabled () then Selfprof.exit_frame ();
   if !enabled_flag then
     let h = host_state host in
     match h.h_stack with

@@ -27,11 +27,15 @@ val attach_clock : (unit -> int) -> unit
     across simulator instances within one run). *)
 
 val push : ?host:int -> string -> unit
-(** Enter a named frame on [host]'s stack. No-op when disabled. *)
+(** Enter a named frame on [host]'s stack. Also forwards to
+    {!Selfprof.enter} when the wall-clock self-profiler is enabled (one
+    instrumentation site, two attributions). No-op when both profilers
+    are disabled. *)
 
 val pop : ?host:int -> unit -> unit
-(** Leave the innermost frame. Popping an empty stack only bumps
-    {!unmatched_pops} (never raises). *)
+(** Leave the innermost frame (and forward to {!Selfprof.exit_frame}
+    when enabled). Popping an empty stack only bumps {!unmatched_pops}
+    (never raises). *)
 
 val charge : ?host:int -> ?frames:string list -> int -> unit
 (** [charge ~host ~frames ns] attributes [ns] of virtual time to the node

@@ -221,93 +221,145 @@ type fnode = {
   mutable f_children : (string * fnode) list; (* reversed insertion order *)
 }
 
+(* shared by the virtual-time (Profile) and wall-time (Selfprof)
+   flamegraphs: rebuild the tree from folded stacks and emit the divs;
+   [fmt] renders a value for the hover title *)
+let flamegraph_html ~fmt stacks =
+  let roots : (string * fnode) list ref = ref [] in
+  let node lst name =
+    match List.assoc_opt name !lst with
+    | Some n -> n
+    | None ->
+        let n = { f_name = name; f_self = 0; f_children = [] } in
+        lst := (name, n) :: !lst;
+        n
+  in
+  List.iter
+    (fun (path, self) ->
+      match path with
+      | [] -> ()
+      | root :: rest ->
+          let r = node roots root in
+          let n =
+            List.fold_left
+              (fun parent name ->
+                let holder = ref parent.f_children in
+                let c = node holder name in
+                parent.f_children <- !holder;
+                c)
+              r rest
+          in
+          n.f_self <- n.f_self + self)
+    stacks;
+  let rec inclusive n =
+    List.fold_left
+      (fun acc (_, c) -> acc + inclusive c)
+      n.f_self n.f_children
+  in
+  let color name =
+    let h = Hashtbl.hash name mod 360 in
+    Printf.sprintf "hsl(%d,65%%,72%%)" h
+  in
+  let buf = Buffer.create 4096 in
+  let rec depth_of n =
+    List.fold_left (fun acc (_, c) -> max acc (1 + depth_of c)) 1 n.f_children
+  in
+  List.iter
+    (fun (_, root) ->
+      let total = inclusive root in
+      if total > 0 then begin
+        let rows = depth_of root in
+        Buffer.add_string buf
+          (Printf.sprintf "<div class=\"fg\" style=\"height:%dpx\">"
+             ((rows * 18) + 2));
+        let rec emit n left depth =
+          let incl = inclusive n in
+          let width = 100. *. float_of_int incl /. float_of_int total in
+          if width >= 0.05 then begin
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "<div style=\"left:%.3f%%;top:%dpx;width:%.3f%%;background:%s\" \
+                  title=\"%s: %s (%.2f%%)\">%s</div>"
+                 left (depth * 18) width (color n.f_name)
+                 (escape n.f_name) (fmt incl)
+                 (100. *. float_of_int incl /. float_of_int total)
+                 (if width > 4. then escape n.f_name else ""));
+            let off = ref left in
+            List.iter
+              (fun (_, c) ->
+                emit c !off (depth + 1);
+                off :=
+                  !off
+                  +. 100.
+                     *. float_of_int (inclusive c)
+                     /. float_of_int total)
+              (List.rev n.f_children)
+          end
+        in
+        emit root 0. 0;
+        Buffer.add_string buf "</div>"
+      end)
+    (List.rev !roots);
+  Buffer.contents buf
+
 let profile_section () =
   let stacks = Profile.stacks () in
   if stacks = [] then
     section ~title:"Profile" "<p class=\"muted\">profiler not enabled</p>"
+  else
+    section ~title:"Profile (virtual-time flamegraph)"
+      (flamegraph_html ~fmt:fmt_ns stacks
+      ^ Printf.sprintf
+          "<p class=\"muted\">elapsed virtual time %s; root-exclusive time \
+           is idle/unattributed. Wider is longer; hover for exact \
+           times.</p>"
+          (fmt_ns (Profile.elapsed ())))
+
+(* wall-clock self-observability: the wall-time twin of the virtual
+   flamegraph, the event-queue depth over time, and the queue's
+   lifecycle/pop-cost story *)
+let engine_section () =
+  if Selfprof.elapsed_wall_ns () = 0 then
+    section ~title:"Engine"
+      "<p class=\"muted\">self-profiler not enabled (run with \
+       --selfprof)</p>"
   else begin
-    let roots : (string * fnode) list ref = ref [] in
-    let node lst name =
-      match List.assoc_opt name !lst with
-      | Some n -> n
-      | None ->
-          let n = { f_name = name; f_self = 0; f_children = [] } in
-          lst := (name, n) :: !lst;
-          n
-    in
-    List.iter
-      (fun (path, self) ->
-        match path with
-        | [] -> ()
-        | root :: rest ->
-            let r = node roots root in
-            let n =
-              List.fold_left
-                (fun parent name ->
-                  let holder = ref parent.f_children in
-                  let c = node holder name in
-                  parent.f_children <- !holder;
-                  c)
-                r rest
-            in
-            n.f_self <- n.f_self + self)
-      stacks;
-    let rec inclusive n =
-      List.fold_left
-        (fun acc (_, c) -> acc + inclusive c)
-        n.f_self n.f_children
-    in
-    let color name =
-      let h = Hashtbl.hash name mod 360 in
-      Printf.sprintf "hsl(%d,65%%,72%%)" h
-    in
     let buf = Buffer.create 4096 in
-    let rec depth_of n =
-      List.fold_left (fun acc (_, c) -> max acc (1 + depth_of c)) 1 n.f_children
-    in
-    List.iter
-      (fun (_, root) ->
-        let total = inclusive root in
-        if total > 0 then begin
-          let rows = depth_of root in
-          Buffer.add_string buf
-            (Printf.sprintf "<div class=\"fg\" style=\"height:%dpx\">"
-               ((rows * 18) + 2));
-          let rec emit n left depth =
-            let incl = inclusive n in
-            let width = 100. *. float_of_int incl /. float_of_int total in
-            if width >= 0.05 then begin
-              Buffer.add_string buf
-                (Printf.sprintf
-                   "<div style=\"left:%.3f%%;top:%dpx;width:%.3f%%;background:%s\" \
-                    title=\"%s: %s (%.2f%%)\">%s</div>"
-                   left (depth * 18) width (color n.f_name)
-                   (escape n.f_name) (fmt_ns incl)
-                   (100. *. float_of_int incl /. float_of_int total)
-                   (if width > 4. then escape n.f_name else ""));
-              let off = ref left in
-              List.iter
-                (fun (_, c) ->
-                  emit c !off (depth + 1);
-                  off :=
-                    !off
-                    +. 100.
-                       *. float_of_int (inclusive c)
-                       /. float_of_int total)
-                (List.rev n.f_children)
-            end
-          in
-          emit root 0. 0;
-          Buffer.add_string buf "</div>"
-        end)
-      (List.rev !roots);
+    Buffer.add_string buf (flamegraph_html ~fmt:fmt_ns (Selfprof.stacks ()));
     Buffer.add_string buf
       (Printf.sprintf
-         "<p class=\"muted\">elapsed virtual time %s; root-exclusive time \
-          is idle/unattributed. Wider is longer; hover for exact \
-          times.</p>"
-         (fmt_ns (Profile.elapsed ())));
-    section ~title:"Profile (virtual-time flamegraph)" (Buffer.contents buf)
+         "<p class=\"muted\">elapsed wall time %s; depth-1 frames are \
+          event kinds (schedule-site labels), root-exclusive time is \
+          event-loop overhead.</p>"
+         (fmt_ns (Selfprof.elapsed_wall_ns ())));
+    (* queue depth sparkline from the introspection probes *)
+    List.iter
+      (fun (s : Timeseries.series) ->
+        if s.s_name = "sim_queue_depth" && s.s_points <> [] then begin
+          let pts =
+            List.map
+              (fun (t, v) -> (float_of_int t, v))
+              (downsample 240 s.s_points)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "<p><b>event-queue depth</b><br>%s</p>"
+               (sparkline pts))
+        end)
+      (Timeseries.series ());
+    let fired = Sim.events_fired () and cancelled = Sim.events_cancelled () in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<table><tr><th>events fired</th><th>events \
+          cancelled</th><th>tombstone ratio</th><th>mean pop cost (heap \
+          ops)</th><th>mean same-timestamp batch</th></tr>\
+          <tr><td class=\"num\">%d</td><td class=\"num\">%d</td>\
+          <td class=\"num\">%.1f%%</td><td class=\"num\">%.2f</td>\
+          <td class=\"num\">%.2f</td></tr></table>"
+         fired cancelled
+         (Sim.tombstone_ratio () *. 100.)
+         (Selfprof.pop_cost_mean ())
+         (Selfprof.batch_size_mean ()));
+    section ~title:"Engine (wall-clock self-profile)" (Buffer.contents buf)
   end
 
 let metrics_section () =

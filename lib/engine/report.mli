@@ -39,8 +39,16 @@ val breakdown_section : unit -> string
 val timeseries_section : unit -> string
 (** One sparkline per sampled probe series, from [Timeseries]. *)
 
+val flamegraph_html : fmt:(int -> string) -> (string list * int) list -> string
+(** Icicle flamegraph divs from folded stacks; [fmt] renders a node's
+    inclusive value for the hover title. *)
+
 val profile_section : unit -> string
 (** Per-host icicle flamegraph over [Profile.stacks]. *)
+
+val engine_section : unit -> string
+(** Wall-clock self-profile: [Selfprof] flamegraph, event-queue depth
+    sparkline and queue lifecycle/pop-cost figures. *)
 
 val metrics_section : unit -> string
 (** The full metrics registry as a table. *)

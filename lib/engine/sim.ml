@@ -4,17 +4,21 @@ type event = {
   at : time;
   seq : int; (* tie-breaker: FIFO among same-time events *)
   mutable thunk : (unit -> unit) option; (* None once fired or cancelled *)
+  label : string; (* static schedule-site kind; "" = unlabeled *)
 }
 
 type handle = event
 
 (* Binary min-heap over (at, seq). A simple array-backed heap is enough: the
    simulator's hot loop is push/pop and both are O(log n) with no allocation
-   beyond the event records themselves. *)
+   beyond the event records themselves. [swaps] counts sift-down swaps so
+   the self-profiler can histogram per-pop heap costs; one int increment
+   per swap is noise next to the swap itself. *)
 module Heap = struct
   type t = { mutable a : event array; mutable len : int }
 
-  let dummy = { at = 0; seq = 0; thunk = None }
+  let swaps = ref 0
+  let dummy = { at = 0; seq = 0; thunk = None; label = "" }
   let create () = { a = Array.make 256 dummy; len = 0 }
 
   let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
@@ -58,6 +62,7 @@ module Heap = struct
           let tmp = a.(!smallest) in
           a.(!smallest) <- a.(!i);
           a.(!i) <- tmp;
+          incr swaps;
           i := !smallest
         end
         else continue := false
@@ -73,7 +78,33 @@ type t = {
   heap : Heap.t;
   mutable next_seq : int;
   mutable live : int; (* scheduled and not yet fired/cancelled *)
+  mutable last_fired_at : time; (* same-timestamp batch tracking *)
+  mutable batch : int; (* events fired at [last_fired_at] so far *)
 }
+
+(* Queue accounting, always on: three int increments per event lifetime.
+   [sim_events_total{outcome=cancelled}] counts tombstones — events that
+   will be popped and skipped, pure pop-path waste when the ratio climbs
+   (see [tombstone_ratio]). *)
+let c_scheduled =
+  Metrics.counter ~help:"events by lifecycle outcome" "sim_events_total"
+    [ ("outcome", "scheduled") ]
+
+let c_fired =
+  Metrics.counter ~help:"events by lifecycle outcome" "sim_events_total"
+    [ ("outcome", "fired") ]
+
+let c_cancelled =
+  Metrics.counter ~help:"events by lifecycle outcome" "sim_events_total"
+    [ ("outcome", "cancelled") ]
+
+let events_fired () = Metrics.Counter.value c_fired
+let events_cancelled () = Metrics.Counter.value c_cancelled
+
+let tombstone_ratio () =
+  let fired = events_fired () and cancelled = events_cancelled () in
+  if fired + cancelled = 0 then 0.
+  else float_of_int cancelled /. float_of_int (fired + cancelled)
 
 (* Cumulative virtual time across simulator instances. Experiments build a
    fresh simulator per sweep point; telemetry that spans a whole run (the
@@ -88,7 +119,16 @@ let create () =
   (match !last_sim with
   | Some prev -> time_base := !time_base + prev.clock
   | None -> ());
-  let t = { clock = 0; heap = Heap.create (); next_seq = 0; live = 0 } in
+  let t =
+    {
+      clock = 0;
+      heap = Heap.create ();
+      next_seq = 0;
+      live = 0;
+      last_fired_at = -1;
+      batch = 0;
+    }
+  in
   last_sim := Some t;
   (* the newest simulator stamps trace events, spans and captures
      (exactly one is live at a time in every runner; see Trace) *)
@@ -99,54 +139,89 @@ let create () =
   Profile.attach_clock cumulative;
   Timeseries.attach_clock cumulative;
   Recorder.attach_clock cumulative;
+  (* queue introspection probes, registered after attach_clock so they
+     belong to this instance's generation (sampled only while the
+     timeseries sampler is on) *)
+  Timeseries.register "sim_queue_depth" [] (fun () -> float_of_int t.live);
+  Timeseries.register "sim_queue_tombstones" [] (fun () ->
+      float_of_int (t.heap.Heap.len - t.live));
   t
 
 let now t = t.clock
 let global_now t = !time_base + t.clock
 let pending t = t.live
 
-let schedule_at t at f =
+let schedule_at ?(label = "") t at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: time %d is in the past (now %d)" at
          t.clock);
-  let e = { at; seq = t.next_seq; thunk = Some f } in
+  let e = { at; seq = t.next_seq; thunk = Some f; label } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
+  Metrics.Counter.inc c_scheduled;
   Heap.push t.heap e;
   e
 
-let schedule t ~delay f =
+let schedule ?label t ~delay f =
   if delay < 0 then invalid_arg "Sim.schedule: negative delay";
-  schedule_at t (t.clock + delay) f
+  schedule_at ?label t (t.clock + delay) f
 
 let cancel (e : handle) =
   match e.thunk with
   | None -> ()
-  | Some _ -> e.thunk <- None
+  | Some _ ->
+      e.thunk <- None;
+      Metrics.Counter.inc c_cancelled
 (* note: [live] is decremented lazily when the tombstone is popped *)
+
+(* Same-timestamp batch bookkeeping for the self-profiler: a batch ends
+   when a fired event carries a later timestamp (or the run drains). *)
+let flush_batch t =
+  if t.batch > 0 then begin
+    Selfprof.observe_batch t.batch;
+    t.batch <- 0
+  end
 
 (* Pop events, skipping tombstones, firing the first live one. The
    telemetry hooks cost one boolean read each when their subsystem is off,
    and never touch the event queue or the clock, so runs with telemetry
    disabled are byte-identical to runs without these lines. *)
-let rec step t =
-  match Heap.pop t.heap with
-  | None -> false
-  | Some e -> (
-      match e.thunk with
-      | None ->
-          (* cancelled *)
-          t.live <- t.live - 1;
-          step t
-      | Some f ->
-          e.thunk <- None;
-          t.live <- t.live - 1;
-          t.clock <- e.at;
-          if Timeseries.enabled () then Timeseries.on_event (global_now t);
-          if Recorder.armed () then Recorder.tick (global_now t);
-          f ();
-          true)
+let step t =
+  let selfprof = Selfprof.enabled () in
+  let swaps0 = !Heap.swaps in
+  let rec loop skipped =
+    match Heap.pop t.heap with
+    | None -> false
+    | Some e -> (
+        match e.thunk with
+        | None ->
+            (* cancelled: a tombstone, pure pop-path waste *)
+            t.live <- t.live - 1;
+            loop (skipped + 1)
+        | Some f ->
+            e.thunk <- None;
+            t.live <- t.live - 1;
+            t.clock <- e.at;
+            Metrics.Counter.inc c_fired;
+            if Timeseries.enabled () then Timeseries.on_event (global_now t);
+            if Recorder.armed () then Recorder.tick (global_now t);
+            if selfprof then begin
+              Selfprof.observe_pop_cost (skipped + !Heap.swaps - swaps0);
+              if e.at = t.last_fired_at then t.batch <- t.batch + 1
+              else begin
+                flush_batch t;
+                t.last_fired_at <- e.at;
+                t.batch <- 1
+              end;
+              Selfprof.event_begin ~label:e.label;
+              f ();
+              Selfprof.event_end ()
+            end
+            else f ();
+            true)
+  in
+  loop 0
 
 let run ?until t =
   (match until with
@@ -163,6 +238,7 @@ let run ?until t =
       if t.clock < limit then t.clock <- limit);
   (* a final sample/watchdog check at the end-of-run clock, so a run that
      drains (or coasts to its limit) still observes its last state *)
+  if Selfprof.enabled () then flush_batch t;
   if Timeseries.enabled () then Timeseries.on_event (global_now t);
   if Recorder.armed () then Recorder.tick (global_now t)
 

@@ -22,17 +22,21 @@ val global_now : t -> time
     of every simulator instance created before it. Monotone across
     [create] calls; it is what [Profile]/[Timeseries]/[Recorder] see. *)
 
-val schedule_at : t -> time -> (unit -> unit) -> handle
+val schedule_at : ?label:string -> t -> time -> (unit -> unit) -> handle
 (** [schedule_at sim t f] runs [f] when the clock reaches [t]. [t] must not be
-    in the past. *)
+    in the past. [label] names the event kind for the wall-clock
+    self-profiler ([Selfprof]); pass a static string — it is stored on the
+    event record and never copied. *)
 
-val schedule : t -> delay:time -> (unit -> unit) -> handle
+val schedule : ?label:string -> t -> delay:time -> (unit -> unit) -> handle
 (** [schedule sim ~delay f] runs [f] [delay] nanoseconds from now.
     [delay] must be non-negative. *)
 
 val cancel : handle -> unit
 (** Prevent a pending event from firing. Cancelling an already-fired or
-    already-cancelled event is a no-op. *)
+    already-cancelled event is a no-op. A cancelled-but-scheduled event
+    stays in the queue as a tombstone until popped; it is counted in
+    [sim_events_total{outcome=cancelled}]. *)
 
 val step : t -> bool
 (** Fire the next pending event, advancing the clock to its timestamp.
@@ -44,6 +48,21 @@ val run : ?until:time -> t -> unit
 
 val pending : t -> int
 (** Number of scheduled-and-not-cancelled events. *)
+
+(** {2 Event-queue introspection}
+
+    Always-on lifecycle counters ([sim_events_total{outcome}] in the
+    metrics registry) accumulated across every simulator instance of the
+    process; per-instance queue-depth and tombstone probes are registered
+    with [Timeseries] at {!create}, and per-pop cost / same-timestamp
+    batch histograms are reported to [Selfprof] while it is enabled. *)
+
+val events_fired : unit -> int
+val events_cancelled : unit -> int
+
+val tombstone_ratio : unit -> float
+(** Cancelled events as a fraction of all settled (fired + cancelled)
+    events — the share of queue traffic that is pure pop-path waste. *)
 
 (* Time unit constructors and conversions. *)
 

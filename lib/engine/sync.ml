@@ -51,7 +51,7 @@ module Mailbox = struct
             w.resume <- resume;
             Queue.add w t.waiters;
             ignore
-              (Sim.schedule t.sim ~delay:timeout (fun () ->
+              (Sim.schedule ~label:"sync.timeout" t.sim ~delay:timeout (fun () ->
                    if w.alive then begin
                      w.alive <- false;
                      resume ()
@@ -85,7 +85,8 @@ module Semaphore = struct
 
   let release t =
     match Queue.take_opt t.waiters with
-    | Some resume -> ignore (Sim.schedule t.sim ~delay:0 resume)
+    | Some resume ->
+        ignore (Sim.schedule ~label:"sync.release" t.sim ~delay:0 resume)
     | None -> t.count <- t.count + 1
 end
 
@@ -100,7 +101,10 @@ module Condition = struct
   let broadcast t =
     let ws = List.rev t.waiting in
     t.waiting <- [];
-    List.iter (fun resume -> ignore (Sim.schedule t.sim ~delay:0 resume)) ws
+    List.iter
+      (fun resume ->
+        ignore (Sim.schedule ~label:"sync.broadcast" t.sim ~delay:0 resume))
+      ws
 
   let rec wait_for t pred =
     if not (pred ()) then begin
@@ -128,7 +132,7 @@ module Server = struct
     t.busy <- true;
     t.busy_time <- t.busy_time + job.cost;
     ignore
-      (Sim.schedule t.sim ~delay:job.cost (fun () ->
+      (Sim.schedule ~label:"sync.job_done" t.sim ~delay:job.cost (fun () ->
            job.k ();
            match Queue.take_opt t.jobs with
            | Some next -> start t next

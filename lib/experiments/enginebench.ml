@@ -1,0 +1,132 @@
+(* Engine-throughput harness: how fast does the simulator itself run?
+
+   Two workload families, chosen to bracket the hot path:
+
+   - fig4-max: figure 4's bandwidth measurement at the sweep's maximum
+     message size (5056 B ≈ 107 cells/message), once over raw U-Net and
+     once over UAM store — the PDU-heavy shape where per-cell link and
+     switch events dominate;
+
+   - cell-storm: back-to-back 64-byte raw messages, one cell each — the
+     event-rate-heavy shape where scheduler overhead (schedule/pop per
+     event) dominates and per-byte work is negligible.
+
+   Each workload runs once as warm-up and once measured, flags-off, so
+   numbers reflect the hot path users pay for. Measured quantities per
+   workload: fired-event count (deterministic — tight symmetric gate),
+   the workload's own virtual-time bandwidth (deterministic), wall
+   events/sec, wall µs/event, and GC words allocated per event
+   (allocation is deterministic for a fixed code path — tight
+   regression-only gate). Wall metrics get generous regression-only
+   gates: CI machines differ, and an improvement must never flake. *)
+
+open Engine
+
+type sample = {
+  s_workload : string;
+  s_events : int; (* fired during the measured pass *)
+  s_wall_ns : int;
+  s_alloc_words : float; (* minor + major - promoted *)
+  s_virt_mb_s : float; (* the workload's own bandwidth figure *)
+}
+
+let workloads ~quick =
+  let raw_count = if quick then 150 else 800 in
+  let store_count = if quick then 75 else 400 in
+  let storm_count = if quick then 800 else 4000 in
+  [
+    ( "fig4max_raw",
+      fun () -> Common.raw_bandwidth ~count:raw_count ~size:5056 () );
+    ( "fig4max_store",
+      fun () -> Common.uam_store_bandwidth ~count:store_count ~size:5056 () );
+    ( "cellstorm",
+      fun () -> Common.raw_bandwidth ~count:storm_count ~size:64 () );
+  ]
+
+let alloc_words () =
+  let minor, promoted, major = Gc.counters () in
+  minor +. major -. promoted
+
+let measure_one name f =
+  ignore (f () : float);
+  (* warm-up: heap growth, code paths, branch state *)
+  let fired0 = Sim.events_fired () in
+  let alloc0 = alloc_words () in
+  let t0 = Selfprof.now_ns () in
+  let mb = f () in
+  let wall = Selfprof.now_ns () - t0 in
+  let alloc = alloc_words () -. alloc0 in
+  let events = Sim.events_fired () - fired0 in
+  {
+    s_workload = name;
+    s_events = events;
+    s_wall_ns = wall;
+    s_alloc_words = alloc;
+    s_virt_mb_s = mb;
+  }
+
+let measure ~quick =
+  List.map (fun (name, f) -> measure_one name f) (workloads ~quick)
+
+let events_per_sec s =
+  if s.s_wall_ns = 0 then 0.
+  else float_of_int s.s_events /. (float_of_int s.s_wall_ns /. 1e9)
+
+let us_per_event s =
+  if s.s_events = 0 then 0.
+  else float_of_int s.s_wall_ns /. 1e3 /. float_of_int s.s_events
+
+let alloc_per_event s =
+  if s.s_events = 0 then 0.
+  else s.s_alloc_words /. float_of_int s.s_events
+
+(* Gates: deterministic members tight and symmetric; wall members loose
+   and regression-only, so a fast machine or a genuine speedup always
+   passes. The baseline snapshot carries these, and benchdiff obeys the
+   baseline's copy. *)
+let gates samples =
+  let open Benchgate in
+  List.concat_map
+    (fun s ->
+      [
+        ( s.s_workload ^ "_events_fired",
+          { g_tolerance = 0.01; g_direction = Both } );
+        ( s.s_workload ^ "_mb_per_sec",
+          { g_tolerance = 0.05; g_direction = Both } );
+        ( s.s_workload ^ "_alloc_words_per_event",
+          { g_tolerance = 0.25; g_direction = Lower_is_better } );
+        ( s.s_workload ^ "_events_per_sec_wall",
+          { g_tolerance = 0.8; g_direction = Higher_is_better } );
+        ( s.s_workload ^ "_us_per_event",
+          { g_tolerance = 4.0; g_direction = Lower_is_better } );
+      ])
+    samples
+
+let snapshot_json ~quick samples =
+  let open Json in
+  let numerics =
+    List.concat_map
+      (fun s ->
+        [
+          (s.s_workload ^ "_events_fired", Num (float_of_int s.s_events));
+          (s.s_workload ^ "_mb_per_sec", Num s.s_virt_mb_s);
+          (s.s_workload ^ "_events_per_sec_wall", Num (events_per_sec s));
+          (s.s_workload ^ "_us_per_event", Num (us_per_event s));
+          (s.s_workload ^ "_alloc_words_per_event", Num (alloc_per_event s));
+        ])
+      samples
+  in
+  Obj
+    ([ ("name", Str "engine-throughput"); ("quick", Bool quick) ]
+    @ numerics
+    @ [ ("gates", Benchgate.gates_json (gates samples)) ])
+
+let print samples =
+  Format.printf "  %-16s %12s %14s %12s %14s %12s@." "workload" "events"
+    "events/s wall" "us/event" "words/event" "virt MB/s";
+  List.iter
+    (fun s ->
+      Format.printf "  %-16s %12d %14.0f %12.3f %14.1f %12.2f@." s.s_workload
+        s.s_events (events_per_sec s) (us_per_event s) (alloc_per_event s)
+        s.s_virt_mb_s)
+    samples

@@ -1,0 +1,33 @@
+(** Engine-throughput measurement: wall events/sec, µs/event and
+    allocated words/event of the simulator's hot path, over fig4 at its
+    maximum message size (PDU-heavy) and a one-cell-per-message
+    cell-storm (event-rate-heavy). Run flags-off by [bin/enginebench];
+    the snapshot embeds direction-aware {!Engine.Benchgate} gates so CI
+    fails only on regressions, never on improvements or fast machines. *)
+
+type sample = {
+  s_workload : string;
+  s_events : int;  (** events fired during the measured pass *)
+  s_wall_ns : int;
+  s_alloc_words : float;  (** GC words: minor + major - promoted *)
+  s_virt_mb_s : float;  (** the workload's own virtual-time bandwidth *)
+}
+
+val workloads : quick:bool -> (string * (unit -> float)) list
+(** Named thunks, each returning its virtual-time MB/s. *)
+
+val measure : quick:bool -> sample list
+(** Warm-up pass then measured pass per workload. *)
+
+val events_per_sec : sample -> float
+val us_per_event : sample -> float
+val alloc_per_event : sample -> float
+
+val gates : sample list -> (string * Engine.Benchgate.gate) list
+(** Tight symmetric gates on deterministic members, generous
+    regression-only gates on wall members. *)
+
+val snapshot_json : quick:bool -> sample list -> Engine.Json.t
+(** The BENCH_engine-throughput.json document (metrics + gates). *)
+
+val print : sample list -> unit

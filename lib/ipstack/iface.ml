@@ -272,7 +272,7 @@ let link_transmit fl frame =
   in
   fl.fl_busy_until <- start + ser;
   ignore
-    (Sim.schedule_at fl.fl_sim
+    (Sim.schedule_at ~label:"iface.rx" fl.fl_sim
        (fl.fl_busy_until + fl.fl_propagation)
        (fun () -> fl.fl_rx frame))
 

@@ -344,7 +344,7 @@ let rec arm_retx t =
   if t.retx_timer = None then
     t.retx_timer <-
       Some
-        (Sim.schedule (sim_of t)
+        (Sim.schedule ~label:"tcp.rto" (sim_of t)
            ~delay:(round_to_granularity t t.rto)
            (fun () ->
              t.retx_timer <- None;
@@ -454,7 +454,8 @@ let schedule_ack t =
     else if t.delack_timer = None then
       t.delack_timer <-
         Some
-          (Sim.schedule (sim_of t) ~delay:t.cfg.delack_timeout (fun () ->
+          (Sim.schedule ~label:"tcp.delack" (sim_of t)
+             ~delay:t.cfg.delack_timeout (fun () ->
                t.delack_timer <- None;
                send_ack t))
   end

@@ -233,7 +233,8 @@ let recvfrom_timeout s ~timeout =
                 end
               in
               let h =
-                Sim.schedule_at sim deadline (fun () -> resume_once (fun () -> ()))
+                Sim.schedule_at ~label:"udp.timeout" sim deadline (fun () ->
+                    resume_once (fun () -> ()))
               in
               ignore
                 (Proc.spawn ~name:"udp-timeout" sim (fun () ->

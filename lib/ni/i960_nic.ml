@@ -164,7 +164,8 @@ and inject t desc cell rest =
        the FIFO level; cells are never dropped on the way out). *)
     let retry_delay = Atm.Link.cell_time (Atm.Network.uplink t.net ~host:t.host) in
     ignore
-      (Sim.schedule t.sim ~delay:retry_delay (fun () -> inject t desc cell rest))
+      (Sim.schedule ~label:"ni.retry" t.sim ~delay:retry_delay (fun () ->
+           inject t desc cell rest))
 
 let notify_tx t ep =
   Queue.add ep t.txq;

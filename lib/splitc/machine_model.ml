@@ -86,7 +86,7 @@ let send_msg f ~src ~dst msg =
     ~time:(o_ns f + occupancy f (Buf.length msg.m_payload));
   let there = f.f_nodes.(dst) in
   ignore
-    (Sim.schedule f.f_sim ~delay:(net_time f) (fun () ->
+    (Sim.schedule ~label:"splitc.net" f.f_sim ~delay:(net_time f) (fun () ->
          Queue.add msg there.n_queue;
          Sync.Condition.broadcast there.n_cond))
 

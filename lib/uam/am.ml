@@ -355,7 +355,8 @@ let rec arm_rto t (p : peer) =
   cancel_rto p;
   let sim = Unet.sim t.u in
   let at = max (p.p_last_progress + cur_rto t p) (Sim.now sim) in
-  p.p_rto_timer <- Some (Sim.schedule_at sim at (fun () -> on_rto t p))
+  p.p_rto_timer <-
+    Some (Sim.schedule_at ~label:"uam.rto" sim at (fun () -> on_rto t p))
 
 and cancel_rto (p : peer) =
   match p.p_rto_timer with

@@ -302,7 +302,7 @@ let recv_timeout t (ep : Endpoint.t) ~timeout =
             end
           in
           let deadline_h =
-            Sim.schedule_at (sim t) deadline (fun () ->
+            Sim.schedule_at ~label:"unet.recv_deadline" (sim t) deadline (fun () ->
                 resume_once (fun () -> ()))
           in
           ignore
