@@ -27,7 +27,8 @@ let queue_csv_of_timeseries path =
     (Engine.Timeseries.series ());
   close_out oc
 
-let run quick out selfprof queue_csv =
+let run quick per_cell out selfprof queue_csv =
+  if per_cell then Engine.Trainmode.force_per_cell true;
   Format.printf "engine-throughput bench (%s mode)@."
     (if quick then "quick" else "full");
   let samples = Experiments.Enginebench.measure ~quick in
@@ -40,7 +41,7 @@ let run quick out selfprof queue_csv =
     Engine.Selfprof.start ();
     Engine.Timeseries.start ();
     List.iter
-      (fun (_, f) -> ignore (f () : float))
+      (fun (_, _, f) -> ignore (f () : float))
       (Experiments.Enginebench.workloads ~quick);
     Engine.Selfprof.stop ();
     Engine.Timeseries.stop ();
@@ -70,6 +71,15 @@ let quick =
   Arg.(
     value & flag
     & info [ "quick" ] ~doc:"Smaller message counts (CI-sized runs).")
+
+let per_cell =
+  Arg.(
+    value & flag
+    & info [ "per-cell" ]
+        ~doc:
+          "Disable the cell-train fast path: schedule every ATM cell as its \
+           own event (the reference slow path the fast path is gated \
+           against).")
 
 let out =
   Arg.(
@@ -101,6 +111,6 @@ let cmd =
   let doc = "measure the simulator's own wall-clock throughput" in
   Cmd.v
     (Cmd.info "enginebench" ~doc)
-    Term.(const run $ quick $ out $ selfprof $ queue_csv)
+    Term.(const run $ quick $ per_cell $ out $ selfprof $ queue_csv)
 
 let () = Stdlib.exit (Cmd.eval' cmd)

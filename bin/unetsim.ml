@@ -188,6 +188,16 @@ let fault =
            attaches the spec at the selected sites; all draws come from the \
            seed, so a faulty run replays exactly.")
 
+let per_cell =
+  Arg.(
+    value & flag
+    & info [ "per-cell" ]
+        ~doc:
+          "Disable the cell-train fast path and schedule every ATM cell as \
+           its own event (the reference slow path). Observable results are \
+           identical either way; this exists for differential testing and \
+           for measuring the fast path's event savings.")
+
 let breakdown =
   Arg.(
     value & flag
@@ -287,10 +297,11 @@ let cmd =
   let term =
     Term.(
       const (fun name exp_opt quick check out verbose trace metrics spans pcap
-                 breakdown fault profile selfprof timeseries interval_us report
-                 postmortem ->
+                 breakdown fault per_cell profile selfprof timeseries
+                 interval_us report postmortem ->
           setup_logs verbose;
           let name = Option.value exp_opt ~default:name in
+          if per_cell then Engine.Trainmode.force_per_cell true;
           (match fault with
           | None -> ()
           | Some spec -> (
@@ -428,7 +439,8 @@ let cmd =
               else finish (run_experiment ~collect_report name quick check))
       $ experiment $ experiment_opt $ quick $ check $ out $ verbose
       $ trace_file $ metrics_file $ spans_file $ pcap_file $ breakdown $ fault
-      $ profile_file $ selfprof_file $ timeseries_file $ sample_interval
+      $ per_cell $ profile_file $ selfprof_file $ timeseries_file
+      $ sample_interval
       $ report_file
       $ postmortem_dir)
   in

@@ -39,3 +39,38 @@ let sunatm_bytes t =
 
 let pp fmt t =
   Format.fprintf fmt "cell(vci=%d%s)" t.vci (if t.eop then ", eop" else "")
+
+module Train = struct
+  (* The cells of one CS-PDU travelling as a unit on the train fast path
+     (DESIGN.md §14). [live] is the prefix still riding analytically; a
+     split truncates it and every hop that registered planned state for the
+     train removes its now-invalid future entries via the listeners. *)
+  type train = {
+    cells : t array;
+    vci : int;
+    mutable live : int;
+    mutable listeners : (keep:int -> now:Engine.Sim.time -> unit) list;
+  }
+
+  let of_cells cells =
+    let n = Array.length cells in
+    if n = 0 then invalid_arg "Cell.Train.of_cells: empty";
+    { cells; vci = cells.(0).vci; live = n; listeners = [] }
+
+  let length t = t.live
+  let vci t = t.vci
+
+  let cell t i =
+    if i < 0 || i >= t.live then invalid_arg "Cell.Train.cell: out of range";
+    t.cells.(i)
+
+  let on_truncate t f = t.listeners <- f :: t.listeners
+
+  let truncate t ~keep ~now =
+    if keep < t.live then begin
+      t.live <- keep;
+      List.iter (fun f -> f ~keep ~now) t.listeners
+    end
+end
+
+type train = Train.train

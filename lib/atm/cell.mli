@@ -28,3 +28,29 @@ val sunatm_bytes : t -> string
     payload), for pcapng taps. Uncounted materialization. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** A cell train: the cells of one CS-PDU travelling as a unit on the train
+    fast path (DESIGN.md §14). Hops that install analytic (planned) state
+    for a train register truncation listeners; when interference splits the
+    train back to the per-cell path, [truncate] keeps the accepted prefix
+    and each listener discards its planned future for the rest. *)
+module Train : sig
+  type train
+
+  val of_cells : t array -> train
+  (** All cells must share the sender-side VCI ([vci] reports cell 0's). *)
+
+  val length : train -> int
+  (** Live prefix length (shrinks on truncation). *)
+
+  val vci : train -> int
+  val cell : train -> int -> t
+
+  val on_truncate : train -> (keep:int -> now:Engine.Sim.time -> unit) -> unit
+
+  val truncate : train -> keep:int -> now:Engine.Sim.time -> unit
+  (** Keep only the first [keep] cells and notify listeners (most recently
+      registered first). No-op unless [keep] < current length. *)
+end
+
+type train = Train.train

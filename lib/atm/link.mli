@@ -34,10 +34,14 @@ val set_fault : t -> Engine.Fault.t -> unit
 
 val send : t -> Cell.t -> bool
 (** Enqueue a cell for transmission. Returns [false] if it was dropped
-    because the transmit queue was full. *)
+    because the transmit queue was full. Raises [Invalid_argument] if no
+    receiver is attached (mis-wired topology, caught at the first send
+    rather than mid-flight). *)
 
 val cell_time : t -> Engine.Sim.time
 (** Serialization time of one 53-byte cell at this link's bandwidth. *)
+
+val propagation : t -> Engine.Sim.time
 
 val cells_sent : t -> int
 val cells_dropped : t -> int
@@ -48,4 +52,70 @@ val cells_offered : t -> int
     point, the denominator for loss-rate arithmetic. *)
 
 val queue_length : t -> int
+(** Legacy queue plus cells planned-but-not-yet-serializing on the train
+    fast path. *)
+
 val busy : t -> bool
+
+(** {2 Train fast path (DESIGN.md §14)}
+
+    Planned (analytic) transport: a whole train's acceptances, queue drops,
+    serialization starts and high-water marks are computed up front against
+    the link's planned state and folded lazily into the real counters no
+    later than any observer reads them. Plans refuse — returning the caller
+    to the per-cell path — whenever legacy traffic is in flight, a loss
+    process or fault injector is attached, or any same-instant decision
+    would depend on event-heap order. *)
+
+type plan
+type hop
+
+val plan_chain :
+  t ->
+  n:int ->
+  first_attempt:Engine.Sim.time ->
+  gap:Engine.Sim.time ->
+  plan option
+(** Sender-paced plan: cell 0's send attempt fires at [first_attempt] from
+    an event scheduled [gap] earlier; each acceptance triggers the next
+    attempt [gap] later; refused attempts drop once and retry every
+    cell_time, reproducing the NI tx / ni.retry shape (including the
+    per-attempt drop accounting of a saturated bounded queue). *)
+
+val plan_feed :
+  t ->
+  arrivals:Engine.Sim.time array ->
+  sched_lead:Engine.Sim.time ->
+  refuse_occ:int ->
+  plan option
+(** Arrival-fed plan (switch output, fixed-pace PIO uplink): cell i's
+    attempt fires at [arrivals.(i)] (strictly increasing) from an event
+    scheduled [sched_lead] earlier. Refuses rather than modelling a drop if
+    occupancy would reach [refuse_occ] (the caller's drop threshold) or the
+    link's own capacity. *)
+
+val plan_accepts : plan -> Engine.Sim.time array
+val plan_starts : plan -> Engine.Sim.time array
+(** Delivery of cell i lands at [starts.(i) + cell_time + propagation]. *)
+
+val plan_queue_after : plan -> float array
+(** Queue depth just after each acceptance — what a feeder reading
+    {!queue_length} right after a successful {!send} would see (the
+    switch's port high-water sample). *)
+
+val commit_plan : t -> plan -> fold_sent:bool -> hop
+(** Install a plan. With [fold_sent], delivered-cell accounting folds
+    analytically (trains); without, the caller keeps real delivery events
+    (bridged per-cell sends). *)
+
+val truncate_hop : t -> hop -> keep:int -> now:Engine.Sim.time -> unit
+(** The owning train was cut back to [keep] cells: discard planned entries
+    at or after [now] (the per-cell path re-performs them for real). *)
+
+val pending_plan : t -> bool
+
+val set_interfere : t -> (unit -> unit) -> unit
+(** Callback run before a per-cell send threads through pending planned
+    state; the owning NI uses it to split a chain still accepting here. *)
+
+val clear_interfere : t -> unit

@@ -28,10 +28,22 @@ type t = {
   uplinks : Link.t array; (* host -> switch *)
   downlinks : Link.t array; (* switch -> host *)
   rx_handlers : (Cell.t -> unit) option array;
+  rx_train_handlers :
+    (Cell.train -> rx_vci:int -> deliveries:Sim.time array -> unit) option
+    array;
   (* VCI allocation, per direction. VCIs below 32 are reserved as on a real
      ATM fabric. *)
   next_tx_vci : int array; (* next free VCI on host's uplink *)
   next_rx_vci : int array; (* next free VCI on host's downlink *)
+  in_flight : int array;
+    (* per source host: real cells accepted onto the uplink but not yet
+       settled into their destination link by the switch. While nonzero,
+       train commits from that host refuse — a straggler still crossing
+       the fabric would reach the downlink during the planned window and
+       be queued after entries it precedes in wire order (bridge_send
+       appends at the planned tail). Cells killed by an uplink loss or
+       fault site never settle and pin the counter, which only disables
+       commits from a host whose uplink refuses plans anyway. *)
 }
 
 (* One injector per attachment point — per link direction per host, per
@@ -86,10 +98,15 @@ let create sim ~hosts config =
       uplinks;
       downlinks;
       rx_handlers = Array.make hosts None;
+      rx_train_handlers = Array.make hosts None;
       next_tx_vci = Array.make hosts 32;
       next_rx_vci = Array.make hosts 32;
+      in_flight = Array.make hosts 0;
     }
   in
+  Switch.set_on_settled switch (fun ~in_port ->
+      if t.in_flight.(in_port) > 0 then
+        t.in_flight.(in_port) <- t.in_flight.(in_port) - 1);
   for h = 0 to hosts - 1 do
     let port = h in
     Link.set_receiver uplinks.(h) (fun cell -> Switch.input switch ~port cell);
@@ -114,6 +131,10 @@ let attach_rx t ~host f =
   check_host t host;
   t.rx_handlers.(host) <- Some f
 
+let attach_rx_train t ~host f =
+  check_host t host;
+  t.rx_train_handlers.(host) <- Some f
+
 (* pcap tap at the injection point: every cell that enters the fabric is
    captured as a LINKTYPE_SUNATM record. *)
 let capture_cell ~host cell =
@@ -130,7 +151,9 @@ let send t ~host cell =
   check_host t host;
   if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Injected;
   capture_cell ~host cell;
-  Link.send t.uplinks.(host) cell
+  let accepted = Link.send t.uplinks.(host) cell in
+  if accepted then t.in_flight.(host) <- t.in_flight.(host) + 1;
+  accepted
 
 let uplink t ~host =
   check_host t host;
@@ -141,6 +164,98 @@ let downlink t ~host =
   t.downlinks.(host)
 
 let switch t = t.switch
+
+(* --- train fast path (DESIGN.md §14) --------------------------------- *)
+
+(* Default receive expansion for hosts whose NI is not train-aware: one
+   chained event per cell, each re-checking the train's live length so an
+   upstream truncation simply stops the chain (the per-cell path
+   re-delivers the cut cells for real). *)
+let rec expand_rx t ~dest ~rx_vci ~train ~deliveries i =
+  if i < Cell.Train.length train then begin
+    let cell = Cell.with_vci (Cell.Train.cell train i) rx_vci in
+    (match t.rx_handlers.(dest) with Some f -> f cell | None -> ());
+    if i + 1 < Cell.Train.length train then
+      Sim.schedule_drop ~label:"net.rx_train" t.sim
+        ~delay:(deliveries.(i + 1) - Sim.now t.sim)
+        (fun () -> expand_rx t ~dest ~rx_vci ~train ~deliveries (i + 1))
+  end
+
+(* Plan a whole train's journey across the fabric analytically: sender-paced
+   chain on the uplink, fabric transit, arrival-fed plan on the downlink.
+   All-or-nothing — any refusal (legacy traffic in flight, a loss or fault
+   site, a queue at capacity, a same-instant tie) returns [None] and the
+   caller stays on the per-cell path. On success each element holds planned
+   state that folds lazily into its counters, a single event hands the train
+   to the receiving host at the first cell's delivery instant, and a
+   truncation listener un-plans everything past an interference point. The
+   owner must arrange for [on_interfere] to split its chain (it is installed
+   as the uplink's interfere hook; clear it when the chain ends). *)
+let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
+  check_host t host;
+  let n = Cell.Train.length train in
+  if n = 0 || t.in_flight.(host) > 0 then None
+  else
+    match
+      Switch.plan_route t.switch ~in_port:host ~in_vci:(Cell.Train.vci train)
+    with
+    | None -> None
+    | Some (out_port, out_vci, downlink) -> (
+        let uplink = t.uplinks.(host) in
+        match plan_uplink uplink with
+        | None -> None
+        | Some up_plan -> (
+            let transit = Switch.transit t.switch in
+            let up_lat = Link.cell_time uplink + Link.propagation uplink in
+            let arrivals =
+              Array.map (fun s -> s + up_lat + transit)
+                (Link.plan_starts up_plan)
+            in
+            match
+              Link.plan_feed downlink ~arrivals ~sched_lead:transit
+                ~refuse_occ:(Switch.output_queue_capacity t.switch)
+            with
+            | None -> None
+            | Some down_plan ->
+                let up_hop = Link.commit_plan uplink up_plan ~fold_sent:true in
+                let down_hop =
+                  Link.commit_plan downlink down_plan ~fold_sent:true
+                in
+                let srec =
+                  Switch.commit_plan t.switch ~out_port ~times:arrivals
+                    ~hw:(Link.plan_queue_after down_plan)
+                in
+                Cell.Train.on_truncate train (fun ~keep ~now ->
+                    Link.truncate_hop uplink up_hop ~keep ~now;
+                    Switch.truncate_plan t.switch srec ~keep;
+                    Link.truncate_hop downlink down_hop ~keep ~now);
+                Link.set_interfere uplink on_interfere;
+                let down_lat =
+                  Link.cell_time downlink + Link.propagation downlink
+                in
+                let deliveries =
+                  Array.map
+                    (fun s -> s + down_lat)
+                    (Link.plan_starts down_plan)
+                in
+                Sim.schedule_drop ~label:"net.rx_train" t.sim
+                  ~delay:(deliveries.(0) - Sim.now t.sim)
+                  (fun () ->
+                    match t.rx_train_handlers.(out_port) with
+                    | Some f when Cell.Train.length train > 0 ->
+                        f train ~rx_vci:out_vci ~deliveries
+                    | _ ->
+                        expand_rx t ~dest:out_port ~rx_vci:out_vci ~train
+                          ~deliveries 0);
+                Some (Link.plan_accepts up_plan)))
+
+let commit_train t ~host ~train ~first_attempt ~gap ~on_interfere =
+  commit_train_gen t ~host ~train ~on_interfere ~plan_uplink:(fun uplink ->
+      Link.plan_chain uplink ~n:(Cell.Train.length train) ~first_attempt ~gap)
+
+let commit_train_feed t ~host ~train ~arrivals ~sched_lead ~on_interfere =
+  commit_train_gen t ~host ~train ~on_interfere ~plan_uplink:(fun uplink ->
+      Link.plan_feed uplink ~arrivals ~sched_lead ~refuse_occ:max_int)
 
 type duplex = { tx_vci : int; rx_vci : int }
 type conn = { host_a : int; host_b : int; side_a : duplex; side_b : duplex }

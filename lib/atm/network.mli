@@ -42,6 +42,51 @@ val uplink : t -> host:int -> Link.t
 val downlink : t -> host:int -> Link.t
 val switch : t -> Switch.t
 
+(** {2 Train fast path (DESIGN.md §14)} *)
+
+val attach_rx_train :
+  t ->
+  host:int ->
+  (Cell.train -> rx_vci:int -> deliveries:Engine.Sim.time array -> unit) ->
+  unit
+(** Install a train-aware receive handler: committed trains destined to
+    [host] are handed over whole at the first cell's delivery instant,
+    with [deliveries.(i)] the instant cell i would have arrived per-cell
+    (cells still carry the sender-side VCI; [rx_vci] is the switch
+    relabel). Hosts without one get the default per-cell expansion into
+    their {!attach_rx} handler. *)
+
+val commit_train :
+  t ->
+  host:int ->
+  train:Cell.train ->
+  first_attempt:Engine.Sim.time ->
+  gap:Engine.Sim.time ->
+  on_interfere:(unit -> unit) ->
+  Engine.Sim.time array option
+(** Plan a whole train's journey — uplink chain (cell 0's attempt at
+    [first_attempt], then [gap] after each acceptance, retrying refused
+    attempts every cell slot), switch transit, downlink feed —
+    all-or-nothing. [Some accepts] gives each cell's uplink acceptance
+    instant, the schedule the sending NI's chain batch must reproduce;
+    [None] means some element refused (legacy traffic in flight, a
+    loss/fault site, a full queue, a same-instant tie) and the sender must
+    use the per-cell path. [on_interfere] is installed as the uplink's
+    interfere hook; the caller owns clearing it when its chain ends or
+    splits. *)
+
+val commit_train_feed :
+  t ->
+  host:int ->
+  train:Cell.train ->
+  arrivals:Engine.Sim.time array ->
+  sched_lead:Engine.Sim.time ->
+  on_interfere:(unit -> unit) ->
+  Engine.Sim.time array option
+(** Like {!commit_train} but for a fixed-pace uplink feed (the SBA-100's
+    PIO loop): cell i's send happens unconditionally at [arrivals.(i)],
+    from an event scheduled [sched_lead] earlier. *)
+
 (** The transmit/receive VCI pair naming a one-way-per-direction duplex
     channel, as handed to an endpoint at channel registration. *)
 type duplex = { tx_vci : int; rx_vci : int }

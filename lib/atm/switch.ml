@@ -16,7 +16,40 @@ type t = {
   m_unroutable : Metrics.Counter.t;
   port_drops : Metrics.Counter.t array;
   port_queue_hw : Metrics.Gauge.t array;
+  mutable records : srecord list;
+      (* planned train forwardings (DESIGN.md §14), folded lazily *)
+  mutable on_settled : (in_port:int -> unit) option;
+      (* a real cell from [in_port] left the fabric — forwarded onto its
+         output link, dropped at the output queue, or unroutable (the
+         in-flight gate of DESIGN.md §14 counts it out) *)
 }
+
+(* One committed train crossing this switch: cell i is forwarded at
+   [sr_times.(i)] leaving the output queue [sr_hw.(i)] deep. Folded into
+   routed counters / port high-water no later than any observer reads
+   them. *)
+and srecord = {
+  sr_port : int;
+  mutable sr_live : int;
+  sr_times : Engine.Sim.time array;
+  sr_hw : float array;
+  mutable sr_f : int; (* fold cursor *)
+}
+
+let fold_record t now r =
+  while r.sr_f < r.sr_live && r.sr_times.(r.sr_f) <= now do
+    t.routed <- t.routed + 1;
+    Metrics.Counter.inc t.m_routed;
+    Metrics.Gauge.set_max t.port_queue_hw.(r.sr_port) r.sr_hw.(r.sr_f);
+    r.sr_f <- r.sr_f + 1
+  done
+
+let fold_to t now =
+  if t.records <> [] then begin
+    List.iter (fold_record t now) t.records;
+    if List.exists (fun r -> r.sr_f >= r.sr_live) t.records then
+      t.records <- List.filter (fun r -> r.sr_f < r.sr_live) t.records
+  end
 
 let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
   if ports <= 0 then invalid_arg "Switch.create: ports must be positive";
@@ -51,8 +84,11 @@ let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
             Metrics.gauge ~help:"deepest a switch output queue has ever been"
               "atm_switch_port_queue_high_water"
               [ ("port", string_of_int p) ]);
+      records = [];
+      on_settled = None;
     }
   in
+  Metrics.register_flush (fun () -> fold_to t (Sim.now sim));
   Recorder.register_snapshot "atm.switch" (fun () ->
       Json.Obj
         (List.init t.ports (fun p ->
@@ -97,9 +133,66 @@ let add_route t ~in_port ~in_vci ~out_port ~out_vci =
 
 let remove_route t ~in_port ~in_vci = Hashtbl.remove t.routes (in_port, in_vci)
 
-let cells_routed t = t.routed
+let set_on_settled t f = t.on_settled <- Some f
+
+let settled t ~in_port =
+  match t.on_settled with Some f -> f ~in_port | None -> ()
+
+let cells_routed t =
+  fold_to t (Sim.now t.sim);
+  t.routed
+
 let cells_dropped t = t.dropped
 let unroutable t = t.unroutable
+let transit t = t.transit
+let output_queue_capacity t = t.output_queue_capacity
+
+(* Train-commit gate and route resolution: a whole train may be planned
+   through an output port only when the route exists, the port has a link
+   and no fault injector, and no other input port routes to it — the
+   single-source condition that makes downstream FIFO order equal arrival
+   order (DESIGN.md §14). *)
+let plan_route t ~in_port ~in_vci =
+  match Hashtbl.find_opt t.routes (in_port, in_vci) with
+  | None -> None
+  | Some (out_port, out_vci) -> (
+      match t.outputs.(out_port) with
+      | None -> None
+      | Some link ->
+          if t.port_faults.(out_port) <> None then None
+          else if
+            Hashtbl.fold
+              (fun (ip, _) (op, _) other ->
+                other || (op = out_port && ip <> in_port))
+              t.routes false
+          then None
+          else Some (out_port, out_vci, link))
+
+let commit_plan t ~out_port ~times ~hw =
+  let r =
+    {
+      sr_port = out_port;
+      sr_live = Array.length times;
+      sr_times = times;
+      sr_hw = hw;
+      sr_f = 0;
+    }
+  in
+  t.records <- t.records @ [ r ];
+  r
+
+(* Cells past [keep] never reach the switch (they were cut upstream); their
+   forwarding instants are all strictly in the future. *)
+let truncate_plan t r ~keep =
+  if keep < r.sr_live then begin
+    r.sr_live <- keep;
+    if r.sr_f > keep then begin
+      let extra = r.sr_f - keep in
+      t.routed <- t.routed - extra;
+      Metrics.Counter.add t.m_routed (-extra);
+      r.sr_f <- keep
+    end
+  end
 
 let drop t ?ctx ~out_port ~vci () =
   t.dropped <- t.dropped + 1;
@@ -127,29 +220,30 @@ let input t ~port cell =
       Metrics.Counter.inc t.m_unroutable;
       if Trace.enabled () then
         Trace.instant Trace.Cell "switch.unroutable" ~tid:port
-          ~args:[ ("vci", Trace.Int cell.Cell.vci) ]
+          ~args:[ ("vci", Trace.Int cell.Cell.vci) ];
+      settled t ~in_port:port
   | Some (out_port, out_vci) -> (
       match t.outputs.(out_port) with
       | None -> failwith "Switch: route to a port with no output link"
       | Some link ->
-          ignore
-            (Sim.schedule ~label:"switch.transit" t.sim ~delay:t.transit (fun () ->
-                 (* The output port queue is the link's transmit queue; a
-                    full queue drops the cell, which is what makes large TCP
-                    segments fragile over ATM (§7.8). *)
-                 if
-                   Link.queue_length link >= t.output_queue_capacity
-                   || fault_drops t ~out_port
-                 then drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ()
-                 else if begin
-                   if cell.Cell.eop then
-                     Span.mark cell.Cell.ctx Span.Switch_out;
-                   Link.send link (Cell.with_vci cell out_vci)
-                 end
-                 then begin
-                   t.routed <- t.routed + 1;
-                   Metrics.Counter.inc t.m_routed;
-                   Metrics.Gauge.set_max t.port_queue_hw.(out_port)
-                     (float_of_int (Link.queue_length link))
-                 end
-                 else drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ())))
+          Sim.schedule_drop ~label:"switch.transit" t.sim ~delay:t.transit
+            (fun () ->
+              (* The output port queue is the link's transmit queue; a
+                 full queue drops the cell, which is what makes large TCP
+                 segments fragile over ATM (§7.8). *)
+              (if
+                 Link.queue_length link >= t.output_queue_capacity
+                 || fault_drops t ~out_port
+               then drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ()
+               else if begin
+                 if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Switch_out;
+                 Link.send link (Cell.with_vci cell out_vci)
+               end
+               then begin
+                 t.routed <- t.routed + 1;
+                 Metrics.Counter.inc t.m_routed;
+                 Metrics.Gauge.set_max t.port_queue_hw.(out_port)
+                   (float_of_int (Link.queue_length link))
+               end
+               else drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ());
+              settled t ~in_port:port))

@@ -33,6 +33,37 @@ val input : t -> port:int -> Cell.t -> unit
 (** Deliver a cell into the switch (wired as the receiver of the host-side
     uplink). *)
 
+val set_on_settled : t -> (in_port:int -> unit) -> unit
+(** Called each time a real cell that entered on [in_port] leaves the
+    fabric — forwarded onto its output link, dropped at the output queue,
+    or unroutable. Backs the network's in-flight gate (DESIGN.md §14): a
+    train may only be planned once every earlier per-cell send has reached
+    its destination link, so planned downstream entries can never be
+    overtaken by a cell still crossing the fabric. *)
+
 val cells_routed : t -> int
 val cells_dropped : t -> int
 val unroutable : t -> int
+val transit : t -> Engine.Sim.time
+val output_queue_capacity : t -> int
+
+(** {2 Train fast path (DESIGN.md §14)} *)
+
+type srecord
+(** Planned forwarding of one committed train through an output port; the
+    routed counter and port high-water fold lazily from it. *)
+
+val plan_route :
+  t -> in_port:int -> in_vci:int -> (int * int * Link.t) option
+(** [(out_port, out_vci, link)] if a whole train may be planned through:
+    route present, output link attached, no port fault, and no other input
+    port routes to the output (single source keeps downstream FIFO order
+    equal to arrival order). *)
+
+val commit_plan :
+  t -> out_port:int -> times:Engine.Sim.time array -> hw:float array -> srecord
+(** Install a planned forwarding: cell i leaves at [times.(i)] with the
+    output queue [hw.(i)] deep after the send. *)
+
+val truncate_plan : t -> srecord -> keep:int -> unit
+(** The owning train was cut to [keep] cells; the rest never arrive. *)

@@ -131,7 +131,17 @@ let histogram ?(help = "") name labels =
   | I_hist h -> h
   | _ -> assert false
 
+(* Deferred-accounting flushes: layers that fold state into metrics lazily
+   (e.g. a link folding an analytic cell-train schedule into its high-water
+   gauge) register a flush so every read of the registry sees up-to-date
+   values. Registrations are per-experiment: [reset] clears them along with
+   the sample values, and the next experiment's components re-register. *)
+let flushers : (unit -> unit) list ref = ref []
+let register_flush f = flushers := f :: !flushers
+let flush () = List.iter (fun f -> f ()) !flushers
+
 let reset () =
+  flushers := [];
   Hashtbl.iter
     (fun _ f ->
       List.iter
@@ -144,6 +154,7 @@ let reset () =
     registry
 
 let counter_value name labels =
+  flush ();
   match Hashtbl.find_opt registry name with
   | None -> None
   | Some f -> (
@@ -187,6 +198,7 @@ let pp_float fmt v =
 let quantiles = [ 0.5; 0.9; 0.99 ]
 
 let pp_prometheus fmt () =
+  flush ();
   List.iter
     (fun f ->
       if f.f_help <> "" then
@@ -226,6 +238,7 @@ let pp_prometheus fmt () =
 let json_string v = "\"" ^ escape_label v ^ "\""
 
 let pp_json fmt () =
+  flush ();
   Format.fprintf fmt "{@\n  \"families\": [";
   List.iteri
     (fun i f ->

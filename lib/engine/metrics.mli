@@ -53,6 +53,15 @@ val on_gauge_fn : (string -> labels -> (unit -> float) -> unit) -> unit
 
 val histogram : ?help:string -> string -> labels -> Histogram.t
 
+val register_flush : (unit -> unit) -> unit
+(** Register a deferred-accounting flush, run before every registry read
+    ([counter_value], the Prometheus/JSON dumps). Layers that fold state
+    into metrics lazily use this so dumps always see settled values.
+    Registrations are cleared by [reset]. *)
+
+val flush : unit -> unit
+(** Run all registered flushes now. *)
+
 val reset : unit -> unit
 (** Zero every value; keep all registrations. *)
 

@@ -1,13 +1,13 @@
 type time = int
 
 type event = {
-  at : time;
-  seq : int; (* tie-breaker: FIFO among same-time events *)
+  mutable at : time;
+  mutable seq : int; (* tie-breaker: FIFO among same-time events *)
   mutable thunk : (unit -> unit) option; (* None once fired or cancelled *)
-  label : string; (* static schedule-site kind; "" = unlabeled *)
+  mutable label : string; (* static schedule-site kind; "" = unlabeled *)
+  pooled : bool; (* allocated by [schedule_drop]: no handle escapes, so the
+                    record is recycled through the free list after firing *)
 }
-
-type handle = event
 
 (* Binary min-heap over (at, seq). A simple array-backed heap is enough: the
    simulator's hot loop is push/pop and both are O(log n) with no allocation
@@ -18,8 +18,9 @@ module Heap = struct
   type t = { mutable a : event array; mutable len : int }
 
   let swaps = ref 0
-  let dummy = { at = 0; seq = 0; thunk = None; label = "" }
-  let create () = { a = Array.make 256 dummy; len = 0 }
+  let dummy = { at = 0; seq = 0; thunk = None; label = ""; pooled = false }
+  let min_capacity = 256
+  let create () = { a = Array.make min_capacity dummy; len = 0 }
 
   let before x y = x.at < y.at || (x.at = y.at && x.seq < y.seq)
 
@@ -71,6 +72,58 @@ module Heap = struct
     end
 
   let peek h = if h.len = 0 then None else Some h.a.(0)
+
+  (* Tombstone compaction: drop every cancelled record in one pass and
+     re-establish the heap property bottom-up (Floyd). Pop order is a total
+     order on (at, seq), so rebuilding cannot change what fires next. The
+     sift here deliberately does not touch [swaps]: compaction runs inside
+     [schedule], and inflating the per-pop swap deltas would corrupt the
+     self-profiler's pop-cost histogram. *)
+  let sift_down_quiet h i =
+    let a = h.a in
+    let i = ref i in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && before a.(l) a.(!smallest) then smallest := l;
+      if r < h.len && before a.(r) a.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = a.(!smallest) in
+        a.(!smallest) <- a.(!i);
+        a.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done
+
+  let compact h =
+    let kept = ref 0 in
+    for i = 0 to h.len - 1 do
+      let e = h.a.(i) in
+      if e.thunk <> None then begin
+        h.a.(!kept) <- e;
+        incr kept
+      end
+    done;
+    for i = !kept to h.len - 1 do
+      h.a.(i) <- dummy
+    done;
+    h.len <- !kept;
+    for i = (h.len / 2) - 1 downto 0 do
+      sift_down_quiet h i
+    done;
+    (* shrink the backing array once occupancy falls below a quarter of
+       capacity, so a long run does not hold its high-water array forever *)
+    let cap = ref (Array.length h.a) in
+    while !cap > min_capacity && h.len * 4 < !cap do
+      cap := !cap / 2
+    done;
+    if !cap < Array.length h.a then begin
+      let a' = Array.make !cap dummy in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end
 end
 
 type t = {
@@ -80,7 +133,17 @@ type t = {
   mutable live : int; (* scheduled and not yet fired/cancelled *)
   mutable last_fired_at : time; (* same-timestamp batch tracking *)
   mutable batch : int; (* events fired at [last_fired_at] so far *)
+  (* free list of recycled [pooled] event records ([schedule_drop]): the
+     cell-train fast path schedules its per-hop events through here, so a
+     train hop allocates no event record in steady state *)
+  mutable pool : event array;
+  mutable pool_len : int;
 }
+
+(* A handle pairs the event with its owning simulator so [cancel] can drop
+   [live] immediately — [len - live] is then exactly the in-heap tombstone
+   population read by the compaction trigger and the tombstone probe. *)
+type handle = { h_ev : event; h_sim : t }
 
 (* Queue accounting, always on: three int increments per event lifetime.
    [sim_events_total{outcome=cancelled}] counts tombstones — events that
@@ -127,6 +190,8 @@ let create () =
       live = 0;
       last_fired_at = -1;
       batch = 0;
+      pool = Array.make 64 Heap.dummy;
+      pool_len = 0;
     }
   in
   last_sim := Some t;
@@ -151,29 +216,89 @@ let now t = t.clock
 let global_now t = !time_base + t.clock
 let pending t = t.live
 
+(* Compact once the in-heap tombstone share crosses the same 25% threshold
+   the introspection warning uses; checked at schedule time so the cost is
+   one comparison on the hot path. *)
+let maybe_compact t =
+  let len = t.heap.Heap.len in
+  if len >= Heap.min_capacity && (len - t.live) * 4 > len then
+    Heap.compact t.heap
+
 let schedule_at ?(label = "") t at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.schedule_at: time %d is in the past (now %d)" at
          t.clock);
-  let e = { at; seq = t.next_seq; thunk = Some f; label } in
+  let e = { at; seq = t.next_seq; thunk = Some f; label; pooled = false } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Metrics.Counter.inc c_scheduled;
+  maybe_compact t;
   Heap.push t.heap e;
-  e
+  { h_ev = e; h_sim = t }
 
 let schedule ?label t ~delay f =
   if delay < 0 then invalid_arg "Sim.schedule: negative delay";
   schedule_at ?label t (t.clock + delay) f
 
-let cancel (e : handle) =
+(* Fire-and-forget scheduling: no handle escapes, so the event record comes
+   from (and returns to) the per-simulator free list and cannot be
+   cancelled. Hot per-hop sites that [ignore (schedule ...)] use this. *)
+let schedule_drop_at ?(label = "") t at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.schedule_drop_at: time %d is in the past (now %d)"
+         at t.clock);
+  let e =
+    if t.pool_len > 0 then begin
+      t.pool_len <- t.pool_len - 1;
+      let e = t.pool.(t.pool_len) in
+      t.pool.(t.pool_len) <- Heap.dummy;
+      e.at <- at;
+      e.seq <- t.next_seq;
+      e.thunk <- Some f;
+      e.label <- label;
+      e
+    end
+    else { at; seq = t.next_seq; thunk = Some f; label; pooled = true }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Metrics.Counter.inc c_scheduled;
+  maybe_compact t;
+  Heap.push t.heap e
+
+let schedule_drop ?label t ~delay f =
+  if delay < 0 then invalid_arg "Sim.schedule_drop: negative delay";
+  schedule_drop_at ?label t (t.clock + delay) f
+
+let recycle t (e : event) =
+  if e.pooled then begin
+    if t.pool_len = Array.length t.pool then
+      if t.pool_len < 4096 then begin
+        let a' = Array.make (2 * t.pool_len) Heap.dummy in
+        Array.blit t.pool 0 a' 0 t.pool_len;
+        t.pool <- a'
+      end
+      else ()
+    else ();
+    if t.pool_len < Array.length t.pool then begin
+      e.label <- "";
+      t.pool.(t.pool_len) <- e;
+      t.pool_len <- t.pool_len + 1
+    end
+  end
+
+(* Cancellation leaves the record in the heap as a tombstone, but [live]
+   drops immediately (see [handle]). Pooled records never reach here:
+   [schedule_drop] returns no handle. *)
+let cancel { h_ev = e; h_sim = t } =
   match e.thunk with
   | None -> ()
   | Some _ ->
       e.thunk <- None;
+      t.live <- t.live - 1;
       Metrics.Counter.inc c_cancelled
-(* note: [live] is decremented lazily when the tombstone is popped *)
 
 (* Same-timestamp batch bookkeeping for the self-profiler: a batch ends
    when a fired event carries a later timestamp (or the run drains). *)
@@ -196,8 +321,8 @@ let step t =
     | Some e -> (
         match e.thunk with
         | None ->
-            (* cancelled: a tombstone, pure pop-path waste *)
-            t.live <- t.live - 1;
+            (* cancelled: a tombstone, pure pop-path waste ([live] already
+               dropped at cancel time) *)
             loop (skipped + 1)
         | Some f ->
             e.thunk <- None;
@@ -219,6 +344,7 @@ let step t =
               Selfprof.event_end ()
             end
             else f ();
+            recycle t e;
             true)
   in
   loop 0

@@ -32,6 +32,15 @@ val schedule : ?label:string -> t -> delay:time -> (unit -> unit) -> handle
 (** [schedule sim ~delay f] runs [f] [delay] nanoseconds from now.
     [delay] must be non-negative. *)
 
+val schedule_drop_at : ?label:string -> t -> time -> (unit -> unit) -> unit
+(** Fire-and-forget [schedule_at]: no handle is returned, so the event can
+    never be cancelled and its record is recycled through a per-simulator
+    free list after firing. Hot per-hop schedule sites that would otherwise
+    [ignore] the handle use this to stay allocation-free in steady state. *)
+
+val schedule_drop : ?label:string -> t -> delay:time -> (unit -> unit) -> unit
+(** Fire-and-forget [schedule]. See {!schedule_drop_at}. *)
+
 val cancel : handle -> unit
 (** Prevent a pending event from firing. Cancelling an already-fired or
     already-cancelled event is a no-op. A cancelled-but-scheduled event

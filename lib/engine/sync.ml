@@ -50,12 +50,12 @@ module Mailbox = struct
         Proc.suspend (fun resume ->
             w.resume <- resume;
             Queue.add w t.waiters;
-            ignore
-              (Sim.schedule ~label:"sync.timeout" t.sim ~delay:timeout (fun () ->
-                   if w.alive then begin
-                     w.alive <- false;
-                     resume ()
-                   end)));
+            Sim.schedule_drop ~label:"sync.timeout" t.sim ~delay:timeout
+              (fun () ->
+                if w.alive then begin
+                  w.alive <- false;
+                  resume ()
+                end));
         w.cell
 end
 
@@ -86,7 +86,7 @@ module Semaphore = struct
   let release t =
     match Queue.take_opt t.waiters with
     | Some resume ->
-        ignore (Sim.schedule ~label:"sync.release" t.sim ~delay:0 resume)
+        Sim.schedule_drop ~label:"sync.release" t.sim ~delay:0 resume
     | None -> t.count <- t.count + 1
 end
 
@@ -103,7 +103,7 @@ module Condition = struct
     t.waiting <- [];
     List.iter
       (fun resume ->
-        ignore (Sim.schedule ~label:"sync.broadcast" t.sim ~delay:0 resume))
+        Sim.schedule_drop ~label:"sync.broadcast" t.sim ~delay:0 resume)
       ws
 
   let rec wait_for t pred =
@@ -116,30 +116,322 @@ end
 module Server = struct
   type job = { cost : Sim.time; k : unit -> unit }
 
+  (* Batches are the train fast path (DESIGN.md §14): a precomputed schedule
+     standing in for a run of per-cell jobs. A [chain] is the tx side — one
+     fixed-cost setup window followed by one per-cell unit job per cell, each
+     ending at a precomputed link-acceptance instant. A [paced] batch is the
+     rx side — per-cell jobs whose start times chain off precomputed cell
+     arrival instants. Any plain [submit] while a batch is active dissolves
+     it ("splits") back into real jobs/events with byte-identical
+     accounting, so a batch is only ever an optimization, never a behavior
+     change. *)
+
+  type chain_phase =
+    | Chain_first of Sim.time  (* setup job in flight; completes at [t] *)
+    | Chain_unit of Sim.time  (* per-cell unit job in flight; completes at [t] *)
+    | Chain_gap of Sim.time
+      (* between refused attempts; first attempt for the pending cell was at
+         [t], retries follow at the caller's retry step *)
+
+  type chain = {
+    c_first_end : Sim.time;
+    c_unit : Sim.time;
+    c_accepts : Sim.time array;  (* acceptance instant of cell i *)
+    c_done : unit -> unit;
+    c_split : accepted:int -> phase:chain_phase -> unit;
+    mutable c_ev : Sim.handle option;
+  }
+
+  type paced = {
+    p_cost : Sim.time;
+    p_arrivals : Sim.time array;
+    p_starts : Sim.time array;  (* start.(i) = max(arrival.(i), end.(i-1)) *)
+    p_actions : (unit -> unit) array;
+    mutable p_n : int;  (* live prefix; shrinks if the train truncates *)
+    mutable p_ev : Sim.handle option;
+    mutable p_split_evs : (int * Sim.handle) list;
+      (* arrival events re-armed by a split, by cell index: a truncation
+         arriving after the split must still cancel the cut cells' events
+         (their cells are re-delivered for real by the per-cell path) *)
+  }
+
+  type batch = Chain of chain | Paced of paced
+
   type t = {
     sim : Sim.t;
     jobs : job Queue.t;
     mutable busy : bool;
+    mutable busy_until : Sim.time;  (* meaningful only while [busy] *)
     mutable busy_time : Sim.time;
+    mutable batch : batch option;
   }
 
-  let create sim = { sim; jobs = Queue.create (); busy = false; busy_time = 0 }
+  let create sim =
+    {
+      sim;
+      jobs = Queue.create ();
+      busy = false;
+      busy_until = 0;
+      busy_time = 0;
+      batch = None;
+    }
+
   let busy t = t.busy
   let queue_length t = Queue.length t.jobs
   let busy_time t = t.busy_time
+  let idle t = (not t.busy) && Queue.is_empty t.jobs && t.batch = None
 
   let rec start t job =
     t.busy <- true;
     t.busy_time <- t.busy_time + job.cost;
-    ignore
-      (Sim.schedule ~label:"sync.job_done" t.sim ~delay:job.cost (fun () ->
-           job.k ();
-           match Queue.take_opt t.jobs with
-           | Some next -> start t next
-           | None -> t.busy <- false))
+    t.busy_until <- Sim.now t.sim + job.cost;
+    Sim.schedule_drop ~label:"sync.job_done" t.sim ~delay:job.cost (fun () ->
+        job.k ();
+        match Queue.take_opt t.jobs with
+        | Some next -> start t next
+        | None -> t.busy <- false)
 
-  let submit t ~cost k =
+  (* Re-arm a real in-flight job completing at [until] (its cost was already
+     charged by the batch that is being split). *)
+  let resume_inflight t ~until ~k =
+    t.busy <- true;
+    t.busy_until <- until;
+    Sim.schedule_drop ~label:"sync.job_done" t.sim
+      ~delay:(until - Sim.now t.sim) (fun () ->
+        k ();
+        match Queue.take_opt t.jobs with
+        | Some next -> start t next
+        | None -> t.busy <- false)
+
+  let finish_chain t c () =
+    c.c_ev <- None;
+    t.batch <- None;
+    t.busy <- false;
+    t.busy_until <- Sim.now t.sim;
+    c.c_done ()
+
+  (* Paced completion runs every deferred per-cell action in arrival order
+     with the server held busy, exactly as the per-cell path runs each k
+     inside its job_done event: a submit from the final action (the EOP
+     handoff) therefore enqueues and is popped right after, preserving FIFO
+     order against any job the actions enqueue. *)
+  let finish_paced t p () =
+    p.p_ev <- None;
+    t.batch <- None;
+    t.busy <- true;
+    t.busy_until <- Sim.now t.sim;
+    for i = 0 to p.p_n - 1 do
+      p.p_actions.(i) ()
+    done;
+    match Queue.take_opt t.jobs with
+    | Some next -> start t next
+    | None -> t.busy <- false
+
+  (* Split a tx chain at the current instant: count cells whose acceptance is
+     strictly in the past (an acceptance at exactly [now] has not fired yet —
+     the interferer's event won the tie — and is re-performed by the re-armed
+     per-cell continuation), refund the units the per-cell path will charge
+     again, and hand the phase to the NI's re-entry callback. *)
+  let split_chain t c =
+    let now = Sim.now t.sim in
+    (match c.c_ev with
+    | Some h ->
+        Sim.cancel h;
+        c.c_ev <- None
+    | None -> ());
+    t.batch <- None;
+    t.busy <- false;
+    let n = Array.length c.c_accepts in
+    let m = ref 0 in
+    while !m < n && c.c_accepts.(!m) < now do
+      incr m
+    done;
+    let m = !m in
+    let phase, consumed =
+      if now <= c.c_first_end then (Chain_first c.c_first_end, 0)
+      else begin
+        (* the completion event at c_accepts.(n-1) fires before any event at
+           a strictly later time, so an active chain always has a pending
+           cell *)
+        assert (m < n);
+        let q = if m = 0 then c.c_first_end else c.c_accepts.(m - 1) in
+        if now <= q + c.c_unit then (Chain_unit (q + c.c_unit), m + 1)
+        else (Chain_gap (q + c.c_unit), m + 1)
+      end
+    in
+    t.busy_time <- t.busy_time - ((n - consumed) * c.c_unit);
+    c.c_split ~accepted:m ~phase
+
+  (* Split a paced rx batch: the completed prefix's actions run now (they are
+     pure pushes — only the final action may submit, and it can never be in
+     the completed prefix because the batch-completion event wins same-time
+     ties); at most one unit is genuinely in flight; arrived-but-unstarted
+     units enqueue as real jobs ahead of the interferer; future arrivals
+     become real arrival events that re-submit plainly. If the server is
+     still busy with a plain job (its completion at [now] lost the tie to
+     the interferer), no unit has started yet and everything queues. *)
+  let rec split_paced t p =
+    let now = Sim.now t.sim in
+    (match p.p_ev with
+    | Some h ->
+        Sim.cancel h;
+        p.p_ev <- None
+    | None -> ());
+    t.batch <- None;
+    let n = p.p_n in
+    let consumed = ref 0 in
+    let i = ref 0 in
+    if not t.busy then begin
+      while !i < n && p.p_starts.(!i) + p.p_cost < now do
+        p.p_actions.(!i) ();
+        incr consumed;
+        incr i
+      done;
+      if !i < n && p.p_starts.(!i) <= now then begin
+        let e = p.p_starts.(!i) + p.p_cost in
+        let k = p.p_actions.(!i) in
+        incr consumed;
+        incr i;
+        resume_inflight t ~until:e ~k
+      end
+    end;
+    while !i < n do
+      let k = p.p_actions.(!i) and arr = p.p_arrivals.(!i) in
+      if arr <= now then Queue.add { cost = p.p_cost; k } t.jobs
+      else begin
+        let h =
+          Sim.schedule ~label:"sync.paced_arrival" t.sim ~delay:(arr - now)
+            (fun () -> submit t ~cost:p.p_cost k)
+        in
+        p.p_split_evs <- (!i, h) :: p.p_split_evs
+      end;
+      incr i
+    done;
+    t.busy_time <- t.busy_time - ((n - !consumed) * p.p_cost)
+
+  and interfere t =
+    match t.batch with
+    | None -> ()
+    | Some (Chain c) -> split_chain t c
+    | Some (Paced p) -> split_paced t p
+
+  and submit t ~cost k =
     if cost < 0 then invalid_arg "Server.submit: negative cost";
+    interfere t;
     let job = { cost; k } in
     if t.busy then Queue.add job t.jobs else start t job
+
+  let begin_chain t ?done_sched ~first_end ~unit_cost ~accepts ~on_done
+      ~on_split () =
+    if not (idle t) then invalid_arg "Server.begin_chain: server not idle";
+    let n = Array.length accepts in
+    if n = 0 then invalid_arg "Server.begin_chain: empty train";
+    let c =
+      {
+        c_first_end = first_end;
+        c_unit = unit_cost;
+        c_accepts = accepts;
+        c_done = on_done;
+        c_split = on_split;
+        c_ev = None;
+      }
+    in
+    let now = Sim.now t.sim in
+    t.batch <- Some (Chain c);
+    t.busy_time <- t.busy_time + (first_end - now) + (n * unit_cost);
+    let last = accepts.(n - 1) in
+    (* Same-instant ties against the completion are resolved by event
+       schedule order, so the completion event must be *created* when the
+       per-cell path would have created the final accepting event
+       ([done_sched]), not at commit time — a trampoline event at
+       [done_sched] gives it the right heap sequence. *)
+    match done_sched with
+    | Some s when s > now && s < last ->
+        c.c_ev <-
+          Some
+            (Sim.schedule ~label:"sync.chain_done" t.sim ~delay:(s - now)
+               (fun () ->
+                 c.c_ev <-
+                   Some
+                     (Sim.schedule ~label:"sync.chain_done" t.sim
+                        ~delay:(last - s) (finish_chain t c))))
+    | _ ->
+        c.c_ev <-
+          Some
+            (Sim.schedule ~label:"sync.chain_done" t.sim ~delay:(last - now)
+               (finish_chain t c))
+
+  let submit_paced t ~cost ~arrivals ~actions =
+    if cost <= 0 then invalid_arg "Server.submit_paced: non-positive cost";
+    if t.batch <> None || not (Queue.is_empty t.jobs) then None
+    else begin
+      let n = Array.length arrivals in
+      if n = 0 || Array.length actions <> n then
+        invalid_arg "Server.submit_paced: bad arrays";
+      let starts = Array.make n 0 in
+      let prev = ref (if t.busy then t.busy_until else 0) in
+      for i = 0 to n - 1 do
+        let s = max arrivals.(i) !prev in
+        starts.(i) <- s;
+        prev := s + cost
+      done;
+      t.busy_time <- t.busy_time + (n * cost);
+      let p =
+        {
+          p_cost = cost;
+          p_arrivals = arrivals;
+          p_starts = starts;
+          p_actions = actions;
+          p_n = n;
+          p_ev = None;
+          p_split_evs = [];
+        }
+      in
+      let now = Sim.now t.sim in
+      t.batch <- Some (Paced p);
+      p.p_ev <-
+        Some
+          (Sim.schedule ~label:"sync.batch_done" t.sim ~delay:(!prev - now)
+             (finish_paced t p));
+      Some p
+    end
+
+  (* The train this batch models was truncated upstream: units past [keep]
+     will never arrive. All of them are strictly in the future (a unit only
+     arrives after its cell was accepted upstream), so this just shrinks the
+     live prefix and re-arms completion at the new last unit's end. *)
+  let truncate_paced t p ~keep =
+    (* cut cells re-armed by an earlier split will never arrive — the
+       per-cell path re-delivers them for real (their events cannot have
+       fired: a truncation never cuts below the delivered prefix) *)
+    p.p_split_evs <-
+      List.filter
+        (fun (i, h) ->
+          if i >= keep then begin
+            Sim.cancel h;
+            false
+          end
+          else true)
+        p.p_split_evs;
+    match t.batch with
+    | Some (Paced q) when q == p ->
+        if keep < p.p_n then begin
+          let now = Sim.now t.sim in
+          t.busy_time <- t.busy_time - ((p.p_n - keep) * p.p_cost);
+          p.p_n <- keep;
+          (match p.p_ev with
+          | Some h ->
+              Sim.cancel h;
+              p.p_ev <- None
+          | None -> ());
+          if keep = 0 then t.batch <- None
+          else
+            let e = p.p_starts.(keep - 1) + p.p_cost in
+            p.p_ev <-
+              Some
+                (Sim.schedule ~label:"sync.batch_done" t.sim
+                   ~delay:(max 0 (e - now))
+                   (finish_paced t p))
+        end
+    | _ -> ()
 end

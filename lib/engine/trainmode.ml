@@ -1,0 +1,23 @@
+(* Global gate for the cell-train fast path (DESIGN.md §14).
+
+   Trains coalesce per-cell events into per-PDU analytic schedules, which is
+   only legal when nothing can observe the simulation *between* cells: every
+   per-cell observer (tracing, captures, spans, the timeseries sampler, both
+   profilers, the flight recorder) pins the whole run to the per-cell slow
+   path so its output stays byte-identical with and without this refactor.
+   Fault injectors and legacy loss are per-site and are checked at each
+   link/NI, not here, so a --fault at one attachment point expands only the
+   affected hop. *)
+
+let forced = ref false
+let force_per_cell v = forced := v
+
+let active () =
+  (not !forced)
+  && (not (Trace.enabled ()))
+  && (not (Pcapng.enabled ()))
+  && (not (Span.enabled ()))
+  && (not (Timeseries.enabled ()))
+  && (not (Profile.enabled ()))
+  && (not (Selfprof.enabled ()))
+  && not (Recorder.armed ())

@@ -1,0 +1,16 @@
+(** Global gate for the cell-train fast path.
+
+    [active ()] is true only when no per-cell observer is attached: tracing,
+    pcapng capture, spans, the timeseries sampler, the virtual-time and
+    wall-clock profilers, and the flight recorder all pin the simulation to
+    the per-cell slow path (each costs one boolean read here). Per-site
+    conditions — fault injectors, legacy loss, bounded queues — are checked
+    at the individual link/NI instead, so expansion stays local to the
+    affected hop. *)
+
+val active : unit -> bool
+
+val force_per_cell : bool -> unit
+(** [force_per_cell true] disables the fast path globally (the --per-cell
+    flag), used by the differential tests and benches to compare both
+    modes. *)

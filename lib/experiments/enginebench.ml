@@ -25,6 +25,7 @@ open Engine
 type sample = {
   s_workload : string;
   s_events : int; (* fired during the measured pass *)
+  s_pdus : int; (* messages the workload pushed through *)
   s_wall_ns : int;
   s_alloc_words : float; (* minor + major - promoted *)
   s_virt_mb_s : float; (* the workload's own bandwidth figure *)
@@ -36,10 +37,13 @@ let workloads ~quick =
   let storm_count = if quick then 800 else 4000 in
   [
     ( "fig4max_raw",
+      raw_count,
       fun () -> Common.raw_bandwidth ~count:raw_count ~size:5056 () );
     ( "fig4max_store",
+      store_count,
       fun () -> Common.uam_store_bandwidth ~count:store_count ~size:5056 () );
     ( "cellstorm",
+      storm_count,
       fun () -> Common.raw_bandwidth ~count:storm_count ~size:64 () );
   ]
 
@@ -47,7 +51,7 @@ let alloc_words () =
   let minor, promoted, major = Gc.counters () in
   minor +. major -. promoted
 
-let measure_one name f =
+let measure_one name pdus f =
   ignore (f () : float);
   (* warm-up: heap growth, code paths, branch state *)
   let fired0 = Sim.events_fired () in
@@ -60,13 +64,14 @@ let measure_one name f =
   {
     s_workload = name;
     s_events = events;
+    s_pdus = pdus;
     s_wall_ns = wall;
     s_alloc_words = alloc;
     s_virt_mb_s = mb;
   }
 
 let measure ~quick =
-  List.map (fun (name, f) -> measure_one name f) (workloads ~quick)
+  List.map (fun (name, pdus, f) -> measure_one name pdus f) (workloads ~quick)
 
 let events_per_sec s =
   if s.s_wall_ns = 0 then 0.
@@ -80,6 +85,9 @@ let alloc_per_event s =
   if s.s_events = 0 then 0.
   else s.s_alloc_words /. float_of_int s.s_events
 
+let events_per_pdu s =
+  if s.s_pdus = 0 then 0. else float_of_int s.s_events /. float_of_int s.s_pdus
+
 (* Gates: deterministic members tight and symmetric; wall members loose
    and regression-only, so a fast machine or a genuine speedup always
    passes. The baseline snapshot carries these, and benchdiff obeys the
@@ -91,6 +99,11 @@ let gates samples =
       [
         ( s.s_workload ^ "_events_fired",
           { g_tolerance = 0.01; g_direction = Both } );
+        (* deterministic ratchet on the train fast path: any change that
+           re-inflates the per-PDU event count fails; deflating it passes
+           and the next baseline capture locks the gain in *)
+        ( s.s_workload ^ "_events_per_pdu",
+          { g_tolerance = 0.01; g_direction = Lower_is_better } );
         ( s.s_workload ^ "_mb_per_sec",
           { g_tolerance = 0.05; g_direction = Both } );
         ( s.s_workload ^ "_alloc_words_per_event",
@@ -109,6 +122,7 @@ let snapshot_json ~quick samples =
       (fun s ->
         [
           (s.s_workload ^ "_events_fired", Num (float_of_int s.s_events));
+          (s.s_workload ^ "_events_per_pdu", Num (events_per_pdu s));
           (s.s_workload ^ "_mb_per_sec", Num s.s_virt_mb_s);
           (s.s_workload ^ "_events_per_sec_wall", Num (events_per_sec s));
           (s.s_workload ^ "_us_per_event", Num (us_per_event s));
@@ -122,11 +136,11 @@ let snapshot_json ~quick samples =
     @ [ ("gates", Benchgate.gates_json (gates samples)) ])
 
 let print samples =
-  Format.printf "  %-16s %12s %14s %12s %14s %12s@." "workload" "events"
-    "events/s wall" "us/event" "words/event" "virt MB/s";
+  Format.printf "  %-16s %12s %11s %14s %12s %14s %12s@." "workload" "events"
+    "events/pdu" "events/s wall" "us/event" "words/event" "virt MB/s";
   List.iter
     (fun s ->
-      Format.printf "  %-16s %12d %14.0f %12.3f %14.1f %12.2f@." s.s_workload
-        s.s_events (events_per_sec s) (us_per_event s) (alloc_per_event s)
-        s.s_virt_mb_s)
+      Format.printf "  %-16s %12d %11.1f %14.0f %12.3f %14.1f %12.2f@."
+        s.s_workload s.s_events (events_per_pdu s) (events_per_sec s)
+        (us_per_event s) (alloc_per_event s) s.s_virt_mb_s)
     samples

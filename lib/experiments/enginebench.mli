@@ -8,13 +8,15 @@
 type sample = {
   s_workload : string;
   s_events : int;  (** events fired during the measured pass *)
+  s_pdus : int;  (** messages the workload pushed through *)
   s_wall_ns : int;
   s_alloc_words : float;  (** GC words: minor + major - promoted *)
   s_virt_mb_s : float;  (** the workload's own virtual-time bandwidth *)
 }
 
-val workloads : quick:bool -> (string * (unit -> float)) list
-(** Named thunks, each returning its virtual-time MB/s. *)
+val workloads : quick:bool -> (string * int * (unit -> float)) list
+(** Named thunks with their message count, each returning its
+    virtual-time MB/s. *)
 
 val measure : quick:bool -> sample list
 (** Warm-up pass then measured pass per workload. *)
@@ -22,6 +24,10 @@ val measure : quick:bool -> sample list
 val events_per_sec : sample -> float
 val us_per_event : sample -> float
 val alloc_per_event : sample -> float
+
+val events_per_pdu : sample -> float
+(** Fired events per message — the quantity the cell-train fast path
+    (DESIGN.md §14) exists to shrink; gated as a deterministic ratchet. *)
 
 val gates : sample list -> (string * Engine.Benchgate.gate) list
 (** Tight symmetric gates on deterministic members, generous

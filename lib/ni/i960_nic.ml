@@ -135,9 +135,108 @@ and process_desc t (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
           Sync.Server.submit t.server ~cost:(t.cfg.tx_single_ns + stall)
             (fun () -> inject t desc cell [])
       | _ ->
-          prof t "tx_dma" (t.cfg.tx_fixed_ns + stall);
-          Sync.Server.submit t.server ~cost:(t.cfg.tx_fixed_ns + stall)
-            (fun () -> send_cells t desc cells))
+          if not (try_train t desc cells) then begin
+            prof t "tx_dma" (t.cfg.tx_fixed_ns + stall);
+            Sync.Server.submit t.server ~cost:(t.cfg.tx_fixed_ns + stall)
+              (fun () -> send_cells t desc cells)
+          end)
+
+(* Send a multi-cell PDU as one analytically planned train (DESIGN.md §14):
+   the whole uplink / switch / downlink journey is computed up front and the
+   i960 runs a chain batch standing in for the setup + per-cell unit jobs.
+   Returns false — caller stays on the per-cell path — when any observer or
+   site condition forbids it or any element refuses the plan. *)
+and try_train t desc cells =
+  if
+    (not (Trainmode.active ()))
+    || t.fault <> None
+    || not (Sync.Server.idle t.server)
+  then false
+  else
+    let arr = Array.of_list cells in
+    if Array.length arr < 2 then false
+    else
+      let train = Atm.Cell.Train.of_cells arr in
+      let now = Sim.now t.sim in
+      let first_end = now + t.cfg.tx_fixed_ns in
+      match
+        Atm.Network.commit_train t.net ~host:t.host ~train
+          ~first_attempt:(first_end + t.cfg.tx_per_cell_ns)
+          ~gap:t.cfg.tx_per_cell_ns
+          ~on_interfere:(fun () -> Sync.Server.interfere t.server)
+      with
+      | None -> false
+      | Some accepts ->
+          let n = Array.length accepts in
+          (* instant the per-cell path creates the event that performs the
+             final acceptance: the last unit job's completion event is made
+             when the job starts (previous accept), unless the last accept
+             needed link retries — then it is the retry one cell slot
+             before *)
+          let done_sched =
+            if accepts.(n - 1) - accepts.(n - 2) = t.cfg.tx_per_cell_ns then
+              accepts.(n - 2)
+            else
+              accepts.(n - 1)
+              - Atm.Link.cell_time (Atm.Network.uplink t.net ~host:t.host)
+          in
+          Sync.Server.begin_chain t.server ~done_sched ~first_end
+            ~unit_cost:t.cfg.tx_per_cell_ns ~accepts
+            ~on_done:(fun () -> chain_done t desc)
+            ~on_split:(fun ~accepted ~phase ->
+              chain_split t desc arr ~train ~accepted ~phase)
+            ();
+          true
+
+(* The chain's last cell was accepted: identical to the last per-cell
+   inject's success continuation, with the interfere hook retired before
+   the pump possibly commits the next train. *)
+and chain_done t (desc : Unet.Desc.tx) =
+  Atm.Link.clear_interfere (Atm.Network.uplink t.net ~host:t.host);
+  desc.Unet.Desc.injected <- true;
+  t.sent <- t.sent + 1;
+  Metrics.Counter.inc t.m_sent;
+  pump_next t
+
+(* A plain job interfered with the chain: the train keeps its [accepted]
+   prefix (planned state past now was just discarded by the truncation
+   listeners) and the remaining cells re-enter the per-cell path from
+   exactly where the batch stood. *)
+and chain_split t desc arr ~train ~accepted ~phase =
+  let uplink = Atm.Network.uplink t.net ~host:t.host in
+  Atm.Link.clear_interfere uplink;
+  Atm.Cell.Train.truncate train ~keep:accepted ~now:(Sim.now t.sim);
+  let rest = ref [] in
+  for i = Array.length arr - 1 downto accepted do
+    rest := arr.(i) :: !rest
+  done;
+  let rest = !rest in
+  match phase with
+  | Sync.Server.Chain_first f_end ->
+      (* the fixed-cost setup job is in flight; at its end the per-cell
+         path starts submitting unit jobs *)
+      Sync.Server.resume_inflight t.server ~until:f_end ~k:(fun () ->
+          send_cells t desc rest)
+  | Sync.Server.Chain_unit u_end ->
+      (* the pending cell's unit job is in flight; its completion is the
+         cell's first send attempt *)
+      Sync.Server.resume_inflight t.server ~until:u_end ~k:(fun () ->
+          inject t desc (List.hd rest) (List.tl rest))
+  | Sync.Server.Chain_gap first_attempt ->
+      (* between refused attempts: the per-cell path here is a bare retry
+         event (the server sits idle), re-attempting every cell slot since
+         [first_attempt]; re-arm the first attempt not in the past *)
+      let ct = Atm.Link.cell_time uplink in
+      let now = Sim.now t.sim in
+      let at = ref first_attempt in
+      while !at < now do
+        at := !at + ct
+      done;
+      if !at = now then inject t desc (List.hd rest) (List.tl rest)
+      else
+        ignore
+          (Sim.schedule ~label:"ni.retry" t.sim ~delay:(!at - now) (fun () ->
+               inject t desc (List.hd rest) (List.tl rest)))
 
 and send_cells t desc = function
   | [] ->
@@ -209,33 +308,80 @@ let deliver t ?ctx vci payload =
 let fits_single_cell payload =
   Buf.length payload <= Atm.Cell.payload_size - Atm.Aal5.trailer_size
 
+(* The body of a per-cell rx job: feed the reassembler and, at the EOP,
+   hand the PDU to the delivery job. Shared verbatim by the per-cell path
+   (inside an rx_cell job) and the train path (as a deferred paced
+   action). *)
+let rx_cell_body t (cell : Atm.Cell.t) =
+  let r =
+    match Hashtbl.find_opt t.reasm cell.vci with
+    | Some r -> r
+    | None ->
+        let r = Atm.Aal5.Reassembler.create () in
+        Hashtbl.add t.reasm cell.vci r;
+        r
+  in
+  match Atm.Aal5.Reassembler.push r cell with
+  | None -> ()
+  | Some (Error _) ->
+      t.errors <- t.errors + 1;
+      Metrics.Counter.inc t.m_errors
+  | Some (Ok payload) ->
+      let ctx = Atm.Aal5.Reassembler.last_ctx r in
+      let cost =
+        if t.cfg.single_cell_optimization && fits_single_cell payload then
+          t.cfg.rx_single_ns
+        else t.cfg.rx_multi_fixed_ns
+      in
+      prof t "rx_deliver" cost;
+      Sync.Server.submit t.server ~cost (fun () ->
+          deliver t ?ctx cell.vci payload)
+
 let on_cell t (cell : Atm.Cell.t) =
   if cell.eop then Span.mark cell.ctx Span.Rx_cell;
   prof t "rx_cell" t.cfg.rx_cell_ns;
   Sync.Server.submit t.server ~cost:t.cfg.rx_cell_ns (fun () ->
-      let r =
-        match Hashtbl.find_opt t.reasm cell.vci with
-        | Some r -> r
-        | None ->
-            let r = Atm.Aal5.Reassembler.create () in
-            Hashtbl.add t.reasm cell.vci r;
-            r
+      rx_cell_body t cell)
+
+(* Per-cell fallback for a received train: deliver cell i into the normal
+   receive path at its per-cell arrival instant, re-checking the live
+   length so an upstream truncation just stops the chain (the per-cell
+   path re-delivers the cut cells for real). *)
+let rec expand_rx_train t train ~rx_vci ~deliveries i =
+  if i < Atm.Cell.Train.length train then begin
+    on_cell t (Atm.Cell.with_vci (Atm.Cell.Train.cell train i) rx_vci);
+    if i + 1 < Atm.Cell.Train.length train then
+      Sim.schedule_drop ~label:"ni.rx_train" t.sim
+        ~delay:(deliveries.(i + 1) - Sim.now t.sim)
+        (fun () -> expand_rx_train t train ~rx_vci ~deliveries (i + 1))
+  end
+
+(* A whole train arriving at the NI: model the run of per-cell rx jobs as
+   one paced batch — cell i's handling starts once it has arrived and the
+   previous one is done — with the reassembly pushes deferred to the batch
+   completion (nothing observes the reassembler in between). The EOP push
+   submits the delivery job for real, exactly as the per-cell path. *)
+let on_train t train ~rx_vci ~deliveries =
+  let n = Atm.Cell.Train.length train in
+  let paced =
+    if Trainmode.active () && t.fault = None then
+      let actions =
+        Array.init n (fun i ->
+            let cell =
+              Atm.Cell.with_vci (Atm.Cell.Train.cell train i) rx_vci
+            in
+            fun () -> rx_cell_body t cell)
       in
-      match Atm.Aal5.Reassembler.push r cell with
-      | None -> ()
-      | Some (Error _) ->
-          t.errors <- t.errors + 1;
-          Metrics.Counter.inc t.m_errors
-      | Some (Ok payload) ->
-          let ctx = Atm.Aal5.Reassembler.last_ctx r in
-          let cost =
-            if t.cfg.single_cell_optimization && fits_single_cell payload then
-              t.cfg.rx_single_ns
-            else t.cfg.rx_multi_fixed_ns
-          in
-          prof t "rx_deliver" cost;
-          Sync.Server.submit t.server ~cost (fun () ->
-              deliver t ?ctx cell.vci payload))
+      Sync.Server.submit_paced t.server ~cost:t.cfg.rx_cell_ns
+        ~arrivals:(Array.sub deliveries 0 n)
+        ~actions
+    else None
+  in
+  match paced with
+  | Some p ->
+      Atm.Cell.Train.on_truncate train (fun ~keep ~now:_ ->
+          Sync.Server.truncate_paced t.server p ~keep)
+  | None -> expand_rx_train t train ~rx_vci ~deliveries 0
 
 let create net ~host cfg =
   let sim = Atm.Network.sim net in
@@ -275,6 +421,8 @@ let create net ~host cfg =
     }
   in
   Atm.Network.attach_rx net ~host (fun cell -> on_cell t cell);
+  Atm.Network.attach_rx_train net ~host (fun train ~rx_vci ~deliveries ->
+      on_train t train ~rx_vci ~deliveries);
   Timeseries.register ~kind:Timeseries.Utilization "ni_i960_utilization"
     labels (fun () -> float_of_int (Sync.Server.busy_time t.server));
   Timeseries.register "ni_i960_queue_depth" labels (fun () ->

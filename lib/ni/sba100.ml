@@ -35,6 +35,17 @@ let default_config =
     max_seg_size = 256 * 1024;
   }
 
+(* A train still being fed onto the uplink by the host's PIO loop (train
+   fast path, DESIGN.md §14). The sends are unconditional — the host
+   process sleeps through the whole loop either way — so on interference
+   the un-accepted cells are re-armed as real send events at their
+   original instants rather than re-entered from the process. *)
+type tx_train = {
+  tt_train : Atm.Cell.train;
+  tt_cells : Atm.Cell.t array; (* post-PIO-copy snapshots, ready to send *)
+  tt_arrivals : Sim.time array; (* send instant of each cell *)
+}
+
 type t = {
   sim : Sim.t;
   net : Atm.Network.t;
@@ -45,6 +56,7 @@ type t = {
   mux : Unet.Mux.t;
   reasm : (int, Atm.Aal5.Reassembler.t) Hashtbl.t;
   mutable fault : Fault.t option;
+  mutable tx_trains : tx_train list;
   mutable sent : int;
   mutable received : int;
   mutable errors : int;
@@ -86,6 +98,28 @@ let prof t stage cost =
       ~frames:[ "ni"; t.cfg.name; stage ]
       cost
 
+(* The software AAL5 work for one cell, run as (or inside) a kernel job;
+   [cell] already holds the host's counted PIO copy of the payload. *)
+let rx_cell_body t (cell : Atm.Cell.t) =
+  let r =
+    match Hashtbl.find_opt t.reasm cell.Atm.Cell.vci with
+    | Some r -> r
+    | None ->
+        let r = Atm.Aal5.Reassembler.create () in
+        Hashtbl.add t.reasm cell.Atm.Cell.vci r;
+        r
+  in
+  match Atm.Aal5.Reassembler.push r cell with
+  | None -> ()
+  | Some (Error _) ->
+      t.errors <- t.errors + 1;
+      Metrics.Counter.inc t.m_errors
+  | Some (Ok payload) ->
+      let ctx = Atm.Aal5.Reassembler.last_ctx r in
+      prof t "rx_deliver" t.cfg.rx_fixed_ns;
+      Sync.Server.submit t.kernel ~cost:t.cfg.rx_fixed_ns (fun () ->
+          deliver t ?ctx cell.Atm.Cell.vci payload)
+
 let on_cell t (cell : Atm.Cell.t) =
   if cell.Atm.Cell.eop then Span.mark cell.Atm.Cell.ctx Span.Rx_cell;
   (* The receive trap plus software AAL5/CRC processing, serialized through
@@ -98,24 +132,119 @@ let on_cell t (cell : Atm.Cell.t) =
   in
   prof t "rx_cell" t.cfg.rx_per_cell_ns;
   Sync.Server.submit t.kernel ~cost:t.cfg.rx_per_cell_ns (fun () ->
-      let r =
-        match Hashtbl.find_opt t.reasm cell.vci with
-        | Some r -> r
-        | None ->
-            let r = Atm.Aal5.Reassembler.create () in
-            Hashtbl.add t.reasm cell.vci r;
-            r
+      rx_cell_body t cell)
+
+(* Per-cell fallback for a received train: chained events re-checking the
+   live length, exactly like [Network]'s default expansion, but through
+   this NI's own [on_cell]. *)
+let rec expand_rx_train t train ~rx_vci ~deliveries i =
+  if i < Atm.Cell.Train.length train then begin
+    on_cell t (Atm.Cell.with_vci (Atm.Cell.Train.cell train i) rx_vci);
+    if i + 1 < Atm.Cell.Train.length train then
+      Sim.schedule_drop ~label:"ni.rx_train" t.sim
+        ~delay:(deliveries.(i + 1) - Sim.now t.sim)
+        (fun () -> expand_rx_train t train ~rx_vci ~deliveries (i + 1))
+  end
+
+let on_train t train ~rx_vci ~deliveries =
+  let n = Atm.Cell.Train.length train in
+  let paced =
+    if Trainmode.active () && t.fault = None then
+      (* The PIO copy happens inside each action — at the cell's
+         consumption, only for cells actually consumed — so the copy
+         counters match the per-cell path even when the batch splits and
+         the cut cells are re-delivered (and re-copied) for real. *)
+      let actions =
+        Array.init n (fun i ->
+            let cell = Atm.Cell.with_vci (Atm.Cell.Train.cell train i) rx_vci in
+            fun () ->
+              let cell =
+                {
+                  cell with
+                  Atm.Cell.payload =
+                    Buf.copy ~layer:"sba100_rx_pio" cell.Atm.Cell.payload;
+                }
+              in
+              rx_cell_body t cell)
       in
-      match Atm.Aal5.Reassembler.push r cell with
-      | None -> ()
-      | Some (Error _) ->
-          t.errors <- t.errors + 1;
-          Metrics.Counter.inc t.m_errors
-      | Some (Ok payload) ->
-          let ctx = Atm.Aal5.Reassembler.last_ctx r in
-          prof t "rx_deliver" t.cfg.rx_fixed_ns;
-          Sync.Server.submit t.kernel ~cost:t.cfg.rx_fixed_ns (fun () ->
-              deliver t ?ctx cell.vci payload))
+      Sync.Server.submit_paced t.kernel ~cost:t.cfg.rx_per_cell_ns
+        ~arrivals:(Array.sub deliveries 0 n) ~actions
+    else None
+  in
+  match paced with
+  | Some p ->
+      Atm.Cell.Train.on_truncate train (fun ~keep ~now:_ ->
+          Sync.Server.truncate_paced t.kernel p ~keep)
+  | None -> expand_rx_train t train ~rx_vci ~deliveries 0
+
+(* The uplink's interfere hook: an unplanned per-cell send is about to
+   thread through planned state. The host's PIO loop cannot be interrupted
+   — every remaining send still happens at its original instant — so each
+   pending train is truncated to its already-accepted prefix and the rest
+   re-armed as real per-cell send events, which queue in true FIFO order
+   against the interferer. A send event landing exactly at [now] has
+   already fired (it was scheduled before the interferer), so the [<=]
+   boundary keeps it in the accepted prefix. *)
+let split_trains t =
+  let now = Sim.now t.sim in
+  let trains = t.tx_trains in
+  t.tx_trains <- [];
+  List.iter
+    (fun tt ->
+      let n = Array.length tt.tt_arrivals in
+      if tt.tt_arrivals.(n - 1) > now then begin
+        let keep = ref 0 in
+        while !keep < n && tt.tt_arrivals.(!keep) <= now do
+          incr keep
+        done;
+        Atm.Cell.Train.truncate tt.tt_train ~keep:!keep ~now;
+        for i = !keep to n - 1 do
+          let cell = tt.tt_cells.(i) in
+          Sim.schedule_drop ~label:"ni.pio_tx" t.sim
+            ~delay:(tt.tt_arrivals.(i) - now)
+            (fun () ->
+              if not (Atm.Network.send t.net ~host:t.host cell) then
+                failwith "Sba100: output FIFO overflow")
+        done
+      end)
+    trains
+
+(* Feed a multi-cell PDU as one analytically planned train (DESIGN.md §14):
+   the host still pays the full per-cell software cost — one coalesced
+   sleep standing in for the n per-cell ones — while the uplink, switch and
+   downlink carry the cells as planned state. [cells] already hold their
+   counted PIO copies (the fallback loop reuses them uncopied). *)
+let train_send t (cells : Atm.Cell.t array) =
+  let n = Array.length cells in
+  if n < 2 || (not (Trainmode.active ())) || t.fault <> None then false
+  else begin
+    let s = Host.Machine.scale (Host.Cpu.machine t.cpu) t.cfg.tx_per_cell_ns in
+    let now = Sim.now t.sim in
+    (* cell i's charge precedes its send, so send i lands at now+(i+1)*s *)
+    let arrivals = Array.init n (fun i -> now + ((i + 1) * s)) in
+    let train = Atm.Cell.Train.of_cells cells in
+    match
+      Atm.Network.commit_train_feed t.net ~host:t.host ~train ~arrivals
+        ~sched_lead:s
+        ~on_interfere:(fun () -> split_trains t)
+    with
+    | None -> false
+    | Some _ ->
+        t.tx_trains <-
+          t.tx_trains
+          @ [ { tt_train = train; tt_cells = cells; tt_arrivals = arrivals } ];
+        (* the coalesced per-cell cost: n pre-scaled sleeps in one charge
+           (scaling does not distribute over addition, so scale once) *)
+        Host.Cpu.charge_raw ~layer:"ni_tx" t.cpu (n * s);
+        (* the loop is over; anything still in tx_trains past its last
+           send can no longer be interfered with *)
+        t.tx_trains <-
+          List.filter
+            (fun tt ->
+              tt.tt_arrivals.(Array.length tt.tt_arrivals - 1) > Sim.now t.sim)
+            t.tx_trains;
+        true
+  end
 
 (* Sending happens synchronously in the sender's fast trap: the process
    pays the whole software SAR + CRC + PIO cost itself. *)
@@ -154,25 +283,32 @@ let do_send t (ep : Unet.Endpoint.t) =
               let stall = Fault.dma_stall f in
               if stall > 0 then Host.Cpu.charge ~layer:"ni_tx" t.cpu stall
           | None -> ());
-          List.iter
-            (fun (cell : Atm.Cell.t) ->
-              Host.Cpu.charge ~layer:"ni_tx" t.cpu t.cfg.tx_per_cell_ns;
-              (* the host stores the cell into the output FIFO word by
-                 word: one counted PIO copy per cell, and the snapshot
-                 keeps the in-flight cell valid once the sender's buffers
-                 are reused *)
-              let cell =
-                {
-                  cell with
-                  Atm.Cell.payload =
-                    Buf.copy ~layer:"sba100_tx_pio" cell.payload;
-                }
-              in
-              (* PIO is slower than the wire, so the 36-cell output FIFO
-                 never backs up; a failed push would mean a modelling bug. *)
-              if not (Atm.Network.send t.net ~host:t.host cell) then
-                failwith "Sba100: output FIFO overflow")
-            cells;
+          (* the host stores each cell into the output FIFO word by word:
+             one counted PIO copy per cell, and the snapshot keeps the
+             in-flight cell valid once the sender's buffers are reused (the
+             count is the same whether the copies happen here or spread
+             through the loop below — the counters only dump aggregates) *)
+          let copied =
+            Array.of_list
+              (List.map
+                 (fun (cell : Atm.Cell.t) ->
+                   {
+                     cell with
+                     Atm.Cell.payload =
+                       Buf.copy ~layer:"sba100_tx_pio" cell.payload;
+                   })
+                 cells)
+          in
+          if not (train_send t copied) then
+            Array.iter
+              (fun (cell : Atm.Cell.t) ->
+                Host.Cpu.charge ~layer:"ni_tx" t.cpu t.cfg.tx_per_cell_ns;
+                (* PIO is slower than the wire, so the 36-cell output FIFO
+                   never backs up; a failed push would mean a modelling
+                   bug. *)
+                if not (Atm.Network.send t.net ~host:t.host cell) then
+                  failwith "Sba100: output FIFO overflow")
+              copied;
           desc.injected <- true;
           t.sent <- t.sent + 1;
           Metrics.Counter.inc t.m_sent)
@@ -192,6 +328,7 @@ let create net ~host ~cpu ?(config = default_config) () =
       reasm = Hashtbl.create 16;
       fault =
         Fault.configured_at Fault.Ni ~site:(Printf.sprintf "ni.%d" host);
+      tx_trains = [];
       sent = 0;
       received = 0;
       errors = 0;
@@ -210,6 +347,8 @@ let create net ~host ~cpu ?(config = default_config) () =
     }
   in
   Atm.Network.attach_rx net ~host (fun cell -> on_cell t cell);
+  Atm.Network.attach_rx_train net ~host (fun train ~rx_vci ~deliveries ->
+      on_train t train ~rx_vci ~deliveries);
   Timeseries.register ~kind:Timeseries.Utilization "ni_kernel_utilization"
     labels (fun () -> float_of_int (Sync.Server.busy_time t.kernel));
   Timeseries.register "ni_kernel_queue_depth" labels (fun () ->

@@ -200,13 +200,14 @@ let test_enginebench_schema () =
             (Option.is_some (Benchgate.numeric key j)))
         [
           "_events_fired";
+          "_events_per_pdu";
           "_mb_per_sec";
           "_events_per_sec_wall";
           "_us_per_event";
           "_alloc_words_per_event";
         ])
     samples;
-  checki "one gate per metric" 15 (List.length (Benchgate.gates_of_json j))
+  checki "one gate per metric" 18 (List.length (Benchgate.gates_of_json j))
 
 (* --- direction-aware gating ------------------------------------------- *)
 
