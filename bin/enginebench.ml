@@ -27,8 +27,24 @@ let queue_csv_of_timeseries path =
     (Engine.Timeseries.series ());
   close_out oc
 
-let run quick per_cell out selfprof queue_csv =
+let run quick per_cell trace timeseries sample_pdus sample_seed out selfprof
+    queue_csv =
   if per_cell then Engine.Trainmode.force_per_cell true;
+  (* Observer overhead measurement: the flags below attach train-granular
+     observers (and optionally the deterministic PDU sampler) during the
+     measured pass itself — the resulting snapshot quantifies what
+     telemetry costs on the fast path, and CI's observed smoke compares
+     its events_per_pdu against the committed flags-off baseline. The
+     default (all off) keeps the measured pass byte-compatible with the
+     baseline capture. *)
+  if trace then Engine.Trace.start ();
+  if timeseries then Engine.Timeseries.start ();
+  if sample_pdus < 0 then begin
+    Format.eprintf "--sample-pdus must be non-negative@.";
+    Stdlib.exit 2
+  end;
+  if sample_pdus > 0 then
+    Engine.Sample.configure ~n:sample_pdus ~seed:sample_seed;
   Format.printf "engine-throughput bench (%s mode)@."
     (if quick then "quick" else "full");
   let samples = Experiments.Enginebench.measure ~quick in
@@ -81,6 +97,37 @@ let per_cell =
            own event (the reference slow path the fast path is gated \
            against).")
 
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Run the measured pass with the (train-granular) trace collector \
+           attached, to measure observer overhead on the fast path. The \
+           events themselves are discarded.")
+
+let timeseries =
+  Arg.(
+    value & flag
+    & info [ "timeseries" ]
+        ~doc:
+          "Run the measured pass with the timeseries sampler attached (same \
+           purpose as $(b,--trace)).")
+
+let sample_pdus =
+  Arg.(
+    value & opt int 0
+    & info [ "sample-pdus" ] ~docv:"N"
+        ~doc:
+          "Deterministically route 1 in $(docv) PDUs through the per-cell \
+           path during the measured pass (0 = off).")
+
+let sample_seed =
+  Arg.(
+    value & opt int 0x5eed
+    & info [ "sample-seed" ] ~docv:"SEED"
+        ~doc:"Seed for $(b,--sample-pdus).")
+
 let out =
   Arg.(
     value
@@ -111,6 +158,8 @@ let cmd =
   let doc = "measure the simulator's own wall-clock throughput" in
   Cmd.v
     (Cmd.info "enginebench" ~doc)
-    Term.(const run $ quick $ per_cell $ out $ selfprof $ queue_csv)
+    Term.(
+      const run $ quick $ per_cell $ trace $ timeseries $ sample_pdus
+      $ sample_seed $ out $ selfprof $ queue_csv)
 
 let () = Stdlib.exit (Cmd.eval' cmd)

@@ -264,6 +264,25 @@ let report_file =
            timeseries collection. The file has no scripts and no external \
            references.")
 
+let sample_pdus =
+  Arg.(
+    value & opt int 0
+    & info [ "sample-pdus" ] ~docv:"N"
+        ~doc:
+          "Deterministically sample 1 in $(docv) PDUs for deep inspection: \
+           sampled PDUs take the per-cell path with full span marks, trace \
+           events and pcap capture while everything else rides the cell \
+           train. The choice is a pure hash of (seed, PDU index), so the \
+           same seed picks the same PDUs on every run — including under \
+           $(b,--per-cell). 0 (the default) disables sampling; 1 samples \
+           every PDU.")
+
+let sample_seed =
+  Arg.(
+    value & opt int 0x5eed
+    & info [ "sample-seed" ] ~docv:"SEED"
+        ~doc:"Seed for $(b,--sample-pdus) (default $(b,0x5eed)).")
+
 let postmortem_dir =
   Arg.(
     value
@@ -298,7 +317,7 @@ let cmd =
     Term.(
       const (fun name exp_opt quick check out verbose trace metrics spans pcap
                  breakdown fault per_cell profile selfprof timeseries
-                 interval_us report postmortem ->
+                 interval_us sample_n sample_seed report postmortem ->
           setup_logs verbose;
           let name = Option.value exp_opt ~default:name in
           if per_cell then Engine.Trainmode.force_per_cell true;
@@ -321,6 +340,16 @@ let cmd =
             Stdlib.exit 2
           end;
           Engine.Timeseries.set_interval (Engine.Sim.us interval_us);
+          if sample_n < 0 then begin
+            Format.eprintf "--sample-pdus must be non-negative@.";
+            Stdlib.exit 2
+          end;
+          if sample_n > 0 then begin
+            Engine.Sample.configure ~n:sample_n ~seed:sample_seed;
+            (* with sampling on, pcap no longer needs every PDU on the
+               per-cell path — sampled PDUs alone feed the capture *)
+            Engine.Pcapng.set_granularity Engine.Granularity.Per_train
+          end;
           if profile <> None || report <> None then Engine.Profile.start ();
           if selfprof <> None || report <> None then Engine.Selfprof.start ();
           if timeseries <> None || report <> None then
@@ -340,6 +369,14 @@ let cmd =
                in --metrics output and the report sections *)
             if Engine.Selfprof.enabled () then Engine.Selfprof.stop ();
             if breakdown then Experiments.Breakdown.print_report ();
+            if Engine.Sample.active () then begin
+              let offered = Engine.Sample.offered ()
+              and sampled = Engine.Sample.sampled () in
+              Format.printf
+                "sampled %d of %d PDUs for deep inspection (1 in %d, seed \
+                 0x%x)@."
+                sampled offered (Engine.Sample.n ()) (Engine.Sample.seed ())
+            end;
             (match trace with
             | Some path ->
                 or_fail "trace" (fun () ->
@@ -418,6 +455,8 @@ let cmd =
                       List.concat (List.rev !report_acc)
                       @ [
                           Engine.Report.breakdown_section ();
+                          Engine.Report.sketch_section ();
+                          Engine.Report.sampling_section ();
                           Engine.Report.timeseries_section ();
                           Engine.Report.profile_section ();
                           Engine.Report.engine_section ();
@@ -440,7 +479,7 @@ let cmd =
       $ experiment $ experiment_opt $ quick $ check $ out $ verbose
       $ trace_file $ metrics_file $ spans_file $ pcap_file $ breakdown $ fault
       $ per_cell $ profile_file $ selfprof_file $ timeseries_file
-      $ sample_interval
+      $ sample_interval $ sample_pdus $ sample_seed
       $ report_file
       $ postmortem_dir)
   in

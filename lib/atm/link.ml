@@ -97,15 +97,50 @@ let fold_to t now =
    semantics: accepted at or before [at], not yet started (a start at
    exactly [at] counts as started — its pop event fires before any same-time
    attempt that could observe it on the fast path's planned links). *)
-let hop_queued h ~at =
-  let q = ref 0 in
-  for i = 0 to h.h_live - 1 do
-    if h.h_accepts.(i) <= at && h.h_starts.(i) > at then incr q
+(* #entries among [arr.(0..n-1)] (monotone non-decreasing) that are <= [x];
+   the timeseries sampler hits these once per boundary, so O(log n) per
+   hop matters against multi-thousand-cell trains *)
+let count_le arr n x =
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) <= x then lo := mid + 1 else hi := mid
   done;
-  !q
+  !lo
+
+let hop_queued h ~at =
+  (* accepts(i) <= starts(i), so the started set is a subset of the
+     accepted set and the difference of counts is the queue depth *)
+  count_le h.h_accepts h.h_live at - count_le h.h_starts h.h_live at
 
 let analytic_queued t ~at =
   List.fold_left (fun acc h -> acc + hop_queued h ~at) 0 t.hops
+
+(* State *at* a past instant [at] (a timeseries sample boundary between
+   the previous event and the one about to fire). Real mutations all
+   happened at or before the previous event, so the live fields are
+   already exact at [at]; only planned (analytic) state needs evaluating
+   against [at] instead of now. Safe against earlier folds: a hop only
+   retires once its last start + cell_time has passed the fold time,
+   which is <= [at] for every boundary the sampler visits. *)
+let queue_length_at t ~at =
+  let n = Queue.length t.queue in
+  if t.hops = [] then n else n + analytic_queued t ~at
+
+(* Cumulative serialization ns as of [at]: the per-cell path adds a full
+   cell_time at each serialization start, so this counts starts <= [at].
+   [t.busy_ns] holds real increments plus whatever the fold cursors have
+   applied; correct it per planned cell by whether its start has passed
+   [at], independent of where the cursor happens to be. *)
+let busy_ns_at t ~at =
+  (* the folded set is the prefix [0, f_busy) and the started set the
+     prefix of starts <= [at]; the correction is the signed difference of
+     the two prefix lengths *)
+  let corr = ref 0 in
+  List.iter
+    (fun h -> corr := !corr + (count_le h.h_starts h.h_live at - h.f_busy))
+    t.hops;
+  t.busy_ns + (!corr * t.cell_time)
 
 let create sim ?(queue_capacity = max_int) ?(metrics_labels = []) ~bandwidth_mbps
     ~propagation () =
@@ -143,10 +178,12 @@ let create sim ?(queue_capacity = max_int) ?(metrics_labels = []) ~bandwidth_mbp
     }
   in
   Metrics.register_flush (fun () -> fold_to t (Sim.now sim));
-  Timeseries.register "atm_link_queue_depth" metrics_labels (fun () ->
-      float_of_int (Queue.length t.queue));
-  Timeseries.register ~kind:Timeseries.Utilization "atm_link_utilization"
-    metrics_labels (fun () -> float_of_int t.busy_ns);
+  (* sample boundaries arrive in cumulative time; link state is local *)
+  let local at = at - (Sim.global_now sim - Sim.now sim) in
+  Timeseries.register_at "atm_link_queue_depth" metrics_labels (fun at ->
+      float_of_int (queue_length_at t ~at:(local at)));
+  Timeseries.register_at ~kind:Timeseries.Utilization "atm_link_utilization"
+    metrics_labels (fun at -> float_of_int (busy_ns_at t ~at:(local at)));
   t
 
 let set_receiver t f = t.receiver <- Some f
@@ -170,6 +207,7 @@ let queue_length t =
   if t.hops = [] then n else n + analytic_queued t ~at:(Sim.now t.sim)
 
 let busy t = t.transmitting || t.a_tail > Sim.now t.sim
+let quiet t = (not t.transmitting) && Queue.is_empty t.queue
 let pending_plan t = t.hops <> []
 let set_interfere t f = t.on_interfere <- Some f
 let clear_interfere t = t.on_interfere <- None

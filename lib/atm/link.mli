@@ -55,7 +55,25 @@ val queue_length : t -> int
 (** Legacy queue plus cells planned-but-not-yet-serializing on the train
     fast path. *)
 
+val queue_length_at : t -> at:Engine.Sim.time -> int
+(** {!queue_length} evaluated at a past instant [at] (local time, between
+    the previous event and the one about to fire): planned cells count as
+    queued iff accepted at or before [at] and not yet serializing. The
+    timeseries sampler's catch-up boundaries read this so train-path runs
+    report the same depths the per-cell path would. *)
+
+val busy_ns_at : t -> at:Engine.Sim.time -> int
+(** Cumulative serialization ns as of [at]: one cell_time per
+    serialization start at or before [at], real or planned, independent
+    of how far the lazy fold cursors have advanced. *)
+
 val busy : t -> bool
+
+val quiet : t -> bool
+(** No real cell on the wire or in the transmit queue. Planned (train)
+    state is ignored: committed plans coexist with new plans, so a link
+    that is [quiet] can accept a train commit even while analytically
+    mid-train. The real-state half of the plan gate. *)
 
 (** {2 Train fast path (DESIGN.md §14)}
 

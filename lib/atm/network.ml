@@ -155,6 +155,24 @@ let send t ~host cell =
   if accepted then t.in_flight.(host) <- t.in_flight.(host) + 1;
   accepted
 
+let in_flight t ~host =
+  check_host t host;
+  t.in_flight.(host)
+
+(* Has the per-cell backlog from [host] toward [vci]'s destination flushed
+   out of the fabric? True once every uplink-accepted cell has settled
+   through the switch AND the destination downlink has no real cell queued
+   or on the wire — exactly the transient conditions that make a train
+   commit refuse. When the route itself cannot train (no route,
+   multi-source port, fault site) there is nothing to wait for. *)
+let path_clear t ~host ~vci =
+  check_host t host;
+  t.in_flight.(host) = 0
+  &&
+  match Switch.plan_route t.switch ~in_port:host ~in_vci:vci with
+  | None -> true
+  | Some (_, _, downlink) -> Link.quiet downlink
+
 let uplink t ~host =
   check_host t host;
   t.uplinks.(host)
@@ -225,18 +243,107 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                   Switch.commit_plan t.switch ~out_port ~times:arrivals
                     ~hw:(Link.plan_queue_after down_plan)
                 in
-                Cell.Train.on_truncate train (fun ~keep ~now ->
-                    Link.truncate_hop uplink up_hop ~keep ~now;
-                    Switch.truncate_plan t.switch srec ~keep;
-                    Link.truncate_hop downlink down_hop ~keep ~now);
-                Link.set_interfere uplink on_interfere;
+                let up_accepts = Link.plan_accepts up_plan in
+                let up_starts = Link.plan_starts up_plan in
+                let down_starts = Link.plan_starts down_plan in
                 let down_lat =
                   Link.cell_time downlink + Link.propagation downlink
                 in
+                (* Train-granular observers (DESIGN.md §15): the plan
+                   arrays give every milestone's exact instant, so EOP
+                   span marks are stamped at the same values the
+                   per-cell path would produce, and tracing gets one
+                   slice per fabric stage instead of ~8 events/cell. *)
+                let synth_spans =
+                  Span.enabled ()
+                  && Span.granularity () = Granularity.Per_train
+                in
+                (* (index, ctx) of each EOP cell, captured now: the
+                   truncation listener runs after [live] has shrunk, so
+                   cut cells are no longer reachable via [Train.cell] *)
+                let eop_ctxs = ref [] in
+                if synth_spans then
+                  for i = 0 to n - 1 do
+                    let cell = Cell.Train.cell train i in
+                    if cell.Cell.eop then begin
+                      let ctx = cell.Cell.ctx in
+                      eop_ctxs := (i, ctx) :: !eop_ctxs;
+                      Span.mark_at ctx Span.Injected ~t:up_accepts.(i);
+                      Span.mark_at ctx Span.Switch_in
+                        ~t:(arrivals.(i) - transit);
+                      Span.mark_at ctx Span.Switch_out ~t:arrivals.(i);
+                      Span.mark_at ctx Span.Link_tx ~t:down_starts.(i);
+                      Span.mark_at ctx Span.Rx_cell
+                        ~t:(down_starts.(i) + down_lat)
+                    end
+                  done;
+                let slices =
+                  if not (Trace.train_slices_wanted ()) then None
+                  else
+                    let up_cell = Link.cell_time uplink in
+                    let down_cell = Link.cell_time downlink in
+                    let args =
+                      [
+                        ("vci", Trace.Int (Cell.Train.vci train));
+                        ("cells", Trace.Int n);
+                      ]
+                    in
+                    let sl name ~tid ~ts ~fin =
+                      Trace.train_slice Trace.Cell ~tid ~args ~ts
+                        ~dur:(fin - ts) name
+                    in
+                    Some
+                      ( up_cell,
+                        down_cell,
+                        sl "train.uplink" ~tid:host ~ts:up_starts.(0)
+                          ~fin:(up_starts.(n - 1) + up_cell),
+                        sl "train.switch" ~tid:out_port
+                          ~ts:(arrivals.(0) - transit)
+                          ~fin:arrivals.(n - 1),
+                        sl "train.downlink" ~tid:out_port
+                          ~ts:down_starts.(0)
+                          ~fin:(down_starts.(n - 1) + down_cell) )
+                in
+                Cell.Train.on_truncate train (fun ~keep ~now ->
+                    Link.truncate_hop uplink up_hop ~keep ~now;
+                    Switch.truncate_plan t.switch srec ~keep;
+                    Link.truncate_hop downlink down_hop ~keep ~now;
+                    (* cut cells re-run the per-cell path, which
+                       re-stamps their marks for real *)
+                    List.iter
+                      (fun (i, ctx) ->
+                        if i >= keep then begin
+                          Span.unmark ctx Span.Injected;
+                          Span.unmark ctx Span.Switch_in;
+                          Span.unmark ctx Span.Switch_out;
+                          Span.unmark ctx Span.Link_tx;
+                          Span.unmark ctx Span.Rx_cell
+                        end)
+                      !eop_ctxs;
+                    match slices with
+                    | None -> ()
+                    | Some (up_cell, down_cell, s_up, s_sw, s_down) ->
+                        if keep = 0 then begin
+                          Trace.drop_slice s_up;
+                          Trace.drop_slice s_sw;
+                          Trace.drop_slice s_down
+                        end
+                        else begin
+                          Trace.set_slice s_up ~ts:up_starts.(0)
+                            ~dur:
+                              (up_starts.(keep - 1) + up_cell
+                             - up_starts.(0));
+                          let sw_ts = arrivals.(0) - transit in
+                          Trace.set_slice s_sw ~ts:sw_ts
+                            ~dur:(arrivals.(keep - 1) - sw_ts);
+                          Trace.set_slice s_down ~ts:down_starts.(0)
+                            ~dur:
+                              (down_starts.(keep - 1) + down_cell
+                             - down_starts.(0))
+                        end);
+                Link.set_interfere uplink on_interfere;
                 let deliveries =
-                  Array.map
-                    (fun s -> s + down_lat)
-                    (Link.plan_starts down_plan)
+                  Array.map (fun s -> s + down_lat) down_starts
                 in
                 Sim.schedule_drop ~label:"net.rx_train" t.sim
                   ~delay:(deliveries.(0) - Sim.now t.sim)

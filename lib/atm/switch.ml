@@ -113,10 +113,12 @@ let check_port t port =
 let attach_output t ~port link =
   check_port t port;
   t.outputs.(port) <- Some link;
-  (* the output-port queue *is* the link's transmit queue *)
-  Timeseries.register "atm_switch_port_queue_depth"
+  (* the output-port queue *is* the link's transmit queue; at-aware so
+     catch-up samples on the train path see planned occupancy *)
+  let local at = at - (Sim.global_now t.sim - Sim.now t.sim) in
+  Timeseries.register_at "atm_switch_port_queue_depth"
     [ ("port", string_of_int port) ]
-    (fun () -> float_of_int (Link.queue_length link))
+    (fun at -> float_of_int (Link.queue_length_at link ~at:(local at)))
 
 let set_fault t ~port f =
   check_port t port;

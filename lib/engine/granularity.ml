@@ -1,0 +1,12 @@
+(* Observer granularity for the cell-train fast path (DESIGN.md §15).
+
+   [Per_cell] observers need to see the simulation between the cells of a
+   PDU, so an enabled one pins the whole run to the per-cell slow path.
+   [Per_train] observers synthesize their output analytically from
+   committed plan records, so the fast path stays engaged while they run.
+   Each observer module exposes [granularity]/[set_granularity];
+   [Trainmode.active] folds them together. *)
+
+type t = Per_cell | Per_train
+
+let name = function Per_cell -> "per_cell" | Per_train -> "per_train"

@@ -15,12 +15,13 @@ type labels = (string * string) list
 let canon (labels : labels) =
   List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
 
-type kind = Counter_k | Gauge_k | Histogram_k
+type kind = Counter_k | Gauge_k | Histogram_k | Sketch_k
 
 let kind_name = function
   | Counter_k -> "counter"
   | Gauge_k -> "gauge"
   | Histogram_k -> "summary"
+  | Sketch_k -> "summary"
 
 module Counter = struct
   type t = { mutable v : int }
@@ -47,10 +48,99 @@ module Histogram = struct
   let count t = Stats.Summary.count t.s
 end
 
+(* A DDSketch-style log-bucketed quantile sketch: bucket i holds values in
+   (gamma^(i-1), gamma^i] with gamma = (1+alpha)/(1-alpha), so any
+   reported quantile is within relative error [alpha] of the sample at
+   that rank while memory stays O(occupied buckets) however many values
+   are observed — unlike [Histogram], which retains every sample. *)
+module Sketch = struct
+  type t = {
+    alpha : float;
+    gamma : float;
+    log_gamma : float;
+    buckets : (int, int ref) Hashtbl.t;
+    mutable zero : int; (* values <= 0 collapse into one bucket *)
+    mutable n : int;
+    mutable sum : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create ?(alpha = 0.01) () =
+    if alpha <= 0. || alpha >= 1. then invalid_arg "Sketch.create: alpha";
+    let gamma = (1. +. alpha) /. (1. -. alpha) in
+    {
+      alpha;
+      gamma;
+      log_gamma = Float.log gamma;
+      buckets = Hashtbl.create 64;
+      zero = 0;
+      n = 0;
+      sum = 0.;
+      mn = infinity;
+      mx = neg_infinity;
+    }
+
+  let clear t =
+    Hashtbl.reset t.buckets;
+    t.zero <- 0;
+    t.n <- 0;
+    t.sum <- 0.;
+    t.mn <- infinity;
+    t.mx <- neg_infinity
+
+  let bucket_index t v = int_of_float (Float.ceil (Float.log v /. t.log_gamma))
+
+  let observe t v =
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. v;
+    if v < t.mn then t.mn <- v;
+    if v > t.mx then t.mx <- v;
+    if v <= 0. then t.zero <- t.zero + 1
+    else
+      let i = bucket_index t v in
+      match Hashtbl.find_opt t.buckets i with
+      | Some r -> incr r
+      | None -> Hashtbl.add t.buckets i (ref 1)
+
+  let count t = t.n
+  let total t = t.sum
+  let max t = t.mx
+  let alpha t = t.alpha
+
+  (* Nearest-rank quantile over the buckets in index order; the value
+     reported for bucket i is the bucket midpoint 2*gamma^i/(gamma+1),
+     within [alpha] of every value the bucket holds. *)
+  let quantile t q =
+    if t.n = 0 then invalid_arg "Sketch.quantile: empty";
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = int_of_float (q *. float_of_int (t.n - 1)) in
+    if rank < t.zero then 0.
+    else begin
+      let ids =
+        List.sort compare
+          (Hashtbl.fold (fun i _ acc -> i :: acc) t.buckets [])
+      in
+      let acc = ref t.zero and out = ref t.mx in
+      (try
+         List.iter
+           (fun i ->
+             acc := !acc + !(Hashtbl.find t.buckets i);
+             if !acc > rank then begin
+               out := 2. *. (t.gamma ** float_of_int i) /. (t.gamma +. 1.);
+               raise Exit
+             end)
+           ids
+       with Exit -> ());
+      !out
+    end
+end
+
 type instrument =
   | I_counter of Counter.t
   | I_gauge of Gauge.t
   | I_hist of Histogram.t
+  | I_sketch of Sketch.t
 
 type family = {
   f_name : string;
@@ -131,6 +221,12 @@ let histogram ?(help = "") name labels =
   | I_hist h -> h
   | _ -> assert false
 
+let sketch ?(help = "") ?alpha name labels =
+  let f = family ~kind:Sketch_k ~help name in
+  match sample f labels (fun () -> I_sketch (Sketch.create ?alpha ())) with
+  | I_sketch s -> s
+  | _ -> assert false
+
 (* Deferred-accounting flushes: layers that fold state into metrics lazily
    (e.g. a link folding an analytic cell-train schedule into its high-water
    gauge) register a flush so every read of the registry sees up-to-date
@@ -149,7 +245,8 @@ let reset () =
           match i with
           | I_counter c -> c.Counter.v <- 0
           | I_gauge g -> g.Gauge.g <- 0.
-          | I_hist h -> h.Histogram.s <- Stats.Summary.create ())
+          | I_hist h -> h.Histogram.s <- Stats.Summary.create ()
+          | I_sketch s -> Sketch.clear s)
         f.f_samples)
     registry
 
@@ -196,6 +293,7 @@ let pp_float fmt v =
   else Format.fprintf fmt "%.6g" v
 
 let quantiles = [ 0.5; 0.9; 0.99 ]
+let sketch_quantiles = [ 0.5; 0.99; 0.999 ]
 
 let pp_prometheus fmt () =
   flush ();
@@ -228,6 +326,21 @@ let pp_prometheus fmt () =
               Format.fprintf fmt "%s_sum%a %a@\n" f.f_name pp_labelset labels
                 pp_float
                 (if n = 0 then 0. else Stats.Summary.total s);
+              Format.fprintf fmt "%s_count%a %d@\n" f.f_name pp_labelset
+                labels n
+          | I_sketch s ->
+              let n = Sketch.count s in
+              if n > 0 then
+                List.iter
+                  (fun q ->
+                    Format.fprintf fmt "%s%a %a@\n" f.f_name pp_labelset
+                      (canon
+                         (("quantile", Printf.sprintf "%g" q) :: labels))
+                      pp_float (Sketch.quantile s q))
+                  sketch_quantiles;
+              Format.fprintf fmt "%s_sum%a %a@\n" f.f_name pp_labelset labels
+                pp_float
+                (if n = 0 then 0. else Sketch.total s);
               Format.fprintf fmt "%s_count%a %d@\n" f.f_name pp_labelset
                 labels n)
         f.f_samples)
@@ -274,7 +387,19 @@ let pp_json fmt () =
                   (Stats.Summary.percentile s 0.9)
                   pp_float
                   (Stats.Summary.percentile s 0.99)
-                  pp_float (Stats.Summary.max s)))
+                  pp_float (Stats.Summary.max s)
+          | I_sketch s ->
+              let n = Sketch.count s in
+              if n = 0 then Format.fprintf fmt "\"count\": 0, \"sum\": 0}"
+              else
+                Format.fprintf fmt
+                  "\"count\": %d, \"sum\": %a, \"p50\": %a, \"p99\": %a, \
+                   \"p999\": %a, \"max\": %a}"
+                  n pp_float (Sketch.total s) pp_float
+                  (Sketch.quantile s 0.5) pp_float (Sketch.quantile s 0.99)
+                  pp_float
+                  (Sketch.quantile s 0.999)
+                  pp_float (Sketch.max s)))
         f.f_samples;
       Format.fprintf fmt "@\n    ]}")
     (families_sorted ());

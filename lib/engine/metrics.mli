@@ -37,6 +37,28 @@ module Histogram : sig
   val count : t -> int
 end
 
+(** A DDSketch-style log-bucketed quantile sketch: every reported
+    quantile is within relative error [alpha] (default 1%) of the exact
+    sample at that rank, at O(occupied buckets) memory however many
+    values are observed. Use it where a {!Histogram} (which retains every
+    sample) would grow without bound — e.g. per-message latency over a
+    millions-of-messages run. *)
+module Sketch : sig
+  type t
+
+  val create : ?alpha:float -> unit -> t
+  val observe : t -> float -> unit
+  val clear : t -> unit
+  val count : t -> int
+  val total : t -> float
+  val max : t -> float
+  val alpha : t -> float
+
+  val quantile : t -> float -> float
+  (** Nearest-rank quantile (rank [q*(n-1)]); raises [Invalid_argument]
+      when the sketch is empty. *)
+end
+
 val counter : ?help:string -> string -> labels -> Counter.t
 val gauge : ?help:string -> string -> labels -> Gauge.t
 
@@ -52,6 +74,10 @@ val on_gauge_fn : (string -> labels -> (unit -> float) -> unit) -> unit
     instead of only reading them at dump time. *)
 
 val histogram : ?help:string -> string -> labels -> Histogram.t
+
+val sketch : ?help:string -> ?alpha:float -> string -> labels -> Sketch.t
+(** Register (or fetch) a quantile sketch. Dumps as a summary with
+    p50/p99/p99.9 quantile lines plus [_sum]/[_count]. *)
 
 val register_flush : (unit -> unit) -> unit
 (** Register a deferred-accounting flush, run before every registry read

@@ -362,6 +362,51 @@ let engine_section () =
     section ~title:"Engine (wall-clock self-profile)" (Buffer.contents buf)
   end
 
+let sampling_section () =
+  if not (Sample.active ()) then
+    section ~title:"Sampled deep inspection"
+      "<p class=\"muted\">PDU sampling not enabled (run with \
+       --sample-pdus)</p>"
+  else begin
+    let offered = Sample.offered () and sampled = Sample.sampled () in
+    section ~title:"Sampled deep inspection"
+      (Printf.sprintf
+         "<table><tr><th>PDUs offered</th><th>sampled</th><th>coverage</th>\
+          <th>rate</th><th>seed</th></tr>\
+          <tr><td class=\"num\">%d</td><td class=\"num\">%d</td>\
+          <td class=\"num\">%.2f%%</td><td>1 in %d</td><td>0x%x</td></tr>\
+          </table>\
+          <p class=\"muted\">sampled PDUs ride the per-cell path in full \
+          span/trace/pcap detail; the rest ride the cell train. Same seed \
+          &rarr; same sampled set, including under --per-cell.</p>"
+         offered sampled
+         (if offered = 0 then 0.
+          else 100. *. float_of_int sampled /. float_of_int offered)
+         (Sample.n ()) (Sample.seed ()))
+  end
+
+let sketch_section () =
+  let s = Span.latency () in
+  let n = Metrics.Sketch.count s in
+  if n = 0 then
+    section ~title:"Message latency"
+      "<p class=\"muted\">no message deliveries observed</p>"
+  else
+    let q p = fmt_ns (int_of_float (Metrics.Sketch.quantile s p)) in
+    section ~title:"Message latency (mint to rx ring)"
+      (Printf.sprintf
+         "<table><tr><th>deliveries</th><th>p50</th><th>p99</th>\
+          <th>p99.9</th><th>max</th><th>mean</th></tr>\
+          <tr><td class=\"num\">%d</td><td class=\"num\">%s</td>\
+          <td class=\"num\">%s</td><td class=\"num\">%s</td>\
+          <td class=\"num\">%s</td><td class=\"num\">%s</td></tr></table>\
+          <p class=\"muted\">log-bucketed quantile sketch, every quantile \
+          within %.0f%% relative error at O(buckets) memory.</p>"
+         n (q 0.5) (q 0.99) (q 0.999)
+         (fmt_ns (int_of_float (Metrics.Sketch.max s)))
+         (fmt_ns (int_of_float (Metrics.Sketch.total s /. float_of_int n)))
+         (Metrics.Sketch.alpha s *. 100.))
+
 let metrics_section () =
   let json = Json.of_string (Metrics.to_json_string ()) in
   let fams =

@@ -1,0 +1,85 @@
+(* Deterministic 1-in-N PDU sampling for deep inspection on the fast path.
+
+   The NI models consult [next_pdu] once per transmit descriptor, at the
+   same site in both the train and per-cell code paths and *before*
+   deciding which path the PDU takes — so the PDU index sequence, and
+   therefore the sampled set, is identical across [--per-cell] and
+   across repeated runs with the same seed. A sampled PDU is routed
+   through the per-cell path, where every observer (span marks, trace
+   events, pcap capture) sees it in full detail; unsampled PDUs ride the
+   cell train.
+
+   The membership test is a pure hash of (seed, index) — splitmix64's
+   finalizer — rather than a stateful PRNG, so tests can re-derive the
+   set without replaying the run. *)
+
+let n_ref = ref 0 (* 0 = sampling off *)
+let seed_ref = ref 0x5eed
+let counter = ref 0 (* index of the next PDU to be offered *)
+let offered_count = ref 0
+let sampled_count = ref 0
+
+let active () = !n_ref > 0
+let n () = !n_ref
+let seed () = !seed_ref
+let offered () = !offered_count
+let sampled () = !sampled_count
+
+let reset () =
+  counter := 0;
+  offered_count := 0;
+  sampled_count := 0
+
+let configure ~n ~seed =
+  if n < 0 then invalid_arg "Sample.configure: n must be >= 0";
+  n_ref := n;
+  seed_ref := seed;
+  reset ()
+
+(* splitmix64 finalizer over seed*phi + index: every bit of the input
+   avalanches, so residues mod n are uniform enough for 1-in-N picks. *)
+let decide ~seed ~n index =
+  if n <= 0 then false
+  else if n = 1 then true
+  else begin
+    let open Int64 in
+    let z =
+      add (of_int index) (mul (of_int seed) 0x9E3779B97F4A7C15L)
+    in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = logxor z (shift_right_logical z 31) in
+    rem (logand z max_int) (of_int n) = 0L
+  end
+
+(* Lazy counters: a run that never samples keeps its dumps unchanged. *)
+let ctrs = ref None
+
+let note hit =
+  let offered_c, sampled_c =
+    match !ctrs with
+    | Some pair -> pair
+    | None ->
+        let pair =
+          ( Metrics.counter ~help:"PDUs offered to the 1-in-N sampler"
+              "sample_pdus_offered_total" [],
+            Metrics.counter ~help:"PDUs selected for per-cell deep inspection"
+              "sample_pdus_selected_total" [] )
+        in
+        ctrs := Some pair;
+        pair
+  in
+  Metrics.Counter.inc offered_c;
+  if hit then Metrics.Counter.inc sampled_c
+
+let next_pdu () =
+  if !n_ref = 0 then false
+  else begin
+    let i = !counter in
+    incr counter;
+    incr offered_count;
+    let hit = decide ~seed:!seed_ref ~n:!n_ref i in
+    if hit then incr sampled_count;
+    note hit;
+    hit
+  end

@@ -1,0 +1,36 @@
+(** Deterministic 1-in-N PDU sampling for deep inspection on the fast
+    path ([--sample-pdus N]).
+
+    Both NI models call {!next_pdu} exactly once per transmit
+    descriptor, before choosing between the cell-train and per-cell
+    paths; a hit routes that PDU through the per-cell path where spans,
+    trace and pcap see it in full detail, while the rest ride the train.
+    Membership is a pure hash of (seed, PDU index), so the sampled set
+    is identical across runs with the same seed — and across
+    [--per-cell], where the index sequence is the same. *)
+
+val configure : n:int -> seed:int -> unit
+(** Sample one PDU in [n] ([n = 0] turns sampling off, [n = 1] samples
+    everything). Resets the PDU index. *)
+
+val active : unit -> bool
+val n : unit -> int
+val seed : unit -> int
+
+val reset : unit -> unit
+(** Restart the PDU index and coverage counts (benchmark passes). *)
+
+val decide : seed:int -> n:int -> int -> bool
+(** The pure membership test: is PDU [index] sampled? [next_pdu] is
+    exactly [decide ~seed ~n] over successive indices. *)
+
+val next_pdu : unit -> bool
+(** Advance the PDU index and report whether this PDU is sampled. Also
+    feeds [sample_pdus_offered_total] / [sample_pdus_selected_total]
+    (registered on first use). *)
+
+val offered : unit -> int
+(** PDUs offered since the last {!configure}/{!reset}. *)
+
+val sampled : unit -> int
+(** PDUs selected since the last {!configure}/{!reset}. *)

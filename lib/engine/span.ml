@@ -13,7 +13,7 @@
    created deep inside library code and exactly one is live at a time,
    so [Sim.create] registers its clock here. *)
 
-type ctx = { trace_id : int; span_id : int }
+type ctx = { trace_id : int; span_id : int; minted_at : int }
 
 type mark =
   | Doorbell
@@ -104,6 +104,15 @@ let store : (int, span) Hashtbl.t = Hashtbl.create 256
 let order : span list ref = ref [] (* newest first *)
 let enabled () = !on
 
+(* Observer granularity (DESIGN.md §15): [Per_train] (the default) keeps
+   the cell-train fast path engaged — EOP milestones of planned trains
+   are synthesized from plan records via [mark_at] at exactly the
+   instants the per-cell path would stamp them; [Per_cell] pins the
+   per-cell path so every mark is a real event. *)
+let granularity_ref = ref Granularity.Per_train
+let granularity () = !granularity_ref
+let set_granularity g = granularity_ref := g
+
 let start () =
   Hashtbl.reset store;
   order := [];
@@ -127,8 +136,11 @@ let mint ~(parent : ctx option) ~host name =
     | None -> (id, None)
     | Some p -> (p.trace_id, Some p.span_id)
   in
+  let minted = !clock () in
   (* when collection is off, mint a context but retain nothing — hot
-     paths may mint per message and must not grow the store *)
+     paths may mint per message and must not grow the store. The mint
+     time always rides the context so the latency sketch works with
+     collection off. *)
   if !on then begin
     let s =
       {
@@ -137,7 +149,7 @@ let mint ~(parent : ctx option) ~host name =
         parent;
         name;
         host;
-        minted = !clock ();
+        minted;
         marks = Array.make n_marks no_mark;
         observed = false;
       }
@@ -145,7 +157,7 @@ let mint ~(parent : ctx option) ~host name =
     Hashtbl.replace store id s;
     order := s :: !order
   end;
-  { trace_id; span_id = id }
+  { trace_id; span_id = id; minted_at = minted }
 
 let root ?(host = 0) name = mint ~parent:None ~host name
 let child ?(host = 0) name parent = mint ~parent:(Some parent) ~host name
@@ -171,6 +183,62 @@ let mark ctx m =
         | Some s ->
             s.marks.(mark_index m) <- !clock ();
             if Trace.enabled () then emit_flow s m)
+
+(* Train-granular milestones (DESIGN.md §15): plan commits know the exact
+   instant each EOP milestone will occur, so the fast path stamps them
+   analytically. No flow emission — flow arrows carry the emission-time
+   clock, which would lie about a future milestone; the real Doorbell and
+   Popped marks still anchor the arrow. *)
+let mark_at ctx m ~t =
+  if !on then
+    match ctx with
+    | None -> ()
+    | Some { span_id; _ } -> (
+        match Hashtbl.find_opt store span_id with
+        | None -> ()
+        | Some s -> s.marks.(mark_index m) <- t)
+
+(* Erase a synthesized milestone: a truncated train's cut cells re-run the
+   per-cell path, which re-stamps whatever actually happens (possibly a
+   Dropped instead of the planned future). *)
+let unmark ctx m =
+  if !on then
+    match ctx with
+    | None -> ()
+    | Some { span_id; _ } -> (
+        match Hashtbl.find_opt store span_id with
+        | None -> ()
+        | Some s -> s.marks.(mark_index m) <- no_mark)
+
+(* --- per-message latency sketch -------------------------------------- *)
+
+(* Always on: every context carries its mint time, so message latency
+   (mint -> rx-ring delivery) folds into a bounded-memory sketch whether
+   or not span collection runs. Registered lazily on the first delivery,
+   like Trace's drop counter, so runs with no deliveries keep their
+   metric dumps unchanged. *)
+let latency_sketch = ref None
+
+let latency () =
+  match !latency_sketch with
+  | Some s -> s
+  | None ->
+      let s =
+        Metrics.sketch
+          ~help:
+            "Per-message latency from mint (API send) to rx-ring delivery \
+             (ns), as a 1% relative-error quantile sketch"
+          "message_latency_ns" []
+      in
+      latency_sketch := Some s;
+      s
+
+let observe_latency ctx =
+  match ctx with
+  | None -> ()
+  | Some { minted_at; _ } ->
+      Metrics.Sketch.observe (latency ())
+        (float_of_int (!clock () - minted_at))
 
 let spans () = List.rev !order
 let find id = Hashtbl.find_opt store id

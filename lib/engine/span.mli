@@ -18,7 +18,7 @@
     one boolean read and {!root}/{!child} still mint contexts (cheaply)
     so data structures can carry them unconditionally. *)
 
-type ctx = { trace_id : int; span_id : int }
+type ctx = { trace_id : int; span_id : int; minted_at : int }
 
 type mark =
   | Doorbell  (** descriptor pushed onto the endpoint's tx ring *)
@@ -40,6 +40,15 @@ type mark =
 val mark_name : mark -> string
 
 val enabled : unit -> bool
+
+val granularity : unit -> Granularity.t
+val set_granularity : Granularity.t -> unit
+(** [Per_train] (the default) keeps the cell-train fast path engaged:
+    EOP milestones of committed trains are synthesized from plan records
+    at exactly the instants the per-cell path would stamp them, so span
+    dumps stay byte-identical across modes. [Per_cell] pins the slow
+    path (every mark is a real event). *)
+
 val start : unit -> unit
 (** Enable span collection into a fresh store. *)
 
@@ -58,6 +67,23 @@ val mark : ctx option -> mark -> unit
     latest write wins (phases are computed from final values only).
     Emits Chrome flow events into {!Trace} at [Doorbell] / [Switch_in] /
     [Popped] when tracing is on, linking send and receive sides. *)
+
+val mark_at : ctx option -> mark -> t:int -> unit
+(** Stamp a milestone at an explicit virtual time — the train-granular
+    backend, fed from plan commits that know each milestone's exact
+    future instant. Never emits flow events. *)
+
+val unmark : ctx option -> mark -> unit
+(** Erase a milestone. Used by train truncation listeners: cut cells
+    re-run the per-cell path, which re-stamps what actually happens. *)
+
+val observe_latency : ctx option -> unit
+(** Fold (now − mint time) into the [message_latency_ns] quantile sketch
+    in {!Metrics} (registered on first use). Works with span collection
+    off: every context carries its mint time. *)
+
+val latency : unit -> Metrics.Sketch.t
+(** The [message_latency_ns] sketch (registering it if needed). *)
 
 (** {2 Reading finished spans} *)
 

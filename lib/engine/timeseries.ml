@@ -37,11 +37,15 @@ type probe = {
   p_name : string;
   p_labels : labels;
   p_kind : kind;
-  mutable p_fn : unit -> float;
+  (* the callback receives the sample's cumulative virtual time: probes
+     over analytic train-path state (committed plan records describe the
+     future) evaluate *at* that instant; plain probes ignore it *)
+  mutable p_fn : int -> float;
   mutable p_gen : int;
   (* previous (time, raw value) for Rate/Utilization differencing *)
   mutable p_prev : (int * float) option;
   mutable p_hw : Metrics.Gauge.t option;
+  mutable p_drop_ctr : Metrics.Counter.t option;
   p_points : (int * float) array; (* ring *)
   mutable p_len : int;
   mutable p_head : int; (* next write position *)
@@ -55,9 +59,12 @@ let enabled_flag = ref false
 let generation = ref 0
 let interval_ns = ref 10_000 (* 10 µs of simulated time *)
 let next_sample = ref 0
+let granularity_ref = ref Granularity.Per_train
 
 let enabled () = !enabled_flag
 let interval () = !interval_ns
+let granularity () = !granularity_ref
+let set_granularity g = granularity_ref := g
 
 let set_interval ns =
   if ns <= 0 then invalid_arg "Timeseries.set_interval";
@@ -67,7 +74,7 @@ let attach_clock _f =
   (* a new simulator instance: scope out probes owned by the previous one *)
   incr generation
 
-let register ?(kind = Gauge) name labels fn =
+let register_at ?(kind = Gauge) name labels fn =
   let labels = canon labels in
   let key = (name, labels) in
   match Hashtbl.find_opt probes key with
@@ -85,6 +92,7 @@ let register ?(kind = Gauge) name labels fn =
           p_gen = !generation;
           p_prev = None;
           p_hw = None;
+          p_drop_ctr = None;
           p_points = Array.make capacity (0, 0.);
           p_len = 0;
           p_head = 0;
@@ -94,11 +102,35 @@ let register ?(kind = Gauge) name labels fn =
       Hashtbl.replace probes key p;
       order := key :: !order
 
+let register ?kind name labels fn =
+  register_at ?kind name labels (fun _ -> fn ())
+
+(* Ring overwrites are silent data loss (mirrors Trace.note_drop);
+   registered lazily so runs that never overflow keep dumps unchanged. *)
+let note_point_drop p =
+  let c =
+    match p.p_drop_ctr with
+    | Some c -> c
+    | None ->
+        let c =
+          Metrics.counter
+            ~help:"Timeseries points lost to ring-buffer overwrite"
+            "timeseries_points_dropped_total"
+            (("series", p.p_name) :: p.p_labels)
+        in
+        p.p_drop_ctr <- Some c;
+        c
+  in
+  Metrics.Counter.inc c
+
 let record p now v =
   p.p_points.(p.p_head) <- (now, v);
   p.p_head <- (p.p_head + 1) mod capacity;
   if p.p_len < capacity then p.p_len <- p.p_len + 1
-  else p.p_dropped <- p.p_dropped + 1;
+  else begin
+    p.p_dropped <- p.p_dropped + 1;
+    note_point_drop p
+  end;
   let hw =
     match p.p_hw with
     | Some g -> g
@@ -114,7 +146,7 @@ let record p now v =
   Metrics.Gauge.set_max hw v
 
 let sample_probe now p =
-  let raw = p.p_fn () in
+  let raw = p.p_fn now in
   match p.p_kind with
   | Gauge -> record p now raw
   | Rate | Utilization -> (
@@ -134,15 +166,28 @@ let sample_probe now p =
           end)
 
 (* Called from Sim.step with the cumulative virtual time of the event
-   about to fire. At most one sweep over the probes per event. *)
+   about to fire — before the event's own state mutations, so present
+   state is exact at the most recent interval boundary. Each sample
+   lands on that boundary's timestamp (a multiple of [interval]) with
+   [p_fn] evaluated *at* the boundary, so analytic train-path probes
+   report the planned state at that instant rather than at the event
+   that happened to trigger the sample. At most one boundary is sampled
+   per event: intermediate boundaries inside a long gap are skipped —
+   for plain probes they carry no information (state only mutates at
+   events), and walking them would cost time proportional to idle
+   virtual time (timer tails span tens of virtual seconds). The cadence
+   is therefore [interval] while events are denser than the interval and
+   degrades to per-event when they are sparser. *)
 let on_event now =
   if now >= !next_sample then begin
-    next_sample := ((now / !interval_ns) + 1) * !interval_ns;
+    let interval = !interval_ns in
+    let b = now - (now mod interval) in
     List.iter
       (fun key ->
         let p = Hashtbl.find probes key in
-        if p.p_gen = !generation then sample_probe now p)
-      (List.rev !order)
+        if p.p_gen = !generation then sample_probe b p)
+      (List.rev !order);
+    next_sample := b + interval
   end
 
 (* gauge_fn bridge: every Metrics.gauge_fn registration also becomes a

@@ -29,6 +29,22 @@ val register : ?kind:kind -> string -> labels -> (unit -> float) -> unit
 (** Register (or re-register, replacing the callback) a probe. Cheap when
     sampling is disabled; safe to call from component constructors. *)
 
+val register_at : ?kind:kind -> string -> labels -> (int -> float) -> unit
+(** Like {!register}, but the callback receives the sample's cumulative
+    virtual time. Required for probes over analytic train-path state:
+    committed plan records describe future cell departures, so the probe
+    must evaluate queue depth / busy time *at* the sample boundary rather
+    than read a counter mutated cell by cell. *)
+
+val granularity : unit -> Granularity.t
+val set_granularity : Granularity.t -> unit
+(** [Per_train] (the default) keeps the cell-train fast path engaged:
+    at-aware probes evaluate planned analytic state at the sample
+    boundary, so the series stay meaningful with cell events elided —
+    at train-event (plan commit / delivery) cadence rather than per-cell
+    cadence. [Per_cell] pins the slow path so every cell event is a
+    sampling opportunity. *)
+
 val start : unit -> unit
 (** Enable sampling. Also installs (once) the [Metrics.gauge_fn] bridge:
     every callback gauge registration doubles as a [Gauge] probe. *)
@@ -49,8 +65,11 @@ val attach_clock : (unit -> int) -> unit
 
 val on_event : int -> unit
 (** Called by [Sim.step] with the cumulative virtual time of the event
-    about to fire; samples all current-generation probes if the next
-    sample point has been reached. *)
+    about to fire; once the clock passes the next {!interval} multiple,
+    samples all current-generation probes at the most recent boundary
+    (at most one boundary per event — idle gaps are skipped, not walked).
+    Points carry boundary timestamps and probes evaluate at the
+    boundary, not at the triggering event's time. *)
 
 type series = {
   s_name : string;

@@ -60,13 +60,54 @@ let buf = ref [||]
 let head = ref 0
 let total = ref 0
 
+(* Train-granular slices (DESIGN.md §15): one mutable record per
+   coarse-grained span a plan commit synthesizes (uplink serialization,
+   switch transit, downlink serialization of a whole train). They live in
+   their own ring because truncation listeners patch them in place —
+   a split train shrinks its slices to the kept prefix, a fully cut one
+   drops them — and they carry future timestamps, so [events] merges them
+   with the per-cell ring by timestamp at read time. *)
+type slice = {
+  mutable sl_ts : int;
+  mutable sl_dur : int;
+  mutable sl_live : bool;
+  sl_cat : category;
+  sl_name : string;
+  sl_pid : int;
+  sl_tid : int;
+  sl_args : (string * arg) list;
+}
+
+let slice_buf : slice array ref = ref [||]
+let slice_head = ref 0
+let slice_total = ref 0
+
+let dummy_slice =
+  {
+    sl_ts = 0;
+    sl_dur = 0;
+    sl_live = false;
+    sl_cat = Cpu;
+    sl_name = "";
+    sl_pid = 0;
+    sl_tid = 0;
+    sl_args = [];
+  }
+
+let granularity_ref = ref Granularity.Per_train
+let granularity () = !granularity_ref
+let set_granularity g = granularity_ref := g
 let enabled () = !on
+let train_slices_wanted () = !on && !granularity_ref = Granularity.Per_train
 
 let start ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Trace.start: capacity must be positive";
   buf := Array.make capacity dummy;
   head := 0;
   total := 0;
+  slice_buf := Array.make capacity dummy_slice;
+  slice_head := 0;
+  slice_total := 0;
   on := true
 
 let stop () = on := false
@@ -75,6 +116,9 @@ let clear () =
   buf := [||];
   head := 0;
   total := 0;
+  slice_buf := [||];
+  slice_head := 0;
+  slice_total := 0;
   sinks := []
 
 let add_sink f = sinks := !sinks @ [ f ]
@@ -132,17 +176,82 @@ let flow_start ?tid ?args ~id cat name =
 
 let flow_step ?tid ?args ~id cat name = emit ?tid ?args cat (Flow_step id) name
 let flow_end ?tid ?args ~id cat name = emit ?tid ?args cat (Flow_end id) name
-let total_events () = !total
+
+let train_slice ?(tid = 0) ?(args = []) cat ~ts ~dur name =
+  let s =
+    {
+      sl_ts = ts;
+      sl_dur = dur;
+      sl_live = true;
+      sl_cat = cat;
+      sl_name = name;
+      sl_pid = !cur_pid;
+      sl_tid = tid;
+      sl_args = args;
+    }
+  in
+  let cap = Array.length !slice_buf in
+  if cap > 0 then begin
+    if !slice_total >= cap then note_drop ();
+    !slice_buf.(!slice_head) <- s;
+    slice_head := (!slice_head + 1) mod cap;
+    incr slice_total
+  end;
+  s
+
+let set_slice s ~ts ~dur =
+  s.sl_ts <- ts;
+  s.sl_dur <- dur
+
+let drop_slice s = s.sl_live <- false
+let total_events () = !total + !slice_total
 
 let dropped_events () =
-  let cap = Array.length !buf in
-  if cap = 0 then !total else max 0 (!total - cap)
+  let overwritten buf total =
+    let cap = Array.length !buf in
+    if cap = 0 then !total else max 0 (!total - cap)
+  in
+  overwritten buf total + overwritten slice_buf slice_total
+
+let event_of_slice s =
+  {
+    ts = s.sl_ts;
+    cat = s.sl_cat;
+    ph = Complete s.sl_dur;
+    name = s.sl_name;
+    pid = s.sl_pid;
+    tid = s.sl_tid;
+    args = s.sl_args;
+  }
+
+let live_slices () =
+  let cap = Array.length !slice_buf in
+  let n = min !slice_total cap in
+  let first = if !slice_total <= cap then 0 else !slice_head in
+  List.init n (fun i -> !slice_buf.((first + i) mod cap))
+  |> List.filter (fun s -> s.sl_live)
+  |> List.stable_sort (fun a b -> compare a.sl_ts b.sl_ts)
 
 let events () =
   let cap = Array.length !buf in
   let n = min !total cap in
   let first = if !total <= cap then 0 else !head in
-  List.init n (fun i -> !buf.((first + i) mod cap))
+  let base = List.init n (fun i -> !buf.((first + i) mod cap)) in
+  (* Per-cell emissions arrive in clock order; slices carry planned future
+     timestamps, so weave them in by timestamp (base events win ties to
+     keep the per-cell-only view unchanged). *)
+  match live_slices () with
+  | [] -> base
+  | slices ->
+      let rec merge acc slices base =
+        match (slices, base) with
+        | [], base -> List.rev_append acc base
+        | slices, [] -> List.rev_append acc (List.map event_of_slice slices)
+        | s :: stl, e :: _ when s.sl_ts < e.ts ->
+            merge (event_of_slice s :: acc) stl base
+        | slices, e :: etl -> merge (e :: acc) slices etl
+      in
+      merge [] slices base
 
 (* --- Chrome trace_event JSON export -------------------------------- *)
 

@@ -29,6 +29,11 @@ type sample = {
   s_wall_ns : int;
   s_alloc_words : float; (* minor + major - promoted *)
   s_virt_mb_s : float; (* the workload's own bandwidth figure *)
+  (* message-latency quantiles (virtual ns) from the always-on
+     [message_latency_ns] sketch, cleared per measured pass *)
+  s_lat_p50 : float;
+  s_lat_p99 : float;
+  s_lat_p999 : float;
 }
 
 let workloads ~quick =
@@ -54,6 +59,9 @@ let alloc_words () =
 let measure_one name pdus f =
   ignore (f () : float);
   (* warm-up: heap growth, code paths, branch state *)
+  let sketch = Span.latency () in
+  Metrics.Sketch.clear sketch;
+  (* the measured pass alone feeds the latency sketch *)
   let fired0 = Sim.events_fired () in
   let alloc0 = alloc_words () in
   let t0 = Selfprof.now_ns () in
@@ -61,6 +69,10 @@ let measure_one name pdus f =
   let wall = Selfprof.now_ns () - t0 in
   let alloc = alloc_words () -. alloc0 in
   let events = Sim.events_fired () - fired0 in
+  let q p =
+    if Metrics.Sketch.count sketch = 0 then 0.
+    else Metrics.Sketch.quantile sketch p
+  in
   {
     s_workload = name;
     s_events = events;
@@ -68,6 +80,9 @@ let measure_one name pdus f =
     s_wall_ns = wall;
     s_alloc_words = alloc;
     s_virt_mb_s = mb;
+    s_lat_p50 = q 0.5;
+    s_lat_p99 = q 0.99;
+    s_lat_p999 = q 0.999;
   }
 
 let measure ~quick =
@@ -106,6 +121,15 @@ let gates samples =
           { g_tolerance = 0.01; g_direction = Lower_is_better } );
         ( s.s_workload ^ "_mb_per_sec",
           { g_tolerance = 0.05; g_direction = Both } );
+        (* virtual-time latencies are deterministic; the sketch buckets
+           are multiplicative (~2% wide), so any distribution shift moves
+           a quantile by at least a bucket and trips the gate *)
+        ( s.s_workload ^ "_latency_p50_ns",
+          { g_tolerance = 0.01; g_direction = Both } );
+        ( s.s_workload ^ "_latency_p99_ns",
+          { g_tolerance = 0.01; g_direction = Both } );
+        ( s.s_workload ^ "_latency_p999_ns",
+          { g_tolerance = 0.01; g_direction = Both } );
         ( s.s_workload ^ "_alloc_words_per_event",
           { g_tolerance = 0.25; g_direction = Lower_is_better } );
         ( s.s_workload ^ "_events_per_sec_wall",
@@ -124,6 +148,9 @@ let snapshot_json ~quick samples =
           (s.s_workload ^ "_events_fired", Num (float_of_int s.s_events));
           (s.s_workload ^ "_events_per_pdu", Num (events_per_pdu s));
           (s.s_workload ^ "_mb_per_sec", Num s.s_virt_mb_s);
+          (s.s_workload ^ "_latency_p50_ns", Num s.s_lat_p50);
+          (s.s_workload ^ "_latency_p99_ns", Num s.s_lat_p99);
+          (s.s_workload ^ "_latency_p999_ns", Num s.s_lat_p999);
           (s.s_workload ^ "_events_per_sec_wall", Num (events_per_sec s));
           (s.s_workload ^ "_us_per_event", Num (us_per_event s));
           (s.s_workload ^ "_alloc_words_per_event", Num (alloc_per_event s));
@@ -136,11 +163,14 @@ let snapshot_json ~quick samples =
     @ [ ("gates", Benchgate.gates_json (gates samples)) ])
 
 let print samples =
-  Format.printf "  %-16s %12s %11s %14s %12s %14s %12s@." "workload" "events"
-    "events/pdu" "events/s wall" "us/event" "words/event" "virt MB/s";
+  Format.printf "  %-16s %12s %11s %14s %12s %14s %12s %10s %10s@." "workload"
+    "events" "events/pdu" "events/s wall" "us/event" "words/event" "virt MB/s"
+    "lat p50" "lat p99.9";
   List.iter
     (fun s ->
-      Format.printf "  %-16s %12d %11.1f %14.0f %12.3f %14.1f %12.2f@."
+      Format.printf
+        "  %-16s %12d %11.1f %14.0f %12.3f %14.1f %12.2f %8.1fus %8.1fus@."
         s.s_workload s.s_events (events_per_pdu s) (events_per_sec s)
-        (us_per_event s) (alloc_per_event s) s.s_virt_mb_s)
+        (us_per_event s) (alloc_per_event s) s.s_virt_mb_s
+        (s.s_lat_p50 /. 1e3) (s.s_lat_p999 /. 1e3))
     samples

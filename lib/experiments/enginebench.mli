@@ -12,6 +12,11 @@ type sample = {
   s_wall_ns : int;
   s_alloc_words : float;  (** GC words: minor + major - promoted *)
   s_virt_mb_s : float;  (** the workload's own virtual-time bandwidth *)
+  s_lat_p50 : float;
+      (** message-latency quantiles in virtual ns, from the
+          [message_latency_ns] sketch over the measured pass alone *)
+  s_lat_p99 : float;
+  s_lat_p999 : float;
 }
 
 val workloads : quick:bool -> (string * int * (unit -> float)) list

@@ -254,7 +254,7 @@ let unacked t = Bytebuf.tail t.sndbuf - t.snd_una
    mints a root; any re-emission (RTO go-back-N, fast retransmit, window
    probe) is a child of the original, so retries stay in the same trace. *)
 let seg_span t ~seq ~len =
-  if (not (Span.enabled ())) || len = 0 then None
+  if len = 0 then None
   else
     let host = Ipv4.addr t.stack.s_ip in
     match Hashtbl.find_opt t.seg_ctx seq with

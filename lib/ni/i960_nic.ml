@@ -129,16 +129,21 @@ and process_desc t (ep : Unet.Endpoint.t) (desc : Unet.Desc.tx) =
       if stall > 0 && Trace.enabled () then
         Trace.instant Trace.Desc "ni.dma_stall" ~tid:t.host
           ~args:[ ("ns", Trace.Int stall) ];
+      (* 1-in-N deep inspection: the index advances once per PDU, before
+         the path choice, so the sampled set is identical across
+         --per-cell; a hit vetoes the train and runs per-cell in full
+         observer detail *)
+      let deep = Sample.next_pdu () in
       match cells with
       | [ cell ] when t.cfg.single_cell_optimization ->
           prof t "tx_single" (t.cfg.tx_single_ns + stall);
           Sync.Server.submit t.server ~cost:(t.cfg.tx_single_ns + stall)
-            (fun () -> inject t desc cell [])
+            (fun () -> inject ~deep t desc cell [])
       | _ ->
-          if not (try_train t desc cells) then begin
+          if deep || not (try_train t desc cells) then begin
             prof t "tx_dma" (t.cfg.tx_fixed_ns + stall);
             Sync.Server.submit t.server ~cost:(t.cfg.tx_fixed_ns + stall)
-              (fun () -> send_cells t desc cells)
+              (fun () -> send_cells ~deep t desc cells)
           end)
 
 (* Send a multi-cell PDU as one analytically planned train (DESIGN.md §14):
@@ -238,33 +243,54 @@ and chain_split t desc arr ~train ~accepted ~phase =
           (Sim.schedule ~label:"ni.retry" t.sim ~delay:(!at - now) (fun () ->
                inject t desc (List.hd rest) (List.tl rest)))
 
-and send_cells t desc = function
-  | [] ->
-      desc.Unet.Desc.injected <- true;
-      t.sent <- t.sent + 1;
-      Metrics.Counter.inc t.m_sent;
-      pump_next t
+and send_cells ?(deep = false) t desc = function
+  | [] -> ()
   | cell :: rest ->
       prof t "tx_cell" t.cfg.tx_per_cell_ns;
       Sync.Server.submit t.server ~cost:t.cfg.tx_per_cell_ns (fun () ->
-          inject t desc cell rest)
+          inject ~deep t desc cell rest)
 
-and inject t desc cell rest =
+and inject ?(deep = false) t desc cell rest =
   if Atm.Network.send t.net ~host:t.host cell then
-    if rest = [] then begin
-      desc.Unet.Desc.injected <- true;
-      t.sent <- t.sent + 1;
-      Metrics.Counter.inc t.m_sent;
-      pump_next t
-    end
-    else send_cells t desc rest
+    if rest = [] then pdu_injected ~deep ~vci:cell.Atm.Cell.vci t desc
+    else send_cells ~deep t desc rest
   else
     (* NI output FIFO full: stall one cell time and retry (the i960 polls
        the FIFO level; cells are never dropped on the way out). *)
-    let retry_delay = Atm.Link.cell_time (Atm.Network.uplink t.net ~host:t.host) in
+    let retry_delay =
+      Atm.Link.cell_time (Atm.Network.uplink t.net ~host:t.host)
+    in
     ignore
       (Sim.schedule ~label:"ni.retry" t.sim ~delay:retry_delay (fun () ->
-           inject t desc cell rest))
+           inject ~deep t desc cell rest))
+
+and pdu_injected ~deep:_ ~vci t (desc : Unet.Desc.tx) =
+  desc.Unet.Desc.injected <- true;
+  t.sent <- t.sent + 1;
+  Metrics.Counter.inc t.m_sent;
+  if Sample.active () then
+    (* Under sampling, a per-cell PDU (the sampled one, or a neighbour
+       squeezed per-cell while sampled cells drain) must not de-train the
+       rest of the run. Two things block the next PDU's train commit right
+       here: this completion runs inside the last unit job's thunk with
+       the server still marked busy (the train path's idle check), and the
+       cells just injected are still in the fabric (the commit gate
+       refuses until they settle and the destination downlink goes
+       quiet). So leave the job context, then poll once per cell slot
+       until the path is clear, and only then pump. Without sampling the
+       pump stays in-thunk, byte-identical to the reference path. *)
+    ignore
+      (Sim.schedule ~label:"ni.pump" t.sim ~delay:0 (fun () ->
+           drain_pump t ~vci))
+  else pump_next t
+
+and drain_pump t ~vci =
+  if Atm.Network.path_clear t.net ~host:t.host ~vci then pump_next t
+  else
+    let ct = Atm.Link.cell_time (Atm.Network.uplink t.net ~host:t.host) in
+    ignore
+      (Sim.schedule ~label:"ni.pump" t.sim ~delay:ct (fun () ->
+           drain_pump t ~vci))
 
 let notify_tx t ep =
   Queue.add ep t.txq;

@@ -321,9 +321,8 @@ let retransmit_unacked t (p : peer) =
            retransmitted message stays one connected trace *)
         let ctx =
           match u.u_ctx with
-          | Some orig when Span.enabled () ->
-              Some (Span.child ~host:t.rank "uam_retx" orig)
-          | _ -> None
+          | Some orig -> Some (Span.child ~host:t.rank "uam_retx" orig)
+          | None -> None
         in
         (* re-send the retained message: the inline snapshot, or the still-
            held transmit buffer — no fresh copy either way *)
@@ -418,9 +417,7 @@ let send_explicit_ack t (p : peer) =
     encode ~ty:Ack ~handler:0 ~seq:0 ~ack:p.p_expected ~args:[||]
       ~payload:Buf.empty
   in
-  let ctx =
-    if Span.enabled () then Some (Span.root ~host:t.rank "uam_ack") else None
-  in
+  let ctx = Some (Span.root ~host:t.rank "uam_ack") in
   ignore (unet_transmit ?ctx t p b);
   p.p_need_ack <- false
 
@@ -428,16 +425,13 @@ let send_seq ?parent t (p : peer) ~ty ~handler ~args ~payload =
   (* the span starts at the API call: everything up to the doorbell is
      the send-side CPU phase *)
   let ctx =
-    if Span.enabled () then begin
-      let name =
-        match ty with Req -> "uam_req" | Rep -> "uam_rep" | Ack -> "uam_ack"
-      in
-      Some
-        (match parent with
-        | Some pctx -> Span.child ~host:t.rank name pctx
-        | None -> Span.root ~host:t.rank name)
-    end
-    else None
+    let name =
+      match ty with Req -> "uam_req" | Rep -> "uam_rep" | Ack -> "uam_ack"
+    in
+    Some
+      (match parent with
+      | Some pctx -> Span.child ~host:t.rank name pctx
+      | None -> Span.root ~host:t.rank name)
   in
   Profile.push ~host:(phost t) "uam.send";
   Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;

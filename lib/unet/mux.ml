@@ -132,6 +132,9 @@ let push_rx (ep : Endpoint.t) desc =
   let was_empty = Ring.is_empty ep.rx_ring in
   if Ring.push ep.rx_ring desc then begin
     ep.rx_delivered <- ep.rx_delivered + 1;
+    (* mint-to-rx-ring latency folds into the message_latency_ns sketch
+       on every delivery, independent of span collection *)
+    Engine.Span.observe_latency desc.Desc.ctx;
     (* every successful delivery funnels through here, which is what the
        flight recorder's stall watchdog counts as global progress *)
     if Engine.Recorder.armed () then Engine.Recorder.note_delivery ();

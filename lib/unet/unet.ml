@@ -245,8 +245,9 @@ let send t (ep : Endpoint.t) (desc : Desc.tx) =
           then Error (Bad_buffer "empty direct-access message")
           else begin
             (* a raw descriptor push with no upper-layer context starts
-               its own trace here *)
-            if Span.enabled () && desc.ctx = None then
+               its own trace here — minted even with span collection
+               off, so the latency sketch always has a mint time *)
+            if desc.ctx = None then
               desc.ctx <- Some (Span.root ~host:t.host "unet_msg");
             charge_op ~layer:"unet_doorbell" t ep t.backend.doorbell_ns;
             Metrics.Counter.inc t.m_doorbells;

@@ -205,9 +205,12 @@ let test_enginebench_schema () =
           "_events_per_sec_wall";
           "_us_per_event";
           "_alloc_words_per_event";
+          "_latency_p50_ns";
+          "_latency_p99_ns";
+          "_latency_p999_ns";
         ])
     samples;
-  checki "one gate per metric" 18 (List.length (Benchgate.gates_of_json j))
+  checki "one gate per metric" 27 (List.length (Benchgate.gates_of_json j))
 
 (* --- direction-aware gating ------------------------------------------- *)
 
