@@ -135,18 +135,34 @@ let write_snapshot name quick (o : Experiments.Registry.outcome) =
   let checks =
     Obj (List.map (fun (what, ok) -> (what, Bool ok)) o.o_checks)
   in
+  (* experiments may declare extra gated members (direction-aware
+     benchdiff rules, as BENCH_engine-throughput.json uses); experiments
+     without any keep their historical snapshot shape byte-identical *)
+  let members =
+    List.map (fun (k, (v, _)) -> (k, Num v)) o.o_members
+    @
+    match o.o_members with
+    | [] -> []
+    | ms ->
+        [
+          ( "gates",
+            Engine.Benchgate.gates_json (List.map (fun (k, (_, g)) -> (k, g)) ms)
+          );
+        ]
+  in
   let path = Filename.concat snapshot_dir ("BENCH_" ^ name ^ ".json") in
   Engine.Json.write_file path
     (Obj
-       [
-         ("name", Str name);
-         ("quick", Bool quick);
-         ("series", series);
-         ("checks", checks);
-         ("buf_copies_total", Num (float_of_int (Engine.Buf.copies_total ())));
-         ( "buf_copy_bytes_total",
-           Num (float_of_int (Engine.Buf.copy_bytes_total ())) );
-       ]);
+       ([
+          ("name", Str name);
+          ("quick", Bool quick);
+          ("series", series);
+          ("checks", checks);
+          ("buf_copies_total", Num (float_of_int (Engine.Buf.copies_total ())));
+          ( "buf_copy_bytes_total",
+            Num (float_of_int (Engine.Buf.copy_bytes_total ())) );
+        ]
+       @ members));
   path
 
 let run_experiments quick =

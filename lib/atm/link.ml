@@ -47,6 +47,10 @@ type t = {
   mutable on_interfere : (unit -> unit) option;
     (* splits the chain that owns pending uplink acceptances before a
        per-cell send threads through the analytic state *)
+  mutable on_accept : (unit -> unit) option;
+    (* fired for every real cell accepted by [send] (legacy or bridged),
+       never for planned train commits — the network's per-ingress
+       in-flight gate counts real cells in with it *)
 }
 
 (* Apply every planned side effect with a timestamp <= [now] — the same
@@ -175,6 +179,7 @@ let create sim ?(queue_capacity = max_int) ?(metrics_labels = []) ~bandwidth_mbp
       hops = [];
       a_tail = 0;
       on_interfere = None;
+      on_accept = None;
     }
   in
   Metrics.register_flush (fun () -> fold_to t (Sim.now sim));
@@ -211,6 +216,8 @@ let quiet t = (not t.transmitting) && Queue.is_empty t.queue
 let pending_plan t = t.hops <> []
 let set_interfere t f = t.on_interfere <- Some f
 let clear_interfere t = t.on_interfere <- None
+let set_on_accept t f = t.on_accept <- Some f
+let accepted t = match t.on_accept with Some f -> f () | None -> ()
 
 (* --- planning (DESIGN.md §14) ---------------------------------------
 
@@ -603,6 +610,7 @@ let bridge_send t (cell : Cell.t) =
     Sim.schedule_drop ~label:"link.tx_cell" t.sim
       ~delay:(start + t.cell_time - now)
       (fun () -> deliver t cell);
+    accepted t;
     true
   end
 
@@ -615,10 +623,12 @@ let legacy_send t cell =
     else begin
       Queue.add cell t.queue;
       Metrics.Gauge.set_max t.m_queue_hw (float_of_int (Queue.length t.queue));
+      accepted t;
       true
     end
   else begin
     transmit t cell;
+    accepted t;
     true
   end
 

@@ -137,3 +137,9 @@ val set_interfere : t -> (unit -> unit) -> unit
     state; the owning NI uses it to split a chain still accepting here. *)
 
 val clear_interfere : t -> unit
+
+val set_on_accept : t -> (unit -> unit) -> unit
+(** Callback fired once per real cell {!send} accepts (queued or put on
+    the wire, legacy or bridged) — never for planned train commits.
+    The network wires it on every switch-ingress link to count cells into
+    the per-ingress in-flight gate (DESIGN.md §14/§16). *)

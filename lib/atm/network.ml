@@ -21,37 +21,170 @@ let default_config =
     host_tx_fifo = 64;
   }
 
+(* --- declarative topology (DESIGN.md §16) ---------------------------- *)
+
+type clos = { pods : int; spine : int; hosts_per_pod : int }
+
+type topology =
+  | Single of int
+  | Clos of clos
+  | Custom of {
+      switch_ports : int array;
+      hosts : (int * int) array;
+      trunks : (int * int * int * int) list;
+    }
+
+let topology_hosts = function
+  | Single hosts -> hosts
+  | Clos c -> c.pods * c.hosts_per_pod
+  | Custom c -> Array.length c.hosts
+
+(* Elaborated fabric: switches with port counts, each host's attachment
+   point, and the directed inter-stage fibers (a full-duplex trunk is two
+   of them). *)
+type fabric = {
+  fb_ports : int array; (* switch -> port count *)
+  fb_attach : (int * int) array; (* host -> (switch, port) *)
+  fb_trunks : (int * int * int * int) array;
+      (* directed: (src switch, src port, dst switch, dst port) *)
+}
+
+let elaborate = function
+  | Single hosts ->
+      if hosts <= 0 then invalid_arg "Network.create: hosts must be positive";
+      {
+        fb_ports = [| hosts |];
+        fb_attach = Array.init hosts (fun h -> (0, h));
+        fb_trunks = [||];
+      }
+  | Clos { pods; spine; hosts_per_pod } ->
+      if pods <= 0 || spine <= 0 || hosts_per_pod <= 0 then
+        invalid_arg "Network: Clos dimensions must be positive";
+      (* Leaves are switches 0..pods-1 (ports 0..hosts_per_pod-1 face
+         hosts, hosts_per_pod+s faces spine s); spines are switches
+         pods..pods+spine-1 with one port per pod. *)
+      let fb_ports =
+        Array.init (pods + spine) (fun i ->
+            if i < pods then hosts_per_pod + spine else pods)
+      in
+      let fb_attach =
+        Array.init (pods * hosts_per_pod) (fun h ->
+            (h / hosts_per_pod, h mod hosts_per_pod))
+      in
+      let trunks = ref [] in
+      for l = pods - 1 downto 0 do
+        for s = spine - 1 downto 0 do
+          (* a full-duplex fiber pair per (leaf, spine) *)
+          trunks :=
+            (l, hosts_per_pod + s, pods + s, l)
+            :: (pods + s, l, l, hosts_per_pod + s)
+            :: !trunks
+        done
+      done;
+      { fb_ports; fb_attach; fb_trunks = Array.of_list !trunks }
+  | Custom { switch_ports; hosts; trunks } ->
+      let nsw = Array.length switch_ports in
+      if nsw = 0 then invalid_arg "Network: Custom needs at least one switch";
+      Array.iter
+        (fun p ->
+          if p <= 0 then invalid_arg "Network: switch port counts must be positive")
+        switch_ports;
+      if Array.length hosts = 0 then
+        invalid_arg "Network: Custom needs at least one host";
+      let check_pt what (sw, p) =
+        if sw < 0 || sw >= nsw then
+          invalid_arg (Printf.sprintf "Network: %s names switch %d" what sw);
+        if p < 0 || p >= switch_ports.(sw) then
+          invalid_arg
+            (Printf.sprintf "Network: %s names port %d of switch %d" what p sw)
+      in
+      Array.iter (check_pt "host attachment") hosts;
+      List.iter
+        (fun (sa, pa, sb, pb) ->
+          check_pt "trunk endpoint" (sa, pa);
+          check_pt "trunk endpoint" (sb, pb))
+        trunks;
+      let dtrunks =
+        Array.of_list
+          (List.concat_map
+             (fun (sa, pa, sb, pb) -> [ (sa, pa, sb, pb); (sb, pb, sa, pa) ])
+             trunks)
+      in
+      { fb_ports = switch_ports; fb_attach = hosts; fb_trunks = dtrunks }
+
+(* Where a switch output port's link leads. *)
+type dest = To_host of int | To_switch of { sw : int; port : int; trunk : int }
+
 type t = {
   sim : Sim.t;
   hosts : int;
-  switch : Switch.t;
-  uplinks : Link.t array; (* host -> switch *)
-  downlinks : Link.t array; (* switch -> host *)
+  topo : topology;
+  switches : Switch.t array;
+  uplinks : Link.t array; (* host -> ingress switch *)
+  downlinks : Link.t array; (* egress switch -> host *)
+  trunks : Link.t array; (* directed inter-stage fibers *)
+  host_attach : (int * int) array; (* host -> (switch, port) *)
+  dests : dest option array array; (* switch -> out port -> destination *)
   rx_handlers : (Cell.t -> unit) option array;
   rx_train_handlers :
     (Cell.train -> rx_vci:int -> deliveries:Sim.time array -> unit) option
     array;
-  (* VCI allocation, per direction. VCIs below 32 are reserved as on a real
-     ATM fabric. *)
+  (* VCI allocation, per link direction. VCIs below 32 are reserved as on a
+     real ATM fabric; the 16-bit cell-header field bounds them above
+     (allocators raise at the ceiling instead of silently aliasing). *)
   next_tx_vci : int array; (* next free VCI on host's uplink *)
   next_rx_vci : int array; (* next free VCI on host's downlink *)
-  in_flight : int array;
-    (* per source host: real cells accepted onto the uplink but not yet
-       settled into their destination link by the switch. While nonzero,
-       train commits from that host refuse — a straggler still crossing
-       the fabric would reach the downlink during the planned window and
-       be queued after entries it precedes in wire order (bridge_send
-       appends at the planned tail). Cells killed by an uplink loss or
-       fault site never settle and pin the counter, which only disables
-       commits from a host whose uplink refuses plans anyway. *)
+  next_trunk_vci : int array; (* next free VCI per directed trunk *)
+  in_flight : int array array;
+    (* per switch, per ingress port: real cells accepted onto the ingress
+       link but not yet settled into their output link by that switch.
+       While any counter along a train's hop chain is nonzero, commits
+       refuse — a straggler still crossing that stage would reach the
+       next link during the planned window and be queued after entries it
+       precedes in wire order (bridge_send appends at the planned tail).
+       Cells killed by an ingress loss or fault site never settle and pin
+       the counter, which only disables commits through a stage whose
+       ingress link refuses plans anyway. *)
+  conn_hops : (int * int, (int * int * int) list) Hashtbl.t;
+    (* (src host, tx VCI) -> per-stage (switch, in port, in VCI), the
+       route-table entries a disconnect must remove *)
+  undeliverable : (int, Metrics.Counter.t) Hashtbl.t;
+    (* lazily-created per-host counters; see [undeliverable_cell] *)
 }
 
-(* One injector per attachment point — per link direction per host, per
-   switch output port — so each has its own seed-derived stream and its
-   own [site] metric label, and faults on host 0's uplink never shift the
-   draws seen by host 1. *)
+(* Count cells that reach a downlink whose host never attached a receive
+   handler instead of dropping them silently (they used to vanish without
+   a counter or span mark). The counter family is created lazily so
+   fully-wired runs — every experiment attaches an NI per host — keep
+   their metric dumps byte-identical. *)
+let undeliverable_cell t ~host (cell : Cell.t) =
+  let c =
+    match Hashtbl.find_opt t.undeliverable host with
+    | Some c -> c
+    | None ->
+        let c =
+          Metrics.counter
+            ~help:"cells delivered to a downlink with no attached host NI"
+            "atm_fabric_undeliverable_total"
+            [ ("host", string_of_int host) ]
+        in
+        Hashtbl.add t.undeliverable host c;
+        c
+  in
+  Metrics.Counter.inc c;
+  Span.mark cell.Cell.ctx Span.Dropped
+
+(* One injector per attachment point — per access-link direction per host,
+   per switch output port per stage — so each has its own seed-derived
+   stream and its own [site] metric label, and faults on host 0's uplink
+   never shift the draws seen by host 1. Switch sites cover every output
+   port of every stage (trunk ports included, so interior fabric faults
+   need no separate site kind); a single-switch network keeps the
+   historical [switch.port.<p>] labels so its seeded streams are
+   unchanged. *)
 let apply_fault t fspec =
   let open Fault in
+  let multi = Array.length t.switches > 1 in
   List.iter
     (function
       | Link_up ->
@@ -67,62 +200,120 @@ let apply_fault t fspec =
                 (create ~site:(Printf.sprintf "link.down.%d" h) fspec))
             t.downlinks
       | Switch ->
-          for p = 0 to t.hosts - 1 do
-            Switch.set_fault t.switch ~port:p
-              (create ~site:(Printf.sprintf "switch.port.%d" p) fspec)
-          done
+          Array.iteri
+            (fun si sw ->
+              for p = 0 to Switch.ports sw - 1 do
+                let site =
+                  if multi then Printf.sprintf "switch.%d.port.%d" si p
+                  else Printf.sprintf "switch.port.%d" p
+                in
+                Switch.set_fault sw ~port:p (create ~site fspec)
+              done)
+            t.switches
       | Ni -> () (* NI constructors consult [Fault.configured] themselves *))
     fspec.sites
 
-let create sim ~hosts config =
-  if hosts <= 0 then invalid_arg "Network.create: hosts must be positive";
-  let switch =
-    Switch.create sim ~ports:hosts ~transit:config.switch_transit
-      ~output_queue_capacity:config.switch_queue_capacity ()
+let create_topo sim ~topology config =
+  let fb = elaborate topology in
+  let hosts = topology_hosts topology in
+  let nsw = Array.length fb.fb_ports in
+  let multi = nsw > 1 in
+  let switches =
+    Array.init nsw (fun i ->
+        Switch.create sim ~ports:fb.fb_ports.(i) ~transit:config.switch_transit
+          ~output_queue_capacity:config.switch_queue_capacity
+          ?id:(if multi then Some i else None)
+          ())
   in
-  let mk_link ?queue_capacity ~dir h =
-    Link.create sim ?queue_capacity
-      ~metrics_labels:[ ("dir", dir); ("host", string_of_int h) ]
+  let mk_link ?queue_capacity labels =
+    Link.create sim ?queue_capacity ~metrics_labels:labels
       ~bandwidth_mbps:config.link_bandwidth_mbps
       ~propagation:config.link_propagation ()
   in
+  let host_link ~dir h = [ ("dir", dir); ("host", string_of_int h) ] in
   let uplinks =
-    Array.init hosts (mk_link ~queue_capacity:config.host_tx_fifo ~dir:"up")
+    Array.init hosts (fun h ->
+        mk_link ~queue_capacity:config.host_tx_fifo (host_link ~dir:"up" h))
   in
-  let downlinks = Array.init hosts (mk_link ~dir:"down") in
+  let downlinks = Array.init hosts (fun h -> mk_link (host_link ~dir:"down" h)) in
+  let trunks =
+    Array.map
+      (fun (sa, pa, sb, pb) ->
+        mk_link
+          [
+            ("dir", "trunk");
+            ("link", Printf.sprintf "s%d.p%d-s%d.p%d" sa pa sb pb);
+          ])
+      fb.fb_trunks
+  in
+  (* Wire the fabric map, refusing port double-use. *)
+  let dests = Array.map (fun p -> Array.make p None) fb.fb_ports in
+  let claim sw port d =
+    if dests.(sw).(port) <> None then
+      invalid_arg
+        (Printf.sprintf "Network: port %d of switch %d attached twice" port sw);
+    dests.(sw).(port) <- Some d
+  in
+  Array.iteri (fun h (sw, port) -> claim sw port (To_host h)) fb.fb_attach;
+  Array.iteri
+    (fun k (sa, pa, sb, pb) -> claim sa pa (To_switch { sw = sb; port = pb; trunk = k }))
+    fb.fb_trunks;
   let t =
     {
       sim;
       hosts;
-      switch;
+      topo = topology;
+      switches;
       uplinks;
       downlinks;
+      trunks;
+      host_attach = fb.fb_attach;
+      dests;
       rx_handlers = Array.make hosts None;
       rx_train_handlers = Array.make hosts None;
       next_tx_vci = Array.make hosts 32;
       next_rx_vci = Array.make hosts 32;
-      in_flight = Array.make hosts 0;
+      next_trunk_vci = Array.make (Array.length fb.fb_trunks) 32;
+      in_flight = Array.map (fun p -> Array.make p 0) fb.fb_ports;
+      conn_hops = Hashtbl.create 64;
+      undeliverable = Hashtbl.create 8;
     }
   in
-  Switch.set_on_settled switch (fun ~in_port ->
-      if t.in_flight.(in_port) > 0 then
-        t.in_flight.(in_port) <- t.in_flight.(in_port) - 1);
+  Array.iteri
+    (fun si sw ->
+      Switch.set_on_settled sw (fun ~in_port ->
+          if t.in_flight.(si).(in_port) > 0 then
+            t.in_flight.(si).(in_port) <- t.in_flight.(si).(in_port) - 1))
+    switches;
   for h = 0 to hosts - 1 do
-    let port = h in
-    Link.set_receiver uplinks.(h) (fun cell -> Switch.input switch ~port cell);
-    Switch.attach_output switch ~port downlinks.(h);
+    let sw, port = t.host_attach.(h) in
+    Link.set_receiver uplinks.(h) (fun cell ->
+        Switch.input switches.(sw) ~port cell);
+    Link.set_on_accept uplinks.(h) (fun () ->
+        t.in_flight.(sw).(port) <- t.in_flight.(sw).(port) + 1);
+    Switch.attach_output switches.(sw) ~port downlinks.(h);
     Link.set_receiver downlinks.(h) (fun cell ->
         match t.rx_handlers.(h) with
         | Some f -> f cell
-        | None -> () (* host NI not attached yet: cell is lost *))
+        | None -> undeliverable_cell t ~host:h cell)
   done;
+  Array.iteri
+    (fun k (sa, pa, sb, pb) ->
+      Switch.attach_output switches.(sa) ~port:pa trunks.(k);
+      Link.set_receiver trunks.(k) (fun cell ->
+          Switch.input switches.(sb) ~port:pb cell);
+      Link.set_on_accept trunks.(k) (fun () ->
+          t.in_flight.(sb).(pb) <- t.in_flight.(sb).(pb) + 1))
+    fb.fb_trunks;
   (match Fault.configured () with
   | Some fspec -> apply_fault t fspec
   | None -> ());
   t
 
+let create sim ~hosts config = create_topo sim ~topology:(Single hosts) config
 let sim t = t.sim
 let host_count t = t.hosts
+let topology t = t.topo
 
 let check_host t h =
   if h < 0 || h >= t.hosts then invalid_arg "Network: host out of range"
@@ -151,27 +342,37 @@ let send t ~host cell =
   check_host t host;
   if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Injected;
   capture_cell ~host cell;
-  let accepted = Link.send t.uplinks.(host) cell in
-  if accepted then t.in_flight.(host) <- t.in_flight.(host) + 1;
-  accepted
+  (* the uplink's on_accept hook counts the cell into the ingress port's
+     in-flight gate *)
+  Link.send t.uplinks.(host) cell
 
 let in_flight t ~host =
   check_host t host;
-  t.in_flight.(host)
+  let sw, port = t.host_attach.(host) in
+  t.in_flight.(sw).(port)
 
 (* Has the per-cell backlog from [host] toward [vci]'s destination flushed
-   out of the fabric? True once every uplink-accepted cell has settled
-   through the switch AND the destination downlink has no real cell queued
-   or on the wire — exactly the transient conditions that make a train
-   commit refuse. When the route itself cannot train (no route,
-   multi-source port, fault site) there is nothing to wait for. *)
+   out of the fabric? True once every cell accepted at each stage of the
+   hop chain has settled through its switch AND every link along the route
+   has no real cell queued or on the wire — exactly the transient
+   conditions that make a train commit refuse. When the route itself
+   cannot train (no route, multi-source port, fault site) there is nothing
+   to wait for. *)
 let path_clear t ~host ~vci =
   check_host t host;
-  t.in_flight.(host) = 0
-  &&
-  match Switch.plan_route t.switch ~in_port:host ~in_vci:vci with
-  | None -> true
-  | Some (_, _, downlink) -> Link.quiet downlink
+  let rec clear sw in_port in_vci =
+    t.in_flight.(sw).(in_port) = 0
+    &&
+    match Switch.plan_route t.switches.(sw) ~in_port ~in_vci with
+    | None -> true
+    | Some (out_port, out_vci, link) -> (
+        match t.dests.(sw).(out_port) with
+        | Some (To_switch { sw = nsw; port = nport; trunk = _ }) ->
+            Link.quiet link && clear nsw nport out_vci
+        | Some (To_host _) | None -> Link.quiet link)
+  in
+  let sw, port = t.host_attach.(host) in
+  clear sw port vci
 
 let uplink t ~host =
   check_host t host;
@@ -181,9 +382,20 @@ let downlink t ~host =
   check_host t host;
   t.downlinks.(host)
 
-let switch t = t.switch
+let switch_count t = Array.length t.switches
 
-(* --- train fast path (DESIGN.md §14) --------------------------------- *)
+let switch_at t i =
+  if i < 0 || i >= Array.length t.switches then
+    invalid_arg "Network: switch index out of range";
+  t.switches.(i)
+
+let switch t = t.switches.(0)
+
+let host_switch t ~host =
+  check_host t host;
+  fst t.host_attach.(host)
+
+(* --- train fast path (DESIGN.md §14, multi-stage §16) ----------------- *)
 
 (* Default receive expansion for hosts whose NI is not train-aware: one
    chained event per cell, each re-checking the train's live length so an
@@ -192,68 +404,134 @@ let switch t = t.switch
 let rec expand_rx t ~dest ~rx_vci ~train ~deliveries i =
   if i < Cell.Train.length train then begin
     let cell = Cell.with_vci (Cell.Train.cell train i) rx_vci in
-    (match t.rx_handlers.(dest) with Some f -> f cell | None -> ());
+    (match t.rx_handlers.(dest) with
+    | Some f -> f cell
+    | None -> undeliverable_cell t ~host:dest cell);
     if i + 1 < Cell.Train.length train then
       Sim.schedule_drop ~label:"net.rx_train" t.sim
         ~delay:(deliveries.(i + 1) - Sim.now t.sim)
         (fun () -> expand_rx t ~dest ~rx_vci ~train ~deliveries (i + 1))
   end
 
+(* One stage of a planned multi-hop journey: the switch that forwards the
+   train at [st_arrivals] and the plan on its output link. *)
+type stage = {
+  st_sw : int;
+  st_out_port : int;
+  st_out_vci : int;
+  st_link : Link.t;
+  st_transit : Sim.time;
+  st_arrivals : Sim.time array;
+  st_plan : Link.plan;
+}
+
 (* Plan a whole train's journey across the fabric analytically: sender-paced
-   chain on the uplink, fabric transit, arrival-fed plan on the downlink.
-   All-or-nothing — any refusal (legacy traffic in flight, a loss or fault
-   site, a queue at capacity, a same-instant tie) returns [None] and the
-   caller stays on the per-cell path. On success each element holds planned
-   state that folds lazily into its counters, a single event hands the train
-   to the receiving host at the first cell's delivery instant, and a
-   truncation listener un-plans everything past an interference point. The
-   owner must arrange for [on_interfere] to split its chain (it is installed
-   as the uplink's interfere hook; clear it when the chain ends). *)
+   chain on the uplink, then per stage a fabric transit and an arrival-fed
+   plan on the stage's output link (trunk or downlink), walking the full
+   hop chain. All-or-nothing — any refusal (legacy traffic in flight at any
+   stage, a loss or fault site, a queue at capacity, a same-instant tie)
+   returns [None] and the caller stays on the per-cell path. On success
+   each element holds planned state that folds lazily into its counters, a
+   single event hands the train to the receiving host at the first cell's
+   delivery instant, and a truncation listener un-plans everything past an
+   interference point at every stage. The owner must arrange for
+   [on_interfere] to split its chain (it is installed as the uplink's
+   interfere hook; clear it when the chain ends). *)
 let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
   check_host t host;
   let n = Cell.Train.length train in
-  if n = 0 || t.in_flight.(host) > 0 then None
+  let sw0, port0 = t.host_attach.(host) in
+  if n = 0 || t.in_flight.(sw0).(port0) > 0 then None
   else
-    match
-      Switch.plan_route t.switch ~in_port:host ~in_vci:(Cell.Train.vci train)
-    with
+    (* Resolve the hop chain first: the route must exist at every stage
+       (single-source output ports only) and every ingress port along it
+       must have no un-settled real cells. *)
+    let rec resolve sw in_port in_vci acc =
+      match Switch.plan_route t.switches.(sw) ~in_port ~in_vci with
+      | None -> None
+      | Some (out_port, out_vci, link) -> (
+          let hop = (sw, out_port, out_vci, link) in
+          match t.dests.(sw).(out_port) with
+          | None -> None
+          | Some (To_host dst) -> Some (List.rev (hop :: acc), dst)
+          | Some (To_switch { sw = nsw; port = nport; trunk = _ }) ->
+              if t.in_flight.(nsw).(nport) > 0 then None
+              else resolve nsw nport out_vci (hop :: acc))
+    in
+    match resolve sw0 port0 (Cell.Train.vci train) [] with
     | None -> None
-    | Some (out_port, out_vci, downlink) -> (
+    | Some (hops, dst) -> (
         let uplink = t.uplinks.(host) in
         match plan_uplink uplink with
         | None -> None
         | Some up_plan -> (
-            let transit = Switch.transit t.switch in
-            let up_lat = Link.cell_time uplink + Link.propagation uplink in
-            let arrivals =
-              Array.map (fun s -> s + up_lat + transit)
-                (Link.plan_starts up_plan)
+            (* Chain the per-stage plans: cell i reaches stage j's switch
+               one hop latency after leaving the previous link, is
+               forwarded [transit] later, and feeds the stage's output
+               link. *)
+            let rec plan_stages prev_link prev_starts hops acc =
+              match hops with
+              | [] -> Some (List.rev acc)
+              | (sw, out_port, out_vci, link) :: rest -> (
+                  let transit = Switch.transit t.switches.(sw) in
+                  let lat =
+                    Link.cell_time prev_link + Link.propagation prev_link
+                  in
+                  let arrivals =
+                    Array.map (fun s -> s + lat + transit) prev_starts
+                  in
+                  match
+                    Link.plan_feed link ~arrivals ~sched_lead:transit
+                      ~refuse_occ:
+                        (Switch.output_queue_capacity t.switches.(sw))
+                  with
+                  | None -> None
+                  | Some pl ->
+                      plan_stages link (Link.plan_starts pl) rest
+                        ({
+                           st_sw = sw;
+                           st_out_port = out_port;
+                           st_out_vci = out_vci;
+                           st_link = link;
+                           st_transit = transit;
+                           st_arrivals = arrivals;
+                           st_plan = pl;
+                         }
+                        :: acc))
             in
             match
-              Link.plan_feed downlink ~arrivals ~sched_lead:transit
-                ~refuse_occ:(Switch.output_queue_capacity t.switch)
+              plan_stages uplink (Link.plan_starts up_plan) hops []
             with
             | None -> None
-            | Some down_plan ->
+            | Some stages ->
                 let up_hop = Link.commit_plan uplink up_plan ~fold_sent:true in
-                let down_hop =
-                  Link.commit_plan downlink down_plan ~fold_sent:true
+                let commits =
+                  List.map
+                    (fun st ->
+                      let lhop =
+                        Link.commit_plan st.st_link st.st_plan ~fold_sent:true
+                      in
+                      let srec =
+                        Switch.commit_plan t.switches.(st.st_sw)
+                          ~out_port:st.st_out_port ~times:st.st_arrivals
+                          ~hw:(Link.plan_queue_after st.st_plan)
+                      in
+                      (st, lhop, srec))
+                    stages
                 in
-                let srec =
-                  Switch.commit_plan t.switch ~out_port ~times:arrivals
-                    ~hw:(Link.plan_queue_after down_plan)
-                in
+                let final = List.nth stages (List.length stages - 1) in
                 let up_accepts = Link.plan_accepts up_plan in
                 let up_starts = Link.plan_starts up_plan in
-                let down_starts = Link.plan_starts down_plan in
+                let down_starts = Link.plan_starts final.st_plan in
                 let down_lat =
-                  Link.cell_time downlink + Link.propagation downlink
+                  Link.cell_time final.st_link + Link.propagation final.st_link
                 in
                 (* Train-granular observers (DESIGN.md §15): the plan
                    arrays give every milestone's exact instant, so EOP
                    span marks are stamped at the same values the
-                   per-cell path would produce, and tracing gets one
-                   slice per fabric stage instead of ~8 events/cell. *)
+                   per-cell path would produce. Marks replace, so the
+                   per-cell values are those of the LAST stage the cell
+                   crosses — synthesized from [final]. *)
                 let synth_spans =
                   Span.enabled ()
                   && Span.granularity () = Granularity.Per_train
@@ -270,8 +548,8 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                       eop_ctxs := (i, ctx) :: !eop_ctxs;
                       Span.mark_at ctx Span.Injected ~t:up_accepts.(i);
                       Span.mark_at ctx Span.Switch_in
-                        ~t:(arrivals.(i) - transit);
-                      Span.mark_at ctx Span.Switch_out ~t:arrivals.(i);
+                        ~t:(final.st_arrivals.(i) - final.st_transit);
+                      Span.mark_at ctx Span.Switch_out ~t:final.st_arrivals.(i);
                       Span.mark_at ctx Span.Link_tx ~t:down_starts.(i);
                       Span.mark_at ctx Span.Rx_cell
                         ~t:(down_starts.(i) + down_lat)
@@ -281,7 +559,6 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                   if not (Trace.train_slices_wanted ()) then None
                   else
                     let up_cell = Link.cell_time uplink in
-                    let down_cell = Link.cell_time downlink in
                     let args =
                       [
                         ("vci", Trace.Int (Cell.Train.vci train));
@@ -292,22 +569,47 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                       Trace.train_slice Trace.Cell ~tid ~args ~ts
                         ~dur:(fin - ts) name
                     in
-                    Some
-                      ( up_cell,
-                        down_cell,
-                        sl "train.uplink" ~tid:host ~ts:up_starts.(0)
-                          ~fin:(up_starts.(n - 1) + up_cell),
-                        sl "train.switch" ~tid:out_port
-                          ~ts:(arrivals.(0) - transit)
-                          ~fin:arrivals.(n - 1),
-                        sl "train.downlink" ~tid:out_port
-                          ~ts:down_starts.(0)
-                          ~fin:(down_starts.(n - 1) + down_cell) )
+                    let s_up =
+                      sl "train.uplink" ~tid:host ~ts:up_starts.(0)
+                        ~fin:(up_starts.(n - 1) + up_cell)
+                    in
+                    (* one (switch, link) slice pair per stage: interior
+                       stages are "train.trunk", the egress stage keeps
+                       the historical "train.downlink" name *)
+                    let per_stage =
+                      List.map
+                        (fun st ->
+                          let starts = Link.plan_starts st.st_plan in
+                          let cell = Link.cell_time st.st_link in
+                          let terminal =
+                            match t.dests.(st.st_sw).(st.st_out_port) with
+                            | Some (To_host _) -> true
+                            | _ -> false
+                          in
+                          let s_sw =
+                            sl "train.switch" ~tid:st.st_out_port
+                              ~ts:(st.st_arrivals.(0) - st.st_transit)
+                              ~fin:st.st_arrivals.(n - 1)
+                          in
+                          let s_link =
+                            sl
+                              (if terminal then "train.downlink"
+                               else "train.trunk")
+                              ~tid:st.st_out_port ~ts:starts.(0)
+                              ~fin:(starts.(n - 1) + cell)
+                          in
+                          (st, cell, s_sw, s_link))
+                        stages
+                    in
+                    Some (up_cell, s_up, per_stage)
                 in
                 Cell.Train.on_truncate train (fun ~keep ~now ->
                     Link.truncate_hop uplink up_hop ~keep ~now;
-                    Switch.truncate_plan t.switch srec ~keep;
-                    Link.truncate_hop downlink down_hop ~keep ~now;
+                    List.iter
+                      (fun (st, lhop, srec) ->
+                        Switch.truncate_plan t.switches.(st.st_sw) srec ~keep;
+                        Link.truncate_hop st.st_link lhop ~keep ~now)
+                      commits;
                     (* cut cells re-run the per-cell path, which
                        re-stamps their marks for real *)
                     List.iter
@@ -322,24 +624,32 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                       !eop_ctxs;
                     match slices with
                     | None -> ()
-                    | Some (up_cell, down_cell, s_up, s_sw, s_down) ->
+                    | Some (up_cell, s_up, per_stage) ->
                         if keep = 0 then begin
                           Trace.drop_slice s_up;
-                          Trace.drop_slice s_sw;
-                          Trace.drop_slice s_down
+                          List.iter
+                            (fun (_, _, s_sw, s_link) ->
+                              Trace.drop_slice s_sw;
+                              Trace.drop_slice s_link)
+                            per_stage
                         end
                         else begin
                           Trace.set_slice s_up ~ts:up_starts.(0)
                             ~dur:
                               (up_starts.(keep - 1) + up_cell
                              - up_starts.(0));
-                          let sw_ts = arrivals.(0) - transit in
-                          Trace.set_slice s_sw ~ts:sw_ts
-                            ~dur:(arrivals.(keep - 1) - sw_ts);
-                          Trace.set_slice s_down ~ts:down_starts.(0)
-                            ~dur:
-                              (down_starts.(keep - 1) + down_cell
-                             - down_starts.(0))
+                          List.iter
+                            (fun (st, cell, s_sw, s_link) ->
+                              let sw_ts =
+                                st.st_arrivals.(0) - st.st_transit
+                              in
+                              Trace.set_slice s_sw ~ts:sw_ts
+                                ~dur:(st.st_arrivals.(keep - 1) - sw_ts);
+                              let starts = Link.plan_starts st.st_plan in
+                              Trace.set_slice s_link ~ts:starts.(0)
+                                ~dur:
+                                  (starts.(keep - 1) + cell - starts.(0)))
+                            per_stage
                         end);
                 Link.set_interfere uplink on_interfere;
                 let deliveries =
@@ -348,11 +658,11 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                 Sim.schedule_drop ~label:"net.rx_train" t.sim
                   ~delay:(deliveries.(0) - Sim.now t.sim)
                   (fun () ->
-                    match t.rx_train_handlers.(out_port) with
+                    match t.rx_train_handlers.(dst) with
                     | Some f when Cell.Train.length train > 0 ->
-                        f train ~rx_vci:out_vci ~deliveries
+                        f train ~rx_vci:final.st_out_vci ~deliveries
                     | _ ->
-                        expand_rx t ~dest:out_port ~rx_vci:out_vci ~train
+                        expand_rx t ~dest:dst ~rx_vci:final.st_out_vci ~train
                           ~deliveries 0);
                 Some (Link.plan_accepts up_plan)))
 
@@ -364,28 +674,118 @@ let commit_train_feed t ~host ~train ~arrivals ~sched_lead ~on_interfere =
   commit_train_gen t ~host ~train ~on_interfere ~plan_uplink:(fun uplink ->
       Link.plan_feed uplink ~arrivals ~sched_lead ~refuse_occ:max_int)
 
+(* --- signalling: route discovery and VCI allocation ------------------- *)
+
 type duplex = { tx_vci : int; rx_vci : int }
 type conn = { host_a : int; host_b : int; side_a : duplex; side_b : duplex }
 
-let alloc_vci arr h =
-  let v = arr.(h) in
-  arr.(h) <- v + 1;
+(* The cell-header VCI field is 16 bits; allocators used to increment
+   forever and silently alias past 65535 (multi-hop fabrics multiply
+   per-trunk allocations, making overflow reachable). Refuse loudly. *)
+let vci_ceiling = 0x1_0000
+
+let alloc_vci what arr i =
+  let v = arr.(i) in
+  if v >= vci_ceiling then
+    invalid_arg
+      (Printf.sprintf
+         "Network: %s VCI space exhausted (16-bit VCIs, 32..65535)" what);
+  arr.(i) <- v + 1;
   v
+
+(* Deterministic route of (switch, ingress port) hops from [src]'s ingress
+   switch to [dst]'s egress switch. Clos picks the spine by a fixed hash of
+   the endpoints (ECMP without randomness); Custom breadth-first-searches
+   the trunk graph with lowest-index tie-breaks. *)
+let route_hops t ~src ~dst =
+  let asw, aport = t.host_attach.(src) in
+  let bsw, _ = t.host_attach.(dst) in
+  if asw = bsw then [ (asw, aport) ]
+  else
+    match t.topo with
+    | Single _ -> assert false (* one switch: asw = bsw *)
+    | Clos c ->
+        let s = (src + dst) mod c.spine in
+        [ (asw, aport); (c.pods + s, asw); (bsw, c.hosts_per_pod + s) ]
+    | Custom _ ->
+        (* predecessor-tracking BFS over the directed trunk map *)
+        let nsw = Array.length t.switches in
+        let prev = Array.make nsw None in
+        let seen = Array.make nsw false in
+        seen.(asw) <- true;
+        let q = Queue.create () in
+        Queue.add asw q;
+        while (not seen.(bsw)) && not (Queue.is_empty q) do
+          let sw = Queue.pop q in
+          Array.iter
+            (function
+              | Some (To_switch { sw = nsw'; port; trunk = _ })
+                when not seen.(nsw') ->
+                  seen.(nsw') <- true;
+                  prev.(nsw') <- Some (sw, port);
+                  Queue.add nsw' q
+              | _ -> ())
+            t.dests.(sw)
+        done;
+        if not seen.(bsw) then
+          invalid_arg
+            (Printf.sprintf "Network.connect: no path between hosts %d and %d"
+               src dst);
+        let rec unwind sw acc =
+          match prev.(sw) with
+          | None -> (asw, aport) :: acc
+          | Some (psw, in_port) -> unwind psw ((sw, in_port) :: acc)
+        in
+        unwind bsw []
+
+(* Output port of [sw] whose link leads to ingress [next_port] of
+   [next_sw], with the directed trunk index for VCI allocation. *)
+let trunk_toward t sw ~next_sw ~next_port =
+  let d = t.dests.(sw) in
+  let rec find p =
+    if p >= Array.length d then
+      invalid_arg "Network: no trunk toward the next hop"
+    else
+      match d.(p) with
+      | Some (To_switch { sw = s; port; trunk })
+        when s = next_sw && port = next_port ->
+          (p, trunk)
+      | _ -> find (p + 1)
+  in
+  find 0
+
+(* Install one direction of a connection: allocate the sender's uplink VCI,
+   remap it through a fresh VCI on each trunk of the hop chain, and land on
+   a fresh VCI on the receiver's downlink. Records the per-stage route-table
+   keys for disconnect. *)
+let install_route t ~src ~dst =
+  let hops = route_hops t ~src ~dst in
+  let tx_vci = alloc_vci "uplink" t.next_tx_vci src in
+  let rec walk hops in_vci acc =
+    match hops with
+    | [] -> assert false
+    | [ (sw, in_port) ] ->
+        let _, out_port = t.host_attach.(dst) in
+        let rx_vci = alloc_vci "downlink" t.next_rx_vci dst in
+        Switch.add_route t.switches.(sw) ~in_port ~in_vci ~out_port
+          ~out_vci:rx_vci;
+        (List.rev ((sw, in_port, in_vci) :: acc), rx_vci)
+    | (sw, in_port) :: ((next_sw, next_port) :: _ as rest) ->
+        let out_port, trunk = trunk_toward t sw ~next_sw ~next_port in
+        let out_vci = alloc_vci "trunk" t.next_trunk_vci trunk in
+        Switch.add_route t.switches.(sw) ~in_port ~in_vci ~out_port ~out_vci;
+        walk rest out_vci ((sw, in_port, in_vci) :: acc)
+  in
+  let stages, rx_vci = walk hops tx_vci [] in
+  Hashtbl.replace t.conn_hops (src, tx_vci) stages;
+  (tx_vci, rx_vci)
 
 let connect t ~a ~b =
   check_host t a;
   check_host t b;
   if a = b then invalid_arg "Network.connect: a host cannot connect to itself";
-  (* a -> b direction *)
-  let vci_a_out = alloc_vci t.next_tx_vci a in
-  let vci_b_in = alloc_vci t.next_rx_vci b in
-  Switch.add_route t.switch ~in_port:a ~in_vci:vci_a_out ~out_port:b
-    ~out_vci:vci_b_in;
-  (* b -> a direction *)
-  let vci_b_out = alloc_vci t.next_tx_vci b in
-  let vci_a_in = alloc_vci t.next_rx_vci a in
-  Switch.add_route t.switch ~in_port:b ~in_vci:vci_b_out ~out_port:a
-    ~out_vci:vci_a_in;
+  let vci_a_out, vci_b_in = install_route t ~src:a ~dst:b in
+  let vci_b_out, vci_a_in = install_route t ~src:b ~dst:a in
   {
     host_a = a;
     host_b = b;
@@ -394,7 +794,17 @@ let connect t ~a ~b =
   }
 
 let disconnect t conn =
-  Switch.remove_route t.switch ~in_port:conn.host_a
-    ~in_vci:conn.side_a.tx_vci;
-  Switch.remove_route t.switch ~in_port:conn.host_b
-    ~in_vci:conn.side_b.tx_vci
+  let side host vci =
+    match Hashtbl.find_opt t.conn_hops (host, vci) with
+    | Some stages ->
+        List.iter
+          (fun (sw, in_port, in_vci) ->
+            Switch.remove_route t.switches.(sw) ~in_port ~in_vci)
+          stages;
+        Hashtbl.remove t.conn_hops (host, vci)
+    | None ->
+        let sw, port = t.host_attach.(host) in
+        Switch.remove_route t.switches.(sw) ~in_port:port ~in_vci:vci
+  in
+  side conn.host_a conn.side_a.tx_vci;
+  side conn.host_b conn.side_b.tx_vci

@@ -16,6 +16,9 @@ type t = {
   m_unroutable : Metrics.Counter.t;
   port_drops : Metrics.Counter.t array;
   port_queue_hw : Metrics.Gauge.t array;
+  port_labels : int -> (string * string) list;
+      (* metric labels of an output port; includes a ("switch", id)
+         dimension when this switch is one stage of a fabric *)
   mutable records : srecord list;
       (* planned train forwardings (DESIGN.md §14), folded lazily *)
   mutable on_settled : (in_port:int -> unit) option;
@@ -51,8 +54,23 @@ let fold_to t now =
       t.records <- List.filter (fun r -> r.sr_f < r.sr_live) t.records
   end
 
-let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
+let create sim ~ports ~transit ?(output_queue_capacity = 1024) ?id () =
   if ports <= 0 then invalid_arg "Switch.create: ports must be positive";
+  (* In a multi-stage fabric each switch gets an [id]: per-port metric
+     labels gain a ("switch", id) dimension and the flight-recorder
+     snapshot name becomes distinct, so stages never alias. A single
+     switch (no id) keeps the historical label set and snapshot name so
+     existing dumps stay byte-identical. *)
+  let port_labels p =
+    match id with
+    | None -> [ ("port", string_of_int p) ]
+    | Some i -> [ ("switch", string_of_int i); ("port", string_of_int p) ]
+  in
+  let snapshot_name =
+    match id with
+    | None -> "atm.switch"
+    | Some i -> Printf.sprintf "atm.switch.%d" i
+  in
   let t =
     {
       sim;
@@ -77,19 +95,18 @@ let create sim ~ports ~transit ?(output_queue_capacity = 1024) () =
       port_drops =
         Array.init ports (fun p ->
             Metrics.counter ~help:"cells dropped at a full switch output queue"
-              "atm_switch_port_drops_total"
-              [ ("port", string_of_int p) ]);
+              "atm_switch_port_drops_total" (port_labels p));
       port_queue_hw =
         Array.init ports (fun p ->
             Metrics.gauge ~help:"deepest a switch output queue has ever been"
-              "atm_switch_port_queue_high_water"
-              [ ("port", string_of_int p) ]);
+              "atm_switch_port_queue_high_water" (port_labels p));
+      port_labels;
       records = [];
       on_settled = None;
     }
   in
   Metrics.register_flush (fun () -> fold_to t (Sim.now sim));
-  Recorder.register_snapshot "atm.switch" (fun () ->
+  Recorder.register_snapshot snapshot_name (fun () ->
       Json.Obj
         (List.init t.ports (fun p ->
              ( "port" ^ string_of_int p,
@@ -116,8 +133,7 @@ let attach_output t ~port link =
   (* the output-port queue *is* the link's transmit queue; at-aware so
      catch-up samples on the train path see planned occupancy *)
   let local at = at - (Sim.global_now t.sim - Sim.now t.sim) in
-  Timeseries.register_at "atm_switch_port_queue_depth"
-    [ ("port", string_of_int port) ]
+  Timeseries.register_at "atm_switch_port_queue_depth" (t.port_labels port)
     (fun at -> float_of_int (Link.queue_length_at link ~at:(local at)))
 
 let set_fault t ~port f =
@@ -148,6 +164,7 @@ let cells_dropped t = t.dropped
 let unroutable t = t.unroutable
 let transit t = t.transit
 let output_queue_capacity t = t.output_queue_capacity
+let ports t = t.ports
 
 (* Train-commit gate and route resolution: a whole train may be planned
    through an output port only when the route exists, the port has a link

@@ -11,8 +11,14 @@ val create :
   ports:int ->
   transit:Engine.Sim.time ->
   ?output_queue_capacity:int ->
+  ?id:int ->
   unit ->
   t
+(** [id] names this switch as one stage of a multi-switch fabric: per-port
+    metric labels gain a [("switch", id)] dimension and the
+    flight-recorder snapshot becomes [atm.switch.<id>], so stages never
+    alias. Omit it for a single-switch network — the historical label set
+    and snapshot name are kept byte-identical. *)
 
 val attach_output : t -> port:int -> Link.t -> unit
 (** Connect the outgoing link of a port. *)
@@ -46,6 +52,11 @@ val cells_dropped : t -> int
 val unroutable : t -> int
 val transit : t -> Engine.Sim.time
 val output_queue_capacity : t -> int
+
+val ports : t -> int
+(** Number of ports this switch was created with — the bound for per-port
+    operations like fault attachment (ports need not equal the number of
+    hosts once the switch is a fabric stage). *)
 
 (** {2 Train fast path (DESIGN.md §14)} *)
 

@@ -10,10 +10,16 @@ type node = {
 
 type t = { sim : Engine.Sim.t; net : Atm.Network.t; nodes : node array }
 
-let create ?(hosts = 2) ?(net_config = Atm.Network.default_config)
+let create ?(hosts = 2) ?topology ?(net_config = Atm.Network.default_config)
     ?(machine = Host.Machine.ss20) ?(nic = Sba200_unet) ?nic_config () =
+  let topology =
+    match topology with
+    | Some topo -> topo
+    | None -> Atm.Network.Single hosts
+  in
+  let hosts = Atm.Network.topology_hosts topology in
   let sim = Engine.Sim.create () in
-  let net = Atm.Network.create sim ~hosts net_config in
+  let net = Atm.Network.create_topo sim ~topology net_config in
   let nodes =
     Array.init hosts (fun host ->
         let cpu = Host.Cpu.create ~host sim machine in

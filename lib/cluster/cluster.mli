@@ -22,6 +22,7 @@ type t = {
 
 val create :
   ?hosts:int ->
+  ?topology:Atm.Network.topology ->
   ?net_config:Atm.Network.config ->
   ?machine:Host.Machine.t ->
   ?nic:nic_kind ->
@@ -29,7 +30,9 @@ val create :
   unit ->
   t
 (** Defaults: 2 hosts, the paper's network parameters, SS-20s, U-Net
-    firmware. The paper's full cluster is [~hosts:8]. [nic_config]
+    firmware. The paper's full cluster is [~hosts:8]. [topology] builds a
+    multi-stage fabric instead (DESIGN.md §16) and wins over [hosts] —
+    the node count becomes {!Atm.Network.topology_hosts}. [nic_config]
     overrides the i960 firmware parameters (for ablations); it applies to
     the SBA-200 variants only. *)
 

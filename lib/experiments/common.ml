@@ -29,9 +29,10 @@ let return_buffers node ep (d : Unet.Desc.rx) =
 
 (* ------------------------------------------------------------------ *)
 
-let raw_rtt ?(iters = 50) ~size () =
-  let c = Cluster.create () in
-  let n0 = Cluster.node c 0 and n1 = Cluster.node c 1 in
+let raw_rtt ?(iters = 50) ?topology ?(pair = (0, 1)) ~size () =
+  let c = Cluster.create ?topology () in
+  let h0, h1 = pair in
+  let n0 = Cluster.node c h0 and n1 = Cluster.node c h1 in
   let ep0, a0 = Cluster.simple_endpoint ~buffer_size n0 in
   let ep1, _ = Cluster.simple_endpoint ~buffer_size n1 in
   let ch0, ch1 = Unet.connect_pair (n0.unet, ep0) (n1.unet, ep1) in
@@ -63,9 +64,10 @@ let raw_rtt ?(iters = 50) ~size () =
   Sim.run ~until:(Sim.sec 30) c.sim;
   if !n = 0 then nan else !sum /. float_of_int !n
 
-let raw_bandwidth ?(count = 1500) ~size () =
-  let c = Cluster.create () in
-  let n0 = Cluster.node c 0 and n1 = Cluster.node c 1 in
+let raw_bandwidth ?(count = 1500) ?topology ?(pair = (0, 1)) ~size () =
+  let c = Cluster.create ?topology () in
+  let h0, h1 = pair in
+  let n0 = Cluster.node c h0 and n1 = Cluster.node c h1 in
   let ep0, a0 = Cluster.simple_endpoint ~free_buffers:4 ~buffer_size n0 in
   let ep1, _ =
     Cluster.simple_endpoint ~free_buffers:56 ~rx_slots:128 ~buffer_size n1

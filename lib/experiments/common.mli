@@ -16,12 +16,27 @@ val buffer_size : int
 (** The 4160-byte buffer blocks the experiments use. *)
 
 
-val raw_rtt : ?iters:int -> size:int -> unit -> float
+val raw_rtt :
+  ?iters:int ->
+  ?topology:Atm.Network.topology ->
+  ?pair:int * int ->
+  size:int ->
+  unit ->
+  float
 (** Mean round-trip time in µs of a [size]-byte message over raw endpoints
-    (single-cell fast path applies below 41 bytes). *)
+    (single-cell fast path applies below 41 bytes). [topology] swaps the
+    default 2-host single-switch cluster for a multi-stage fabric and
+    [pair] picks the two endpoint hosts (default [(0, 1)]). *)
 
-val raw_bandwidth : ?count:int -> size:int -> unit -> float
-(** Streaming bandwidth in MB/s for back-to-back [size]-byte messages. *)
+val raw_bandwidth :
+  ?count:int ->
+  ?topology:Atm.Network.topology ->
+  ?pair:int * int ->
+  size:int ->
+  unit ->
+  float
+(** Streaming bandwidth in MB/s for back-to-back [size]-byte messages,
+    with the same [topology]/[pair] knobs as {!raw_rtt}. *)
 
 (** {2 U-Net Active Messages (§5.2)} *)
 

@@ -1,6 +1,6 @@
 (* Engine-throughput harness: how fast does the simulator itself run?
 
-   Two workload families, chosen to bracket the hot path:
+   Three workload families, chosen to bracket the hot path:
 
    - fig4-max: figure 4's bandwidth measurement at the sweep's maximum
      message size (5056 B ≈ 107 cells/message), once over raw U-Net and
@@ -9,7 +9,11 @@
 
    - cell-storm: back-to-back 64-byte raw messages, one cell each — the
      event-rate-heavy shape where scheduler overhead (schedule/pop per
-     event) dominates and per-byte work is negligible.
+     event) dominates and per-byte work is negligible;
+
+   - clos2-raw: fig4-max again but across a 2x2x2 Clos fabric, so every
+     PDU's train is planned over three switch stages — the gate that
+     multi-hop planning (DESIGN.md §16) costs no extra events.
 
    Each workload runs once as warm-up and once measured, flags-off, so
    numbers reflect the hot path users pay for. Measured quantities per
@@ -40,6 +44,11 @@ let workloads ~quick =
   let raw_count = if quick then 150 else 800 in
   let store_count = if quick then 75 else 400 in
   let storm_count = if quick then 800 else 4000 in
+  let clos_count = if quick then 150 else 800 in
+  (* a 2x2x2 Clos: the smallest fabric where every cross-pod PDU crosses
+     three switch stages, so multi-hop train planning (DESIGN.md §16) is
+     on the measured path *)
+  let clos2 = Atm.Network.Clos { pods = 2; spine = 2; hosts_per_pod = 2 } in
   [
     ( "fig4max_raw",
       raw_count,
@@ -50,6 +59,11 @@ let workloads ~quick =
     ( "cellstorm",
       storm_count,
       fun () -> Common.raw_bandwidth ~count:storm_count ~size:64 () );
+    ( "clos2_raw",
+      clos_count,
+      fun () ->
+        Common.raw_bandwidth ~count:clos_count ~size:5056 ~topology:clos2
+          ~pair:(0, 3) () );
   ]
 
 let alloc_words () =

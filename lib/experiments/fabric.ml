@@ -1,0 +1,312 @@
+(* Scaling the fabric beyond the paper's single ASX-200 (DESIGN.md §16): a
+   1024-endpoint two-level folded-Clos fat-tree exercised at the raw ATM
+   layer, in the two shapes that stress a multi-stage fabric where a
+   single switch has no story:
+
+   - incast: one sender per pod converges on a single egress port, so the
+     egress queue absorbs an entire wave while every uplink and trunk
+     stays uncontended;
+   - elephant/mice: a long cross-pod transfer saturates one leaf-to-spine
+     trunk while short messages from the same pod share it, so the mice
+     latency tail stretches as the trunk backlog grows.
+
+   Everything is deterministic virtual time — fixed schedules, no RNG —
+   so the snapshot members gate byte-for-byte under benchdiff, with
+   direction-aware gates on the latency and throughput members. *)
+
+open Engine
+
+let pods = 32
+let spine = 8
+let hosts_per_pod = 32
+let topo = Atm.Network.Clos { pods; spine; hosts_per_pod }
+
+let zero_payload = Buf.alloc Atm.Cell.payload_size
+
+type incast = {
+  senders : int;
+  waves : int;
+  cells_per_msg : int;
+  completed : int;  (** messages fully received at the egress host *)
+  p50_us : float;
+  p99_us : float;
+  leaf_routed : int;
+  spine_routed : int;
+  egress_hw : float;  (** egress-port queue high water, in cells *)
+  egress_capacity : int;
+  switch_drops : int;
+}
+
+type mix = {
+  elephant_cells : int;
+  elephant_mb_s : float;
+  mice : int;
+  mice_msgs : int;  (** messages per mouse *)
+  mice_completed : int;
+  mice_p50_us : float;
+  mice_p99_us : float;
+}
+
+type t = { hosts : int; switches : int; incast : incast; mix : mix }
+
+(* Send [cells] cells of one message on [vci], paced one cell slot apart
+   starting at [t0] (the uplink is never the bottleneck, so pacing at line
+   rate keeps the host FIFO shallow and pushes all queueing into the
+   fabric, where the experiment wants it). *)
+let send_message sim net ~host ~vci ~cells ~slot ~t0 =
+  for j = 0 to cells - 1 do
+    Sim.schedule_drop_at ~label:"fabric.tx" sim
+      (t0 + (j * slot))
+      (fun () ->
+        ignore
+          (Atm.Network.send net ~host
+             (Atm.Cell.make ~vci ~eop:(j = cells - 1) zero_payload)
+            : bool))
+  done
+
+(* Count cells per receive VCI at [host]; each time a flow completes a
+   [cells]-cell message, hand (flow, message index, completion time) to
+   [on_msg]. *)
+let attach_counter net ~host ~cells ~flows_of_vci ~on_msg =
+  let counts = Hashtbl.create 64 in
+  Atm.Network.attach_rx net ~host (fun cell ->
+      let vci = cell.Atm.Cell.vci in
+      match Hashtbl.find_opt flows_of_vci vci with
+      | None -> ()
+      | Some flow ->
+          let c = 1 + Option.value ~default:0 (Hashtbl.find_opt counts vci) in
+          Hashtbl.replace counts vci c;
+          if c mod cells = 0 then
+            on_msg ~flow ~msg:((c / cells) - 1)
+              ~at:(Sim.now (Atm.Network.sim net)))
+
+let run_incast ~waves ~cells_per_msg =
+  let sim = Sim.create () in
+  let net = Atm.Network.create_topo sim ~topology:topo Atm.Network.default_config in
+  let slot = Atm.Link.cell_time (Atm.Network.uplink net ~host:0) in
+  (* one sender per pod, its in-pod port spread over 1..8 so the cross-pod
+     flows cover all eight spines ((src + 0) mod spine); pod 0's sender
+     stays intra-pod *)
+  let sender p = (p * hosts_per_pod) + 1 + (p mod spine) in
+  let flows_of_vci = Hashtbl.create 64 in
+  let conns =
+    Array.init pods (fun p ->
+        let conn = Atm.Network.connect net ~a:(sender p) ~b:0 in
+        Hashtbl.replace flows_of_vci conn.Atm.Network.side_b.rx_vci p;
+        conn)
+  in
+  (* a wave must fully drain through the one egress port (pods *
+     cells_per_msg slots) before the next begins *)
+  let wave_period = pods * cells_per_msg * slot * 13 / 10 in
+  let starts = Array.make_matrix pods waves 0 in
+  (* senders join each wave staggered by half a message, so early flows
+     drain through a shallow queue while late ones wait behind most of the
+     wave — the incast latency skew the p50/p99 members capture *)
+  let stagger = cells_per_msg * slot / 2 in
+  Array.iteri
+    (fun p conn ->
+      for k = 0 to waves - 1 do
+        let t0 = 1 + (k * wave_period) + (p * stagger) in
+        starts.(p).(k) <- t0;
+        send_message sim net ~host:(sender p)
+          ~vci:conn.Atm.Network.side_a.tx_vci ~cells:cells_per_msg ~slot ~t0
+      done)
+    conns;
+  let sketch = Metrics.Sketch.create () in
+  let completed = ref 0 in
+  attach_counter net ~host:0 ~cells:cells_per_msg ~flows_of_vci
+    ~on_msg:(fun ~flow ~msg ~at ->
+      incr completed;
+      Metrics.Sketch.observe sketch
+        (Sim.to_us (at - starts.(flow).(msg))));
+  Sim.run ~until:(((waves + 1) * wave_period) + Sim.ms 10) sim;
+  Metrics.flush ();
+  let sum_routed lo hi =
+    let n = ref 0 in
+    for i = lo to hi - 1 do
+      n := !n + Atm.Switch.cells_routed (Atm.Network.switch_at net i)
+    done;
+    !n
+  in
+  let drops =
+    let n = ref 0 in
+    for i = 0 to Atm.Network.switch_count net - 1 do
+      n := !n + Atm.Switch.cells_dropped (Atm.Network.switch_at net i)
+    done;
+    !n
+  in
+  {
+    senders = pods;
+    waves;
+    cells_per_msg;
+    completed = !completed;
+    p50_us = Metrics.Sketch.quantile sketch 0.5;
+    p99_us = Metrics.Sketch.quantile sketch 0.99;
+    leaf_routed = sum_routed 0 pods;
+    spine_routed = sum_routed pods (pods + spine);
+    egress_hw =
+      Metrics.Gauge.value
+        (Metrics.gauge "atm_switch_port_queue_high_water"
+           [ ("switch", "0"); ("port", "0") ]);
+    egress_capacity = Atm.Network.default_config.switch_queue_capacity;
+    switch_drops = drops;
+  }
+
+let run_mix ~elephant_cells ~mice_msgs =
+  let sim = Sim.create () in
+  let net = Atm.Network.create_topo sim ~topology:topo Atm.Network.default_config in
+  let slot = Atm.Link.cell_time (Atm.Network.uplink net ~host:0) in
+  (* the elephant crosses pod 2 -> pod 4 over spine (69 + 137) mod 8 = 6;
+     each mouse pairs a pod-2 source with the pod-4 destination that lands
+     on the same spine, so every mouse shares both of the elephant's
+     trunks *)
+  let e_src = (2 * hosts_per_pod) + 5 and e_dst = (4 * hosts_per_pod) + 9 in
+  let e_spine = (e_src + e_dst) mod spine in
+  let mice = 8 in
+  (* pod-2 ports 9..16: distinct from the elephant's port 5, so no mouse
+     shares its saturated uplink (whose FIFO would absorb one permanent
+     cell per mouse cell and eventually overflow) *)
+  let mouse_src j = (2 * hosts_per_pod) + 8 + j in
+  let mouse_dst j =
+    let d = ((e_spine - mouse_src j - (4 * hosts_per_pod)) mod spine + spine) mod spine in
+    (4 * hosts_per_pod) + d
+  in
+  let e_conn = Atm.Network.connect net ~a:e_src ~b:e_dst in
+  let e_done = ref 0 in
+  let e_flows = Hashtbl.create 4 in
+  Hashtbl.replace e_flows e_conn.Atm.Network.side_b.rx_vci 0;
+  attach_counter net ~host:e_dst ~cells:elephant_cells ~flows_of_vci:e_flows
+    ~on_msg:(fun ~flow:_ ~msg:_ ~at -> e_done := at);
+  let e_t0 = 1 in
+  send_message sim net ~host:e_src ~vci:e_conn.Atm.Network.side_a.tx_vci
+    ~cells:elephant_cells ~slot ~t0:e_t0;
+  let mouse_cells = 8 in
+  let sketch = Metrics.Sketch.create () in
+  let mice_completed = ref 0 in
+  let starts = Array.make_matrix (mice + 1) mice_msgs 0 in
+  (* messages spread across the elephant's lifetime, staggered per mouse *)
+  let period = elephant_cells * slot / mice_msgs in
+  for j = 1 to mice do
+    let conn = Atm.Network.connect net ~a:(mouse_src j) ~b:(mouse_dst j) in
+    let flows = Hashtbl.create 4 in
+    Hashtbl.replace flows conn.Atm.Network.side_b.rx_vci j;
+    attach_counter net ~host:(mouse_dst j) ~cells:mouse_cells
+      ~flows_of_vci:flows ~on_msg:(fun ~flow ~msg ~at ->
+        incr mice_completed;
+        Metrics.Sketch.observe sketch (Sim.to_us (at - starts.(flow).(msg))));
+    for m = 0 to mice_msgs - 1 do
+      let t0 = 1 + (m * period) + (j * 13 * slot) in
+      starts.(j).(m) <- t0;
+      send_message sim net ~host:(mouse_src j)
+        ~vci:conn.Atm.Network.side_a.tx_vci ~cells:mouse_cells ~slot ~t0
+    done
+  done;
+  Sim.run ~until:(((elephant_cells + (mice * mice_msgs * mouse_cells)) * slot * 2) + Sim.ms 10) sim;
+  let secs = Sim.to_sec (!e_done - e_t0) in
+  {
+    elephant_cells;
+    elephant_mb_s =
+      (if secs <= 0. then nan
+       else
+         float_of_int (elephant_cells * Atm.Cell.payload_size) /. 1e6 /. secs);
+    mice;
+    mice_msgs;
+    mice_completed = !mice_completed;
+    mice_p50_us = Metrics.Sketch.quantile sketch 0.5;
+    mice_p99_us = Metrics.Sketch.quantile sketch 0.99;
+  }
+
+let run ~quick =
+  let incast =
+    if quick then run_incast ~waves:2 ~cells_per_msg:96
+    else run_incast ~waves:4 ~cells_per_msg:192
+  in
+  let mix =
+    if quick then run_mix ~elephant_cells:2_000 ~mice_msgs:4
+    else run_mix ~elephant_cells:5_334 ~mice_msgs:8
+  in
+  {
+    hosts = Atm.Network.topology_hosts topo;
+    switches = pods + spine;
+    incast;
+    mix;
+  }
+
+let print t =
+  Format.printf
+    "Fat-tree fabric (DESIGN.md §16): %d endpoints, %d leaves x %d spines@.@."
+    t.hosts pods spine;
+  let i = t.incast in
+  Common.print_table
+    ~header:
+      [ "incast"; "msgs"; "p50 (us)"; "p99 (us)"; "leaf cells"; "spine cells";
+        "egress hw"; "drops" ]
+    ~rows:
+      [
+        [
+          Printf.sprintf "%d -> 1 x %d waves" i.senders i.waves;
+          Printf.sprintf "%d/%d" i.completed (i.senders * i.waves);
+          Printf.sprintf "%.1f" i.p50_us;
+          Printf.sprintf "%.1f" i.p99_us;
+          string_of_int i.leaf_routed;
+          string_of_int i.spine_routed;
+          Printf.sprintf "%.0f/%d" i.egress_hw i.egress_capacity;
+          string_of_int i.switch_drops;
+        ];
+      ];
+  Format.printf "@.";
+  let m = t.mix in
+  Common.print_table
+    ~header:
+      [ "elephant/mice"; "eleph MB/s"; "mice msgs"; "mice p50 (us)";
+        "mice p99 (us)" ]
+    ~rows:
+      [
+        [
+          Printf.sprintf "%d cells + %d mice" m.elephant_cells m.mice;
+          Printf.sprintf "%.2f" m.elephant_mb_s;
+          Printf.sprintf "%d/%d" m.mice_completed (m.mice * m.mice_msgs);
+          Printf.sprintf "%.1f" m.mice_p50_us;
+          Printf.sprintf "%.1f" m.mice_p99_us;
+        ];
+      ]
+
+let checks t =
+  let i = t.incast and m = t.mix in
+  (* pod 0's sender is intra-pod (one leaf forwarding per cell); the other
+     31 cross a leaf, a spine and a leaf *)
+  let cells = i.waves * i.cells_per_msg in
+  let expect_leaf = cells * (1 + (2 * (i.senders - 1))) in
+  let expect_spine = cells * (i.senders - 1) in
+  [
+    ("incast: every message fully delivered", i.completed = i.senders * i.waves);
+    ("incast: leaf forwarding conserved", i.leaf_routed = expect_leaf);
+    ("incast: spine forwarding conserved", i.spine_routed = expect_spine);
+    ( "incast: egress queue absorbed a real backlog, losslessly",
+      i.egress_hw >= float_of_int i.cells_per_msg
+      && i.egress_hw <= float_of_int i.egress_capacity
+      && i.switch_drops = 0 );
+    ( "incast: tail waits behind most of a wave (p99 >> p50)",
+      i.p99_us >= 1.5 *. i.p50_us );
+    ("mix: every mouse message delivered", m.mice_completed = m.mice * m.mice_msgs);
+    ( "mix: elephant streams near payload line rate, minus the trunk
+       share it cedes to the mice",
+      m.elephant_mb_s >= 13.5 && m.elephant_mb_s <= 16. );
+    ( "mix: the trunk backlog stretches the mice tail",
+      m.mice_p99_us >= 1.5 *. m.mice_p50_us );
+  ]
+
+let members t =
+  let open Benchgate in
+  let tight d = { g_tolerance = 0.01; g_direction = d } in
+  let i = t.incast and m = t.mix in
+  [
+    ("fabric_incast_leaf_cells", (float_of_int i.leaf_routed, tight Both));
+    ("fabric_incast_spine_cells", (float_of_int i.spine_routed, tight Both));
+    ("fabric_incast_egress_queue_hw", (i.egress_hw, tight Both));
+    ("fabric_incast_p50_us", (i.p50_us, tight Lower_is_better));
+    ("fabric_incast_p99_us", (i.p99_us, tight Lower_is_better));
+    ("fabric_mice_p50_us", (m.mice_p50_us, tight Lower_is_better));
+    ("fabric_mice_p99_us", (m.mice_p99_us, tight Lower_is_better));
+    ("fabric_elephant_mb_per_sec", (m.elephant_mb_s, tight Higher_is_better));
+  ]

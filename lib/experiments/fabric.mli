@@ -1,0 +1,42 @@
+(** Multi-stage fabric workloads (extension, DESIGN.md §16): a
+    1024-endpoint folded-Clos fat-tree at the raw ATM layer — a one-sender-
+    per-pod incast into a single egress port, and an elephant transfer
+    sharing its leaf-to-spine trunk with a population of short mice
+    messages. All virtual-time deterministic; the snapshot members carry
+    direction-aware benchdiff gates. *)
+
+type incast = {
+  senders : int;
+  waves : int;
+  cells_per_msg : int;
+  completed : int;
+  p50_us : float;
+  p99_us : float;
+  leaf_routed : int;
+  spine_routed : int;
+  egress_hw : float;
+  egress_capacity : int;
+  switch_drops : int;
+}
+
+type mix = {
+  elephant_cells : int;
+  elephant_mb_s : float;
+  mice : int;
+  mice_msgs : int;
+  mice_completed : int;
+  mice_p50_us : float;
+  mice_p99_us : float;
+}
+
+type t = { hosts : int; switches : int; incast : incast; mix : mix }
+
+val run : quick:bool -> t
+val print : t -> unit
+val checks : t -> (string * bool) list
+
+val members : t -> (string * (float * Engine.Benchgate.gate)) list
+(** The gated top-level members of [BENCH_fabric.json]: per-stage cell
+    counts and egress high water (symmetric, the run is deterministic),
+    latency quantiles (lower is better), elephant throughput (higher is
+    better). *)

@@ -2,6 +2,7 @@ type outcome = {
   o_print : unit -> unit;
   o_checks : (string * bool) list;
   o_series : (string * (float * float) list) list;
+  o_members : (string * (float * Engine.Benchgate.gate)) list;
 }
 
 type experiment = {
@@ -13,7 +14,7 @@ type experiment = {
 (* Adapter from the per-figure module shape (run/print/checks over a result
    record) to the single-run outcome: the experiment executes once and the
    outcome carries everything derived from that one execution. *)
-let exp ?series name description run print checks =
+let exp ?series ?members name description run print checks =
   {
     name;
     description;
@@ -24,6 +25,7 @@ let exp ?series name description run print checks =
           o_print = (fun () -> print t);
           o_checks = checks t;
           o_series = (match series with None -> [] | Some f -> f t);
+          o_members = (match members with None -> [] | Some f -> f t);
         });
   }
 
@@ -95,6 +97,12 @@ let all =
       "UAM and TCP recovery under seeded cell loss (fault injection)"
       Loss_sweep.run Loss_sweep.print Loss_sweep.checks
       ~series:Loss_sweep.series;
+    (* multi-stage fabric (extension, DESIGN.md §16): appended after
+       loss-sweep so the earlier experiments' cumulative-counter snapshots
+       keep their historical values *)
+    exp "fabric"
+      "1024-endpoint fat-tree: incast into one egress port, elephant/mice mix"
+      Fabric.run Fabric.print Fabric.checks ~members:Fabric.members;
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all

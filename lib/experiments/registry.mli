@@ -14,6 +14,11 @@ type outcome = {
       (** the paper's qualitative claims, evaluated *)
   o_series : (string * (float * float) list) list;
       (** the figure's curves as (label, points) — empty for tables *)
+  o_members : (string * (float * Engine.Benchgate.gate)) list;
+      (** extra top-level snapshot members with direction-aware benchdiff
+          gates (the mechanism BENCH_engine-throughput.json uses); empty
+          for experiments whose snapshot is fully covered by the global
+          tolerance *)
 }
 
 type experiment = {

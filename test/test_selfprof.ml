@@ -182,7 +182,7 @@ let test_queue_depth_probe () =
 
 let test_enginebench_schema () =
   let samples = Experiments.Enginebench.measure ~quick:true in
-  checki "three workloads" 3 (List.length samples);
+  checki "four workloads" 4 (List.length samples);
   List.iter
     (fun (s : Experiments.Enginebench.sample) ->
       checkb (s.s_workload ^ " fired events") true (s.s_events > 0);
@@ -210,7 +210,7 @@ let test_enginebench_schema () =
           "_latency_p999_ns";
         ])
     samples;
-  checki "one gate per metric" 27 (List.length (Benchgate.gates_of_json j))
+  checki "one gate per metric" 36 (List.length (Benchgate.gates_of_json j))
 
 (* --- direction-aware gating ------------------------------------------- *)
 
