@@ -27,8 +27,8 @@ let queue_csv_of_timeseries path =
     (Engine.Timeseries.series ());
   close_out oc
 
-let run quick per_cell trace timeseries sample_pdus sample_seed out selfprof
-    queue_csv =
+let run quick per_cell trace timeseries flowstat sample_pdus sample_seed out
+    selfprof queue_csv =
   if per_cell then Engine.Trainmode.force_per_cell true;
   (* Observer overhead measurement: the flags below attach train-granular
      observers (and optionally the deterministic PDU sampler) during the
@@ -39,6 +39,10 @@ let run quick per_cell trace timeseries sample_pdus sample_seed out selfprof
      baseline capture. *)
   if trace then Engine.Trace.start ();
   if timeseries then Engine.Timeseries.start ();
+  if flowstat then begin
+    Atm.Flowstat.configure ();
+    Engine.Pathrec.start ()
+  end;
   if sample_pdus < 0 then begin
     Format.eprintf "--sample-pdus must be non-negative@.";
     Stdlib.exit 2
@@ -114,6 +118,16 @@ let timeseries =
           "Run the measured pass with the timeseries sampler attached (same \
            purpose as $(b,--trace)).")
 
+let flowstat =
+  Arg.(
+    value & flag
+    & info [ "flowstat" ]
+        ~doc:
+          "Run the measured pass with per-flow accounting and per-PDU \
+           path records enabled (same purpose as $(b,--trace)): both are \
+           folded analytically at train commit, so CI asserts \
+           events_per_pdu stays within 2x of the flags-off baseline.")
+
 let sample_pdus =
   Arg.(
     value & opt int 0
@@ -159,7 +173,7 @@ let cmd =
   Cmd.v
     (Cmd.info "enginebench" ~doc)
     Term.(
-      const run $ quick $ per_cell $ trace $ timeseries $ sample_pdus
-      $ sample_seed $ out $ selfprof $ queue_csv)
+      const run $ quick $ per_cell $ trace $ timeseries $ flowstat
+      $ sample_pdus $ sample_seed $ out $ selfprof $ queue_csv)
 
 let () = Stdlib.exit (Cmd.eval' cmd)

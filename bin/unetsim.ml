@@ -295,6 +295,68 @@ let postmortem_dir =
            trace events, metrics, and any enabled telemetry) into $(docv) \
            (default $(b,postmortem)).")
 
+let paths_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "paths" ] ~docv:"FILE"
+        ~doc:
+          "Collect INT-style per-PDU path records during the run (per hop: \
+           stage, ingress/egress port, queue depth at arrival, hop \
+           latency) and write them as JSON to $(docv). Records are \
+           synthesized analytically from committed cell trains and \
+           stamped at real instants on the per-cell path — the export is \
+           byte-identical either way, so this never disables the train \
+           fast path.")
+
+let flowstat =
+  Arg.(
+    value & flag
+    & info [ "flowstat" ]
+        ~doc:
+          "Enable per-flow, per-hop fabric accounting: exact \
+           $(b,atm_flow_*{flow,hop}) metric tables for the first flows \
+           plus a Space-Saving top-K heavy-hitter sketch over all of \
+           them (DESIGN.md \xC2\xA717). Dump with $(b,--metrics) or render \
+           with the fabric experiment's congestion atlas in $(b,--report).")
+
+(* --topology single:N | clos:P,S,H *)
+let parse_topology s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad --topology %S: expected single:HOSTS or \
+          clos:PODS,SPINE,HOSTS_PER_POD"
+         s)
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i ->
+      let kind = String.sub s 0 i in
+      let args =
+        List.map int_of_string_opt
+          (String.split_on_char ','
+             (String.sub s (i + 1) (String.length s - i - 1)))
+      in
+      (match (kind, args) with
+      | "single", [ Some n ] when n >= 1 -> Ok (Atm.Network.Single n)
+      | "clos", [ Some pods; Some spine; Some hosts_per_pod ]
+        when pods >= 1 && spine >= 1 && hosts_per_pod >= 1 ->
+          Ok (Atm.Network.Clos { pods; spine; hosts_per_pod })
+      | _ -> fail ())
+
+let topology =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"SPEC"
+        ~doc:
+          "Fabric shape for every cluster the run builds: \
+           $(b,single:HOSTS) (the paper's one-switch testbed) or \
+           $(b,clos:PODS,SPINE,HOSTS_PER_POD) (a folded-Clos fat-tree, \
+           DESIGN.md \xC2\xA716). Experiments that pin their own topology \
+           (e.g. $(b,fabric)) are unaffected.")
+
 let names_doc =
   "EXPERIMENT is one of: all, " ^ String.concat ", " Experiments.Registry.names
 
@@ -317,10 +379,21 @@ let cmd =
     Term.(
       const (fun name exp_opt quick check out verbose trace metrics spans pcap
                  breakdown fault per_cell profile selfprof timeseries
-                 interval_us sample_n sample_seed report postmortem ->
+                 interval_us sample_n sample_seed report paths flowstat topo
+                 postmortem ->
           setup_logs verbose;
           let name = Option.value exp_opt ~default:name in
           if per_cell then Engine.Trainmode.force_per_cell true;
+          (match topo with
+          | None -> ()
+          | Some spec -> (
+              match parse_topology spec with
+              | Ok t -> Cluster.set_default_topology (Some t)
+              | Error msg ->
+                  Format.eprintf "%s@." msg;
+                  Stdlib.exit 2));
+          if flowstat then Atm.Flowstat.configure ();
+          if paths <> None then Engine.Pathrec.start ();
           (match fault with
           | None -> ()
           | Some spec -> (
@@ -438,6 +511,21 @@ let cmd =
                              pop-path waste"
                             (Engine.Sim.tombstone_ratio () *. 100.)))
             | None -> ());
+            (match paths with
+            | Some path ->
+                or_fail "paths" (fun () ->
+                    (* settle any still-provisional train-synthesized
+                       records before exporting *)
+                    Engine.Metrics.flush ();
+                    Engine.Pathrec.write_json path;
+                    Format.printf "wrote %d path records to %s%s@."
+                      (Engine.Pathrec.count ())
+                      path
+                      (if Engine.Pathrec.dropped () = 0 then ""
+                       else
+                         Printf.sprintf " (%d beyond the ring dropped)"
+                           (Engine.Pathrec.dropped ())))
+            | None -> ());
             (match timeseries with
             | Some path ->
                 or_fail "timeseries" (fun () ->
@@ -480,7 +568,7 @@ let cmd =
       $ trace_file $ metrics_file $ spans_file $ pcap_file $ breakdown $ fault
       $ per_cell $ profile_file $ selfprof_file $ timeseries_file
       $ sample_interval $ sample_pdus $ sample_seed
-      $ report_file
+      $ report_file $ paths_file $ flowstat $ topology
       $ postmortem_dir)
   in
   Cmd.v (Cmd.info "unetsim" ~doc) term

@@ -1,0 +1,164 @@
+open Engine
+
+(* Background intensity for one heatmap cell: white at 0, saturated
+   red-orange at 1, inline so the report stays self-contained. *)
+let cell_bg alpha =
+  if alpha <= 0.004 then ""
+  else
+    Printf.sprintf " style=\"background:rgba(214,69,47,%.3f)\""
+      (Float.min 1. alpha)
+
+(* One stage x port heatmap: rows are fabric stages, columns output
+   ports; unwired ports render empty. *)
+let heat_table net ~title ~fmt ~cell =
+  let nsw = Network.switch_count net in
+  let max_ports = ref 0 in
+  for sw = 0 to nsw - 1 do
+    max_ports := max !max_ports (Switch.ports (Network.switch_at net sw))
+  done;
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "<h3>%s</h3>\n<table><tr><th></th>" (Report.escape title));
+  for p = 0 to !max_ports - 1 do
+    Buffer.add_string b (Printf.sprintf "<th>p%d</th>" p)
+  done;
+  Buffer.add_string b "</tr>\n";
+  for sw = 0 to nsw - 1 do
+    Buffer.add_string b (Printf.sprintf "<tr><th>sw%d</th>" sw);
+    let ports = Switch.ports (Network.switch_at net sw) in
+    for p = 0 to !max_ports - 1 do
+      match if p < ports then cell ~sw ~port:p else None with
+      | None -> Buffer.add_string b "<td></td>"
+      | Some (v, alpha) ->
+          Buffer.add_string b
+            (Printf.sprintf "<td%s>%s</td>" (cell_bg alpha)
+               (Report.escape (fmt v)))
+    done;
+    Buffer.add_string b "</tr>\n"
+  done;
+  Buffer.add_string b "</table>\n";
+  Buffer.contents b
+
+let heatmaps net =
+  let now = Sim.now (Network.sim net) in
+  let util =
+    heat_table net ~title:"Output-link utilization"
+      ~fmt:(fun v -> Printf.sprintf "%.1f%%" (100. *. v))
+      ~cell:(fun ~sw ~port ->
+        match Network.output_link net ~sw ~port with
+        | None -> None
+        | Some link ->
+            let u =
+              if now <= 0 then 0.
+              else
+                float_of_int (Link.busy_ns_at link ~at:now) /. float_of_int now
+            in
+            Some (u, u))
+  in
+  let cap =
+    float_of_int
+      (Switch.output_queue_capacity (Network.switch_at net 0))
+  in
+  let peak =
+    heat_table net ~title:"Peak queue occupancy at arrival (cells)"
+      ~fmt:(fun v -> Printf.sprintf "%.0f" v)
+      ~cell:(fun ~sw ~port ->
+        match Network.output_link net ~sw ~port with
+        | None -> None
+        | Some _ ->
+            let v = Switch.queue_peak (Network.switch_at net sw) ~port in
+            Some (v, (if cap > 0. then v /. cap else 0.)))
+  in
+  (* normalize drop intensity to the worst port so a lightly-lossy run
+     still shows its hot spot *)
+  let worst = ref 0 in
+  for sw = 0 to Network.switch_count net - 1 do
+    let s = Network.switch_at net sw in
+    for p = 0 to Switch.ports s - 1 do
+      worst := max !worst (Switch.port_drops s ~port:p)
+    done
+  done;
+  let drops =
+    heat_table net ~title:"Cells dropped at the output queue"
+      ~fmt:(fun v -> Printf.sprintf "%.0f" v)
+      ~cell:(fun ~sw ~port ->
+        match Network.output_link net ~sw ~port with
+        | None -> None
+        | Some _ ->
+            let d = Switch.port_drops (Network.switch_at net sw) ~port in
+            Some
+              ( float_of_int d,
+                if !worst = 0 then 0.
+                else float_of_int d /. float_of_int !worst ))
+  in
+  util ^ peak ^ drops
+
+let flows_html net =
+  match Network.flowstat net with
+  | None -> "<p>Flow accounting was not enabled for this run.</p>\n"
+  | Some fs ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        "<h3>Heavy hitters (Space-Saving top-K, ingress bytes)</h3>\n\
+         <table><tr><th>#</th><th>flow (src:dst:vcis)</th><th>est \
+         bytes</th><th>err</th><th>per-hop cells (drops)</th></tr>\n";
+      List.iteri
+        (fun i (fl, est, err) ->
+          let hops =
+            match Flowstat.flow_hops fl with
+            | None -> "sketched"
+            | Some hs ->
+                String.concat " &rarr; "
+                  (Array.to_list
+                     (Array.map
+                        (fun (cells, _bytes, drops, _retx) ->
+                          if drops = 0 then string_of_int cells
+                          else Printf.sprintf "%d (%d)" cells drops)
+                        hs))
+          in
+          Buffer.add_string b
+            (Printf.sprintf
+               "<tr><td>%d</td><td>%s</td><td>%d</td><td>&plusmn;%d</td><td>%s</td></tr>\n"
+               (i + 1)
+               (Report.escape (Flowstat.flow_label fl))
+               est err hops))
+        (Flowstat.top fs);
+      Buffer.add_string b "</table>\n";
+      Buffer.contents b
+
+let hops_html () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "<h3>Per-stage hop latency (per delivered PDU)</h3>\n\
+     <table><tr><th>hop</th><th>p50 &micro;s</th><th>p90 \
+     &micro;s</th><th>p99 &micro;s</th></tr>\n";
+  let us q = Printf.sprintf "%.2f" (q /. 1000.) in
+  let any = ref false in
+  let rec row hop =
+    if hop < 16 then
+      match Pathrec.hop_quantile ~hop 0.5 with
+      | None -> ()
+      | Some p50 ->
+          any := true;
+          let p90 = Option.value ~default:p50 (Pathrec.hop_quantile ~hop 0.9) in
+          let p99 =
+            Option.value ~default:p90 (Pathrec.hop_quantile ~hop 0.99)
+          in
+          Buffer.add_string b
+            (Printf.sprintf
+               "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td></tr>\n" hop
+               (us p50) (us p90) (us p99));
+          row (hop + 1)
+  in
+  row 0;
+  Buffer.add_string b "</table>\n";
+  if !any then Buffer.contents b
+  else
+    "<h3>Per-stage hop latency</h3>\n\
+     <p>Path records were not enabled for this run.</p>\n"
+
+let section ?(title = "Congestion atlas") net =
+  (* settle lazily-folded train state (link/switch counters, provisional
+     path records) before reading any of it *)
+  Metrics.flush ();
+  Report.section ~title (heatmaps net ^ flows_html net ^ hops_html ())

@@ -1,0 +1,21 @@
+(** The congestion atlas (DESIGN.md §17): an HTML report section showing
+    where a fabric run's traffic went and where it hurt.
+
+    Three views, all built from telemetry that is already folded —
+    reading the atlas never perturbs the run:
+
+    - stage × port heatmaps of output-link utilization, peak queue
+      occupancy at arrival ([atm_switch_queue_peak]) and drops;
+    - the heavy-hitter flow table from the fabric's {!Flowstat} instance
+      (Space-Saving estimates with error bars, per-hop breakdown for
+      flows with exact tables);
+    - per-stage hop-latency quantiles from the {!Engine.Pathrec}
+      sketches.
+
+    The fragment is self-contained (inline styles only), matching the
+    {!Engine.Report} page contract. *)
+
+val section : ?title:string -> Network.t -> string
+(** The full atlas as one [Report.section] fragment (default title
+    "Congestion atlas"). Flushes the metrics registry first so
+    lazily-folded train state is settled. *)

@@ -115,6 +115,30 @@ let elaborate = function
 (* Where a switch output port's link leads. *)
 type dest = To_host of int | To_switch of { sw : int; port : int; trunk : int }
 
+(* Flow-observability bookkeeping (DESIGN.md §17), one per installed route
+   direction. Kept only while flow accounting or path records are active:
+   per-flow PDU sequence numbers and, for path records, the FIFO of
+   partially-stamped per-cell journeys (single-source routing makes wire
+   order per flow total, so the oldest partial expecting stage [j] is the
+   one an EOP cell observed at stage [j] belongs to). *)
+type ftrack = {
+  ft_src : int;
+  ft_dst : int;
+  ft_vci : int; (* uplink (sender-side) VCI *)
+  ft_rx_vci : int; (* downlink VCI, for disconnect cleanup *)
+  ft_stages : int; (* switch stages the route crosses *)
+  ft_flow : Flowstat.flow option; (* when flow accounting is active *)
+  mutable ft_seq : int; (* next per-flow PDU sequence number *)
+  mutable ft_partials : partial list; (* oldest first *)
+}
+
+and partial = {
+  pa_seq : int;
+  pa_injected : Sim.time;
+  mutable pa_last : Sim.time; (* previous forwarding (or injection) instant *)
+  mutable pa_hops : Pathrec.hop list; (* most-recent-first *)
+}
+
 type t = {
   sim : Sim.t;
   hosts : int;
@@ -150,6 +174,14 @@ type t = {
        route-table entries a disconnect must remove *)
   undeliverable : (int, Metrics.Counter.t) Hashtbl.t;
     (* lazily-created per-host counters; see [undeliverable_cell] *)
+  obs_on : bool;
+    (* flow accounting or path records were active at creation; gates
+       every §17 hook so flags-off runs add no per-cell work *)
+  flowstat : Flowstat.t option;
+  tracks : (int * int, ftrack) Hashtbl.t; (* (src host, tx VCI) *)
+  hop_map : (int * int * int, ftrack * int) Hashtbl.t;
+    (* (switch, in port, in VCI) -> (track, hop index) *)
+  rx_map : (int * int, ftrack) Hashtbl.t; (* (dst host, rx VCI) *)
 }
 
 (* Count cells that reach a downlink whose host never attached a receive
@@ -173,6 +205,89 @@ let undeliverable_cell t ~host (cell : Cell.t) =
   in
   Metrics.Counter.inc c;
   Span.mark cell.Cell.ctx Span.Dropped
+
+(* --- flow observability hooks (DESIGN.md §17) ------------------------- *)
+
+(* Attach stage [hop]'s entry to the oldest partial journey expecting it
+   (|pa_hops| = hop); wire order per flow is total, so FIFO matching is
+   exact on a loss-free path. An injected fault that eats a cell inside a
+   link leaves a stale partial behind, which can shift attribution of the
+   flow's later records — drops decided *at the switch* are matched and
+   cleaned up precisely. *)
+let rec attach_hop ~now ~hop ~mk = function
+  | [] -> []
+  | pa :: rest when List.length pa.pa_hops = hop ->
+      pa.pa_hops <- mk ~latency:(now - pa.pa_last) :: pa.pa_hops;
+      pa.pa_last <- now;
+      pa :: rest
+  | pa :: rest -> pa :: attach_hop ~now ~hop ~mk rest
+
+let rec remove_expecting ~hop = function
+  | [] -> []
+  | pa :: rest when List.length pa.pa_hops = hop -> rest
+  | pa :: rest -> pa :: remove_expecting ~hop rest
+
+(* Per-cell switch observer: count the cell into its flow's stage-[hop]
+   accounting and, for an EOP cell with path records on, stamp the hop
+   onto the PDU's partial record at the real forwarding instant. *)
+let observe_cell t si (ob : Switch.observed) =
+  match
+    Hashtbl.find_opt t.hop_map (si, ob.Switch.ob_in_port, ob.Switch.ob_in_vci)
+  with
+  | None -> ()
+  | Some (tr, hop) ->
+      (match (t.flowstat, tr.ft_flow) with
+      | Some fs, Some fl ->
+          if ob.Switch.ob_forwarded then Flowstat.count fs fl ~hop ~cells:1
+          else Flowstat.drop fs fl ~hop
+      | _ -> ());
+      if ob.Switch.ob_eop && Pathrec.enabled () then
+        if ob.Switch.ob_forwarded then
+          tr.ft_partials <-
+            attach_hop ~now:(Sim.now t.sim) ~hop
+              ~mk:(fun ~latency ->
+                {
+                  Pathrec.h_stage = si;
+                  h_in_port = ob.Switch.ob_in_port;
+                  h_out_port = ob.Switch.ob_out_port;
+                  h_queue = ob.Switch.ob_queue;
+                  h_latency_ns = latency;
+                })
+              tr.ft_partials
+        else
+          (* the PDU's EOP cell died at this stage: it will never be
+             delivered, so retire its partial record *)
+          tr.ft_partials <- remove_expecting ~hop tr.ft_partials
+
+(* Downlink delivery: the oldest fully-stamped partial is this EOP cell's
+   journey; seal it into a settled-at-delivery path record. *)
+let observe_delivery t ~host (cell : Cell.t) =
+  if cell.Cell.eop && Pathrec.enabled () then
+    match Hashtbl.find_opt t.rx_map (host, cell.Cell.vci) with
+    | None -> ()
+    | Some tr ->
+        let rec pop acc = function
+          | [] -> None
+          | pa :: rest when List.length pa.pa_hops = tr.ft_stages ->
+              tr.ft_partials <- List.rev_append acc rest;
+              Some pa
+          | pa :: rest -> pop (pa :: acc) rest
+        in
+        (match pop [] tr.ft_partials with
+        | None -> ()
+        | Some pa ->
+            let now = Sim.now t.sim in
+            ignore
+              (Pathrec.add ~settle:now
+                 {
+                   Pathrec.r_src = tr.ft_src;
+                   r_dst = tr.ft_dst;
+                   r_vci = tr.ft_vci;
+                   r_seq = pa.pa_seq;
+                   r_injected = pa.pa_injected;
+                   r_delivered = now;
+                   r_hops = Array.of_list (List.rev pa.pa_hops);
+                 }))
 
 (* One injector per attachment point — per access-link direction per host,
    per switch output port per stage — so each has its own seed-derived
@@ -277,8 +392,20 @@ let create_topo sim ~topology config =
       in_flight = Array.map (fun p -> Array.make p 0) fb.fb_ports;
       conn_hops = Hashtbl.create 64;
       undeliverable = Hashtbl.create 8;
+      obs_on = Flowstat.active () || Pathrec.enabled ();
+      flowstat = (if Flowstat.active () then Some (Flowstat.create ()) else None);
+      tracks = Hashtbl.create 64;
+      hop_map = Hashtbl.create 64;
+      rx_map = Hashtbl.create 64;
     }
   in
+  if t.obs_on then begin
+    (* settle provisional path records no later than any registry read *)
+    Metrics.register_flush (fun () -> Pathrec.fold ~now:(Sim.now sim));
+    Array.iteri
+      (fun si sw -> Switch.set_observer sw (fun ob -> observe_cell t si ob))
+      switches
+  end;
   Array.iteri
     (fun si sw ->
       Switch.set_on_settled sw (fun ~in_port ->
@@ -293,6 +420,7 @@ let create_topo sim ~topology config =
         t.in_flight.(sw).(port) <- t.in_flight.(sw).(port) + 1);
     Switch.attach_output switches.(sw) ~port downlinks.(h);
     Link.set_receiver downlinks.(h) (fun cell ->
+        if t.obs_on then observe_delivery t ~host:h cell;
         match t.rx_handlers.(h) with
         | Some f -> f cell
         | None -> undeliverable_cell t ~host:h cell)
@@ -344,7 +472,26 @@ let send t ~host cell =
   capture_cell ~host cell;
   (* the uplink's on_accept hook counts the cell into the ingress port's
      in-flight gate *)
-  Link.send t.uplinks.(host) cell
+  let ok = Link.send t.uplinks.(host) cell in
+  if t.obs_on then begin
+    match Hashtbl.find_opt t.tracks (host, cell.Cell.vci) with
+    | None -> ()
+    | Some tr ->
+        if not ok then (
+          (* the host TX FIFO refused the cell bound for stage 0 *)
+          match (t.flowstat, tr.ft_flow) with
+          | Some fs, Some fl -> Flowstat.drop fs fl ~hop:0
+          | _ -> ())
+        else if cell.Cell.eop && Pathrec.enabled () then begin
+          let seq = tr.ft_seq in
+          tr.ft_seq <- seq + 1;
+          let now = Sim.now t.sim in
+          tr.ft_partials <-
+            tr.ft_partials
+            @ [ { pa_seq = seq; pa_injected = now; pa_last = now; pa_hops = [] } ]
+        end
+  end;
+  ok
 
 let in_flight t ~host =
   check_host t host;
@@ -395,6 +542,35 @@ let host_switch t ~host =
   check_host t host;
   fst t.host_attach.(host)
 
+let flowstat t = t.flowstat
+
+let note_retx t ~host ~vci =
+  match t.flowstat with
+  | Some fs -> Flowstat.note_retx fs ~src:host ~vci
+  | None -> ()
+
+let check_sw t sw =
+  if sw < 0 || sw >= Array.length t.switches then
+    invalid_arg "Network: switch index out of range"
+
+let output_link t ~sw ~port =
+  check_sw t sw;
+  if port < 0 || port >= Array.length t.dests.(sw) then None
+  else
+    match t.dests.(sw).(port) with
+    | None -> None
+    | Some (To_host h) -> Some t.downlinks.(h)
+    | Some (To_switch { trunk; _ }) -> Some t.trunks.(trunk)
+
+let port_dest t ~sw ~port =
+  check_sw t sw;
+  if port < 0 || port >= Array.length t.dests.(sw) then None
+  else
+    match t.dests.(sw).(port) with
+    | None -> None
+    | Some (To_host h) -> Some (`Host h)
+    | Some (To_switch { sw = s; _ }) -> Some (`Switch s)
+
 (* --- train fast path (DESIGN.md §14, multi-stage §16) ----------------- *)
 
 (* Default receive expansion for hosts whose NI is not train-aware: one
@@ -417,6 +593,7 @@ let rec expand_rx t ~dest ~rx_vci ~train ~deliveries i =
    train at [st_arrivals] and the plan on its output link. *)
 type stage = {
   st_sw : int;
+  st_in_port : int;
   st_out_port : int;
   st_out_vci : int;
   st_link : Link.t;
@@ -450,7 +627,7 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
       match Switch.plan_route t.switches.(sw) ~in_port ~in_vci with
       | None -> None
       | Some (out_port, out_vci, link) -> (
-          let hop = (sw, out_port, out_vci, link) in
+          let hop = (sw, in_port, out_port, out_vci, link) in
           match t.dests.(sw).(out_port) with
           | None -> None
           | Some (To_host dst) -> Some (List.rev (hop :: acc), dst)
@@ -472,7 +649,7 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
             let rec plan_stages prev_link prev_starts hops acc =
               match hops with
               | [] -> Some (List.rev acc)
-              | (sw, out_port, out_vci, link) :: rest -> (
+              | (sw, in_port, out_port, out_vci, link) :: rest -> (
                   let transit = Switch.transit t.switches.(sw) in
                   let lat =
                     Link.cell_time prev_link + Link.propagation prev_link
@@ -490,6 +667,7 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                       plan_stages link (Link.plan_starts pl) rest
                         ({
                            st_sw = sw;
+                           st_in_port = in_port;
                            st_out_port = out_port;
                            st_out_vci = out_vci;
                            st_link = link;
@@ -526,6 +704,83 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                 let down_lat =
                   Link.cell_time final.st_link + Link.propagation final.st_link
                 in
+                (* Flow accounting and path records (DESIGN.md §17): a
+                   committed train is loss-free at every stage, so the
+                   whole train folds into per-hop flow counters in
+                   O(stages); per-PDU path records are synthesized from
+                   the plan arrays at the exact instants the per-cell
+                   path would stamp, provisional until the EOP cell's
+                   planned uplink acceptance passes. *)
+                let track =
+                  if t.obs_on then
+                    Hashtbl.find_opt t.tracks (host, Cell.Train.vci train)
+                  else None
+                in
+                let counted = ref 0 in
+                (match track with
+                | Some tr -> (
+                    match (t.flowstat, tr.ft_flow) with
+                    | Some fs, Some fl ->
+                        counted := n;
+                        for j = 0 to tr.ft_stages - 1 do
+                          Flowstat.count fs fl ~hop:j ~cells:n
+                        done
+                    | _ -> ())
+                | None -> ());
+                let path_recs = ref [] in
+                let synth_hi = ref 0 in
+                (match track with
+                | Some tr when Pathrec.enabled () ->
+                    let stage_arr = Array.of_list stages in
+                    let queue_after =
+                      Array.map
+                        (fun st -> Link.plan_queue_after st.st_plan)
+                        stage_arr
+                    in
+                    for i = 0 to n - 1 do
+                      if (Cell.Train.cell train i).Cell.eop then begin
+                        let seq = tr.ft_seq in
+                        tr.ft_seq <- seq + 1;
+                        let injected = up_accepts.(i) in
+                        let hops =
+                          Array.mapi
+                            (fun j st ->
+                              let prev =
+                                if j = 0 then injected
+                                else stage_arr.(j - 1).st_arrivals.(i)
+                              in
+                              {
+                                Pathrec.h_stage = st.st_sw;
+                                h_in_port = st.st_in_port;
+                                h_out_port = st.st_out_port;
+                                (* depth found at arrival = depth just
+                                   after acceptance minus the cell
+                                   itself, floored when it went straight
+                                   to the wire *)
+                                h_queue =
+                                  max 0
+                                    (int_of_float queue_after.(j).(i) - 1);
+                                h_latency_ns = st.st_arrivals.(i) - prev;
+                              })
+                            stage_arr
+                        in
+                        let r =
+                          Pathrec.add ~settle:up_accepts.(i)
+                            {
+                              Pathrec.r_src = tr.ft_src;
+                              r_dst = tr.ft_dst;
+                              r_vci = tr.ft_vci;
+                              r_seq = seq;
+                              r_injected = injected;
+                              r_delivered = down_starts.(i) + down_lat;
+                              r_hops = hops;
+                            }
+                        in
+                        path_recs := (i, seq, r) :: !path_recs
+                      end
+                    done;
+                    synth_hi := tr.ft_seq
+                | _ -> ());
                 (* Train-granular observers (DESIGN.md §15): the plan
                    arrays give every milestone's exact instant, so EOP
                    span marks are stamped at the same values the
@@ -610,6 +865,33 @@ let commit_train_gen t ~host ~train ~plan_uplink ~on_interfere =
                         Switch.truncate_plan t.switches.(st.st_sw) srec ~keep;
                         Link.truncate_hop st.st_link lhop ~keep ~now)
                       commits;
+                    (* un-count the cut suffix (the per-cell re-run
+                       re-counts it) and discard its provisional path
+                       records, handing their sequence numbers back as
+                       long as no later injection consumed one *)
+                    (match track with
+                    | Some tr ->
+                        (match (t.flowstat, tr.ft_flow) with
+                        | Some fs, Some fl when !counted > keep ->
+                            let cut = !counted - keep in
+                            for j = 0 to tr.ft_stages - 1 do
+                              Flowstat.count fs fl ~hop:j ~cells:(-cut)
+                            done;
+                            counted := keep
+                        | _ -> ());
+                        let min_seq = ref max_int in
+                        List.iter
+                          (fun (i, seq, r) ->
+                            if i >= keep then begin
+                              Pathrec.discard r;
+                              if seq < !min_seq then min_seq := seq
+                            end)
+                          !path_recs;
+                        if !min_seq < max_int && tr.ft_seq = !synth_hi then begin
+                          tr.ft_seq <- !min_seq;
+                          synth_hi := !min_seq
+                        end
+                    | None -> ());
                     (* cut cells re-run the per-cell path, which
                        re-stamps their marks for real *)
                     List.iter
@@ -778,6 +1060,30 @@ let install_route t ~src ~dst =
   in
   let stages, rx_vci = walk hops tx_vci [] in
   Hashtbl.replace t.conn_hops (src, tx_vci) stages;
+  if t.obs_on then begin
+    let vcis = Array.of_list (List.map (fun (_, _, v) -> v) stages) in
+    let fl =
+      Option.map (fun fs -> Flowstat.register fs ~src ~dst ~vcis) t.flowstat
+    in
+    let tr =
+      {
+        ft_src = src;
+        ft_dst = dst;
+        ft_vci = tx_vci;
+        ft_rx_vci = rx_vci;
+        ft_stages = Array.length vcis;
+        ft_flow = fl;
+        ft_seq = 0;
+        ft_partials = [];
+      }
+    in
+    Hashtbl.replace t.tracks (src, tx_vci) tr;
+    List.iteri
+      (fun j (sw, in_port, in_vci) ->
+        Hashtbl.replace t.hop_map (sw, in_port, in_vci) (tr, j))
+      stages;
+    Hashtbl.replace t.rx_map (dst, rx_vci) tr
+  end;
   (tx_vci, rx_vci)
 
 let connect t ~a ~b =
@@ -795,16 +1101,22 @@ let connect t ~a ~b =
 
 let disconnect t conn =
   let side host vci =
-    match Hashtbl.find_opt t.conn_hops (host, vci) with
+    (match Hashtbl.find_opt t.conn_hops (host, vci) with
     | Some stages ->
         List.iter
           (fun (sw, in_port, in_vci) ->
-            Switch.remove_route t.switches.(sw) ~in_port ~in_vci)
+            Switch.remove_route t.switches.(sw) ~in_port ~in_vci;
+            Hashtbl.remove t.hop_map (sw, in_port, in_vci))
           stages;
         Hashtbl.remove t.conn_hops (host, vci)
     | None ->
         let sw, port = t.host_attach.(host) in
-        Switch.remove_route t.switches.(sw) ~in_port:port ~in_vci:vci
+        Switch.remove_route t.switches.(sw) ~in_port:port ~in_vci:vci);
+    match Hashtbl.find_opt t.tracks (host, vci) with
+    | Some tr ->
+        Hashtbl.remove t.rx_map (tr.ft_dst, tr.ft_rx_vci);
+        Hashtbl.remove t.tracks (host, vci)
+    | None -> ()
   in
   side conn.host_a conn.side_a.tx_vci;
   side conn.host_b conn.side_b.tx_vci

@@ -119,6 +119,30 @@ val switch_at : t -> int -> Switch.t
 val host_switch : t -> host:int -> int
 (** Index of the switch the host's access links attach to. *)
 
+(** {2 Flow observability (DESIGN.md §17)} *)
+
+val flowstat : t -> Flowstat.t option
+(** This fabric's flow-accounting instance — present when
+    {!Flowstat.configure} was active at creation. Routes installed by
+    {!connect} register one flow per direction; per-cell forwarding and
+    train commits count into it. When path records are additionally
+    enabled ({!Engine.Pathrec.start}), every delivered PDU also leaves an
+    INT-style per-hop record, identically whether it rode the per-cell
+    path or a committed train. *)
+
+val note_retx : t -> host:int -> vci:int -> unit
+(** Attribute one PDU retransmission to the flow sending from [host] on
+    uplink [vci] (called by the reliability layer). No-op when flow
+    accounting is off or the flow is unknown. *)
+
+val output_link : t -> sw:int -> port:int -> Link.t option
+(** The link attached to switch [sw]'s output [port] — a host downlink or
+    a directed trunk; [None] for unwired ports. For utilization readers
+    (the congestion atlas). *)
+
+val port_dest : t -> sw:int -> port:int -> [ `Host of int | `Switch of int ] option
+(** Where that output port's link leads. *)
+
 (** {2 Train fast path (DESIGN.md §14, multi-stage §16)} *)
 
 val attach_rx_train :

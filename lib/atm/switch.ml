@@ -16,6 +16,11 @@ type t = {
   m_unroutable : Metrics.Counter.t;
   port_drops : Metrics.Counter.t array;
   port_queue_hw : Metrics.Gauge.t array;
+  port_queue_peak : Metrics.Gauge.t array;
+      (* deepest the output queue has been *at cell arrival*, dropped
+         cells included — unlike [port_queue_hw], which only samples after
+         successful sends, this shows a queue pinned at capacity even when
+         every further arrival is dropped (the near-miss gauge) *)
   port_labels : int -> (string * string) list;
       (* metric labels of an output port; includes a ("switch", id)
          dimension when this switch is one stage of a fabric *)
@@ -25,6 +30,23 @@ type t = {
       (* a real cell from [in_port] left the fabric — forwarded onto its
          output link, dropped at the output queue, or unroutable (the
          in-flight gate of DESIGN.md §14 counts it out) *)
+  mutable observer : (observed -> unit) option;
+      (* per-cell forwarding observer (flow accounting, path records);
+         called at the forwarding instant for every routed cell *)
+}
+
+(* What the observer sees of one routed cell, at its forwarding instant:
+   the route taken, the output queue depth found on arrival (before the
+   enqueue decision), and whether the cell made it onto the link. *)
+and observed = {
+  ob_in_port : int;
+  ob_in_vci : int;
+  ob_out_port : int;
+  ob_out_vci : int;
+  ob_eop : bool;
+  ob_ctx : Engine.Span.ctx option;
+  ob_queue : int;
+  ob_forwarded : bool;
 }
 
 (* One committed train crossing this switch: cell i is forwarded at
@@ -44,6 +66,7 @@ let fold_record t now r =
     t.routed <- t.routed + 1;
     Metrics.Counter.inc t.m_routed;
     Metrics.Gauge.set_max t.port_queue_hw.(r.sr_port) r.sr_hw.(r.sr_f);
+    Metrics.Gauge.set_max t.port_queue_peak.(r.sr_port) r.sr_hw.(r.sr_f);
     r.sr_f <- r.sr_f + 1
   done
 
@@ -100,9 +123,17 @@ let create sim ~ports ~transit ?(output_queue_capacity = 1024) ?id () =
         Array.init ports (fun p ->
             Metrics.gauge ~help:"deepest a switch output queue has ever been"
               "atm_switch_port_queue_high_water" (port_labels p));
+      port_queue_peak =
+        Array.init ports (fun p ->
+            Metrics.gauge
+              ~help:
+                "deepest a switch output queue has been at cell arrival, \
+                 drops included"
+              "atm_switch_queue_peak" (port_labels p));
       port_labels;
       records = [];
       on_settled = None;
+      observer = None;
     }
   in
   Metrics.register_flush (fun () -> fold_to t (Sim.now sim));
@@ -152,6 +183,7 @@ let add_route t ~in_port ~in_vci ~out_port ~out_vci =
 let remove_route t ~in_port ~in_vci = Hashtbl.remove t.routes (in_port, in_vci)
 
 let set_on_settled t f = t.on_settled <- Some f
+let set_observer t f = t.observer <- Some f
 
 let settled t ~in_port =
   match t.on_settled with Some f -> f ~in_port | None -> ()
@@ -162,6 +194,15 @@ let cells_routed t =
 
 let cells_dropped t = t.dropped
 let unroutable t = t.unroutable
+
+let port_drops t ~port =
+  check_port t port;
+  Metrics.Counter.value t.port_drops.(port)
+
+let queue_peak t ~port =
+  check_port t port;
+  fold_to t (Sim.now t.sim);
+  Metrics.Gauge.value t.port_queue_peak.(port)
 let transit t = t.transit
 let output_queue_capacity t = t.output_queue_capacity
 let ports t = t.ports
@@ -250,19 +291,47 @@ let input t ~port cell =
               (* The output port queue is the link's transmit queue; a
                  full queue drops the cell, which is what makes large TCP
                  segments fragile over ATM (§7.8). *)
-              (if
-                 Link.queue_length link >= t.output_queue_capacity
-                 || fault_drops t ~out_port
-               then drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ()
-               else if begin
-                 if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Switch_out;
-                 Link.send link (Cell.with_vci cell out_vci)
-               end
-               then begin
-                 t.routed <- t.routed + 1;
-                 Metrics.Counter.inc t.m_routed;
-                 Metrics.Gauge.set_max t.port_queue_hw.(out_port)
-                   (float_of_int (Link.queue_length link))
-               end
-               else drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ());
+              let q = Link.queue_length link in
+              let dropq = q >= t.output_queue_capacity in
+              (* queue-full short-circuits the fault check, so the fault
+                 RNG draws exactly when it did before observers existed *)
+              let dropf = (not dropq) && fault_drops t ~out_port in
+              let forwarded =
+                if dropq || dropf then begin
+                  drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ();
+                  false
+                end
+                else if begin
+                  if cell.Cell.eop then Span.mark cell.Cell.ctx Span.Switch_out;
+                  Link.send link (Cell.with_vci cell out_vci)
+                end
+                then begin
+                  t.routed <- t.routed + 1;
+                  Metrics.Counter.inc t.m_routed;
+                  Metrics.Gauge.set_max t.port_queue_hw.(out_port)
+                    (float_of_int (Link.queue_length link));
+                  true
+                end
+                else begin
+                  drop t ?ctx:cell.Cell.ctx ~out_port ~vci:out_vci ();
+                  false
+                end
+              in
+              Metrics.Gauge.set_max t.port_queue_peak.(out_port)
+                (float_of_int
+                   (if forwarded then Link.queue_length link else q));
+              (match t.observer with
+              | Some f ->
+                  f
+                    {
+                      ob_in_port = port;
+                      ob_in_vci = cell.Cell.vci;
+                      ob_out_port = out_port;
+                      ob_out_vci = out_vci;
+                      ob_eop = cell.Cell.eop;
+                      ob_ctx = cell.Cell.ctx;
+                      ob_queue = q;
+                      ob_forwarded = forwarded;
+                    }
+              | None -> ());
               settled t ~in_port:port))

@@ -47,9 +47,38 @@ val set_on_settled : t -> (in_port:int -> unit) -> unit
     its destination link, so planned downstream entries can never be
     overtaken by a cell still crossing the fabric. *)
 
+type observed = {
+  ob_in_port : int;
+  ob_in_vci : int;
+  ob_out_port : int;
+  ob_out_vci : int;
+  ob_eop : bool;
+  ob_ctx : Engine.Span.ctx option;
+  ob_queue : int;  (** output-queue depth found at arrival *)
+  ob_forwarded : bool;  (** false: dropped (full queue or port fault) *)
+}
+(** What {!set_observer} sees of one routed cell, at its forwarding
+    instant (arrival + transit). Unroutable cells are not observed — they
+    never resolved to a route. *)
+
+val set_observer : t -> (observed -> unit) -> unit
+(** Install the per-cell forwarding observer (flow accounting and path
+    records, DESIGN.md §17). Only the per-cell path calls it; committed
+    trains are accounted analytically at commit time by the network. *)
+
 val cells_routed : t -> int
 val cells_dropped : t -> int
 val unroutable : t -> int
+
+val port_drops : t -> port:int -> int
+(** Cells dropped at output [port] (full queue or port fault). *)
+
+val queue_peak : t -> port:int -> float
+(** Deepest the output queue has been at a cell's arrival, dropped cells
+    included — the [atm_switch_queue_peak] near-miss gauge: a queue
+    pinned at capacity shows here even when [port_queue_high_water]
+    stopped rising because every further arrival was dropped. *)
+
 val transit : t -> Engine.Sim.time
 val output_queue_capacity : t -> int
 

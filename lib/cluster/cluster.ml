@@ -10,12 +10,20 @@ type node = {
 
 type t = { sim : Engine.Sim.t; net : Atm.Network.t; nodes : node array }
 
+(* CLI hook (unetsim --topology): the fabric shape used when a caller
+   passes no explicit [?topology]. *)
+let default_topology : Atm.Network.topology option ref = ref None
+let set_default_topology topo = default_topology := topo
+
 let create ?(hosts = 2) ?topology ?(net_config = Atm.Network.default_config)
     ?(machine = Host.Machine.ss20) ?(nic = Sba200_unet) ?nic_config () =
   let topology =
     match topology with
     | Some topo -> topo
-    | None -> Atm.Network.Single hosts
+    | None -> (
+        match !default_topology with
+        | Some topo -> topo
+        | None -> Atm.Network.Single hosts)
   in
   let hosts = Atm.Network.topology_hosts topology in
   let sim = Engine.Sim.create () in

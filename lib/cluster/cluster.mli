@@ -20,6 +20,12 @@ type t = {
   nodes : node array;
 }
 
+val set_default_topology : Atm.Network.topology option -> unit
+(** Override the shape {!create} builds when the caller passes no explicit
+    [?topology] — the hook behind [unetsim --topology], so fabric runs
+    don't require the experiments harness. Callers that do pass
+    [?topology] are unaffected. *)
+
 val create :
   ?hosts:int ->
   ?topology:Atm.Network.topology ->

@@ -1,0 +1,149 @@
+(* Per-PDU path records (DESIGN.md §17).
+
+   The store is two pools: [pending] holds provisional records ordered by
+   settle instant (train synthesis runs at commit time, before the cells
+   exist on the wire), [settled] is a bounded ring of irrevocable ones.
+   Settling is what feeds the per-hop-position latency sketches, so a
+   truncated train's discarded records never leave a trace — the same
+   lazy-fold discipline the link and switch counters use. *)
+
+type hop = {
+  h_stage : int;
+  h_in_port : int;
+  h_out_port : int;
+  h_queue : int;
+  h_latency_ns : int;
+}
+
+type record = {
+  r_src : int;
+  r_dst : int;
+  r_vci : int;
+  r_seq : int;
+  r_injected : Sim.time;
+  r_delivered : Sim.time;
+  r_hops : hop array;
+}
+
+let enabled_flag = ref false
+let capacity = 65_536
+
+(* provisional, most-recent-first; commit order is already settle order
+   per flow, and [fold] filters by instant, so no sort is needed *)
+let pending : (Sim.time * record) list ref = ref []
+let settled : record list ref = ref [] (* most-recent-first *)
+let n_settled = ref 0
+let n_dropped = ref 0
+
+(* per-hop-position latency sketches, registered on first use so runs
+   without path records keep their metric dumps unchanged *)
+let hop_sketches : (int, Metrics.Sketch.t) Hashtbl.t = Hashtbl.create 8
+
+let hop_sketch pos =
+  match Hashtbl.find_opt hop_sketches pos with
+  | Some s -> s
+  | None ->
+      let s =
+        Metrics.sketch
+          ~help:"per-PDU latency across one switch stage, by hop position"
+          "atm_path_hop_latency_ns"
+          [ ("hop", string_of_int pos) ]
+      in
+      Hashtbl.add hop_sketches pos s;
+      s
+
+let start () = enabled_flag := true
+let stop () = enabled_flag := false
+let enabled () = !enabled_flag
+
+let clear () =
+  pending := [];
+  settled := [];
+  n_settled := 0;
+  n_dropped := 0;
+  Hashtbl.iter (fun _ s -> Metrics.Sketch.clear s) hop_sketches
+
+let add ~settle r =
+  pending := (settle, r) :: !pending;
+  r
+
+let discard r = pending := List.filter (fun (_, r') -> r' != r) !pending
+
+let settle_one r =
+  Array.iteri
+    (fun pos h ->
+      Metrics.Sketch.observe (hop_sketch pos) (float_of_int h.h_latency_ns))
+    r.r_hops;
+  settled := r :: !settled;
+  incr n_settled;
+  if !n_settled - !n_dropped > capacity then begin
+    (* drop the oldest settled record; the ring keeps the recent past *)
+    (match List.rev !settled with
+    | _ :: rest -> settled := List.rev rest
+    | [] -> ());
+    incr n_dropped
+  end
+
+let fold ~now =
+  if !pending <> [] then begin
+    let ready, rest = List.partition (fun (s, _) -> s <= now) !pending in
+    pending := rest;
+    (* settle in commit order (ready is most-recent-first) *)
+    List.iter (fun (_, r) -> settle_one r) (List.rev ready)
+  end
+
+let count () = !n_settled
+let dropped () = !n_dropped
+
+let records () =
+  List.sort
+    (fun a b ->
+      match compare a.r_delivered b.r_delivered with
+      | 0 -> (
+          match compare a.r_src b.r_src with
+          | 0 -> (
+              match compare a.r_vci b.r_vci with
+              | 0 -> compare a.r_seq b.r_seq
+              | c -> c)
+          | c -> c)
+      | c -> c)
+    (List.rev !settled)
+
+let hop_quantile ~hop q =
+  match Hashtbl.find_opt hop_sketches hop with
+  | Some s when Metrics.Sketch.count s > 0 -> Some (Metrics.Sketch.quantile s q)
+  | _ -> None
+
+let json_of_record r =
+  let open Json in
+  Obj
+    [
+      ("src", Num (float_of_int r.r_src));
+      ("dst", Num (float_of_int r.r_dst));
+      ("vci", Num (float_of_int r.r_vci));
+      ("seq", Num (float_of_int r.r_seq));
+      ("injected_ns", Num (float_of_int r.r_injected));
+      ("delivered_ns", Num (float_of_int r.r_delivered));
+      ( "hops",
+        List
+          (Array.to_list
+             (Array.map
+                (fun h ->
+                  Obj
+                    [
+                      ("stage", Num (float_of_int h.h_stage));
+                      ("in_port", Num (float_of_int h.h_in_port));
+                      ("out_port", Num (float_of_int h.h_out_port));
+                      ("queue", Num (float_of_int h.h_queue));
+                      ("latency_ns", Num (float_of_int h.h_latency_ns));
+                    ])
+                r.r_hops)) );
+    ]
+
+let write_json path =
+  Json.write_file path
+    (Json.Obj
+       [
+         ("records", Json.List (List.map json_of_record (records ())));
+         ("dropped", Json.Num (float_of_int !n_dropped));
+       ])

@@ -265,6 +265,15 @@ let to_json () =
 
 let write_json path = Json.write_file path (to_json ())
 
+(* RFC 4180 quoting: a field holding a comma, quote, or newline is wrapped
+   in quotes with inner quotes doubled. Label values need this — flow
+   labels are "src:dst:vci,vci,..." and would otherwise shift every column
+   after them. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
 let write_csv path =
   let oc = open_out path in
   output_string oc "series,labels,t_ns,value\n";
@@ -276,7 +285,8 @@ let write_csv path =
       in
       List.iter
         (fun (t, v) ->
-          Printf.fprintf oc "%s,%s,%d,%g\n" s.s_name labels t v)
+          Printf.fprintf oc "%s,%s,%d,%g\n" (csv_field s.s_name)
+            (csv_field labels) t v)
         s.s_points)
     (series ());
   close_out oc

@@ -45,9 +45,24 @@ type mix = {
   mice_completed : int;
   mice_p50_us : float;
   mice_p99_us : float;
+  hh_recall : float;
+      (** fraction of the true heaviest flows (the three elephants) the
+          Space-Saving top-K recovered *)
+  max_trunk_util : float;
+      (** busiest trunk's utilization over the elephant's lifetime *)
+  hop_p99_us : float array;
+      (** per-stage p99 hop latency from the path records, one entry per
+          hop position of the 3-stage cross-pod route *)
+  path_records : int;  (** per-PDU path records settled during the mix *)
 }
 
-type t = { hosts : int; switches : int; incast : incast; mix : mix }
+type t = {
+  hosts : int;
+  switches : int;
+  incast : incast;
+  mix : mix;
+  sections : string list;  (** congestion-atlas HTML fragments *)
+}
 
 (* Send [cells] cells of one message on [vci], paced one cell slot apart
    starting at [t0] (the uplink is never the bottleneck, so pacing at line
@@ -135,22 +150,23 @@ let run_incast ~waves ~cells_per_msg =
     done;
     !n
   in
-  {
-    senders = pods;
-    waves;
-    cells_per_msg;
-    completed = !completed;
-    p50_us = Metrics.Sketch.quantile sketch 0.5;
-    p99_us = Metrics.Sketch.quantile sketch 0.99;
-    leaf_routed = sum_routed 0 pods;
-    spine_routed = sum_routed pods (pods + spine);
-    egress_hw =
-      Metrics.Gauge.value
-        (Metrics.gauge "atm_switch_port_queue_high_water"
-           [ ("switch", "0"); ("port", "0") ]);
-    egress_capacity = Atm.Network.default_config.switch_queue_capacity;
-    switch_drops = drops;
-  }
+  ( {
+      senders = pods;
+      waves;
+      cells_per_msg;
+      completed = !completed;
+      p50_us = Metrics.Sketch.quantile sketch 0.5;
+      p99_us = Metrics.Sketch.quantile sketch 0.99;
+      leaf_routed = sum_routed 0 pods;
+      spine_routed = sum_routed pods (pods + spine);
+      egress_hw =
+        Metrics.Gauge.value
+          (Metrics.gauge "atm_switch_port_queue_high_water"
+             [ ("switch", "0"); ("port", "0") ]);
+      egress_capacity = Atm.Network.default_config.switch_queue_capacity;
+      switch_drops = drops;
+    },
+    Atm.Atlas.section ~title:"Congestion atlas: incast" net )
 
 let run_mix ~elephant_cells ~mice_msgs =
   let sim = Sim.create () in
@@ -162,6 +178,14 @@ let run_mix ~elephant_cells ~mice_msgs =
      trunks *)
   let e_src = (2 * hosts_per_pod) + 5 and e_dst = (4 * hosts_per_pod) + 9 in
   let e_spine = (e_src + e_dst) mod spine in
+  (* Two more planted elephants on resource-disjoint pods (6 -> 8 and
+     10 -> 12, hosts chosen off every incast sender): they share no leaf,
+     trunk or access link with the elephant/mice contention above, so the
+     historical latency/throughput members are unchanged — they exist as
+     exact ground truth for the heavy-hitter recall member (three flows
+     far above every mouse). *)
+  let e2_src = (6 * hosts_per_pod) + 5 and e2_dst = (8 * hosts_per_pod) + 9 in
+  let e3_src = (10 * hosts_per_pod) + 5 and e3_dst = (12 * hosts_per_pod) + 9 in
   let mice = 8 in
   (* pod-2 ports 9..16: distinct from the elephant's port 5, so no mouse
      shares its saturated uplink (whose FIFO would absorb one permanent
@@ -180,6 +204,16 @@ let run_mix ~elephant_cells ~mice_msgs =
   let e_t0 = 1 in
   send_message sim net ~host:e_src ~vci:e_conn.Atm.Network.side_a.tx_vci
     ~cells:elephant_cells ~slot ~t0:e_t0;
+  let planted =
+    List.map
+      (fun (src, dst) ->
+        let conn = Atm.Network.connect net ~a:src ~b:dst in
+        Atm.Network.attach_rx net ~host:dst (fun _ -> ());
+        send_message sim net ~host:src ~vci:conn.Atm.Network.side_a.tx_vci
+          ~cells:elephant_cells ~slot ~t0:e_t0;
+        (src, conn.Atm.Network.side_a.tx_vci))
+      [ (e2_src, e2_dst); (e3_src, e3_dst) ]
+  in
   let mouse_cells = 8 in
   let sketch = Metrics.Sketch.create () in
   let mice_completed = ref 0 in
@@ -202,34 +236,104 @@ let run_mix ~elephant_cells ~mice_msgs =
     done
   done;
   Sim.run ~until:(((elephant_cells + (mice * mice_msgs * mouse_cells)) * slot * 2) + Sim.ms 10) sim;
+  Metrics.flush ();
   let secs = Sim.to_sec (!e_done - e_t0) in
-  {
-    elephant_cells;
-    elephant_mb_s =
-      (if secs <= 0. then nan
-       else
-         float_of_int (elephant_cells * Atm.Cell.payload_size) /. 1e6 /. secs);
-    mice;
-    mice_msgs;
-    mice_completed = !mice_completed;
-    mice_p50_us = Metrics.Sketch.quantile sketch 0.5;
-    mice_p99_us = Metrics.Sketch.quantile sketch 0.99;
-  }
+  (* recall of the exact ground truth: the three elephants are the true
+     heaviest flows by an order of magnitude (elephant_cells vs 64 cells
+     per mouse), so a correct Space-Saving top-K must hold all three *)
+  let truth = (e_src, e_conn.Atm.Network.side_a.tx_vci) :: planted in
+  let hh_recall =
+    match Atm.Network.flowstat net with
+    | None -> nan
+    | Some fs ->
+        let top = Atm.Flowstat.top fs in
+        let found (src, vci) =
+          List.exists
+            (fun (fl, _, _) ->
+              Atm.Flowstat.flow_src fl = src
+              && (Atm.Flowstat.flow_vcis fl).(0) = vci)
+            top
+        in
+        float_of_int (List.length (List.filter found truth))
+        /. float_of_int (List.length truth)
+  in
+  (* busiest trunk over the elephant's lifetime — the contended
+     leaf-to-spine fiber runs essentially saturated *)
+  let max_trunk_util =
+    let horizon = !e_done - e_t0 in
+    let u = ref 0. in
+    if horizon > 0 then
+      for sw = 0 to Atm.Network.switch_count net - 1 do
+        let s = Atm.Network.switch_at net sw in
+        for p = 0 to Atm.Switch.ports s - 1 do
+          match Atm.Network.port_dest net ~sw ~port:p with
+          | Some (`Switch _) -> (
+              match Atm.Network.output_link net ~sw ~port:p with
+              | Some link ->
+                  u :=
+                    Float.max !u
+                      (float_of_int (Atm.Link.busy_ns_at link ~at:!e_done)
+                      /. float_of_int horizon)
+              | None -> ())
+          | _ -> ()
+        done
+      done;
+    !u
+  in
+  let hop_p99_us =
+    Array.init 3 (fun hop ->
+        match Pathrec.hop_quantile ~hop 0.99 with
+        | Some q -> q /. 1000.
+        | None -> nan)
+  in
+  ( {
+      elephant_cells;
+      elephant_mb_s =
+        (if secs <= 0. then nan
+         else
+           float_of_int (elephant_cells * Atm.Cell.payload_size) /. 1e6 /. secs);
+      mice;
+      mice_msgs;
+      mice_completed = !mice_completed;
+      mice_p50_us = Metrics.Sketch.quantile sketch 0.5;
+      mice_p99_us = Metrics.Sketch.quantile sketch 0.99;
+      hh_recall;
+      max_trunk_util;
+      hop_p99_us;
+      path_records = Pathrec.count ();
+    },
+    Atm.Atlas.section ~title:"Congestion atlas: elephant/mice mix" net )
 
 let run ~quick =
-  let incast =
+  (* Flow observability (DESIGN.md §17) is on for the whole experiment:
+     exact_flows below the incast's 64 registered flows so both exact and
+     sketched regimes run, k above the three planted elephants but below
+     the sending-flow count so the sketch must actually evict. Accounting
+     is observational — the schedules, and with them every historical
+     member value, are unchanged. *)
+  let had_fs = Atm.Flowstat.active () in
+  Atm.Flowstat.configure ~exact_flows:16 ~k:4 ();
+  let had_pr = Pathrec.enabled () in
+  let incast, incast_atlas =
     if quick then run_incast ~waves:2 ~cells_per_msg:96
     else run_incast ~waves:4 ~cells_per_msg:192
   in
-  let mix =
+  (* path records cover the mix only, so the per-stage latency members
+     read the contended 3-hop route and nothing else *)
+  Pathrec.start ();
+  Pathrec.clear ();
+  let mix, mix_atlas =
     if quick then run_mix ~elephant_cells:2_000 ~mice_msgs:4
     else run_mix ~elephant_cells:5_334 ~mice_msgs:8
   in
+  if not had_pr then Pathrec.stop ();
+  if not had_fs then Atm.Flowstat.disable ();
   {
     hosts = Atm.Network.topology_hosts topo;
     switches = pods + spine;
     incast;
     mix;
+    sections = [ incast_atlas; mix_atlas ];
   }
 
 let print t =
@@ -269,6 +373,23 @@ let print t =
           Printf.sprintf "%.1f" m.mice_p50_us;
           Printf.sprintf "%.1f" m.mice_p99_us;
         ];
+      ];
+  Format.printf "@.";
+  Common.print_table
+    ~header:
+      [ "flow observability"; "hh recall"; "max trunk util";
+        "hop p99 (us, by stage)"; "path records" ]
+    ~rows:
+      [
+        [
+          "mix (3 elephants + 8 mice)";
+          Printf.sprintf "%.2f" m.hh_recall;
+          Printf.sprintf "%.1f%%" (100. *. m.max_trunk_util);
+          String.concat " / "
+            (Array.to_list
+               (Array.map (Printf.sprintf "%.1f") m.hop_p99_us));
+          string_of_int m.path_records;
+        ];
       ]
 
 let checks t =
@@ -294,6 +415,13 @@ let checks t =
       m.elephant_mb_s >= 13.5 && m.elephant_mb_s <= 16. );
     ( "mix: the trunk backlog stretches the mice tail",
       m.mice_p99_us >= 1.5 *. m.mice_p50_us );
+    ( "mix: the top-K sketch recovered every true heavy hitter",
+      m.hh_recall = 1.0 );
+    ( "mix: the elephant's trunk ran essentially saturated",
+      m.max_trunk_util >= 0.9 && m.max_trunk_util <= 1.01 );
+    ( "mix: every delivered PDU left a 3-hop path record",
+      m.path_records = m.mice_completed + 3
+      && Array.for_all (fun q -> Float.is_finite q && q > 0.) m.hop_p99_us );
   ]
 
 let members t =
@@ -309,4 +437,9 @@ let members t =
     ("fabric_mice_p50_us", (m.mice_p50_us, tight Lower_is_better));
     ("fabric_mice_p99_us", (m.mice_p99_us, tight Lower_is_better));
     ("fabric_elephant_mb_per_sec", (m.elephant_mb_s, tight Higher_is_better));
+    ("fabric_hh_recall", (m.hh_recall, tight Higher_is_better));
+    ("fabric_mix_max_trunk_utilization", (m.max_trunk_util, tight Both));
+    ("fabric_mix_hop0_p99_us", (m.hop_p99_us.(0), tight Lower_is_better));
+    ("fabric_mix_hop1_p99_us", (m.hop_p99_us.(1), tight Lower_is_better));
+    ("fabric_mix_hop2_p99_us", (m.hop_p99_us.(2), tight Lower_is_better));
   ]

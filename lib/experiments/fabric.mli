@@ -27,9 +27,25 @@ type mix = {
   mice_completed : int;
   mice_p50_us : float;
   mice_p99_us : float;
+  hh_recall : float;
+      (** fraction of the true heavy-hitter flows (the three planted
+          elephants plus the shared-trunk elephant) recovered by the
+          Space-Saving top-K sketch; 1.0 by the sketch's guarantee *)
+  max_trunk_util : float;  (** busiest trunk over the elephant's lifetime *)
+  hop_p99_us : float array;
+      (** per-stage p99 hop latency from the path records, one entry per
+          fabric stage *)
+  path_records : int;  (** delivered-PDU path records captured *)
 }
 
-type t = { hosts : int; switches : int; incast : incast; mix : mix }
+type t = {
+  hosts : int;
+  switches : int;
+  incast : incast;
+  mix : mix;
+  sections : string list;
+      (** congestion-atlas HTML fragments, one per workload *)
+}
 
 val run : quick:bool -> t
 val print : t -> unit

@@ -3,6 +3,7 @@ type outcome = {
   o_checks : (string * bool) list;
   o_series : (string * (float * float) list) list;
   o_members : (string * (float * Engine.Benchgate.gate)) list;
+  o_sections : string list;
 }
 
 type experiment = {
@@ -14,7 +15,7 @@ type experiment = {
 (* Adapter from the per-figure module shape (run/print/checks over a result
    record) to the single-run outcome: the experiment executes once and the
    outcome carries everything derived from that one execution. *)
-let exp ?series ?members name description run print checks =
+let exp ?series ?members ?sections name description run print checks =
   {
     name;
     description;
@@ -26,6 +27,7 @@ let exp ?series ?members name description run print checks =
           o_checks = checks t;
           o_series = (match series with None -> [] | Some f -> f t);
           o_members = (match members with None -> [] | Some f -> f t);
+          o_sections = (match sections with None -> [] | Some f -> f t);
         });
   }
 
@@ -102,7 +104,8 @@ let all =
        keep their historical values *)
     exp "fabric"
       "1024-endpoint fat-tree: incast into one egress port, elephant/mice mix"
-      Fabric.run Fabric.print Fabric.checks ~members:Fabric.members;
+      Fabric.run Fabric.print Fabric.checks ~members:Fabric.members
+      ~sections:(fun (t : Fabric.t) -> t.sections);
   ]
 
 let find name = List.find_opt (fun e -> e.name = name) all
@@ -119,11 +122,12 @@ let report_sections (e : experiment) (o : outcome) =
       (Report.escape e.description)
       (Report.checks_table o.o_checks)
   in
-  Report.section ~title:("Experiment: " ^ e.name) body
+  (Report.section ~title:("Experiment: " ^ e.name) body
   ::
   (match o.o_series with
   | [] -> []
   | curves ->
       [
         Report.section ~title:(e.name ^ " curves") (Report.curves_html curves);
-      ])
+      ]))
+  @ o.o_sections

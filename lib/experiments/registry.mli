@@ -19,6 +19,9 @@ type outcome = {
           gates (the mechanism BENCH_engine-throughput.json uses); empty
           for experiments whose snapshot is fully covered by the global
           tolerance *)
+  o_sections : string list;
+      (** experiment-specific HTML report fragments (e.g. the fabric's
+          congestion atlas), appended after the checks and curves *)
 }
 
 type experiment = {

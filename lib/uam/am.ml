@@ -312,10 +312,20 @@ let retransmit_unacked t (p : peer) =
             ("unacked", Trace.Int (Queue.length p.p_unacked));
           ];
     Profile.push ~host:(phost t) "uam.retransmit";
+    (* flow accounting (DESIGN.md §17): retransmits are charged to the
+       channel's transmit VCI, i.e. the flow the duplicates ride on *)
+    let retx_vci =
+      match Unet.Endpoint.find_channel t.ep p.p_chan with
+      | Some ch -> Some ch.Unet.Channel.tx_vci
+      | None -> None
+    in
     Queue.iter
       (fun u ->
         t.retx <- t.retx + 1;
         Metrics.Counter.inc m_retx;
+        (match retx_vci with
+        | Some vci -> Atm.Network.note_retx (Unet.net t.u) ~host:(phost t) ~vci
+        | None -> ());
         Host.Cpu.charge ~layer:"uam" (Unet.cpu t.u) t.cfg.op_ns;
         (* each retry is a child span of the original message, so a
            retransmitted message stays one connected trace *)
